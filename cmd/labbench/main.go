@@ -1,0 +1,122 @@
+// Command labbench regenerates every table and figure from the paper's
+// evaluation (DESIGN.md §4: experiments E1-E11) and prints them as text.
+//
+// Usage:
+//
+//	labbench               # run everything
+//	labbench -only E3,E5   # run a subset
+//	labbench -seed 7       # change the deterministic seed
+//	labbench -quick        # smaller workloads (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"safemeasure/internal/experiments"
+	"safemeasure/internal/spoof"
+)
+
+// renderer is any experiment result.
+type renderer interface{ Render() string }
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed for all experiments")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3); empty runs all")
+	quick := flag.Bool("quick", false, "smaller workloads")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (each is still internally deterministic)")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(strings.ToUpper(*only), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	scanPorts, spamN, syriaUsers, feasN := 1000, 100, 21000, 100000
+	mvrHorizon := 30 * time.Second
+	if *quick {
+		scanPorts, spamN, syriaUsers, feasN = 100, 50, 2000, 10000
+		mvrHorizon = 10 * time.Second
+	}
+
+	type job struct {
+		id  string
+		run func() (renderer, error)
+	}
+	jobs := []job{
+		{"E1", func() (renderer, error) { return experiments.E1ReferenceSystems(*seed) }},
+		{"E2", func() (renderer, error) { return experiments.E2Scanning(*seed, scanPorts) }},
+		{"E3", func() (renderer, error) { return experiments.E3SpamCDF(*seed, spamN) }},
+		{"E4", func() (renderer, error) { return experiments.E4DDoS(*seed, 40) }},
+		{"E5", func() (renderer, error) { return experiments.E5SyriaLogs(*seed, syriaUsers) }},
+		{"E6", func() (renderer, error) { return experiments.E6StatelessSpoof(*seed, spoof.PolicySlash24) }},
+		{"E7", func() (renderer, error) { return experiments.E7StatefulSpoof(*seed) }},
+		{"E8", func() (renderer, error) { return experiments.E8SpoofFeasibility(*seed, feasN) }},
+		{"E9", func() (renderer, error) { return experiments.E9MVR(*seed, mvrHorizon) }},
+		{"E10", func() (renderer, error) { return experiments.E10EthicsLoad(*seed) }},
+		{"E11", func() (renderer, error) { return experiments.E11TechniqueMatrix(*seed) }},
+		{"E12", func() (renderer, error) { return experiments.E12Ablations(*seed) }},
+	}
+
+	type outcome struct {
+		id      string
+		text    string
+		elapsed time.Duration
+		err     error
+	}
+	var selectedJobs []job
+	for _, j := range jobs {
+		if want(j.id) {
+			selectedJobs = append(selectedJobs, j)
+		}
+	}
+	if len(selectedJobs) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
+		os.Exit(2)
+	}
+
+	results := make([]outcome, len(selectedJobs))
+	runOne := func(i int) {
+		start := time.Now()
+		res, err := selectedJobs[i].run()
+		results[i] = outcome{id: selectedJobs[i].id, elapsed: time.Since(start), err: err}
+		if err == nil {
+			results[i].text = res.Render()
+		}
+	}
+	if *parallel {
+		// Every experiment builds its own lab and RNGs, so they are
+		// independent; output order stays deterministic because rendering
+		// happens after the join.
+		var wg sync.WaitGroup
+		for i := range selectedJobs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range selectedJobs {
+			runOne(i)
+		}
+	}
+
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, r.err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(r.text)
+		fmt.Printf("[%s completed in %v]\n\n", r.id, r.elapsed.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,87 @@
+// Command ruleinspect works with the lab's Snort-like rule language: it
+// parses a ruleset (a file, or the lab's default surveillance ruleset),
+// lists the compiled rules, and optionally tests a payload against them.
+//
+// Usage:
+//
+//	ruleinspect                         # show the default surveillance ruleset
+//	ruleinspect -rules my.rules         # parse and list a ruleset file
+//	ruleinspect -match "GET /falun"     # which rules fire on this TCP payload?
+//	ruleinspect -match-port 25 -match "lottery winner"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"safemeasure/internal/ids"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/packet"
+)
+
+func main() {
+	rulesFile := flag.String("rules", "", "ruleset file; empty uses the lab's default surveillance rules")
+	match := flag.String("match", "", "test payload: report rules that fire on it")
+	matchPort := flag.Uint("match-port", 80, "destination port for the test payload")
+	flag.Parse()
+
+	text := ""
+	if *rulesFile != "" {
+		data, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		text = string(data)
+	} else {
+		text = lab.DefaultSurveilRules(lab.DefaultCensorConfig())
+	}
+
+	vars := map[string]netip.Prefix{"HOME_NET": lab.ClientASPrefix}
+	rules, err := ids.ParseRules(text, vars)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parse error: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("parsed %d rules\n\n", len(rules))
+	for _, r := range rules {
+		contents := ""
+		for _, c := range r.Contents {
+			neg := ""
+			if c.Negate {
+				neg = "!"
+			}
+			contents += fmt.Sprintf(" content:%s%q", neg, c.Pattern)
+		}
+		fmt.Printf("  sid=%-5d %-10s [%s] %s%s\n", r.SID, r.Proto, r.Classtype, r.Msg, contents)
+	}
+
+	if *match == "" {
+		return
+	}
+
+	engine := ids.NewEngine(rules)
+	src := lab.ClientAddr
+	dst := lab.WebAddr
+	raw, err := packet.BuildTCP(src, dst, packet.DefaultTTL, &packet.TCP{
+		SrcPort: 40000, DstPort: uint16(*matchPort),
+		Flags: packet.TCPPsh | packet.TCPAck, Payload: []byte(*match),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pkt, err := packet.Parse(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	alerts := engine.Feed(0, pkt)
+	fmt.Printf("\npayload %q to port %d fires %d rule(s):\n", *match, *matchPort, len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  %v\n", a)
+	}
+}

@@ -1,0 +1,85 @@
+// Command syrialogs generates and analyzes censorship-device logs in the
+// Syrian-leak style (§2.2 of the paper).
+//
+// Usage:
+//
+//	syrialogs -generate logs.tsv -users 21000   # write a synthetic 2-day log
+//	syrialogs -analyze logs.tsv                  # the Chaabane-style analysis
+//	syrialogs -users 5000                        # generate + analyze in memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"safemeasure/internal/censorlogs"
+)
+
+func main() {
+	genPath := flag.String("generate", "", "write a synthetic log to this file")
+	anaPath := flag.String("analyze", "", "analyze an existing log file")
+	users := flag.Int("users", 21000, "population size for generation")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	var entries []censorlogs.Entry
+	switch {
+	case *anaPath != "":
+		f, err := os.Open(*anaPath)
+		if err != nil {
+			fatal(err)
+		}
+		entries, err = censorlogs.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		cfg := censorlogs.DefaultConfig()
+		cfg.Users = *users
+		cfg.Seed = *seed
+		entries = censorlogs.Generate(cfg)
+		if *genPath != "" {
+			f, err := os.Create(*genPath)
+			if err != nil {
+				fatal(err)
+			}
+			n, err := censorlogs.WriteTo(f, entries)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d entries (%d bytes) to %s\n", len(entries), n, *genPath)
+			return
+		}
+	}
+
+	rep := censorlogs.Analyze(entries)
+	fmt.Printf("requests        : %d\n", rep.TotalRequests)
+	fmt.Printf("denied          : %d\n", rep.TotalDenied)
+	fmt.Printf("users           : %d\n", rep.Users)
+	fmt.Printf("users w/ denial : %d (%.2f%%)  [paper: 1.57%%]\n",
+		rep.UsersWithDenial, 100*rep.UserDenialFraction)
+	var cats []string
+	for c := range rep.DeniedByCategory {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	fmt.Println("denials by category:")
+	for _, c := range cats {
+		fmt.Printf("  %-18s %d\n", c, rep.DeniedByCategory[c])
+	}
+	fmt.Println("top denied sites:")
+	for _, sc := range rep.TopDeniedSites {
+		fmt.Printf("  %-22s %d\n", sc.Site, sc.Count)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

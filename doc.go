@@ -1,0 +1,15 @@
+// Package safemeasure reproduces "Can Censorship Measurements Be Safe(r)?"
+// (Jones & Feamster, HotNets 2015) as a runnable Go laboratory.
+//
+// The public surface is:
+//
+//   - internal/core — the paper's measurement techniques and risk evaluation
+//   - internal/lab — the Figure 1 reference environment
+//   - internal/experiments — E1-E12, one runner per evaluation artifact
+//   - cmd/safemeasure, cmd/labbench, cmd/ruleinspect — CLIs
+//   - examples/ — five runnable walkthroughs
+//
+// The root package holds only this documentation and the benchmark harness
+// (bench_test.go), which regenerates every table and figure under
+// `go test -bench=.`. See README.md, DESIGN.md and EXPERIMENTS.md.
+package safemeasure

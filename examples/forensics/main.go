@@ -1,0 +1,79 @@
+// Forensics: the surveillance system's side of the story. Run population
+// traffic plus one overt and one stealth measurement, then act as the
+// analyst: retrospective metadata queries ("who contacted the censored
+// host?"), per-user dossier reports, and a pcap export of the border tap
+// for offline inspection in Wireshark.
+//
+//	go run ./examples/forensics
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/trace"
+)
+
+func main() {
+	l, err := lab.New(lab.Config{PopulationSize: 12, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A raw capture at the border, alongside the two middlebox taps.
+	capture := netsim.NewCapture("border")
+	l.Border.AddTap(capture)
+
+	l.StartPopulation(8 * time.Second)
+
+	// One overt probe and one spam-cloaked probe of the same domain.
+	overt := &core.OvertHTTP{}
+	overt.Run(l, core.Target{Domain: "banned.test"}, func(*core.Result) {})
+	spam := &core.Spam{}
+	spam.Run(l, core.Target{Domain: "twitter.com"}, func(*core.Result) {})
+	l.Run()
+
+	now := int64(l.Sim.Now())
+
+	fmt.Println("=== retrospective metadata query (30-day store) ===")
+	fmt.Printf("home-net users with flows touching %v (sensitive web host):\n", lab.SensitiveAddr)
+	for _, u := range l.Surveil.UsersContacting(lab.SensitiveAddr, 0, now) {
+		marker := ""
+		if u == lab.ClientAddr {
+			marker = "   <-- the measurement client"
+		}
+		fmt.Printf("  %v%s\n", u, marker)
+	}
+
+	fmt.Println()
+	fmt.Println("=== analyst dossier: the measurement client ===")
+	fmt.Print(l.Surveil.Analyst().Report(lab.ClientAddr))
+
+	fmt.Println()
+	fmt.Printf("=== flagged users ===\n")
+	flagged := l.Surveil.Analyst().Flagged()
+	if len(flagged) == 0 {
+		fmt.Println("  none")
+	}
+	for _, u := range flagged {
+		fmt.Printf("  %v (score %.2f)\n", u, l.Surveil.Analyst().Score(u))
+	}
+
+	// Export the border capture for Wireshark.
+	f, err := os.CreateTemp("", "safemeasure-border-*.pcap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	n, err := trace.WritePcap(f, capture)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("wrote %d border packets (%d bytes) to %s\n", capture.Count(), n, f.Name())
+	fmt.Println("(open with: wireshark", f.Name(), ")")
+}

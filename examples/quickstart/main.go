@@ -1,0 +1,45 @@
+// Quickstart: build the lab, measure one censored domain two ways — openly
+// (the OONI-style baseline) and cloaked as spam (the paper's Method #2) —
+// and compare what the surveillance system learned about the measurer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+)
+
+func main() {
+	run := func(tech core.Technique) (*core.Result, core.RiskReport) {
+		// A fresh lab per run: same censorship ground truth, same cover
+		// population, fully deterministic.
+		l, err := lab.New(lab.Config{PopulationSize: 20, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l.StartPopulation(5 * time.Second) // innocuous cover traffic
+
+		var res *core.Result
+		tech.Run(l, core.Target{Domain: "twitter.com"}, func(r *core.Result) { res = r })
+		l.Run() // drain virtual time
+		return res, core.EvaluateRisk(l, lab.ClientAddr)
+	}
+
+	fmt.Println("measuring twitter.com (DNS-poisoned by the lab's GFC-style censor)")
+	fmt.Println()
+	for _, tech := range []core.Technique{&core.OvertDNS{}, &core.Spam{}} {
+		res, risk := run(tech)
+		fmt.Printf("%-11s verdict=%v", res.Technique, res.Verdict)
+		if res.Mechanism != "" {
+			fmt.Printf(" (%s)", res.Mechanism)
+		}
+		fmt.Printf("\n%-11s risk: score=%.2f flagged=%v alerts=%d\n\n",
+			"", risk.Score, risk.Flagged, risk.AnalystAlerts)
+	}
+	fmt.Println("both detect the poisoning; only the overt probe gets the user flagged.")
+}

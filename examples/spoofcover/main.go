@@ -1,0 +1,35 @@
+// Spoofed-cover study (paper §4): how many spoofed cover queries does a
+// measurement need before the surveillance analyst can no longer single out
+// the measurer, and how does the client network's source-address-validation
+// policy bound what is possible?
+//
+//	go run ./examples/spoofcover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"safemeasure/internal/experiments"
+	"safemeasure/internal/spoof"
+)
+
+func main() {
+	fmt.Println("spoofed-cover DNS measurements of a poisoned domain (Fig 3a)")
+	fmt.Println()
+
+	for _, policy := range []spoof.Policy{spoof.PolicyStrict, spoof.PolicySlash24, spoof.PolicySlash16} {
+		r, err := experiments.E6StatelessSpoof(3, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(r.Render())
+		fmt.Println()
+	}
+
+	f, err := experiments.E8SpoofFeasibility(3, 50000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(f.Render())
+}

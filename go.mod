@@ -1,0 +1,3 @@
+module safemeasure
+
+go 1.22

@@ -1,0 +1,259 @@
+package censor
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"safemeasure/internal/dnswire"
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/tcpsim"
+)
+
+var (
+	cliAddr    = netip.MustParseAddr("10.1.0.10")
+	srvAddr    = netip.MustParseAddr("203.0.113.80")
+	dnsAddr    = netip.MustParseAddr("203.0.113.53")
+	poisonAddr = netip.MustParseAddr("198.18.0.1")
+	rtrAddr    = netip.MustParseAddr("10.1.0.1")
+)
+
+type env struct {
+	sim    *netsim.Sim
+	client *netsim.Host
+	server *netsim.Host
+	dns    *netsim.Host
+	router *netsim.Router
+	cs, ss *tcpsim.Stack
+	censor *Censor
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	sim := netsim.NewSim(3)
+	e := &env{
+		sim:    sim,
+		client: netsim.NewHost(sim, "client", cliAddr),
+		server: netsim.NewHost(sim, "server", srvAddr),
+		dns:    netsim.NewHost(sim, "dns", dnsAddr),
+		router: netsim.NewRouter(sim, "r", rtrAddr, 3),
+	}
+	netsim.AttachHost(sim, e.client, e.router, 0, time.Millisecond)
+	netsim.AttachHost(sim, e.server, e.router, 1, 4*time.Millisecond)
+	netsim.AttachHost(sim, e.dns, e.router, 2, 4*time.Millisecond)
+	e.router.AddRoute(netip.PrefixFrom(cliAddr, 32), 0)
+	e.router.AddRoute(netip.PrefixFrom(srvAddr, 32), 1)
+	e.router.AddRoute(netip.PrefixFrom(dnsAddr, 32), 2)
+	var err error
+	e.censor, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.router.AddTap(e.censor)
+	e.cs = tcpsim.NewStack(e.client)
+	e.ss = tcpsim.NewStack(e.server)
+	return e
+}
+
+func TestKeywordRSTInjection(t *testing.T) {
+	e := newEnv(t, Config{Keywords: []string{"falun"}})
+	e.ss.Listen(80, func(c *tcpsim.Conn) {})
+	var failErr error
+	c := e.cs.Dial(srvAddr, 80)
+	c.OnConnect = func(c *tcpsim.Conn) { c.Send([]byte("GET /falun HTTP/1.1\r\n\r\n")) }
+	c.OnFail = func(c *tcpsim.Conn, err error) { failErr = err }
+	e.sim.Run()
+	if !errors.Is(failErr, tcpsim.ErrReset) {
+		t.Fatalf("client err = %v, want reset", failErr)
+	}
+	if e.censor.RSTsInjected < 2 {
+		t.Fatalf("RSTs injected = %d", e.censor.RSTsInjected)
+	}
+	evs := e.censor.EventsByMechanism()
+	if evs[MechKeywordRST] == 0 {
+		t.Fatalf("events: %v", evs)
+	}
+}
+
+func TestKeywordSplitAcrossSegments(t *testing.T) {
+	// Stream reassembly in the censor catches keywords split across
+	// segments — sending "fal" then "un" still triggers.
+	e := newEnv(t, Config{Keywords: []string{"falun"}})
+	e.ss.Listen(80, func(c *tcpsim.Conn) {})
+	var failErr error
+	c := e.cs.Dial(srvAddr, 80)
+	c.OnConnect = func(c *tcpsim.Conn) {
+		c.Send([]byte("GET /fal"))
+		c.Send([]byte("un HTTP/1.1\r\n\r\n"))
+	}
+	c.OnFail = func(c *tcpsim.Conn, err error) { failErr = err }
+	e.sim.Run()
+	if !errors.Is(failErr, tcpsim.ErrReset) {
+		t.Fatalf("client err = %v, want reset", failErr)
+	}
+}
+
+func TestInnocuousTrafficUntouched(t *testing.T) {
+	e := newEnv(t, Config{Keywords: []string{"falun"}, BlockedDomains: []string{"twitter.com"}, PoisonAddr: poisonAddr})
+	var got []byte
+	e.ss.Listen(80, func(c *tcpsim.Conn) {
+		c.OnData = func(c *tcpsim.Conn, data []byte) { c.Send([]byte("HTTP/1.1 200 OK\r\n\r\n")) }
+	})
+	c := e.cs.Dial(srvAddr, 80)
+	c.OnConnect = func(c *tcpsim.Conn) { c.Send([]byte("GET /news HTTP/1.1\r\nHost: bbc.test\r\n\r\n")) }
+	c.OnData = func(c *tcpsim.Conn, data []byte) { got = append(got, data...) }
+	e.sim.Run()
+	if !bytes.Contains(got, []byte("200 OK")) {
+		t.Fatalf("innocuous request failed: %q", got)
+	}
+	if len(e.censor.Events) != 0 {
+		t.Fatalf("events on innocuous traffic: %v", e.censor.Events)
+	}
+}
+
+func TestDNSPoisoningWinsRace(t *testing.T) {
+	e := newEnv(t, Config{BlockedDomains: []string{"twitter.com"}, PoisonAddr: poisonAddr})
+	// Real DNS server answers with the true address.
+	trueAddr := netip.MustParseAddr("199.16.156.6")
+	e.dns.BindUDP(53, func(h *netsim.Host, src netip.Addr, sp uint16, payload []byte) {
+		q, err := dnswire.ParseMessage(payload)
+		if err != nil {
+			return
+		}
+		r := q.Reply()
+		r.Answers = []dnswire.RR{{Name: q.Questions[0].Name, Type: dnswire.TypeA, TTL: 60, A: trueAddr}}
+		out, _ := r.Marshal()
+		h.SendUDP(53, src, sp, out)
+	})
+	var answers []netip.Addr
+	e.client.BindUDP(5353, func(h *netsim.Host, src netip.Addr, sp uint16, payload []byte) {
+		m, err := dnswire.ParseMessage(payload)
+		if err != nil || len(m.Answers) == 0 {
+			return
+		}
+		answers = append(answers, m.Answers[0].A)
+	})
+	q := dnswire.NewQuery(1, "www.twitter.com", dnswire.TypeA)
+	wire, _ := q.Marshal()
+	e.client.SendUDP(5353, dnsAddr, 53, wire)
+	e.sim.Run()
+	if len(answers) != 2 {
+		t.Fatalf("answers = %v (want forged + real)", answers)
+	}
+	// The forged answer must arrive first (injected at the router, closer
+	// than the resolver).
+	if answers[0] != poisonAddr {
+		t.Fatalf("first answer %v, want poison %v", answers[0], poisonAddr)
+	}
+	if answers[1] != trueAddr {
+		t.Fatalf("second answer %v, want true %v", answers[1], trueAddr)
+	}
+}
+
+func TestDNSPoisonAppliesToMXQueries(t *testing.T) {
+	e := newEnv(t, Config{BlockedDomains: []string{"twitter.com"}, PoisonAddr: poisonAddr})
+	var got *dnswire.Message
+	e.client.BindUDP(5353, func(h *netsim.Host, src netip.Addr, sp uint16, payload []byte) {
+		m, err := dnswire.ParseMessage(payload)
+		if err == nil {
+			got = m
+		}
+	})
+	q := dnswire.NewQuery(2, "twitter.com", dnswire.TypeMX)
+	wire, _ := q.Marshal()
+	e.client.SendUDP(5353, dnsAddr, 53, wire)
+	e.sim.Run()
+	if got == nil || len(got.Answers) == 0 {
+		t.Fatal("no forged answer for MX query")
+	}
+	// The GFC quirk: the forged answer is an A record even for MX queries.
+	if got.Answers[0].Type != dnswire.TypeA || got.Answers[0].A != poisonAddr {
+		t.Fatalf("forged answer: %+v", got.Answers[0])
+	}
+}
+
+func TestDNSSubdomainBlocked(t *testing.T) {
+	c, err := New(Config{BlockedDomains: []string{"twitter.com"}, PoisonAddr: poisonAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom, ok := c.domainBlocked("api.Twitter.COM"); !ok || dom != "twitter.com" {
+		t.Fatalf("subdomain: %q %v", dom, ok)
+	}
+	if _, ok := c.domainBlocked("nottwitter.com"); ok {
+		t.Fatal("suffix over-match: nottwitter.com blocked")
+	}
+}
+
+func TestIPBlackhole(t *testing.T) {
+	e := newEnv(t, Config{Blackholed: []netip.Prefix{netip.PrefixFrom(srvAddr, 32)}})
+	var failErr error
+	c := e.cs.Dial(srvAddr, 80)
+	c.OnFail = func(c *tcpsim.Conn, err error) { failErr = err }
+	e.sim.Run()
+	if !errors.Is(failErr, tcpsim.ErrTimeout) {
+		t.Fatalf("err = %v, want timeout (silent drop)", failErr)
+	}
+	if e.censor.Dropped == 0 {
+		t.Fatal("censor dropped nothing")
+	}
+}
+
+func TestPortBlock(t *testing.T) {
+	e := newEnv(t, Config{BlockedPorts: []uint16{443}})
+	e.ss.Listen(443, func(c *tcpsim.Conn) {})
+	e.ss.Listen(80, func(c *tcpsim.Conn) {})
+	var failed, connected bool
+	c := e.cs.Dial(srvAddr, 443)
+	c.OnFail = func(c *tcpsim.Conn, err error) { failed = true }
+	c2 := e.cs.Dial(srvAddr, 80)
+	c2.OnConnect = func(c *tcpsim.Conn) { connected = true }
+	e.sim.Run()
+	if !failed {
+		t.Fatal("blocked port connected")
+	}
+	if !connected {
+		t.Fatal("open port blocked")
+	}
+}
+
+func TestHostHeaderBlock(t *testing.T) {
+	e := newEnv(t, Config{BlockedDomains: []string{"banned.test"}, PoisonAddr: poisonAddr})
+	e.ss.Listen(80, func(c *tcpsim.Conn) {})
+	var failErr error
+	c := e.cs.Dial(srvAddr, 80)
+	c.OnConnect = func(c *tcpsim.Conn) {
+		c.Send([]byte("GET / HTTP/1.1\r\nHost: banned.test\r\n\r\n"))
+	}
+	c.OnFail = func(c *tcpsim.Conn, err error) { failErr = err }
+	e.sim.Run()
+	if !errors.Is(failErr, tcpsim.ErrReset) {
+		t.Fatalf("err = %v, want reset", failErr)
+	}
+	if e.censor.EventsByMechanism()[MechHostBlock] == 0 {
+		t.Fatalf("events: %v", e.censor.EventsByMechanism())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{BlockedDomains: []string{"x.test"}}); err == nil {
+		t.Fatal("missing PoisonAddr accepted")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Fatalf("empty config rejected: %v", err)
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	names := map[Mechanism]string{
+		MechKeywordRST: "keyword-rst", MechDNSPoison: "dns-poison",
+		MechIPBlackhole: "ip-blackhole", MechPortBlock: "port-block", MechHostBlock: "host-block",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d = %q, want %q", m, m.String(), want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package censor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"net/netip"
+	"safemeasure/internal/httpwire"
+
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/packet"
+	"safemeasure/internal/tcpsim"
+	"safemeasure/internal/websim"
+)
+
+// sendFragmentedKeyword crafts a keyword-bearing TCP segment, fragments it
+// at the IP layer, and sends the pieces from the client.
+func sendFragmentedKeyword(t *testing.T, e *env, mtu int) {
+	t.Helper()
+	raw, err := packet.BuildTCP(cliAddr, srvAddr, 64, &packet.TCP{
+		SrcPort: 4321, DstPort: 80, Flags: packet.TCPPsh | packet.TCPAck,
+		Payload: []byte("GET /falun HTTP/1.1\r\nHost: site.test\r\n\r\n padding padding padding"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := packet.Fragment(raw, mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 2 {
+		t.Fatalf("payload did not fragment (%d pieces)", len(frags))
+	}
+	for _, f := range frags {
+		e.client.SendIP(f)
+	}
+}
+
+func TestFragmentedKeywordCaughtWithReassembly(t *testing.T) {
+	e := newEnv(t, Config{Keywords: []string{"falun"}})
+	var sawRST bool
+	e.client.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && pkt.TCP.Flags&packet.TCPRst != 0 {
+			sawRST = true
+		}
+	})
+	sendFragmentedKeyword(t, e, 16)
+	e.sim.Run()
+	if !sawRST {
+		t.Fatal("reassembling censor missed the fragmented keyword")
+	}
+	if e.censor.EventsByMechanism()[MechKeywordRST] == 0 {
+		t.Fatalf("events: %v", e.censor.EventsByMechanism())
+	}
+}
+
+func TestFragmentedKeywordEvadesWithoutReassembly(t *testing.T) {
+	e := newEnv(t, Config{Keywords: []string{"falun"}, DisableReassembly: true})
+	sendFragmentedKeyword(t, e, 16)
+	e.sim.Run()
+	// The server's own closed-port RST still flows (hosts reassemble), but
+	// the censor itself must stay blind: no injections, no events.
+	if e.censor.RSTsInjected != 0 {
+		t.Fatalf("non-reassembling censor injected %d RSTs", e.censor.RSTsInjected)
+	}
+	if len(e.censor.Events) != 0 {
+		t.Fatalf("events: %v", e.censor.Events)
+	}
+}
+
+func TestFragmentedDatagramStillReachesServer(t *testing.T) {
+	// Hosts always reassemble: the fragmented request must arrive whole at
+	// the server even when the censor is blind to it.
+	e := newEnv(t, Config{Keywords: []string{"falun"}, DisableReassembly: true})
+	var got []byte
+	e.server.TCPDispatch = nil // raw: capture via sniffer
+	e.server.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && len(pkt.TCP.Payload) > 0 {
+			got = append([]byte(nil), pkt.TCP.Payload...)
+		}
+	})
+	sendFragmentedKeyword(t, e, 16)
+	e.sim.Run()
+	if !bytes.Contains(got, []byte("falun")) {
+		t.Fatalf("server got %q", got)
+	}
+}
+
+func TestBlackholeAppliesToFragments(t *testing.T) {
+	cfg := Config{Blackholed: []netip.Prefix{netip.PrefixFrom(srvAddr, 32)}}
+	e := newEnv(t, cfg)
+	sendFragmentedKeyword(t, e, 16)
+	e.sim.Run()
+	if e.server.Received != 0 {
+		t.Fatal("fragments leaked through blackhole")
+	}
+	if e.censor.Dropped == 0 {
+		t.Fatal("censor dropped nothing")
+	}
+}
+
+func TestResidualBlocking(t *testing.T) {
+	e := newEnv(t, Config{Keywords: []string{"falun"}, ResidualBlock: 10 * time.Second})
+	websrv, err := websim.NewServer(e.ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = websrv
+
+	// 1. Trigger the keyword: connection dies.
+	var firstErr error
+	websim.Get(e.cs, srvAddr, "site.test", "/falun", func(r *httpwire.Response, err error) { firstErr = err })
+	e.sim.Run()
+	if firstErr == nil {
+		t.Fatal("keyword request survived")
+	}
+
+	// 2. A clean request between the same pair inside the penalty window
+	// also dies (residual blocking).
+	var cleanErr error
+	websim.Get(e.cs, srvAddr, "site.test", "/innocuous", func(r *httpwire.Response, err error) { cleanErr = err })
+	e.sim.Run()
+	if !errors.Is(cleanErr, websim.ErrConnection) {
+		t.Fatalf("clean request inside penalty: err = %v", cleanErr)
+	}
+	if e.censor.ResidualRSTs == 0 {
+		t.Fatal("no residual RSTs counted")
+	}
+
+	// 3. After the penalty expires, the same pair works again.
+	e.sim.RunFor(11 * time.Second)
+	var lateResp *httpwire.Response
+	websim.Get(e.cs, srvAddr, "site.test", "/innocuous", func(r *httpwire.Response, err error) { lateResp = r })
+	e.sim.Run()
+	if lateResp == nil || lateResp.Status != 200 {
+		t.Fatalf("post-penalty request failed: %+v", lateResp)
+	}
+}
+
+func TestResidualDisabledByDefault(t *testing.T) {
+	e := newEnv(t, Config{Keywords: []string{"falun"}})
+	if _, err := websim.NewServer(e.ss); err != nil {
+		t.Fatal(err)
+	}
+	websim.Get(e.cs, srvAddr, "site.test", "/falun", func(*httpwire.Response, error) {})
+	e.sim.Run()
+	var resp *httpwire.Response
+	websim.Get(e.cs, srvAddr, "site.test", "/clean", func(r *httpwire.Response, err error) { resp = r })
+	e.sim.Run()
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("clean request failed without residual blocking: %+v", resp)
+	}
+	_ = tcpsim.ErrReset
+	_ = netsim.Pass
+}

@@ -1,0 +1,207 @@
+// Package censorlogs generates and analyzes censorship-device logs in the
+// style of the leaked Syrian Blue Coat logs analyzed by Chaabane et al.
+// (IMC 2014), which the paper uses for one load-bearing number: over two
+// days, 1.57 % of the user population accessed at least one censored site —
+// far too many people for a surveillance system to chase by simply alarming
+// on every censored request (§2.2).
+//
+// The generator reproduces that workload: a Zipf-popularity site catalog
+// with a censored subset, per-user browsing volume, and a calibration
+// helper that turns a target "fraction of users with at least one censored
+// hit" into a per-request probability.
+package censorlogs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Action is the device's decision for one request.
+type Action int
+
+// Log actions.
+const (
+	ActionAllow Action = iota
+	ActionDeny
+)
+
+// String returns "allow" or "deny".
+func (a Action) String() string {
+	if a == ActionDeny {
+		return "deny"
+	}
+	return "allow"
+}
+
+// Entry is one log line.
+type Entry struct {
+	Time     time.Duration // offset into the capture
+	User     int           // anonymized user id
+	Site     string
+	Category string // device content category
+	Action   Action
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	Users        int
+	Duration     time.Duration // the leak covered 2 days
+	ReqPerUser   int           // mean requests per user over Duration
+	Sites        int           // catalog size
+	CensoredFrac float64       // fraction of catalog censored
+	// CensoredReqProb is the per-request probability of landing on a
+	// censored site. Use CalibrateReqProb to hit a target user fraction.
+	CensoredReqProb float64
+	Seed            int64
+}
+
+// DefaultConfig mirrors the Syrian leak's shape: two days, a campus-scale
+// population, calibrated to the paper's 1.57 %.
+func DefaultConfig() Config {
+	cfg := Config{
+		Users:        21000, // the paper's campus population
+		Duration:     48 * time.Hour,
+		ReqPerUser:   220,
+		Sites:        5000,
+		CensoredFrac: 0.02,
+		Seed:         1,
+	}
+	cfg.CensoredReqProb = CalibrateReqProb(0.0157, cfg.ReqPerUser)
+	return cfg
+}
+
+// CalibrateReqProb inverts P(user has >=1 censored hit) = 1-(1-p)^reqs for
+// p, so the generated logs reproduce a target user fraction.
+func CalibrateReqProb(targetUserFrac float64, reqPerUser int) float64 {
+	if targetUserFrac <= 0 || targetUserFrac >= 1 || reqPerUser <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-targetUserFrac, 1/float64(reqPerUser))
+}
+
+// categories a Blue Coat-style device stamps on denials.
+var denyCategories = []string{"social-media", "news-politics", "proxy-avoidance", "video", "instant-messaging"}
+
+// Generate produces the synthetic log, sorted by time.
+func Generate(cfg Config) []Entry {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	catalog := make([]string, cfg.Sites)
+	censoredCount := int(float64(cfg.Sites) * cfg.CensoredFrac)
+	for i := range catalog {
+		if i < censoredCount {
+			catalog[i] = fmt.Sprintf("censored%04d.test", i)
+		} else {
+			catalog[i] = fmt.Sprintf("site%04d.test", i)
+		}
+	}
+	var out []Entry
+	for u := 0; u < cfg.Users; u++ {
+		// Poisson-ish spread: +-25% of the mean.
+		n := cfg.ReqPerUser
+		if n > 3 {
+			n = n - n/4 + rng.Intn(n/2+1)
+		}
+		for r := 0; r < n; r++ {
+			e := Entry{
+				Time: time.Duration(rng.Int63n(int64(cfg.Duration))),
+				User: u,
+			}
+			if rng.Float64() < cfg.CensoredReqProb {
+				e.Site = catalog[rng.Intn(max(censoredCount, 1))]
+				e.Category = denyCategories[rng.Intn(len(denyCategories))]
+				e.Action = ActionDeny
+			} else {
+				// Zipf-ish popularity over the uncensored tail.
+				idx := censoredCount + zipfIndex(rng, cfg.Sites-censoredCount)
+				e.Site = catalog[idx]
+				e.Category = "general"
+				e.Action = ActionAllow
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// zipfIndex samples an index in [0, n) with approximately 1/(i+1) weights.
+func zipfIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF of the continuous 1/x density on [1, n+1).
+	u := rng.Float64()
+	x := math.Pow(float64(n+1), u)
+	i := int(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Report is the analyzer's output — the §2.2 numbers.
+type Report struct {
+	TotalRequests   int
+	TotalDenied     int
+	Users           int
+	UsersWithDenial int
+	// UserDenialFraction is the paper's 1.57 % statistic.
+	UserDenialFraction float64
+	DeniedByCategory   map[string]int
+	TopDeniedSites     []SiteCount
+}
+
+// SiteCount is one (site, denials) pair.
+type SiteCount struct {
+	Site  string
+	Count int
+}
+
+// Analyze computes the report over a log.
+func Analyze(entries []Entry) Report {
+	rep := Report{DeniedByCategory: make(map[string]int)}
+	users := make(map[int]bool)
+	denied := make(map[int]bool)
+	siteDenials := make(map[string]int)
+	for _, e := range entries {
+		rep.TotalRequests++
+		users[e.User] = true
+		if e.Action == ActionDeny {
+			rep.TotalDenied++
+			denied[e.User] = true
+			rep.DeniedByCategory[e.Category]++
+			siteDenials[e.Site]++
+		}
+	}
+	rep.Users = len(users)
+	rep.UsersWithDenial = len(denied)
+	if rep.Users > 0 {
+		rep.UserDenialFraction = float64(rep.UsersWithDenial) / float64(rep.Users)
+	}
+	for site, n := range siteDenials {
+		rep.TopDeniedSites = append(rep.TopDeniedSites, SiteCount{site, n})
+	}
+	sort.Slice(rep.TopDeniedSites, func(i, j int) bool {
+		if rep.TopDeniedSites[i].Count != rep.TopDeniedSites[j].Count {
+			return rep.TopDeniedSites[i].Count > rep.TopDeniedSites[j].Count
+		}
+		return rep.TopDeniedSites[i].Site < rep.TopDeniedSites[j].Site
+	})
+	if len(rep.TopDeniedSites) > 10 {
+		rep.TopDeniedSites = rep.TopDeniedSites[:10]
+	}
+	return rep
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

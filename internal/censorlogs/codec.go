@@ -1,0 +1,78 @@
+package censorlogs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Text codec for the device-log format, modeled on the Blue Coat SG lines
+// in the Syrian leak: tab-separated
+//
+//	<offset-seconds> <user-id> <site> <category> <allow|deny>
+//
+// The analyzer can therefore run over exported files, not just in-memory
+// slices — the workflow Chaabane et al. actually had.
+
+// WriteTo serializes entries, one line each. Returns bytes written.
+func WriteTo(w io.Writer, entries []Entry) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, e := range entries {
+		c, err := fmt.Fprintf(bw, "%.3f\t%d\t%s\t%s\t%s\n",
+			e.Time.Seconds(), e.User, e.Site, e.Category, e.Action)
+		if err != nil {
+			return n, err
+		}
+		n += int64(c)
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom parses a log previously written with WriteTo. Malformed lines
+// produce an error naming the line number.
+func ReadFrom(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("censorlogs: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		secs, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || secs < 0 {
+			return nil, fmt.Errorf("censorlogs: line %d: bad timestamp %q", lineNo, fields[0])
+		}
+		user, err := strconv.Atoi(fields[1])
+		if err != nil || user < 0 {
+			return nil, fmt.Errorf("censorlogs: line %d: bad user %q", lineNo, fields[1])
+		}
+		var action Action
+		switch fields[4] {
+		case "allow":
+			action = ActionAllow
+		case "deny":
+			action = ActionDeny
+		default:
+			return nil, fmt.Errorf("censorlogs: line %d: bad action %q", lineNo, fields[4])
+		}
+		out = append(out, Entry{
+			Time:     time.Duration(secs * float64(time.Second)),
+			User:     user,
+			Site:     fields[2],
+			Category: fields[3],
+			Action:   action,
+		})
+	}
+	return out, sc.Err()
+}

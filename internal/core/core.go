@@ -1,0 +1,147 @@
+// Package core implements the paper's primary contribution: censorship
+// measurement techniques designed to reduce risk to the measuring user, plus
+// overt baselines and a risk evaluator that asks the lab's surveillance
+// system whether the measurer was noticed.
+//
+// Two families of techniques (paper §3 and §4):
+//
+//	Mimicking population traffic (look like malware the MVR discards):
+//	  SYNScan   — Method #1, nmap-style scanning of a censored service
+//	  Spam      — Method #2, MX → A → SMTP → spam message
+//	  DDoS      — Method #3, one source of an HTTP flood
+//
+//	Manipulating population traffic (spoofed cover, confuse attribution):
+//	  SpoofedDNS — Fig 3a, stateless: spoofed queries from cover addresses
+//	  SpoofedSYN — Fig 3a variant: spoofed SYN/RST reachability probes
+//	  Stateful   — Fig 3b: spoofed TCP to a controlled server whose
+//	               replies are TTL-limited to die before the cover hosts
+//
+//	Baselines (what OONI/Centinel-style platforms do openly):
+//	  OvertDNS, OvertHTTP, OvertTCP
+//
+// Every technique returns a Result with a censorship Verdict and evidence;
+// EvaluateRisk then reports whether the surveillance pipeline retained the
+// traffic, how the analyst scored the user, and whether they were flagged.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"safemeasure/internal/lab"
+)
+
+// Verdict is a technique's conclusion about the target.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictInconclusive Verdict = iota
+	VerdictAccessible
+	VerdictCensored
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	return [...]string{"inconclusive", "accessible", "censored"}[v]
+}
+
+// Mechanisms reported in Result.Mechanism.
+const (
+	MechRST     = "rst-injection"
+	MechPoison  = "dns-poison"
+	MechTimeout = "timeout-or-blackhole"
+	MechClosed  = "connection-refused"
+	MechNone    = ""
+)
+
+// Target names what to measure. Domain is required for DNS/HTTP-level
+// techniques; Addr/Port for TCP/IP-level ones (Addr defaults to the lab's
+// hosting address for Domain, Port to 80).
+type Target struct {
+	Domain string
+	Addr   netip.Addr
+	Port   uint16
+	// Path is the URL path fetched by HTTP techniques; a keyword-bearing
+	// path (e.g. "/falun") exercises keyword censorship.
+	Path string
+}
+
+// resolve fills defaults from the lab.
+func (t Target) resolve(l *lab.Lab) Target {
+	if !t.Addr.IsValid() && t.Domain != "" {
+		t.Addr = l.SiteAddr(t.Domain)
+	}
+	if t.Port == 0 {
+		t.Port = 80
+	}
+	if t.Path == "" {
+		t.Path = "/"
+	}
+	return t
+}
+
+// String renders the target compactly.
+func (t Target) String() string {
+	if t.Domain != "" {
+		return fmt.Sprintf("%s%s", t.Domain, t.Path)
+	}
+	return fmt.Sprintf("%v:%d", t.Addr, t.Port)
+}
+
+// Result is one completed measurement.
+type Result struct {
+	Technique string
+	Target    Target
+	Verdict   Verdict
+	// Mechanism is the interference mechanism the evidence points to.
+	Mechanism string
+	Evidence  []string
+	// ProbesSent counts measurement packets or transactions initiated by
+	// the client itself.
+	ProbesSent int
+	// CoverSent counts spoofed cover packets emitted on top.
+	CoverSent int
+}
+
+func (r *Result) addEvidence(format string, args ...any) {
+	r.Evidence = append(r.Evidence, fmt.Sprintf(format, args...))
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s %s => %v", r.Technique, r.Target, r.Verdict)
+	if r.Mechanism != "" {
+		s += " (" + r.Mechanism + ")"
+	}
+	return s
+}
+
+// Technique is a runnable measurement. Run schedules work in the lab's
+// virtual time and calls done exactly once; callers drive l.Run() (or
+// RunFor) to completion.
+type Technique interface {
+	Name() string
+	Run(l *lab.Lab, tgt Target, done func(*Result))
+}
+
+// All returns one instance of every technique, baselines first — the set
+// the E11 comparison matrix sweeps.
+func All() []Technique {
+	return []Technique{
+		&OvertDNS{}, &OvertHTTP{}, &OvertTCP{},
+		&SYNScan{}, &Spam{}, &DDoS{},
+		&SpoofedDNS{}, &SpoofedSYN{}, &Stateful{},
+	}
+}
+
+// Stealth reports whether a technique is one of the paper's risk-reducing
+// designs (as opposed to an overt baseline).
+func Stealth(t Technique) bool {
+	switch t.(type) {
+	case *OvertDNS, *OvertHTTP, *OvertTCP:
+		return false
+	default:
+		return true
+	}
+}

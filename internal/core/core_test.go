@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"safemeasure/internal/dnswire"
+	"safemeasure/internal/httpwire"
+	"safemeasure/internal/tcpsim"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/lab"
+	"safemeasure/internal/spoof"
+)
+
+// runOne builds a fresh lab, runs one technique against one target, drains
+// the simulator, and returns the result.
+func runOne(t testing.TB, cfg lab.Config, tech Technique, tgt Target) (*Result, *lab.Lab) {
+	t.Helper()
+	if cfg.PopulationSize == 0 {
+		cfg.PopulationSize = 8
+	}
+	l, err := lab.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	tech.Run(l, tgt, func(r *Result) { res = r })
+	l.Run()
+	if res == nil {
+		t.Fatalf("%s never completed", tech.Name())
+	}
+	return res, l
+}
+
+func TestOvertDNSCensored(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 1}, &OvertDNS{}, Target{Domain: "twitter.com"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechPoison {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestOvertDNSAccessible(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 2}, &OvertDNS{}, Target{Domain: "site03.test"})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestOvertHTTPKeywordCensored(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 3}, &OvertHTTP{}, Target{Domain: "site03.test", Path: "/falun"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechRST {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestOvertHTTPAccessible(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 4}, &OvertHTTP{}, Target{Domain: "site03.test"})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestOvertHTTPHostBlocked(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 5}, &OvertHTTP{}, Target{Domain: "banned.test"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechRST {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestOvertTCPBlackholed(t *testing.T) {
+	cfg := lab.DefaultCensorConfig()
+	cfg.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.SensitiveAddr, 32)}
+	res, _ := runOne(t, lab.Config{Censor: cfg, Seed: 6}, &OvertTCP{}, Target{Addr: lab.SensitiveAddr, Port: 80})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechTimeout {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestOvertTCPAccessible(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 7}, &OvertTCP{}, Target{Addr: lab.WebAddr, Port: 80})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestSYNScanDetectsBlackhole(t *testing.T) {
+	cfg := lab.DefaultCensorConfig()
+	cfg.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.SensitiveAddr, 32)}
+	res, _ := runOne(t, lab.Config{Censor: cfg, Seed: 8}, &SYNScan{Ports: 30}, Target{Domain: "banned.test"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechTimeout {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+	if res.ProbesSent != 30 {
+		t.Fatalf("probes = %d", res.ProbesSent)
+	}
+}
+
+func TestSYNScanDetectsPortBlock(t *testing.T) {
+	cfg := lab.DefaultCensorConfig()
+	cfg.BlockedPorts = []uint16{80}
+	res, _ := runOne(t, lab.Config{Censor: cfg, Seed: 9}, &SYNScan{Ports: 10}, Target{Domain: "banned.test"})
+	if res.Verdict != VerdictCensored {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestSYNScanAccessible(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 10}, &SYNScan{Ports: 30}, Target{Domain: "site03.test"})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestSpamDetectsDNSPoison(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 11}, &Spam{}, Target{Domain: "twitter.com"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechPoison {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestSpamDeliversToUncensoredDomain(t *testing.T) {
+	res, l := runOne(t, lab.Config{Seed: 12}, &Spam{}, Target{Domain: "site04.test"})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+	if len(l.Mail.Received) != 1 || l.Mail.Received[0].To != "info@site04.test" {
+		t.Fatalf("mail: %+v", l.Mail.Received)
+	}
+}
+
+func TestSpamDetectsMailBlackhole(t *testing.T) {
+	cfg := lab.DefaultCensorConfig()
+	cfg.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.MailAddr, 32)}
+	res, _ := runOne(t, lab.Config{Censor: cfg, Seed: 13}, &Spam{}, Target{Domain: "site04.test"})
+	if res.Verdict != VerdictCensored {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestDDoSDetectsKeywordRST(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 14}, &DDoS{Requests: 20}, Target{Domain: "site03.test", Path: "/falun"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechRST {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+	if res.ProbesSent != 20 {
+		t.Fatalf("probes = %d", res.ProbesSent)
+	}
+}
+
+func TestDDoSAccessible(t *testing.T) {
+	res, _ := runOne(t, lab.Config{Seed: 15}, &DDoS{Requests: 20}, Target{Domain: "site03.test"})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestSpoofedDNSCensoredWithCover(t *testing.T) {
+	res, l := runOne(t, lab.Config{SpoofPolicy: spoof.PolicySlash24, Seed: 16},
+		&SpoofedDNS{Covers: 6}, Target{Domain: "youtube.com"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechPoison {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+	if res.CoverSent != 6 {
+		t.Fatalf("covers = %d", res.CoverSent)
+	}
+	if l.SAV.Dropped != 0 {
+		t.Fatalf("SAV dropped %d cover packets under /24 policy", l.SAV.Dropped)
+	}
+}
+
+func TestSpoofedDNSStrictPolicyNoCover(t *testing.T) {
+	res, _ := runOne(t, lab.Config{SpoofPolicy: spoof.PolicyStrict, Seed: 17},
+		&SpoofedDNS{Covers: 6}, Target{Domain: "youtube.com"})
+	if res.Verdict != VerdictCensored {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+	if res.CoverSent != 0 {
+		t.Fatalf("covers sent under strict policy: %d", res.CoverSent)
+	}
+	if !strings.Contains(strings.Join(res.Evidence, " "), "no spoofing capability") {
+		t.Fatalf("evidence: %v", res.Evidence)
+	}
+}
+
+func TestSpoofedSYNAccessible(t *testing.T) {
+	res, _ := runOne(t, lab.Config{SpoofPolicy: spoof.PolicySlash24, Seed: 18},
+		&SpoofedSYN{Covers: 5}, Target{Addr: lab.WebAddr, Port: 80})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+	if res.CoverSent != 5 {
+		t.Fatalf("covers = %d", res.CoverSent)
+	}
+}
+
+func TestSpoofedSYNBlackholed(t *testing.T) {
+	cfg := lab.DefaultCensorConfig()
+	cfg.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.SensitiveAddr, 32)}
+	res, _ := runOne(t, lab.Config{Censor: cfg, SpoofPolicy: spoof.PolicySlash24, Seed: 19},
+		&SpoofedSYN{Covers: 5}, Target{Addr: lab.SensitiveAddr, Port: 80})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechTimeout {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestSpoofedSYNClosedPortRST(t *testing.T) {
+	res, _ := runOne(t, lab.Config{SpoofPolicy: spoof.PolicySlash24, Seed: 20},
+		&SpoofedSYN{Covers: 3}, Target{Addr: lab.WebAddr, Port: 81})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechRST {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestStatefulDetectsKeywordCensorship(t *testing.T) {
+	res, _ := runOne(t, lab.Config{SpoofPolicy: spoof.PolicySlash24, Seed: 21},
+		&Stateful{Covers: 4}, Target{Domain: "site03.test", Path: "/falun"})
+	if res.Verdict != VerdictCensored || res.Mechanism != MechRST {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+	if res.CoverSent == 0 {
+		t.Fatal("no cover flows")
+	}
+}
+
+func TestStatefulAccessible(t *testing.T) {
+	res, _ := runOne(t, lab.Config{SpoofPolicy: spoof.PolicySlash24, Seed: 22},
+		&Stateful{Covers: 4}, Target{Domain: "site03.test"})
+	if res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v %v", res, res.Evidence)
+	}
+}
+
+func TestStatefulTTLLimitedRepliesDieBeforeClients(t *testing.T) {
+	l, err := lab.New(lab.Config{PopulationSize: 8, SpoofPolicy: spoof.PolicySlash24, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spoof live population hosts so the replay hazard is real.
+	var covers []netip.Addr
+	for _, a := range l.PopulationAddrs() {
+		if a.As4()[2] == 0 { // client's /24
+			covers = append(covers, a)
+		}
+	}
+	tech := &Stateful{Sources: covers}
+	var res *Result
+	tech.Run(l, Target{Domain: "site03.test"}, func(r *Result) { res = r })
+	before := make(map[netip.Addr]int)
+	l.Run()
+	_ = before
+	if res == nil || res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v", res)
+	}
+	// No population host received anything from the measurement server:
+	// the TTL-limited replies died at the edge.
+	for _, u := range l.Population {
+		if u.Host.Received > 0 {
+			t.Fatalf("population host %v received %d packets", u.Host.Addr, u.Host.Received)
+		}
+	}
+}
+
+func TestStatefulRSTReplayAblation(t *testing.T) {
+	// The pitfall the paper's TTL limiting avoids: with full-TTL replies,
+	// the spoofed clients' real kernels see the SYN/ACKs and fire RSTs,
+	// which tear down the server-side flows and corrupt the measurement.
+	l, err := lab.New(lab.Config{PopulationSize: 8, SpoofPolicy: spoof.PolicySlash24, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var covers []netip.Addr
+	for _, a := range l.PopulationAddrs() {
+		if a.As4()[2] == 0 {
+			covers = append(covers, a)
+		}
+	}
+	if len(covers) == 0 {
+		t.Fatal("no in-/24 population")
+	}
+	tech := &Stateful{Sources: covers, ReplyTTL: 64}
+	var res *Result
+	tech.Run(l, Target{Domain: "site03.test"}, func(r *Result) { res = r })
+	l.Run()
+	// The uncensored target is now misreported because cover kernels RST.
+	if res.Verdict != VerdictCensored {
+		t.Fatalf("expected corrupted verdict without TTL limiting, got %v %v", res.Verdict, res.Evidence)
+	}
+}
+
+func TestRiskOvertVsStealth(t *testing.T) {
+	// The headline comparison: an overt probe gets the user flagged, the
+	// malware-mimicry probes do not.
+	overt, lOvert := runOne(t, lab.Config{Seed: 25}, &OvertHTTP{}, Target{Domain: "banned.test"})
+	if overt.Verdict != VerdictCensored {
+		t.Fatalf("overt: %v", overt)
+	}
+	overtRisk := EvaluateRisk(lOvert, lab.ClientAddr)
+	if !overtRisk.Flagged {
+		t.Fatalf("overt probe not flagged: %v", overtRisk)
+	}
+
+	cfgBlackhole := lab.DefaultCensorConfig()
+	cfgBlackhole.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.SensitiveAddr, 32)}
+	scanRes, lScan := runOne(t, lab.Config{Censor: cfgBlackhole, Seed: 26}, &SYNScan{Ports: 100}, Target{Domain: "banned.test"})
+	if scanRes.Verdict != VerdictCensored {
+		t.Fatalf("scan: %v", scanRes)
+	}
+	scanRisk := EvaluateRisk(lScan, lab.ClientAddr)
+	if scanRisk.Flagged {
+		t.Fatalf("scanning probe flagged: %v", scanRisk)
+	}
+	if scanRisk.Score >= overtRisk.Score {
+		t.Fatalf("scan score %.2f >= overt score %.2f", scanRisk.Score, overtRisk.Score)
+	}
+}
+
+func TestRiskSpamNotFlagged(t *testing.T) {
+	res, l := runOne(t, lab.Config{Seed: 27}, &Spam{}, Target{Domain: "twitter.com"})
+	if res.Verdict != VerdictCensored {
+		t.Fatalf("spam: %v", res)
+	}
+	risk := EvaluateRisk(l, lab.ClientAddr)
+	if risk.Flagged {
+		t.Fatalf("spam probe flagged: %v", risk)
+	}
+}
+
+func TestAllTechniquesComplete(t *testing.T) {
+	for _, tech := range All() {
+		res, _ := runOne(t, lab.Config{SpoofPolicy: spoof.PolicySlash24, Seed: 28}, tech, Target{Domain: "site05.test"})
+		if res.Verdict == VerdictInconclusive {
+			t.Errorf("%s inconclusive on accessible target: %v", tech.Name(), res.Evidence)
+		}
+	}
+}
+
+func TestStealthClassifier(t *testing.T) {
+	stealth := 0
+	for _, tech := range All() {
+		if Stealth(tech) {
+			stealth++
+		}
+	}
+	if stealth != 6 {
+		t.Fatalf("stealth techniques = %d, want 6", stealth)
+	}
+}
+
+func TestVerdictAndResultStrings(t *testing.T) {
+	if VerdictCensored.String() != "censored" || VerdictAccessible.String() != "accessible" {
+		t.Fatal("verdict names")
+	}
+	r := &Result{Technique: "t", Target: Target{Domain: "d.test", Path: "/"}, Verdict: VerdictCensored, Mechanism: MechRST}
+	if !strings.Contains(r.String(), "rst-injection") || !strings.Contains(r.String(), "d.test") {
+		t.Fatalf("result string: %s", r)
+	}
+}
+
+func TestCalibrateReplyTTL(t *testing.T) {
+	l, err := lab.New(lab.Config{PopulationSize: 4, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTTL uint8
+	var gotHops int
+	CalibrateReplyTTL(l, lab.ClientAddr, func(ttl uint8, hops int) {
+		gotTTL, gotHops = ttl, hops
+	})
+	l.Run()
+	// Lab geometry: measure server -> border -> edge -> client = 3 hops;
+	// reply TTL 2 expires at the edge, one hop short of the client.
+	if gotHops != 3 || gotTTL != 2 {
+		t.Fatalf("hops=%d ttl=%d, want 3/2", gotHops, gotTTL)
+	}
+}
+
+func TestCalibrateReplyTTLBlackholedPath(t *testing.T) {
+	cfg := lab.DefaultCensorConfig()
+	cfg.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.ClientAddr, 32)}
+	l, err := lab.New(lab.Config{PopulationSize: 4, Censor: cfg, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	CalibrateReplyTTL(l, lab.ClientAddr, func(ttl uint8, hops int) {
+		called = true
+		if ttl != 0 || hops != 0 {
+			t.Errorf("blackholed path calibrated to ttl=%d hops=%d", ttl, hops)
+		}
+	})
+	l.Run()
+	if !called {
+		t.Fatal("calibration never finished")
+	}
+}
+
+func TestStatefulAutoTTL(t *testing.T) {
+	l, err := lab.New(lab.Config{PopulationSize: 8, SpoofPolicy: spoof.PolicySlash24, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := &Stateful{Covers: 3, AutoTTL: true}
+	var res *Result
+	tech.Run(l, Target{Domain: "site03.test"}, func(r *Result) { res = r })
+	l.Run()
+	if res == nil || res.Verdict != VerdictAccessible {
+		t.Fatalf("res = %v", res)
+	}
+	// The calibrated TTL must still keep server replies away from covers.
+	for _, u := range l.Population {
+		if u.Host.Received > 0 {
+			t.Fatalf("cover %v received %d packets under AutoTTL", u.Host.Addr, u.Host.Received)
+		}
+	}
+}
+
+func TestTechniquesRobustUnderJitter(t *testing.T) {
+	// Timing noise must not change verdicts: run every technique against an
+	// accessible target and a representative censored target with 2ms of
+	// per-packet jitter on every link.
+	for _, tech := range All() {
+		cfg := lab.Config{SpoofPolicy: spoof.PolicySlash24, LinkJitter: 2 * time.Millisecond, Seed: 40}
+		res, _ := runOne(t, cfg, tech, Target{Domain: "site05.test"})
+		if res.Verdict != VerdictAccessible {
+			t.Errorf("%s under jitter: accessible target => %v (%v)", tech.Name(), res.Verdict, res.Evidence)
+		}
+	}
+	// Censored keyword path for the HTTP-level techniques.
+	for _, tech := range []Technique{&OvertHTTP{}, &DDoS{Requests: 15}, &Stateful{Covers: 3}} {
+		cfg := lab.Config{SpoofPolicy: spoof.PolicySlash24, LinkJitter: 2 * time.Millisecond, Seed: 41}
+		res, _ := runOne(t, cfg, tech, Target{Domain: "site05.test", Path: "/falun"})
+		if res.Verdict != VerdictCensored {
+			t.Errorf("%s under jitter: censored target => %v (%v)", tech.Name(), res.Verdict, res.Evidence)
+		}
+	}
+}
+
+func TestClassifyHTTPBranches(t *testing.T) {
+	cases := []struct {
+		resp      *httpwire.Response
+		err       error
+		verdict   Verdict
+		mechanism string
+	}{
+		{&httpwire.Response{Status: 200}, nil, VerdictAccessible, MechNone},
+		{&httpwire.Response{Status: 451}, nil, VerdictCensored, MechClosed},
+		{&httpwire.Response{Status: 403}, nil, VerdictCensored, MechClosed},
+		{&httpwire.Response{Status: 302}, nil, VerdictInconclusive, MechNone},
+		{nil, fmt.Errorf("wrap: %w", tcpsim.ErrReset), VerdictCensored, MechRST},
+		{nil, fmt.Errorf("wrap: %w", tcpsim.ErrTimeout), VerdictCensored, MechTimeout},
+		{nil, fmt.Errorf("other failure"), VerdictInconclusive, MechNone},
+	}
+	for i, tc := range cases {
+		res := &Result{}
+		classifyHTTP(res, tc.resp, tc.err)
+		if res.Verdict != tc.verdict || res.Mechanism != tc.mechanism {
+			t.Errorf("case %d: got %v/%q want %v/%q", i, res.Verdict, res.Mechanism, tc.verdict, tc.mechanism)
+		}
+	}
+}
+
+func TestClassifyDNSBranches(t *testing.T) {
+	res := &Result{}
+	classifyDNS(res, &dnswire.Message{RCode: dnswire.RCodeNXDomain}, nil)
+	if res.Verdict != VerdictInconclusive {
+		t.Fatalf("nxdomain: %v", res.Verdict)
+	}
+	res2 := &Result{}
+	classifyDNS(res2, nil, fmt.Errorf("boom"))
+	if res2.Verdict != VerdictCensored || res2.Mechanism != MechTimeout {
+		t.Fatalf("error: %v/%q", res2.Verdict, res2.Mechanism)
+	}
+}
+
+func TestRiskReportString(t *testing.T) {
+	rep := RiskReport{User: lab.ClientAddr, Score: 1.5, Flagged: true, ImplicatedUsers: 2, AnalystAlerts: 3}
+	s := rep.String()
+	for _, want := range []string{"10.1.0.10", "score=1.50", "flagged=true", "implicated=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("risk string missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"safemeasure/internal/dnswire"
+	"safemeasure/internal/httpwire"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/mailsim"
+	"safemeasure/internal/scan"
+	"safemeasure/internal/smtpwire"
+	"safemeasure/internal/websim"
+)
+
+// SYNScan is Method #1 (§3.1): measure TCP/IP censorship with an nmap-style
+// SYN scan of the potentially censored service's most common ports. The
+// traffic is indistinguishable from the Internet's constant background of
+// botnet scanning, which the MVR classifies and discards. Censorship is
+// inferred when a port that must be open for the service to exist is not.
+type SYNScan struct {
+	// Ports bounds the scan size; 0 means the top 100.
+	Ports int
+}
+
+// Name implements Technique.
+func (*SYNScan) Name() string { return "syn-scan" }
+
+// Run implements Technique.
+func (s *SYNScan) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	n := s.Ports
+	if n <= 0 {
+		n = 100
+	}
+	res := &Result{Technique: s.Name(), Target: tgt}
+	sc := scan.NewScanner(l.Client)
+	sc.Scan(tgt.Addr, scan.TopPorts(n), func(r *scan.Result) {
+		res.ProbesSent = r.ProbesSent
+		blocked, evidence := scan.InferCensorship(r, knownOpenPorts(tgt))
+		res.addEvidence("open=%d closed=%d filtered=%d",
+			r.Count(scan.StateOpen), r.Count(scan.StateClosed), r.Count(scan.StateFiltered))
+		if blocked {
+			res.Verdict = VerdictCensored
+			for port, st := range evidence {
+				if st == scan.StateClosed {
+					res.Mechanism = MechRST
+					res.addEvidence("known-open port %d answered RST", port)
+				} else if st == scan.StateFiltered {
+					if res.Mechanism == "" {
+						res.Mechanism = MechTimeout
+					}
+					res.addEvidence("known-open port %d silent", port)
+				}
+			}
+		} else {
+			res.Verdict = VerdictAccessible
+			for port := range evidence {
+				res.addEvidence("known-open port %d open", port)
+			}
+		}
+		done(res)
+	})
+}
+
+// spamVariants are the rotating campaign templates the spam technique
+// draws from — real botnets rotate templates, and the rotation is what
+// gives Figure 2's CDF its spread (every variant still lands in the spam
+// region, with varying intensity).
+var spamVariants = []struct {
+	subject string
+	body    string
+}{
+	{
+		"CONGRATULATIONS WINNER!!!",
+		"Dear friend, you have won the international lottery of $1,000,000!\n" +
+			"Act now, limited time! Click here to claim your prize:\n" +
+			"http://%s.megadeals.biz/claim http://%s.megadeals.biz/win http://%s.megadeals.biz/now\n" +
+			"100% free! Unsubscribe anytime.",
+	},
+	{
+		"Cheap meds — act now!!",
+		"viagra and cialis, cheap meds direct to you.\n" +
+			"Click here: http://%s.pharma.biz/order — limited time, 100% free shipping!!!",
+	},
+	{
+		"You have won — claim your prize",
+		"Dear friend, the lottery committee selected you as winner of $2,500,000.\n" +
+			"Wire transfer available. Claim your funds: http://%s.claims.biz/now",
+	},
+	{
+		"EARN MONEY WORKING FROM HOME!!",
+		"Work from home and earn money fast! No credit check!\n" +
+			"Act now: http://%s.jobs4u.biz/start http://%s.jobs4u.biz/apply",
+	},
+	{
+		"exclusive offer inside",
+		"You are a winner! Claim your 100% free gift today.\n" +
+			"Click here before it expires: http://%s.offers.biz/gift\nUnsubscribe anytime.",
+	},
+}
+
+// SpamTemplate builds the measurement's spam payload: deliberately spammy
+// content so both the surveillance MVR and real mail filters (Figure 2's
+// Proofpoint) classify it as bulk spam with no intelligence value. seq
+// rotates the campaign template.
+func SpamTemplate(domain string, seq int) *smtpwire.Message {
+	v := spamVariants[seq%len(spamVariants)]
+	host := fmt.Sprintf("c%d", seq)
+	body := strings.ReplaceAll(v.body, "%s", host)
+	return &smtpwire.Message{
+		From:    fmt.Sprintf("promo%d@megadeals.biz", seq),
+		To:      fmt.Sprintf("info@%s", domain),
+		Subject: v.subject,
+		Headers: map[string]string{"Precedence": "bulk"},
+		Body:    body,
+	}
+}
+
+// Spam is Method #2 (§3.1): measure DNS and IP censorship by behaving like
+// a zone-enumerating spam botnet — MX lookup, A lookup of the exchanger,
+// SMTP connect, spam message. Each stage failing (or returning a poisoned
+// answer) localizes the censorship mechanism.
+type Spam struct {
+	// Seq differentiates sender identities across measurements.
+	Seq int
+}
+
+// Name implements Technique.
+func (*Spam) Name() string { return "spam" }
+
+// Run implements Technique.
+func (s *Spam) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	res := &Result{Technique: s.Name(), Target: tgt}
+
+	// Stage 1: MX lookup. The GFC injects bad A records even for MX
+	// queries (§3.2.3), so a poisoned answer shows up right here.
+	res.ProbesSent++
+	l.ClientDNS.Query(lab.DNSAddr, tgt.Domain, dnswire.TypeMX, func(m *dnswire.Message, err error) {
+		if err != nil {
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechTimeout
+			res.addEvidence("MX lookup failed: %v", err)
+			done(res)
+			return
+		}
+		if len(m.Answers) == 0 {
+			res.Verdict = VerdictInconclusive
+			res.addEvidence("no MX records, rcode=%v", m.RCode)
+			done(res)
+			return
+		}
+		first := m.Answers[0]
+		if first.Type == dnswire.TypeA {
+			// An A answer to an MX question: the GFC poisoning signature.
+			if bogon(first.A) {
+				res.Verdict = VerdictCensored
+				res.Mechanism = MechPoison
+				res.addEvidence("MX query answered with bogon A %v", first.A)
+				done(res)
+				return
+			}
+			res.Verdict = VerdictInconclusive
+			res.addEvidence("MX query answered with unexpected A %v", first.A)
+			done(res)
+			return
+		}
+		exchanger := first.Target
+		res.addEvidence("MX %s pref %d", exchanger, first.Pref)
+
+		// Stage 2: A lookup for the exchanger.
+		res.ProbesSent++
+		l.ClientDNS.Query(lab.DNSAddr, exchanger, dnswire.TypeA, func(m2 *dnswire.Message, err error) {
+			if err != nil || len(m2.Answers) == 0 {
+				res.Verdict = VerdictCensored
+				res.Mechanism = MechTimeout
+				res.addEvidence("exchanger A lookup failed: %v", err)
+				done(res)
+				return
+			}
+			mxAddr := m2.Answers[0].A
+			if bogon(mxAddr) {
+				res.Verdict = VerdictCensored
+				res.Mechanism = MechPoison
+				res.addEvidence("exchanger resolves to bogon %v", mxAddr)
+				done(res)
+				return
+			}
+			res.addEvidence("exchanger at %v", mxAddr)
+
+			// Stage 3: SMTP delivery of the spam message.
+			res.ProbesSent++
+			mailsim.SendMail(l.ClientStack, mxAddr, "client.campus.test", SpamTemplate(tgt.Domain, s.Seq), func(err error) {
+				switch {
+				case err == nil:
+					res.Verdict = VerdictAccessible
+					res.addEvidence("spam delivered to %s", tgt.Domain)
+				case errors.Is(err, mailsim.ErrAborted):
+					res.Verdict = VerdictCensored
+					res.Mechanism = MechRST
+					res.addEvidence("SMTP connection died: %v", err)
+				default:
+					res.Verdict = VerdictInconclusive
+					res.addEvidence("SMTP error: %v", err)
+				}
+				done(res)
+			})
+		})
+	})
+}
+
+// DDoS is Method #3 (§3.1): mimic a single source of an HTTP flood.
+// Repeated requests both blend into attack traffic the MVR discards and
+// give per-request samples of how the content is censored.
+type DDoS struct {
+	// Requests is the flood size; 0 means 40.
+	Requests int
+	// Spacing between requests; 0 means 150ms (inside the classifier's
+	// rate window, as a real flood would be).
+	Spacing time.Duration
+}
+
+// Name implements Technique.
+func (*DDoS) Name() string { return "ddos" }
+
+// Run implements Technique.
+func (d *DDoS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	n := d.Requests
+	if n <= 0 {
+		n = 40
+	}
+	spacing := d.Spacing
+	if spacing <= 0 {
+		spacing = 150 * time.Millisecond
+	}
+	res := &Result{Technique: d.Name(), Target: tgt}
+	var ok, reset, timeout, other int
+	remaining := n
+	finishOne := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		res.addEvidence("samples: ok=%d reset=%d timeout=%d other=%d", ok, reset, timeout, other)
+		switch {
+		case reset > ok && reset >= timeout:
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechRST
+		case timeout > ok:
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechTimeout
+		case ok > 0:
+			res.Verdict = VerdictAccessible
+		default:
+			res.Verdict = VerdictInconclusive
+		}
+		done(res)
+	}
+	for i := 0; i < n; i++ {
+		delay := time.Duration(i) * spacing
+		l.Sim.Schedule(delay, func() {
+			res.ProbesSent++
+			websim.Get(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, err error) {
+				sample := &Result{}
+				classifyHTTP(sample, r, err)
+				switch {
+				case sample.Verdict == VerdictAccessible:
+					ok++
+				case sample.Mechanism == MechRST:
+					reset++
+				case sample.Mechanism == MechTimeout:
+					timeout++
+				default:
+					other++
+				}
+				finishOne()
+			})
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"net/netip"
+
+	"safemeasure/internal/dnswire"
+	"safemeasure/internal/httpwire"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/tcpsim"
+	"safemeasure/internal/websim"
+)
+
+// OvertDNS is the baseline DNS measurement: a plain A query from the
+// client's own address, the way existing measurement platforms do it. The
+// verdict logic (bogon answers mean poisoning) matches client-side DNS
+// manipulation detection in the literature.
+type OvertDNS struct{}
+
+// Name implements Technique.
+func (*OvertDNS) Name() string { return "overt-dns" }
+
+// Run implements Technique.
+func (o *OvertDNS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	res := &Result{Technique: o.Name(), Target: tgt, ProbesSent: 1}
+	l.ClientDNS.Query(lab.DNSAddr, tgt.Domain, dnswire.TypeA, func(m *dnswire.Message, err error) {
+		classifyDNS(res, m, err)
+		done(res)
+	})
+}
+
+// classifyDNS turns a resolver outcome into a verdict, shared by the overt
+// and spoofed DNS techniques.
+func classifyDNS(res *Result, m *dnswire.Message, err error) {
+	switch {
+	case err != nil:
+		res.Verdict = VerdictCensored
+		res.Mechanism = MechTimeout
+		res.addEvidence("query failed: %v", err)
+	case len(m.Answers) == 0:
+		res.Verdict = VerdictInconclusive
+		res.addEvidence("empty answer, rcode=%v", m.RCode)
+	case m.Answers[0].Type == dnswire.TypeA && lab.PoisonPrefix.Contains(m.Answers[0].A):
+		res.Verdict = VerdictCensored
+		res.Mechanism = MechPoison
+		res.addEvidence("answer %v in bogon range %v", m.Answers[0].A, lab.PoisonPrefix)
+	default:
+		res.Verdict = VerdictAccessible
+		res.addEvidence("resolved to %v", m.Answers[0].A)
+	}
+}
+
+// OvertHTTP is the baseline web measurement: fetch the page from the
+// client's own address and see whether the connection survives.
+type OvertHTTP struct{}
+
+// Name implements Technique.
+func (*OvertHTTP) Name() string { return "overt-http" }
+
+// Run implements Technique.
+func (o *OvertHTTP) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	res := &Result{Technique: o.Name(), Target: tgt, ProbesSent: 1}
+	websim.Get(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, err error) {
+		classifyHTTP(res, r, err)
+		done(res)
+	})
+}
+
+// classifyHTTP maps a fetch outcome to a verdict, shared with DDoS samples.
+func classifyHTTP(res *Result, r *httpwire.Response, err error) {
+	switch {
+	case err == nil && r.Status == 200:
+		res.Verdict = VerdictAccessible
+		res.addEvidence("HTTP 200, %d bytes", len(r.Body))
+	case err == nil:
+		// A block page is censorship too (e.g. 403/451 from an inline box).
+		if r.Status == 403 || r.Status == 451 {
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechClosed
+			res.addEvidence("block page status %d", r.Status)
+		} else {
+			res.Verdict = VerdictInconclusive
+			res.addEvidence("status %d", r.Status)
+		}
+	case errors.Is(err, tcpsim.ErrReset):
+		res.Verdict = VerdictCensored
+		res.Mechanism = MechRST
+		res.addEvidence("connection reset: %v", err)
+	case errors.Is(err, tcpsim.ErrTimeout):
+		res.Verdict = VerdictCensored
+		res.Mechanism = MechTimeout
+		res.addEvidence("connection timed out: %v", err)
+	default:
+		res.Verdict = VerdictInconclusive
+		res.addEvidence("error: %v", err)
+	}
+}
+
+// OvertTCP is the baseline reachability measurement: a full connect from
+// the client's own address.
+type OvertTCP struct{}
+
+// Name implements Technique.
+func (*OvertTCP) Name() string { return "overt-tcp" }
+
+// Run implements Technique.
+func (o *OvertTCP) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	res := &Result{Technique: o.Name(), Target: tgt, ProbesSent: 1}
+	finished := false
+	finish := func() {
+		if !finished {
+			finished = true
+			done(res)
+		}
+	}
+	conn := l.ClientStack.Dial(tgt.Addr, tgt.Port)
+	conn.OnConnect = func(c *tcpsim.Conn) {
+		res.Verdict = VerdictAccessible
+		res.addEvidence("connected to %v:%d", tgt.Addr, tgt.Port)
+		c.Abort()
+		finish()
+	}
+	conn.OnFail = func(_ *tcpsim.Conn, err error) {
+		res.Verdict = VerdictCensored
+		switch {
+		case errors.Is(err, tcpsim.ErrReset):
+			res.Mechanism = MechRST
+		case errors.Is(err, tcpsim.ErrTimeout):
+			res.Mechanism = MechTimeout
+		}
+		res.addEvidence("connect failed: %v", err)
+		finish()
+	}
+}
+
+// knownOpenPorts returns the ports a service of the target's kind must
+// have open — the paper's example: port 80 must be open on BBC.com.
+func knownOpenPorts(tgt Target) []uint16 {
+	if tgt.Port != 0 && tgt.Port != 80 {
+		return []uint16{tgt.Port}
+	}
+	return []uint16{80}
+}
+
+// bogon reports whether an address is inside the lab's poison space.
+func bogon(a netip.Addr) bool { return lab.PoisonPrefix.Contains(a) }

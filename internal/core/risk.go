@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"safemeasure/internal/lab"
+)
+
+// RiskReport summarizes what the surveillance system knows about a user
+// after a measurement ran — the paper's success criterion is detecting
+// censorship (the Result) WITHOUT an incriminating RiskReport.
+type RiskReport struct {
+	User netip.Addr
+
+	// TrafficRetained: the MVR kept metadata or content involving the user
+	// (stage-1 visibility).
+	TrafficRetained bool
+	// AnalystAlerts: alerts in the user's dossier (stage-2 visibility).
+	AnalystAlerts int
+	// Score is the analyst's weighted suspicion for the user.
+	Score float64
+	// Flagged: the analyst would act on this user — the outcome the
+	// paper's techniques exist to prevent.
+	Flagged bool
+	// ImplicatedUsers: how many distinct users the surveillance system's
+	// dossiers implicate — large values mean attribution confusion (§4).
+	ImplicatedUsers int
+}
+
+// String renders a one-line summary.
+func (r RiskReport) String() string {
+	return fmt.Sprintf("user=%v retained=%v alerts=%d score=%.2f flagged=%v implicated=%d",
+		r.User, r.TrafficRetained, r.AnalystAlerts, r.Score, r.Flagged, r.ImplicatedUsers)
+}
+
+// EvaluateRisk reads the lab's surveillance state for a user. Call after
+// the simulator has drained.
+func EvaluateRisk(l *lab.Lab, user netip.Addr) RiskReport {
+	s := l.Surveil
+	a := s.Analyst()
+	rep := RiskReport{
+		User:            user,
+		TrafficRetained: s.SawTrafficFrom(user),
+		Score:           a.Score(user),
+		Flagged:         a.IsFlagged(user),
+		ImplicatedUsers: a.Users(),
+	}
+	if d := a.Dossier(user); d != nil {
+		rep.AnalystAlerts = len(d.Alerts)
+	}
+	return rep
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"safemeasure/internal/dnswire"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/packet"
+	"safemeasure/internal/spoof"
+)
+
+// SpoofedDNS is the stateless mimicry of Figure 3a: the client measures DNS
+// censorship with its own query while emitting identical queries spoofed
+// from cover addresses in its network. From the surveillance system's
+// viewpoint, many hosts asked the censored question; attributing the
+// measurement to one individual requires evidence it does not have.
+type SpoofedDNS struct {
+	// Covers is how many spoofed cover queries to send; 0 means 8, a
+	// negative value disables cover entirely (bare probe).
+	Covers int
+}
+
+// Name implements Technique.
+func (*SpoofedDNS) Name() string { return "spoofed-dns" }
+
+// Run implements Technique.
+func (s *SpoofedDNS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	n := s.Covers
+	if n == 0 {
+		n = 8
+	} else if n < 0 {
+		n = 0
+	}
+	res := &Result{Technique: s.Name(), Target: tgt}
+
+	covers := spoof.CoverAddrs(l.Cfg.SpoofPolicy, lab.ClientAddr, n)
+	for i, cover := range covers {
+		cover := cover
+		// Space cover queries like organic lookups, bracketing the real one.
+		l.Sim.Schedule(time.Duration(i)*7*time.Millisecond, func() {
+			q := dnswire.NewQuery(uint16(0x4000+i), tgt.Domain, dnswire.TypeA)
+			wire, err := q.Marshal()
+			if err != nil {
+				return
+			}
+			raw, err := packet.BuildUDP(cover, lab.DNSAddr, packet.DefaultTTL,
+				&packet.UDP{SrcPort: 5353, DstPort: 53, Payload: wire})
+			if err != nil {
+				return
+			}
+			res.CoverSent++
+			l.Client.SendIP(raw)
+		})
+	}
+	if len(covers) == 0 && n > 0 {
+		res.addEvidence("no spoofing capability (%v policy): running without cover", l.Cfg.SpoofPolicy)
+	}
+
+	// The real measurement, indistinguishable from the covers.
+	mid := time.Duration(len(covers)/2) * 7 * time.Millisecond
+	l.Sim.Schedule(mid, func() {
+		res.ProbesSent++
+		l.ClientDNS.Query(lab.DNSAddr, tgt.Domain, dnswire.TypeA, func(m *dnswire.Message, err error) {
+			classifyDNS(res, m, err)
+			done(res)
+		})
+	})
+}
+
+// SpoofedSYN is the stateless IP-reachability probe of §4.1: send a TCP SYN,
+// check for the SYN/ACK, answer with RST — while spoofed copies from cover
+// addresses elicit exactly the same packets from the covers' own kernels
+// (an unexpected SYN/ACK is RST'd by any OS), making the measurer's RST
+// indistinguishable from the crowd's.
+type SpoofedSYN struct {
+	// Covers is how many spoofed SYNs to send; 0 means 8.
+	Covers int
+	// Timeout before silence is called a drop; 0 means 300ms.
+	Timeout time.Duration
+}
+
+// Name implements Technique.
+func (*SpoofedSYN) Name() string { return "spoofed-syn" }
+
+// Run implements Technique.
+func (s *SpoofedSYN) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	n := s.Covers
+	if n <= 0 {
+		n = 8
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 300 * time.Millisecond
+	}
+	res := &Result{Technique: s.Name(), Target: tgt}
+	const probePort = 61000
+	l.ClientStack.IgnorePort(probePort) // raw probe: keep the stack silent
+
+	finished := false
+	finish := func() {
+		if !finished {
+			finished = true
+			done(res)
+		}
+	}
+
+	l.Client.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if finished || pkt.TCP == nil || pkt.IP.Src != tgt.Addr ||
+			pkt.IP.Dst != lab.ClientAddr || pkt.TCP.DstPort != probePort {
+			return
+		}
+		switch {
+		case pkt.TCP.Flags&packet.TCPSyn != 0 && pkt.TCP.Flags&packet.TCPAck != 0:
+			res.Verdict = VerdictAccessible
+			res.addEvidence("SYN/ACK from %v:%d", tgt.Addr, tgt.Port)
+			// The RST that doubles as cover traffic (§4.1).
+			rst := &packet.TCP{SrcPort: probePort, DstPort: tgt.Port, Seq: pkt.TCP.Ack, Flags: packet.TCPRst}
+			if out, err := packet.BuildTCP(lab.ClientAddr, tgt.Addr, packet.DefaultTTL, rst); err == nil {
+				l.Client.SendIP(out)
+			}
+			finish()
+		case pkt.TCP.Flags&packet.TCPRst != 0:
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechRST
+			res.addEvidence("RST for SYN to %v:%d", tgt.Addr, tgt.Port)
+			finish()
+		}
+	})
+
+	sendSYN := func(src netip.Addr, srcPort uint16) {
+		syn := &packet.TCP{SrcPort: srcPort, DstPort: tgt.Port, Seq: 0x51a0, Flags: packet.TCPSyn, Window: 1024}
+		if raw, err := packet.BuildTCP(src, tgt.Addr, packet.DefaultTTL, syn); err == nil {
+			l.Client.SendIP(raw)
+		}
+	}
+
+	covers := spoof.CoverAddrs(l.Cfg.SpoofPolicy, lab.ClientAddr, n)
+	for i, cover := range covers {
+		cover := cover
+		l.Sim.Schedule(time.Duration(i)*5*time.Millisecond, func() {
+			res.CoverSent++
+			sendSYN(cover, probePort)
+		})
+	}
+	mid := time.Duration(len(covers)/2) * 5 * time.Millisecond
+	l.Sim.Schedule(mid, func() {
+		res.ProbesSent++
+		sendSYN(lab.ClientAddr, probePort)
+	})
+	l.Sim.Schedule(mid+timeout, func() {
+		if !finished {
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechTimeout
+			res.addEvidence("no answer from %v:%d within %v", tgt.Addr, tgt.Port, timeout)
+			finish()
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"safemeasure/internal/lab"
+	"safemeasure/internal/packet"
+	"safemeasure/internal/spoof"
+)
+
+// mimicISN derives the measurement server's initial sequence number from
+// the flow 4-tuple. Client and server are run by the same measurer, so this
+// shared function lets the client ACK blindly: the server's replies are
+// TTL-limited and never reach the (spoofed) client.
+func mimicISN(src netip.Addr, srcPort uint16, dst netip.Addr, dstPort uint16) uint32 {
+	h := fnv.New32a()
+	a := src.As4()
+	b := dst.As4()
+	h.Write(a[:])
+	h.Write(b[:])
+	h.Write([]byte{byte(srcPort >> 8), byte(srcPort), byte(dstPort >> 8), byte(dstPort)})
+	return h.Sum32()
+}
+
+// MimicFlow is the measurement server's record of one spoofed connection —
+// the server side is where stateful-mimicry verdicts are read, since no
+// reply ever reaches the client.
+type MimicFlow struct {
+	Src     netip.Addr
+	SrcPort uint16
+	SynSeen bool
+	RstSeen bool
+	Payload []byte
+}
+
+// MimicServer is the raw-socket responder behind the Figure 3b technique:
+// it answers spoofed SYNs with TTL-limited SYN/ACKs (which cross the
+// surveillance tap and then die in the network, before reaching the spoofed
+// client), accepts blind ACKs and data, and records everything for the
+// measurer to read out-of-band.
+type MimicServer struct {
+	Port     uint16
+	ReplyTTL uint8
+	Flows    map[packet.Flow]*MimicFlow
+}
+
+// InstallMimicServer attaches a mimic responder to the lab's measurement
+// host on the given port. ReplyTTL is calibrated to the lab topology: 2
+// hops lets replies cross the border (and its taps) and expire at the AS
+// edge, one hop short of any client.
+func InstallMimicServer(l *lab.Lab, port uint16, replyTTL uint8) *MimicServer {
+	ms := &MimicServer{Port: port, ReplyTTL: replyTTL, Flows: make(map[packet.Flow]*MimicFlow)}
+	l.MeasureStack.IgnorePort(port)
+	host := l.MeasureHost
+	host.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP == nil || pkt.IP.Dst != host.Addr || pkt.TCP.DstPort != port {
+			return
+		}
+		key := packet.FlowOf(pkt)
+		fl, ok := ms.Flows[key]
+		if !ok {
+			fl = &MimicFlow{Src: pkt.IP.Src, SrcPort: pkt.TCP.SrcPort}
+			ms.Flows[key] = fl
+		}
+		t := pkt.TCP
+		switch {
+		case t.Flags&packet.TCPRst != 0:
+			fl.RstSeen = true
+		case t.Flags&packet.TCPSyn != 0:
+			fl.SynSeen = true
+			isn := mimicISN(pkt.IP.Src, t.SrcPort, pkt.IP.Dst, t.DstPort)
+			synack := &packet.TCP{
+				SrcPort: port, DstPort: t.SrcPort,
+				Seq: isn, Ack: t.Seq + 1,
+				Flags: packet.TCPSyn | packet.TCPAck, Window: 65535,
+			}
+			if out, err := packet.BuildTCP(host.Addr, pkt.IP.Src, replyTTL, synack); err == nil {
+				host.SendIP(out)
+			}
+		case len(t.Payload) > 0:
+			fl.Payload = append(fl.Payload, t.Payload...)
+			ack := &packet.TCP{
+				SrcPort: port, DstPort: t.SrcPort,
+				Seq:   mimicISN(pkt.IP.Src, t.SrcPort, pkt.IP.Dst, t.DstPort) + 1,
+				Ack:   t.Seq + uint32(len(t.Payload)),
+				Flags: packet.TCPAck, Window: 65535,
+			}
+			if out, err := packet.BuildTCP(host.Addr, pkt.IP.Src, replyTTL, ack); err == nil {
+				host.SendIP(out)
+			}
+		}
+	})
+	return ms
+}
+
+// Stateful is the Figure 3b technique: spoofed TCP flows to a
+// measurer-controlled server (hosted in cloud address space that resembles
+// real targets), with every server reply TTL-limited so it dies after the
+// surveillance tap but before the spoofed client — avoiding the RST-replay
+// problem that would otherwise make the censor's reassembler give up.
+//
+// The client fires blindly (it never sees replies): SYN, then ACK computed
+// from the shared ISN function, then the keyword-bearing request. The
+// verdict is read from the server's flow log.
+type Stateful struct {
+	// Covers is how many spoofed flows to run alongside the client's own;
+	// 0 means 5.
+	Covers int
+	// ReplyTTL for server responses; 0 means 2 (lab geometry).
+	ReplyTTL uint8
+	// Timeout before reading the server log; 0 means 500ms.
+	Timeout time.Duration
+	// Sources overrides the spoofed cover addresses (e.g. live population
+	// hosts); nil derives covers from the SAV policy.
+	Sources []netip.Addr
+	// AutoTTL calibrates ReplyTTL by tracerouting from the measurement
+	// server to the client network first (paper §4.1: "scanning the
+	// network from the server could yield the number of hops"). It
+	// overrides ReplyTTL.
+	AutoTTL bool
+
+	nextPort uint16
+}
+
+// Name implements Technique.
+func (*Stateful) Name() string { return "stateful-spoof" }
+
+// Run implements Technique.
+func (s *Stateful) Run(l *lab.Lab, tgt Target, done func(*Result)) {
+	if s.AutoTTL {
+		CalibrateReplyTTL(l, lab.ClientAddr, func(replyTTL uint8, hops int) {
+			if replyTTL == 0 {
+				replyTTL = 2 // calibration failed; fall back to lab geometry
+			}
+			s.run(l, tgt, replyTTL, done)
+		})
+		return
+	}
+	ttl := s.ReplyTTL
+	if ttl == 0 {
+		ttl = 2
+	}
+	s.run(l, tgt, ttl, done)
+}
+
+func (s *Stateful) run(l *lab.Lab, tgt Target, ttl uint8, done func(*Result)) {
+	tgt = tgt.resolve(l)
+	n := s.Covers
+	if n <= 0 {
+		n = 5
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	if s.nextPort == 0 {
+		s.nextPort = 8080
+	}
+	port := s.nextPort
+	s.nextPort++
+
+	server := InstallMimicServer(l, port, ttl)
+	res := &Result{Technique: s.Name(), Target: tgt}
+
+	// The measurement payload: a request naming the censored resource, so
+	// keyword- and Host-based censorship triggers on the client->server
+	// direction (the only direction that completes).
+	request := []byte(fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\n\r\n", tgt.Path, tgt.Domain))
+
+	sources := []netip.Addr{lab.ClientAddr}
+	if s.Sources != nil {
+		sources = append(sources, s.Sources...)
+	} else {
+		sources = append(sources, spoof.CoverAddrs(l.Cfg.SpoofPolicy, lab.ClientAddr, n)...)
+	}
+
+	for i, src := range sources {
+		src := src
+		srcPort := uint16(58000 + i)
+		base := time.Duration(i) * 11 * time.Millisecond
+		isn := uint32(0x6000 + i)
+		serverISN := mimicISN(src, srcPort, lab.MeasureAddr, port)
+		send := func(delay time.Duration, t *packet.TCP) {
+			l.Sim.Schedule(base+delay, func() {
+				if raw, err := packet.BuildTCP(src, lab.MeasureAddr, packet.DefaultTTL, t); err == nil {
+					if src == lab.ClientAddr {
+						res.ProbesSent++
+					} else {
+						res.CoverSent++
+					}
+					l.Client.SendIP(raw)
+				}
+			})
+		}
+		send(0, &packet.TCP{SrcPort: srcPort, DstPort: port, Seq: isn, Flags: packet.TCPSyn, Window: 65535})
+		send(30*time.Millisecond, &packet.TCP{SrcPort: srcPort, DstPort: port, Seq: isn + 1, Ack: serverISN + 1, Flags: packet.TCPAck, Window: 65535})
+		send(60*time.Millisecond, &packet.TCP{SrcPort: srcPort, DstPort: port, Seq: isn + 1, Ack: serverISN + 1, Flags: packet.TCPPsh | packet.TCPAck, Window: 65535, Payload: request})
+	}
+
+	deadline := time.Duration(len(sources))*11*time.Millisecond + 60*time.Millisecond + timeout
+	l.Sim.Schedule(deadline, func() {
+		var complete, reset, missing int
+		for _, fl := range server.Flows {
+			switch {
+			case fl.RstSeen:
+				reset++
+			case fl.SynSeen && bytes.Contains(fl.Payload, []byte("Host: "+tgt.Domain)):
+				complete++
+			default:
+				missing++
+			}
+		}
+		unseen := len(sources) - len(server.Flows)
+		res.addEvidence("flows: complete=%d reset=%d partial=%d never-arrived=%d", complete, reset, missing, unseen)
+		switch {
+		case reset > 0:
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechRST
+			res.addEvidence("censor reset %d/%d spoofed flows after the request", reset, len(sources))
+		case len(server.Flows) == 0:
+			res.Verdict = VerdictCensored
+			res.Mechanism = MechTimeout
+			res.addEvidence("no flow reached the measurement server")
+		case complete > 0:
+			res.Verdict = VerdictAccessible
+			res.addEvidence("%d/%d requests delivered intact", complete, len(sources))
+		default:
+			res.Verdict = VerdictInconclusive
+		}
+		done(res)
+	})
+}

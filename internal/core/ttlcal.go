@@ -1,0 +1,98 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"safemeasure/internal/lab"
+	"safemeasure/internal/packet"
+)
+
+// CalibrateReplyTTL implements the paper's §4.1 suggestion: "scanning the
+// network from the server could yield the number of hops between the
+// network boundary and each host, thus making it possible to set reply
+// TTLs so they are dropped after they pass through the surveillance system
+// but before they reach the client."
+//
+// It runs a traceroute from the measurement server toward target with
+// increasing TTLs: ICMP Time Exceeded names each router on the path, and
+// ICMP Port Unreachable (from a probe to a high closed UDP port) marks
+// arrival at the host. done receives the hop count to the target and the
+// recommended reply TTL — one hop short, so replies expire at the last
+// router before the host.
+//
+// If the path never answers (e.g. the probe is blackholed), done is called
+// with (0, 0) after the timeout.
+func CalibrateReplyTTL(l *lab.Lab, target netip.Addr, done func(replyTTL uint8, hops int)) {
+	const (
+		maxHops   = 12
+		probePort = 33434 // classic traceroute base port
+		srcPort   = 33433
+		step      = 30 * time.Millisecond
+	)
+	server := l.MeasureHost
+
+	finished := false
+	finish := func(ttl uint8, hops int) {
+		if !finished {
+			finished = true
+			done(ttl, hops)
+		}
+	}
+
+	server.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if finished || pkt.ICMP == nil || pkt.IP.Dst != server.Addr {
+			return
+		}
+		msg := pkt.ICMP
+		if msg.Type != packet.ICMPDestUnreach || msg.Code != packet.ICMPCodePortUnreach {
+			return // Time Exceeded hops are progress, not arrival
+		}
+		// The quoted datagram tells us which probe arrived: its TTL at the
+		// host has been decremented hops times from the original.
+		var quoted packet.IPv4
+		if err := quoted.DecodeQuotedHeader(msg.Payload); err != nil {
+			return
+		}
+		if quoted.Dst != target {
+			return
+		}
+		if pkt.IP.Src != target {
+			return
+		}
+		// Recover the original TTL from the probe id (we stamp it there).
+		hops := int(quoted.ID)
+		if hops <= 1 {
+			finish(0, hops)
+			return
+		}
+		finish(uint8(hops-1), hops)
+	})
+
+	for ttl := 1; ttl <= maxHops; ttl++ {
+		ttl := ttl
+		l.Sim.Schedule(time.Duration(ttl-1)*step, func() {
+			if finished {
+				return
+			}
+			// Stamp the attempted TTL into the IP ID so the quoted header
+			// in the ICMP error identifies which probe arrived, even
+			// though its TTL field was consumed by the path.
+			u := &packet.UDP{SrcPort: srcPort, DstPort: probePort, Payload: []byte("ttlcal")}
+			payload, err := u.Marshal(server.Addr, target)
+			if err != nil {
+				return
+			}
+			ip := &packet.IPv4{ID: uint16(ttl), TTL: uint8(ttl), Protocol: packet.ProtoUDP,
+				Src: server.Addr, Dst: target, Payload: payload}
+			raw, err := ip.Marshal()
+			if err != nil {
+				return
+			}
+			server.SendIP(raw)
+		})
+	}
+	l.Sim.Schedule(time.Duration(maxHops)*step+500*time.Millisecond, func() {
+		finish(0, 0)
+	})
+}

@@ -1,0 +1,200 @@
+package dnssim
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"safemeasure/internal/dnswire"
+	"safemeasure/internal/netsim"
+)
+
+var (
+	cliAddr = netip.MustParseAddr("10.1.0.10")
+	dnsAddr = netip.MustParseAddr("203.0.113.53")
+	rtrAddr = netip.MustParseAddr("10.1.0.1")
+	webAddr = netip.MustParseAddr("203.0.113.80")
+	mxAddr  = netip.MustParseAddr("203.0.113.25")
+)
+
+func newEnv(t *testing.T) (*netsim.Sim, *netsim.Host, *netsim.Host, *netsim.Router) {
+	t.Helper()
+	sim := netsim.NewSim(9)
+	client := netsim.NewHost(sim, "client", cliAddr)
+	server := netsim.NewHost(sim, "dns", dnsAddr)
+	router := netsim.NewRouter(sim, "r", rtrAddr, 2)
+	netsim.AttachHost(sim, client, router, 0, time.Millisecond)
+	netsim.AttachHost(sim, server, router, 1, time.Millisecond)
+	router.AddRoute(netip.PrefixFrom(cliAddr, 32), 0)
+	router.SetDefaultRoute(1)
+	return sim, client, server, router
+}
+
+func testZone() *Zone {
+	z := NewZone()
+	z.AddA("www.example.test", webAddr)
+	z.AddA("mx1.example.test", mxAddr)
+	z.AddMX("example.test", 10, "mx1.example.test")
+	return z
+}
+
+func TestALookup(t *testing.T) {
+	sim, client, server, _ := newEnv(t)
+	if _, err := NewServer(server, testZone()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(client, 5353)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got netip.Addr
+	c.Query(dnsAddr, "WWW.Example.Test", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		if err != nil {
+			t.Errorf("query: %v", err)
+			return
+		}
+		got = m.Answers[0].A
+	})
+	sim.Run()
+	if got != webAddr {
+		t.Fatalf("answer = %v", got)
+	}
+}
+
+func TestMXLookupWithGlue(t *testing.T) {
+	sim, client, server, _ := newEnv(t)
+	NewServer(server, testZone())
+	c, _ := NewClient(client, 5353)
+	var mx string
+	var glue netip.Addr
+	c.Query(dnsAddr, "example.test", dnswire.TypeMX, func(m *dnswire.Message, err error) {
+		if err != nil {
+			t.Errorf("query: %v", err)
+			return
+		}
+		mx = m.Answers[0].Target
+		for _, rr := range m.Additional {
+			if rr.Type == dnswire.TypeA {
+				glue = rr.A
+			}
+		}
+	})
+	sim.Run()
+	if mx != "mx1.example.test" || glue != mxAddr {
+		t.Fatalf("mx=%q glue=%v", mx, glue)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	sim, client, server, _ := newEnv(t)
+	srv, _ := NewServer(server, testZone())
+	c, _ := NewClient(client, 5353)
+	var rcode dnswire.RCode
+	c.Query(dnsAddr, "nonexistent.test", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		if err != nil {
+			t.Errorf("query: %v", err)
+			return
+		}
+		rcode = m.RCode
+	})
+	sim.Run()
+	if rcode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", rcode)
+	}
+	if srv.Queries != 1 {
+		t.Fatalf("queries served = %d", srv.Queries)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	sim, client, _, router := newEnv(t)
+	// No server bound; also drop everything at the router for determinism.
+	router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
+		return netsim.Drop
+	}))
+	c, _ := NewClient(client, 5353)
+	var gotErr error
+	c.Query(dnsAddr, "www.example.test", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		gotErr = err
+	})
+	sim.Run()
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestFirstResponseWins(t *testing.T) {
+	// Two responses for the same id: only the first reaches the callback —
+	// the property DNS poisoning exploits.
+	sim, client, server, router := newEnv(t)
+	NewServer(server, testZone())
+	forged := netip.MustParseAddr("198.18.0.99")
+	router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, inj netsim.Injector) netsim.Verdict {
+		if tp.Pkt == nil || tp.Pkt.UDP == nil || tp.Pkt.UDP.DstPort != 53 {
+			return netsim.Pass
+		}
+		q, err := dnswire.ParseMessage(tp.Pkt.UDP.Payload)
+		if err != nil || q.Response {
+			return netsim.Pass
+		}
+		r := q.Reply()
+		r.Answers = []dnswire.RR{{Name: q.Questions[0].Name, Type: dnswire.TypeA, TTL: 1, A: forged}}
+		wire, _ := r.Marshal()
+		raw, _ := buildUDPRaw(tp.Pkt.IP.Dst, 53, tp.Pkt.IP.Src, tp.Pkt.UDP.SrcPort, wire)
+		inj.Inject(raw)
+		return netsim.Pass
+	}))
+	c, _ := NewClient(client, 5353)
+	calls := 0
+	var got netip.Addr
+	c.Query(dnsAddr, "www.example.test", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		calls++
+		if err == nil {
+			got = m.Answers[0].A
+		}
+	})
+	sim.Run()
+	if calls != 1 {
+		t.Fatalf("callback fired %d times", calls)
+	}
+	if got != forged {
+		t.Fatalf("got %v, want forged %v", got, forged)
+	}
+}
+
+func TestConcurrentQueriesIndependent(t *testing.T) {
+	sim, client, server, _ := newEnv(t)
+	NewServer(server, testZone())
+	c, _ := NewClient(client, 5353)
+	got := map[string]netip.Addr{}
+	c.Query(dnsAddr, "www.example.test", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		if err == nil {
+			got["www"] = m.Answers[0].A
+		}
+	})
+	c.Query(dnsAddr, "mx1.example.test", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		if err == nil {
+			got["mx1"] = m.Answers[0].A
+		}
+	})
+	sim.Run()
+	if got["www"] != webAddr || got["mx1"] != mxAddr {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClientPortCollision(t *testing.T) {
+	_, client, _, _ := newEnv(t)
+	if _, err := NewClient(client, 5353); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(client, 5353); err == nil {
+		t.Fatal("double bind accepted")
+	}
+}
+
+// buildUDPRaw is a small helper mirroring packet.BuildUDP for the forging tap.
+func buildUDPRaw(src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) ([]byte, error) {
+	return packetBuildUDP(src, sp, dst, dp, payload)
+}

@@ -1,0 +1,11 @@
+package dnssim
+
+import (
+	"net/netip"
+
+	"safemeasure/internal/packet"
+)
+
+func packetBuildUDP(src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) ([]byte, error) {
+	return packet.BuildUDP(src, dst, packet.DefaultTTL, &packet.UDP{SrcPort: sp, DstPort: dp, Payload: payload})
+}

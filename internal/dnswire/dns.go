@@ -1,0 +1,532 @@
+// Package dnswire implements the DNS wire format (RFC 1035 subset): header,
+// questions, and resource records for the types the lab uses (A, NS, CNAME,
+// SOA, MX, TXT), including domain-name compression on encode and decode.
+//
+// The codec is used by the simulated resolver and authoritative servers, by
+// the censor's DNS-poisoning tap (which must parse queries and forge
+// responses on the wire), and by the spoofed-DNS measurement technique.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RRType is a DNS resource-record type code.
+type RRType uint16
+
+// Record types supported by the codec.
+const (
+	TypeA     RRType = 1
+	TypeNS    RRType = 2
+	TypeCNAME RRType = 5
+	TypeSOA   RRType = 6
+	TypeMX    RRType = 15
+	TypeTXT   RRType = 16
+)
+
+// String returns the conventional mnemonic.
+func (t RRType) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// ClassIN is the Internet class; the only class the lab uses.
+const ClassIN uint16 = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeRefused  RCode = 5
+)
+
+// String returns the conventional mnemonic.
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrTruncated    = errors.New("dnswire: truncated message")
+	ErrBadName      = errors.New("dnswire: malformed name")
+	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+)
+
+// Question is a single query.
+type Question struct {
+	Name  string
+	Type  RRType
+	Class uint16
+}
+
+// RR is a resource record. Exactly one of the Rdata fields is meaningful
+// depending on Type; unknown types carry raw Data.
+type RR struct {
+	Name  string
+	Type  RRType
+	Class uint16
+	TTL   uint32
+
+	A      netip.Addr // TypeA
+	Target string     // TypeNS, TypeCNAME; also MX exchange host
+	Pref   uint16     // TypeMX preference
+	TXT    string     // TypeTXT
+	Data   []byte     // unknown types, raw rdata
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, t RRType) *Message {
+	return &Message{
+		ID:               id,
+		RecursionDesired: true,
+		Questions:        []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response skeleton mirroring the query's ID and question.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		ID:                 m.ID,
+		Response:           true,
+		Opcode:             m.Opcode,
+		RecursionDesired:   m.RecursionDesired,
+		RecursionAvailable: true,
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// CanonicalName lower-cases a domain name and strips one trailing dot.
+func CanonicalName(name string) string {
+	name = strings.ToLower(name)
+	return strings.TrimSuffix(name, ".")
+}
+
+// ---- encoding ----
+
+type encoder struct {
+	buf []byte
+	// offsets of names already written, for compression pointers
+	names map[string]int
+}
+
+func (e *encoder) uint16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+func (e *encoder) uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// name writes a possibly-compressed domain name.
+func (e *encoder) name(name string) error {
+	name = CanonicalName(name)
+	if len(name) > 253 {
+		return ErrNameTooLong
+	}
+	for name != "" {
+		if off, ok := e.names[name]; ok && off < 0x3fff {
+			e.uint16(0xc000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x3fff {
+			e.names[name] = len(e.buf)
+		}
+		label, rest, _ := strings.Cut(name, ".")
+		if label == "" {
+			return ErrBadName
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+		name = rest
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+func (e *encoder) question(q Question) error {
+	if err := e.name(q.Name); err != nil {
+		return err
+	}
+	e.uint16(uint16(q.Type))
+	e.uint16(q.Class)
+	return nil
+}
+
+func (e *encoder) rr(r RR) error {
+	if err := e.name(r.Name); err != nil {
+		return err
+	}
+	e.uint16(uint16(r.Type))
+	class := r.Class
+	if class == 0 {
+		class = ClassIN
+	}
+	e.uint16(class)
+	e.uint32(r.TTL)
+	// rdlength placeholder
+	lenOff := len(e.buf)
+	e.uint16(0)
+	start := len(e.buf)
+	switch r.Type {
+	case TypeA:
+		if !r.A.Is4() {
+			return fmt.Errorf("dnswire: A record for %q needs an IPv4 address", r.Name)
+		}
+		a := r.A.As4()
+		e.buf = append(e.buf, a[:]...)
+	case TypeNS, TypeCNAME:
+		if err := e.name(r.Target); err != nil {
+			return err
+		}
+	case TypeMX:
+		e.uint16(r.Pref)
+		if err := e.name(r.Target); err != nil {
+			return err
+		}
+	case TypeTXT:
+		txt := r.TXT
+		for len(txt) > 255 {
+			e.buf = append(e.buf, 255)
+			e.buf = append(e.buf, txt[:255]...)
+			txt = txt[255:]
+		}
+		e.buf = append(e.buf, byte(len(txt)))
+		e.buf = append(e.buf, txt...)
+	default:
+		e.buf = append(e.buf, r.Data...)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenOff:], uint16(len(e.buf)-start))
+	return nil
+}
+
+// Marshal serializes the message to wire format.
+func (m *Message) Marshal() ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 512), names: make(map[string]int)}
+	e.uint16(m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode) & 0xf
+	e.uint16(flags)
+	e.uint16(uint16(len(m.Questions)))
+	e.uint16(uint16(len(m.Answers)))
+	e.uint16(uint16(len(m.Authority)))
+	e.uint16(uint16(len(m.Additional)))
+	for _, q := range m.Questions {
+		if err := e.question(q); err != nil {
+			return nil, err
+		}
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, r := range sec {
+			if err := e.rr(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// ---- decoding ----
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if d.off+2 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(d.data[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	if d.off+4 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// name reads a possibly-compressed name starting at d.off.
+func (d *decoder) name() (string, error) {
+	s, next, err := readName(d.data, d.off, 0)
+	if err != nil {
+		return "", err
+	}
+	d.off = next
+	return s, nil
+}
+
+// readName decodes a name at off; depth guards against pointer loops.
+// Returns the name and the offset just past the name's in-line bytes.
+func readName(data []byte, off, depth int) (string, int, error) {
+	if depth > 16 {
+		return "", 0, ErrBadPointer
+	}
+	var b strings.Builder
+	for {
+		if off >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		c := data[off]
+		switch {
+		case c == 0:
+			return b.String(), off + 1, nil
+		case c&0xc0 == 0xc0:
+			if off+2 > len(data) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:]) & 0x3fff)
+			if ptr >= off {
+				return "", 0, ErrBadPointer // pointers must point backwards
+			}
+			rest, _, err := readName(data, ptr, depth+1)
+			if err != nil {
+				return "", 0, err
+			}
+			if b.Len() > 0 && rest != "" {
+				b.WriteByte('.')
+			}
+			b.WriteString(rest)
+			return b.String(), off + 2, nil
+		case c&0xc0 != 0:
+			return "", 0, ErrBadName
+		default:
+			n := int(c)
+			if off+1+n > len(data) {
+				return "", 0, ErrTruncated
+			}
+			if b.Len() > 0 {
+				b.WriteByte('.')
+			}
+			b.Write(data[off+1 : off+1+n])
+			off += 1 + n
+			if b.Len() > 255 {
+				return "", 0, ErrNameTooLong
+			}
+		}
+	}
+}
+
+func (d *decoder) question() (Question, error) {
+	var q Question
+	name, err := d.name()
+	if err != nil {
+		return q, err
+	}
+	q.Name = name
+	t, err := d.uint16()
+	if err != nil {
+		return q, err
+	}
+	q.Type = RRType(t)
+	q.Class, err = d.uint16()
+	return q, err
+}
+
+func (d *decoder) rr() (RR, error) {
+	var r RR
+	name, err := d.name()
+	if err != nil {
+		return r, err
+	}
+	r.Name = name
+	t, err := d.uint16()
+	if err != nil {
+		return r, err
+	}
+	r.Type = RRType(t)
+	if r.Class, err = d.uint16(); err != nil {
+		return r, err
+	}
+	if r.TTL, err = d.uint32(); err != nil {
+		return r, err
+	}
+	rdlen, err := d.uint16()
+	if err != nil {
+		return r, err
+	}
+	if d.off+int(rdlen) > len(d.data) {
+		return r, ErrTruncated
+	}
+	rdEnd := d.off + int(rdlen)
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return r, ErrBadName
+		}
+		r.A = netip.AddrFrom4([4]byte(d.data[d.off:rdEnd]))
+	case TypeNS, TypeCNAME:
+		if r.Target, err = d.name(); err != nil {
+			return r, err
+		}
+	case TypeMX:
+		if r.Pref, err = d.uint16(); err != nil {
+			return r, err
+		}
+		if r.Target, err = d.name(); err != nil {
+			return r, err
+		}
+	case TypeTXT:
+		var b strings.Builder
+		for p := d.off; p < rdEnd; {
+			n := int(d.data[p])
+			if p+1+n > rdEnd {
+				return r, ErrTruncated
+			}
+			b.Write(d.data[p+1 : p+1+n])
+			p += 1 + n
+		}
+		r.TXT = b.String()
+	default:
+		r.Data = append([]byte(nil), d.data[d.off:rdEnd]...)
+	}
+	d.off = rdEnd
+	return r, nil
+}
+
+// ParseMessage decodes a wire-format DNS message.
+func ParseMessage(data []byte) (*Message, error) {
+	d := &decoder{data: data}
+	m := new(Message)
+	var err error
+	if m.ID, err = d.uint16(); err != nil {
+		return nil, err
+	}
+	flags, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xf)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xf)
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = d.uint16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		q, err := d.question()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	for s, sec := range []*[]RR{&m.Answers, &m.Authority, &m.Additional} {
+		for i := 0; i < int(counts[s+1]); i++ {
+			r, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*sec = append(*sec, r)
+		}
+	}
+	return m, nil
+}
+
+// String renders a dig-style summary.
+func (m *Message) String() string {
+	var b strings.Builder
+	kind := "query"
+	if m.Response {
+		kind = "response"
+	}
+	fmt.Fprintf(&b, "dns %s id=%d rcode=%v", kind, m.ID, m.RCode)
+	for _, q := range m.Questions {
+		fmt.Fprintf(&b, " ?%s/%v", q.Name, q.Type)
+	}
+	for _, a := range m.Answers {
+		switch a.Type {
+		case TypeA:
+			fmt.Fprintf(&b, " %s=%v", a.Name, a.A)
+		case TypeMX:
+			fmt.Fprintf(&b, " %s MX %d %s", a.Name, a.Pref, a.Target)
+		default:
+			fmt.Fprintf(&b, " %s/%v", a.Name, a.Type)
+		}
+	}
+	return b.String()
+}

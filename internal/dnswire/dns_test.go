@@ -1,0 +1,302 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustMarshal(t *testing.T, m *Message) []byte {
+	t.Helper()
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "www.Example.COM", TypeA)
+	wire := mustMarshal(t, q)
+	got, err := ParseMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x1234 || got.Response || !got.RecursionDesired {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "www.example.com" || got.Questions[0].Type != TypeA {
+		t.Fatalf("question = %+v", got.Questions[0])
+	}
+}
+
+func TestResponseRoundTripAllTypes(t *testing.T) {
+	q := NewQuery(7, "twitter.com", TypeMX)
+	r := q.Reply()
+	r.Authoritative = true
+	r.Answers = []RR{
+		{Name: "twitter.com", Type: TypeMX, TTL: 300, Pref: 10, Target: "mx1.twitter.com"},
+		{Name: "twitter.com", Type: TypeMX, TTL: 300, Pref: 20, Target: "mx2.twitter.com"},
+	}
+	r.Authority = []RR{
+		{Name: "twitter.com", Type: TypeNS, TTL: 3600, Target: "ns1.twitter.com"},
+	}
+	r.Additional = []RR{
+		{Name: "mx1.twitter.com", Type: TypeA, TTL: 300, A: netip.MustParseAddr("199.16.156.1")},
+		{Name: "txt.twitter.com", Type: TypeTXT, TTL: 60, TXT: "v=spf1 -all"},
+		{Name: "alias.twitter.com", Type: TypeCNAME, TTL: 60, Target: "twitter.com"},
+	}
+	wire := mustMarshal(t, r)
+	got, err := ParseMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || !got.Authoritative || got.ID != 7 {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Answers) != 2 || got.Answers[0].Target != "mx1.twitter.com" || got.Answers[0].Pref != 10 {
+		t.Fatalf("answers: %+v", got.Answers)
+	}
+	if got.Authority[0].Target != "ns1.twitter.com" {
+		t.Fatalf("authority: %+v", got.Authority)
+	}
+	if got.Additional[0].A != netip.MustParseAddr("199.16.156.1") {
+		t.Fatalf("A rr: %+v", got.Additional[0])
+	}
+	if got.Additional[1].TXT != "v=spf1 -all" {
+		t.Fatalf("TXT rr: %+v", got.Additional[1])
+	}
+	if got.Additional[2].Target != "twitter.com" {
+		t.Fatalf("CNAME rr: %+v", got.Additional[2])
+	}
+}
+
+func TestCompressionShrinksMessage(t *testing.T) {
+	r := &Message{ID: 1, Response: true}
+	for i := 0; i < 5; i++ {
+		r.Answers = append(r.Answers, RR{
+			Name: "very.long.subdomain.example.com", Type: TypeA, TTL: 1,
+			A: netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}),
+		})
+	}
+	wire := mustMarshal(t, r)
+	// Name is 31 octets + 2 length bytes; five uncompressed copies would be
+	// ~165 bytes of names alone. With compression, copies 2..5 are 2-byte
+	// pointers.
+	uncompressedEstimate := 12 + 5*(33+10)
+	if len(wire) >= uncompressedEstimate {
+		t.Fatalf("message not compressed: %d bytes >= %d", len(wire), uncompressedEstimate)
+	}
+	got, err := ParseMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range got.Answers {
+		if a.Name != "very.long.subdomain.example.com" {
+			t.Fatalf("answer %d name = %q", i, a.Name)
+		}
+	}
+}
+
+func TestCompressionSuffixSharing(t *testing.T) {
+	r := &Message{ID: 1, Response: true, Answers: []RR{
+		{Name: "a.example.com", Type: TypeA, TTL: 1, A: netip.MustParseAddr("1.1.1.1")},
+		{Name: "b.example.com", Type: TypeCNAME, TTL: 1, Target: "example.com"},
+	}}
+	wire := mustMarshal(t, r)
+	got, err := ParseMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != "a.example.com" || got.Answers[1].Name != "b.example.com" {
+		t.Fatalf("names: %q %q", got.Answers[0].Name, got.Answers[1].Name)
+	}
+	if got.Answers[1].Target != "example.com" {
+		t.Fatalf("target: %q", got.Answers[1].Target)
+	}
+}
+
+func TestPointerLoopRejected(t *testing.T) {
+	// Hand-craft a message whose question name is a pointer to itself.
+	wire := []byte{
+		0x00, 0x01, 0x00, 0x00, // id, flags
+		0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // counts: 1 question
+		0xc0, 0x0c, // pointer to offset 12 = itself
+		0x00, 0x01, 0x00, 0x01,
+	}
+	if _, err := ParseMessage(wire); err == nil {
+		t.Fatal("self-referential pointer accepted")
+	}
+}
+
+func TestForwardPointerRejected(t *testing.T) {
+	wire := []byte{
+		0x00, 0x01, 0x00, 0x00,
+		0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0xc0, 0x20, // pointer to offset 32, beyond itself
+		0x00, 0x01, 0x00, 0x01,
+	}
+	if _, err := ParseMessage(wire); err == nil {
+		t.Fatal("forward pointer accepted")
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	q := NewQuery(9, "example.com", TypeA)
+	wire := mustMarshal(t, q)
+	for n := 0; n < len(wire); n++ {
+		if _, err := ParseMessage(wire[:n]); err == nil {
+			t.Fatalf("parse of %d/%d bytes succeeded", n, len(wire))
+		}
+	}
+}
+
+func TestLabelTooLong(t *testing.T) {
+	long := strings.Repeat("a", 64) + ".com"
+	q := NewQuery(1, long, TypeA)
+	if _, err := q.Marshal(); err == nil {
+		t.Fatal("64-octet label accepted")
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	name := strings.Repeat("abcdefgh.", 32) + "com" // > 253 octets
+	q := NewQuery(1, name, TypeA)
+	if _, err := q.Marshal(); err == nil {
+		t.Fatal("over-long name accepted")
+	}
+}
+
+func TestRCodeRoundTrip(t *testing.T) {
+	for _, rc := range []RCode{RCodeSuccess, RCodeFormErr, RCodeServFail, RCodeNXDomain, RCodeRefused} {
+		m := &Message{ID: 3, Response: true, RCode: rc}
+		got, err := ParseMessage(mustMarshal(t, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RCode != rc {
+			t.Fatalf("rcode = %v, want %v", got.RCode, rc)
+		}
+	}
+}
+
+func TestLongTXTSplitsChunks(t *testing.T) {
+	txt := strings.Repeat("x", 600)
+	m := &Message{ID: 1, Response: true, Answers: []RR{{Name: "t.example.com", Type: TypeTXT, TTL: 1, TXT: txt}}}
+	got, err := ParseMessage(mustMarshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].TXT != txt {
+		t.Fatalf("TXT round-trip lost data: %d bytes", len(got.Answers[0].TXT))
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	if CanonicalName("WwW.Example.COM.") != "www.example.com" {
+		t.Fatal("canonicalization wrong")
+	}
+}
+
+func TestUnknownTypePreservesData(t *testing.T) {
+	m := &Message{ID: 1, Response: true, Answers: []RR{{Name: "x.example.com", Type: RRType(99), Class: ClassIN, TTL: 5, Data: []byte{1, 2, 3}}}}
+	got, err := ParseMessage(mustMarshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Answers[0].Data, []byte{1, 2, 3}) {
+		t.Fatalf("raw data: %x", got.Answers[0].Data)
+	}
+}
+
+// Property: query round-trip for arbitrary well-formed names.
+func TestQuickQueryRoundTrip(t *testing.T) {
+	f := func(id uint16, raw []byte) bool {
+		// Build a plausible name from fuzz bytes: hex labels.
+		labels := make([]string, 0, 4)
+		for i := 0; i < len(raw) && i < 8; i += 2 {
+			labels = append(labels, "l"+string(rune('a'+int(raw[i])%26)))
+		}
+		labels = append(labels, "example", "com")
+		name := strings.Join(labels, ".")
+		q := NewQuery(id, name, TypeA)
+		wire, err := q.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := ParseMessage(wire)
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.Questions[0].Name == CanonicalName(name)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary bytes.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseMessage(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalResponse(b *testing.B) {
+	q := NewQuery(1, "www.example.com", TypeA)
+	r := q.Reply()
+	r.Answers = []RR{{Name: "www.example.com", Type: TypeA, TTL: 300, A: netip.MustParseAddr("93.184.216.34")}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseResponse(b *testing.B) {
+	q := NewQuery(1, "www.example.com", TypeA)
+	r := q.Reply()
+	r.Answers = []RR{{Name: "www.example.com", Type: TypeA, TTL: 300, A: netip.MustParseAddr("93.184.216.34")}}
+	wire, _ := r.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseMessage(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TypeA.String() != "A" || TypeMX.String() != "MX" || RRType(99).String() != "TYPE99" {
+		t.Fatal("RRType names")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(9).String() != "RCODE9" {
+		t.Fatal("RCode names")
+	}
+	q := NewQuery(5, "twitter.com", TypeMX)
+	r := q.Reply()
+	r.Answers = []RR{
+		{Name: "twitter.com", Type: TypeMX, Pref: 10, Target: "mx1.twitter.com"},
+		{Name: "twitter.com", Type: TypeA, A: netip.MustParseAddr("1.2.3.4")},
+		{Name: "twitter.com", Type: TypeNS, Target: "ns1.twitter.com"},
+	}
+	s := r.String()
+	for _, want := range []string{"response", "id=5", "?twitter.com/MX", "MX 10 mx1.twitter.com", "=1.2.3.4", "twitter.com/NS"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+	if !strings.Contains(q.String(), "query") {
+		t.Fatalf("query String(): %s", q.String())
+	}
+}

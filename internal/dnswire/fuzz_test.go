@@ -1,0 +1,50 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzParseMessage exercises the decoder with arbitrary bytes; it must
+// never panic, and anything it accepts must re-marshal without error.
+func FuzzParseMessage(f *testing.F) {
+	q := NewQuery(7, "www.example.com", TypeA)
+	wire, _ := q.Marshal()
+	f.Add(wire)
+	r := q.Reply()
+	r.Answers = []RR{{Name: "www.example.com", Type: TypeA, TTL: 60, A: netip.MustParseAddr("93.184.216.34")}}
+	wire2, _ := r.Marshal()
+	f.Add(wire2)
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 0x0c})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMessage(data)
+		if err != nil {
+			return
+		}
+		// Re-marshal must not panic. (It can fail for names the decoder
+		// accepted but the encoder's stricter limits reject; that's fine.)
+		_, _ = m.Marshal()
+	})
+}
+
+// FuzzNameRoundTrip checks encode->decode identity for generated names.
+func FuzzNameRoundTrip(f *testing.F) {
+	f.Add("example.com")
+	f.Add("a.b.c.d.e.test")
+	f.Fuzz(func(t *testing.T, name string) {
+		q := NewQuery(1, name, TypeA)
+		wire, err := q.Marshal()
+		if err != nil {
+			return // encoder rejected (too long, empty label, ...)
+		}
+		m, err := ParseMessage(wire)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded %q failed: %v", name, err)
+		}
+		if m.Questions[0].Name != CanonicalName(name) {
+			t.Fatalf("name %q round-tripped to %q", name, m.Questions[0].Name)
+		}
+	})
+}

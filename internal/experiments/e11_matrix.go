@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"safemeasure/internal/censor"
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/spoof"
+	"safemeasure/internal/stats"
+)
+
+// E11Row is one (mechanism, technique) cell of the headline matrix.
+type E11Row struct {
+	Mechanism string
+	Technique string
+	Stealth   bool
+	Verdict   core.Verdict
+	Correct   bool
+	Score     float64
+	Flagged   bool
+}
+
+// E11Result is the paper's headline comparison: every technique against
+// every censorship mechanism it can measure, scoring both accuracy
+// (censorship detected) and risk (measurer flagged). The expected shape:
+// stealth techniques match the overt baselines on accuracy while the
+// baselines get the user flagged.
+type E11Result struct {
+	Rows []E11Row
+	// Aggregates.
+	OvertAccuracy   float64
+	StealthAccuracy float64
+	OvertFlagRate   float64
+	StealthFlagRate float64
+}
+
+// mechanismCase binds a censorship mechanism to its lab config, ground
+// truth target, and the techniques able to measure it.
+type mechanismCase struct {
+	name       string
+	censorCfg  func() censor.Config
+	target     core.Target
+	techniques []core.Technique
+}
+
+// E11TechniqueMatrix runs the full sweep.
+func E11TechniqueMatrix(seed int64) (*E11Result, error) {
+	cases := []mechanismCase{
+		{
+			name:      "keyword-rst",
+			censorCfg: lab.DefaultCensorConfig,
+			target:    core.Target{Domain: "site01.test", Path: "/falun"},
+			techniques: []core.Technique{
+				&core.OvertHTTP{}, &core.DDoS{Requests: 30}, &core.Stateful{Covers: 4},
+			},
+		},
+		{
+			name:      "dns-poison",
+			censorCfg: lab.DefaultCensorConfig,
+			target:    core.Target{Domain: "twitter.com"},
+			techniques: []core.Technique{
+				&core.OvertDNS{}, &core.Spam{}, &core.SpoofedDNS{Covers: 8},
+			},
+		},
+		{
+			name: "ip-blackhole",
+			censorCfg: func() censor.Config {
+				c := lab.DefaultCensorConfig()
+				c.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.SensitiveAddr, 32)}
+				return c
+			},
+			target: core.Target{Domain: "banned.test"},
+			techniques: []core.Technique{
+				&core.OvertTCP{}, &core.SYNScan{Ports: 100}, &core.SpoofedSYN{Covers: 8},
+			},
+		},
+		{
+			name: "port-block",
+			censorCfg: func() censor.Config {
+				c := lab.DefaultCensorConfig()
+				c.BlockedPorts = []uint16{443}
+				return c
+			},
+			target: core.Target{Addr: lab.WebAddr, Port: 443},
+			techniques: []core.Technique{
+				&core.OvertTCP{}, &core.SYNScan{Ports: 100}, &core.SpoofedSYN{Covers: 8},
+			},
+		},
+	}
+
+	out := &E11Result{}
+	var overtTotal, overtCorrect, overtFlagged int
+	var stealthTotal, stealthCorrect, stealthFlagged int
+
+	i := int64(0)
+	for _, mc := range cases {
+		for _, tech := range mc.techniques {
+			i++
+			res, risk, _, err := runProbe(lab.Config{
+				Censor: mc.censorCfg(), SpoofPolicy: spoof.PolicySlash24, Seed: seed + i,
+			}, tech, mc.target, 2*time.Second)
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s/%s: %w", mc.name, tech.Name(), err)
+			}
+			row := E11Row{
+				Mechanism: mc.name,
+				Technique: tech.Name(),
+				Stealth:   core.Stealth(tech),
+				Verdict:   res.Verdict,
+				Correct:   res.Verdict == core.VerdictCensored,
+				Score:     risk.Score,
+				Flagged:   risk.Flagged,
+			}
+			out.Rows = append(out.Rows, row)
+			if row.Stealth {
+				stealthTotal++
+				if row.Correct {
+					stealthCorrect++
+				}
+				if row.Flagged {
+					stealthFlagged++
+				}
+			} else {
+				overtTotal++
+				if row.Correct {
+					overtCorrect++
+				}
+				if row.Flagged {
+					overtFlagged++
+				}
+			}
+		}
+	}
+	out.OvertAccuracy = frac(overtCorrect, overtTotal)
+	out.StealthAccuracy = frac(stealthCorrect, stealthTotal)
+	out.OvertFlagRate = frac(overtFlagged, overtTotal)
+	out.StealthFlagRate = frac(stealthFlagged, stealthTotal)
+	return out, nil
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Render prints the matrix and aggregates.
+func (r *E11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("E11 — technique x mechanism matrix (headline comparison)\n\n")
+	t := stats.NewTable("mechanism", "technique", "kind", "verdict", "correct", "analyst-score", "flagged")
+	for _, row := range r.Rows {
+		kind := "overt"
+		if row.Stealth {
+			kind = "stealth"
+		}
+		t.AddRow(row.Mechanism, row.Technique, kind, row.Verdict.String(),
+			boolMark(row.Correct), row.Score, boolMark(row.Flagged))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\naccuracy: overt %.2f vs stealth %.2f (must be comparable)\n", r.OvertAccuracy, r.StealthAccuracy)
+	fmt.Fprintf(&b, "flag rate: overt %.2f vs stealth %.2f (stealth must be lower)\n", r.OvertFlagRate, r.StealthFlagRate)
+	return b.String()
+}

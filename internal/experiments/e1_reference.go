@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"safemeasure/internal/censor"
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/stats"
+)
+
+// E1Row is one validation case of the reference systems.
+type E1Row struct {
+	Mechanism string // ground-truth censorship mechanism
+	Probe     string
+	Target    string
+	Verdict   core.Verdict
+	// DetectedMechanism is what the probe inferred.
+	DetectedMechanism string
+	// CensorActed: the censor's event log shows it fired.
+	CensorActed bool
+	// Correct: the probe's verdict matches ground truth.
+	Correct bool
+}
+
+// E1Result validates Figure 1's reference environment: every censorship
+// mechanism is (a) actually enforced by the censor and (b) detected by the
+// corresponding overt probe, and innocuous traffic is untouched.
+type E1Result struct {
+	Rows []E1Row
+	// InnocuousOK: a control fetch and lookup pass cleanly with no censor
+	// events.
+	InnocuousOK bool
+	// AllCorrect summarizes the validation.
+	AllCorrect bool
+}
+
+// E1ReferenceSystems runs the §3.2.1 validation.
+func E1ReferenceSystems(seed int64) (*E1Result, error) {
+	out := &E1Result{}
+
+	type tc struct {
+		mechanism string
+		censorCfg func() censor.Config
+		probe     core.Technique
+		target    core.Target
+		want      core.Verdict
+	}
+	cases := []tc{
+		{
+			mechanism: "keyword-rst (GFC)",
+			censorCfg: lab.DefaultCensorConfig,
+			probe:     &core.OvertHTTP{},
+			target:    core.Target{Domain: "site01.test", Path: "/falun"},
+			want:      core.VerdictCensored,
+		},
+		{
+			mechanism: "dns-poison",
+			censorCfg: lab.DefaultCensorConfig,
+			probe:     &core.OvertDNS{},
+			target:    core.Target{Domain: "twitter.com"},
+			want:      core.VerdictCensored,
+		},
+		{
+			mechanism: "host-block",
+			censorCfg: lab.DefaultCensorConfig,
+			probe:     &core.OvertHTTP{},
+			target:    core.Target{Domain: "banned.test"},
+			want:      core.VerdictCensored,
+		},
+		{
+			mechanism: "ip-blackhole",
+			censorCfg: func() censor.Config {
+				c := lab.DefaultCensorConfig()
+				c.Blackholed = []netip.Prefix{netip.PrefixFrom(lab.SensitiveAddr, 32)}
+				return c
+			},
+			probe:  &core.OvertTCP{},
+			target: core.Target{Addr: lab.SensitiveAddr, Port: 80},
+			want:   core.VerdictCensored,
+		},
+		{
+			mechanism: "port-block",
+			censorCfg: func() censor.Config {
+				c := lab.DefaultCensorConfig()
+				c.BlockedPorts = []uint16{443}
+				return c
+			},
+			probe:  &core.OvertTCP{},
+			target: core.Target{Addr: lab.WebAddr, Port: 443},
+			want:   core.VerdictCensored,
+		},
+	}
+
+	out.AllCorrect = true
+	for i, c := range cases {
+		res, _, l, err := runProbe(lab.Config{Censor: c.censorCfg(), Seed: seed + int64(i)}, c.probe, c.target, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := E1Row{
+			Mechanism:         c.mechanism,
+			Probe:             c.probe.Name(),
+			Target:            c.target.String(),
+			Verdict:           res.Verdict,
+			DetectedMechanism: res.Mechanism,
+			CensorActed:       len(l.Censor.Events) > 0 || l.Censor.Dropped > 0,
+			Correct:           res.Verdict == c.want,
+		}
+		out.AllCorrect = out.AllCorrect && row.Correct && row.CensorActed
+		out.Rows = append(out.Rows, row)
+	}
+
+	// Control: innocuous traffic must pass and leave no censor events.
+	res, _, l, err := runProbe(lab.Config{Seed: seed + 100}, &core.OvertHTTP{}, core.Target{Domain: "site02.test"}, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	out.InnocuousOK = res.Verdict == core.VerdictAccessible && censorEventsTouching(l, lab.ClientAddr) == 0
+	out.AllCorrect = out.AllCorrect && out.InnocuousOK
+	return out, nil
+}
+
+// censorEventsTouching counts censor events involving addr (population
+// traffic may legitimately trigger the censor during the control run).
+func censorEventsTouching(l *lab.Lab, addr netip.Addr) int {
+	n := 0
+	for _, ev := range l.Censor.Events {
+		if ev.Flow.Src == addr || ev.Flow.Dst == addr {
+			n++
+		}
+	}
+	return n
+}
+
+// Render prints the validation table.
+func (r *E1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("E1 — reference censor/surveillance validation (Fig 1, §3.2.1)\n\n")
+	t := stats.NewTable("mechanism", "probe", "target", "verdict", "detected-as", "censor-acted", "correct")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mechanism, row.Probe, row.Target, row.Verdict.String(), row.DetectedMechanism,
+			boolMark(row.CensorActed), boolMark(row.Correct))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\ninnocuous control untouched: %s\nall correct: %s\n",
+		boolMark(r.InnocuousOK), boolMark(r.AllCorrect))
+	return b.String()
+}

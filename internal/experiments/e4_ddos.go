@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/stats"
+	"safemeasure/internal/surveil"
+)
+
+// E4Result evaluates Method #3 (DDoS mimicry): per-request sampling of the
+// censorship mechanism plus MVR evasion.
+type E4Result struct {
+	Requests int
+
+	CensoredVerdict core.Verdict
+	CensoredOK      bool
+	CensoredRisk    core.RiskReport
+	// Evidence line carrying the per-sample breakdown (ok/reset/timeout).
+	CensoredSamples string
+
+	OpenVerdict core.Verdict
+	OpenOK      bool
+	OpenRisk    core.RiskReport
+
+	// DDoSDiscarded: flood-class packets the MVR dropped.
+	DDoSDiscarded int
+}
+
+// E4DDoS runs the flood-mimicry measurement against a keyword-censored
+// path and an open control path.
+func E4DDoS(seed int64, requests int) (*E4Result, error) {
+	if requests <= 0 {
+		requests = 40
+	}
+	out := &E4Result{Requests: requests}
+
+	res, risk, l, err := runProbe(lab.Config{Seed: seed},
+		&core.DDoS{Requests: requests}, core.Target{Domain: "site01.test", Path: "/falun"}, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	out.CensoredVerdict = res.Verdict
+	out.CensoredOK = res.Verdict == core.VerdictCensored && res.Mechanism == core.MechRST
+	out.CensoredRisk = risk
+	if len(res.Evidence) > 0 {
+		out.CensoredSamples = res.Evidence[0]
+	}
+	out.DDoSDiscarded = l.Surveil.DiscardedByClass[surveil.ClassDDoS]
+
+	res2, risk2, _, err := runProbe(lab.Config{Seed: seed + 1},
+		&core.DDoS{Requests: requests}, core.Target{Domain: "site01.test"}, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	out.OpenVerdict = res2.Verdict
+	out.OpenOK = res2.Verdict == core.VerdictAccessible
+	out.OpenRisk = risk2
+	return out, nil
+}
+
+// Render prints the sampling table.
+func (r *E4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E4 — DDoS-mimicry measurements, %d requests (§3.1 Method #3)\n\n", r.Requests)
+	t := stats.NewTable("target", "verdict", "correct", "analyst-score", "flagged")
+	t.AddRow("keyword path (/falun)", r.CensoredVerdict.String(), boolMark(r.CensoredOK),
+		r.CensoredRisk.Score, boolMark(r.CensoredRisk.Flagged))
+	t.AddRow("open path (/)", r.OpenVerdict.String(), boolMark(r.OpenOK),
+		r.OpenRisk.Score, boolMark(r.OpenRisk.Flagged))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nper-request %s\n", r.CensoredSamples)
+	fmt.Fprintf(&b, "MVR discarded %d flood-class packets\n", r.DDoSDiscarded)
+	return b.String()
+}

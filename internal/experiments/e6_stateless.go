@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+	"safemeasure/internal/spoof"
+	"safemeasure/internal/stats"
+)
+
+// E6Row is one point of the cover-size sweep.
+type E6Row struct {
+	Covers          int
+	Verdict         core.Verdict
+	Correct         bool
+	ImplicatedUsers int
+	// AttributionEntropy is the Shannon entropy (bits) of the analyst's
+	// per-user alert distribution: 0 bits pins the measurer exactly;
+	// log2(K+1) bits means K covers are indistinguishable from the real
+	// probe.
+	AttributionEntropy float64
+	ClientFlagged      bool
+	SAVDropped         int
+}
+
+// E6Result sweeps the stateless-mimicry cover count (Figure 3a): more
+// spoofed cover queries implicate more "users", and past the analyst's
+// actionable-set limit nobody can be flagged — including the real measurer.
+type E6Result struct {
+	Policy spoof.Policy
+	Rows   []E6Row
+	// CrossoverCovers is the smallest cover count that kept the client
+	// unflagged (-1 if none did).
+	CrossoverCovers int
+}
+
+// E6StatelessSpoof runs the sweep under the given SAV policy.
+func E6StatelessSpoof(seed int64, policy spoof.Policy) (*E6Result, error) {
+	out := &E6Result{Policy: policy, CrossoverCovers: -1}
+	for i, covers := range []int{0, 2, 4, 8, 16} {
+		tech := &core.SpoofedDNS{Covers: covers}
+		if covers == 0 {
+			tech.Covers = -1 // bare probe, no cover
+		}
+		res, risk, l, err := runProbe(lab.Config{SpoofPolicy: policy, Seed: seed + int64(i)},
+			tech, core.Target{Domain: "twitter.com"}, 0)
+		if err != nil {
+			return nil, err
+		}
+		var counts []int
+		for _, n := range l.Surveil.Analyst().AlertCountsByUser() {
+			counts = append(counts, n)
+		}
+		row := E6Row{
+			Covers:             covers,
+			Verdict:            res.Verdict,
+			Correct:            res.Verdict == core.VerdictCensored && res.Mechanism == core.MechPoison,
+			ImplicatedUsers:    risk.ImplicatedUsers,
+			AttributionEntropy: stats.Entropy(counts),
+			ClientFlagged:      risk.Flagged,
+			SAVDropped:         l.SAV.Dropped,
+		}
+		if !row.ClientFlagged && out.CrossoverCovers == -1 && row.Correct {
+			out.CrossoverCovers = covers
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the sweep.
+func (r *E6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E6 — stateless spoofed-cover DNS measurement (Fig 3a), SAV policy %v\n\n", r.Policy)
+	t := stats.NewTable("covers", "verdict", "correct", "implicated-users", "attribution-bits", "client-flagged", "sav-dropped")
+	for _, row := range r.Rows {
+		t.AddRow(row.Covers, row.Verdict.String(), boolMark(row.Correct),
+			row.ImplicatedUsers, fmt.Sprintf("%.2f", row.AttributionEntropy),
+			boolMark(row.ClientFlagged), row.SAVDropped)
+	}
+	b.WriteString(t.String())
+	if r.CrossoverCovers >= 0 {
+		fmt.Fprintf(&b, "\nsmallest cover set that kept the measurer unflagged: %d\n", r.CrossoverCovers)
+	} else {
+		b.WriteString("\nno cover size kept the measurer unflagged under this policy\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+// Package httpwire implements a minimal HTTP/1.1 request/response codec for
+// the simulated web servers and clients. It covers exactly what the lab
+// needs: request line + headers + optional body with Content-Length, and the
+// same for responses. (net/http cannot be used: the lab's TCP runs in
+// virtual time inside internal/tcpsim.)
+package httpwire
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the codec.
+var (
+	ErrIncomplete = errors.New("httpwire: incomplete message")
+	ErrMalformed  = errors.New("httpwire: malformed message")
+)
+
+// Request is an HTTP/1.1 request.
+type Request struct {
+	Method  string
+	Path    string
+	Headers map[string]string // canonical-cased keys
+	Body    []byte
+}
+
+// Response is an HTTP/1.1 response.
+type Response struct {
+	Status     int
+	StatusText string
+	Headers    map[string]string
+	Body       []byte
+}
+
+// canonical normalizes a header key: "content-length" -> "Content-Length".
+func canonical(k string) string {
+	parts := strings.Split(strings.ToLower(k), "-")
+	for i, p := range parts {
+		if p != "" {
+			parts[i] = strings.ToUpper(p[:1]) + p[1:]
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
+// NewRequest builds a GET-style request with a Host header.
+func NewRequest(method, host, path string) *Request {
+	return &Request{Method: method, Path: path, Headers: map[string]string{"Host": host}}
+}
+
+// Host returns the Host header.
+func (r *Request) Host() string { return r.Headers["Host"] }
+
+// Marshal serializes the request, setting Content-Length when a body is
+// present.
+func (r *Request) Marshal() []byte {
+	return marshal(fmt.Sprintf("%s %s HTTP/1.1", r.Method, r.Path), r.Headers, r.Body)
+}
+
+// Marshal serializes the response, always setting Content-Length.
+func (r *Response) Marshal() []byte {
+	text := r.StatusText
+	if text == "" {
+		text = statusText(r.Status)
+	}
+	if r.Headers == nil {
+		r.Headers = map[string]string{}
+	}
+	r.Headers["Content-Length"] = strconv.Itoa(len(r.Body))
+	return marshal(fmt.Sprintf("HTTP/1.1 %d %s", r.Status, text), r.Headers, r.Body)
+}
+
+func marshal(startLine string, headers map[string]string, body []byte) []byte {
+	var b strings.Builder
+	b.WriteString(startLine)
+	b.WriteString("\r\n")
+	if len(body) > 0 {
+		if headers == nil {
+			headers = map[string]string{}
+		}
+		headers["Content-Length"] = strconv.Itoa(len(body))
+	}
+	keys := make([]string, 0, len(headers))
+	for k := range headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(canonical(k))
+		b.WriteString(": ")
+		b.WriteString(headers[k])
+		b.WriteString("\r\n")
+	}
+	b.WriteString("\r\n")
+	return append([]byte(b.String()), body...)
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 451:
+		return "Unavailable For Legal Reasons"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}
+
+// splitMessage finds the header/body boundary and parses headers. Returns
+// (startLine, headers, body, consumed) or ErrIncomplete if the full message
+// has not arrived yet.
+func splitMessage(data []byte) (string, map[string]string, []byte, int, error) {
+	s := string(data)
+	end := strings.Index(s, "\r\n\r\n")
+	if end < 0 {
+		return "", nil, nil, 0, ErrIncomplete
+	}
+	head := s[:end]
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return "", nil, nil, 0, ErrMalformed
+	}
+	headers := make(map[string]string, len(lines)-1)
+	for _, ln := range lines[1:] {
+		k, v, ok := strings.Cut(ln, ":")
+		if !ok {
+			return "", nil, nil, 0, ErrMalformed
+		}
+		headers[canonical(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	bodyStart := end + 4
+	n := 0
+	if cl, ok := headers["Content-Length"]; ok {
+		var err error
+		n, err = strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return "", nil, nil, 0, ErrMalformed
+		}
+	}
+	if len(data) < bodyStart+n {
+		return "", nil, nil, 0, ErrIncomplete
+	}
+	body := data[bodyStart : bodyStart+n]
+	return lines[0], headers, body, bodyStart + n, nil
+}
+
+// ParseRequest decodes one request from data; consumed reports how many
+// bytes it used (pipelined requests may follow).
+func ParseRequest(data []byte) (*Request, int, error) {
+	start, headers, body, consumed, err := splitMessage(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	parts := strings.SplitN(start, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, 0, ErrMalformed
+	}
+	return &Request{Method: parts[0], Path: parts[1], Headers: headers, Body: body}, consumed, nil
+}
+
+// ParseResponse decodes one response from data.
+func ParseResponse(data []byte) (*Response, int, error) {
+	start, headers, body, consumed, err := splitMessage(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	parts := strings.SplitN(start, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, 0, ErrMalformed
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, ErrMalformed
+	}
+	text := ""
+	if len(parts) == 3 {
+		text = parts[2]
+	}
+	return &Response{Status: code, StatusText: text, Headers: headers, Body: body}, consumed, nil
+}

@@ -1,0 +1,160 @@
+package httpwire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := NewRequest("GET", "bbc.com", "/news")
+	in.Headers["User-Agent"] = "safemeasure/1.0"
+	wire := in.Marshal()
+	out, n, err := ParseRequest(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d", n, len(wire))
+	}
+	if out.Method != "GET" || out.Path != "/news" || out.Host() != "bbc.com" {
+		t.Fatalf("parsed: %+v", out)
+	}
+	if out.Headers["User-Agent"] != "safemeasure/1.0" {
+		t.Fatalf("headers: %+v", out.Headers)
+	}
+}
+
+func TestRequestWithBody(t *testing.T) {
+	in := &Request{Method: "POST", Path: "/submit", Headers: map[string]string{"Host": "x.test"}, Body: []byte("a=1&b=2")}
+	out, _, err := ParseRequest(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("body: %q", out.Body)
+	}
+	if out.Headers["Content-Length"] != "7" {
+		t.Fatalf("content-length: %q", out.Headers["Content-Length"])
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := &Response{Status: 200, Body: []byte("<html>hello</html>")}
+	out, _, err := ParseResponse(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != 200 || out.StatusText != "OK" || !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("parsed: %+v", out)
+	}
+}
+
+func TestBlockPageStatus(t *testing.T) {
+	in := &Response{Status: 451, Body: []byte("blocked")}
+	out, _, err := ParseResponse(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != 451 || out.StatusText != "Unavailable For Legal Reasons" {
+		t.Fatalf("parsed: %+v", out)
+	}
+}
+
+func TestIncompleteHeader(t *testing.T) {
+	if _, _, err := ParseRequest([]byte("GET / HTTP/1.1\r\nHost: x")); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIncompleteBody(t *testing.T) {
+	wire := []byte("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+	if _, _, err := ParseRequest(wire); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	a := NewRequest("GET", "a.test", "/1").Marshal()
+	b := NewRequest("GET", "b.test", "/2").Marshal()
+	wire := append(append([]byte{}, a...), b...)
+	r1, n1, err := ParseRequest(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, n2, err := ParseRequest(wire[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Path != "/1" || r2.Path != "/2" || n1+n2 != len(wire) {
+		t.Fatalf("pipeline: %v %v", r1, r2)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	cases := []string{
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n",
+		"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, _, err := ParseRequest([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	if _, _, err := ParseResponse([]byte("HTTP/1.1 abc OK\r\n\r\n")); err == nil {
+		t.Error("bad status code accepted")
+	}
+	if _, _, err := ParseResponse([]byte("NOTHTTP 200 OK\r\n\r\n")); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}
+
+func TestHeaderCanonicalization(t *testing.T) {
+	wire := []byte("GET / HTTP/1.1\r\nhOsT: example.com\r\nx-custom-header: v\r\n\r\n")
+	out, _, err := ParseRequest(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Host() != "example.com" {
+		t.Fatalf("host: %+v", out.Headers)
+	}
+	if out.Headers["X-Custom-Header"] != "v" {
+		t.Fatalf("custom: %+v", out.Headers)
+	}
+}
+
+func TestQuickRequestRoundTrip(t *testing.T) {
+	f := func(pathSeed, body []byte) bool {
+		path := "/" + strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return 'x'
+		}, string(pathSeed))
+		in := &Request{Method: "POST", Path: path, Headers: map[string]string{"Host": "q.test"}, Body: body}
+		out, n, err := ParseRequest(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Path == path && bytes.Equal(out.Body, body) && n == len(in.Marshal())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, _ = ParseRequest(data)
+		_, _, _ = ParseResponse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package ids
+
+// Aho-Corasick multi-pattern matcher. All rule content patterns are compiled
+// into one automaton so each payload byte is examined once regardless of
+// ruleset size — the same architecture Snort's fast pattern matcher uses.
+//
+// Patterns are indexed lowercased; case-sensitive patterns are verified
+// against the original bytes at each candidate match position.
+
+type acNode struct {
+	next map[byte]*acNode
+	fail *acNode
+	out  []int // pattern ids terminating here
+}
+
+// Matcher is an immutable compiled automaton.
+type Matcher struct {
+	root     *acNode
+	patterns [][]byte // lowercased
+	exact    [][]byte // original bytes for case-sensitive patterns, nil for nocase
+}
+
+// Match reports a pattern occurrence: pattern id and the end offset
+// (exclusive) in the haystack.
+type Match struct {
+	Pattern int
+	End     int
+}
+
+// NewMatcher compiles patterns. nocase[i] selects case-insensitive matching
+// for patterns[i].
+func NewMatcher(patterns [][]byte, nocase []bool) *Matcher {
+	m := &Matcher{root: &acNode{next: make(map[byte]*acNode)}}
+	for i, p := range patterns {
+		lower := toLower(p)
+		m.patterns = append(m.patterns, lower)
+		if nocase != nil && nocase[i] {
+			m.exact = append(m.exact, nil)
+		} else {
+			m.exact = append(m.exact, append([]byte(nil), p...))
+		}
+		node := m.root
+		for _, b := range lower {
+			nxt, ok := node.next[b]
+			if !ok {
+				nxt = &acNode{next: make(map[byte]*acNode)}
+				node.next[b] = nxt
+			}
+			node = nxt
+		}
+		node.out = append(node.out, i)
+	}
+	m.buildFailLinks()
+	return m
+}
+
+func (m *Matcher) buildFailLinks() {
+	queue := make([]*acNode, 0, 64)
+	for _, child := range m.root.next {
+		child.fail = m.root
+		queue = append(queue, child)
+	}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for b, child := range node.next {
+			f := node.fail
+			for f != nil {
+				if nxt, ok := f.next[b]; ok {
+					child.fail = nxt
+					break
+				}
+				f = f.fail
+			}
+			if child.fail == nil {
+				child.fail = m.root
+			}
+			child.out = append(child.out, child.fail.out...)
+			queue = append(queue, child)
+		}
+	}
+}
+
+// Scan finds all pattern occurrences in data.
+func (m *Matcher) Scan(data []byte) []Match {
+	var out []Match
+	node := m.root
+	for i := 0; i < len(data); i++ {
+		b := lowerByte(data[i])
+		for node != m.root && node.next[b] == nil {
+			node = node.fail
+		}
+		if nxt, ok := node.next[b]; ok {
+			node = nxt
+		}
+		for _, pid := range node.out {
+			end := i + 1
+			if ex := m.exact[pid]; ex != nil {
+				start := end - len(ex)
+				if start < 0 || !bytesEqual(data[start:end], ex) {
+					continue
+				}
+			}
+			out = append(out, Match{Pattern: pid, End: end})
+		}
+	}
+	return out
+}
+
+// NumPatterns returns how many patterns the automaton holds.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// PatternLen returns the length of pattern id.
+func (m *Matcher) PatternLen(id int) int { return len(m.patterns[id]) }
+
+func lowerByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 32
+	}
+	return b
+}
+
+func toLower(p []byte) []byte {
+	out := make([]byte, len(p))
+	for i, b := range p {
+		out[i] = lowerByte(b)
+	}
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

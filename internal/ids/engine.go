@@ -1,0 +1,387 @@
+package ids
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+
+	"safemeasure/internal/packet"
+)
+
+// Alert is one rule firing.
+type Alert struct {
+	Time int64 // virtual nanoseconds
+	Rule *Rule
+	Flow packet.Flow
+	Pkt  *packet.Packet
+}
+
+// String renders a Snort-style alert line.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%d] %s {%v}", a.Rule.SID, a.Rule.Msg, a.Flow)
+}
+
+// patternRef ties an automaton pattern back to (rule, content index).
+type patternRef struct {
+	rule    *Rule
+	content int
+}
+
+// flowState tracks one TCP connection for flow options, stream reassembly
+// windows, and per-flow alert dedupe.
+type flowState struct {
+	client      netip.Addr // initiator (SYN sender)
+	clientPort  uint16
+	synSeen     bool
+	established bool
+	bufC2S      []byte
+	bufS2C      []byte
+	fired       map[int]bool // SIDs already alerted on this flow
+	lastSeen    int64
+}
+
+type thresholdKey struct {
+	sid int
+	src netip.Addr
+}
+
+type thresholdState struct {
+	windowStart int64
+	count       int
+	firedInWin  bool
+}
+
+// Engine evaluates a ruleset against a packet stream.
+type Engine struct {
+	rules       []*Rule
+	passRules   []*Rule
+	plainRules  []*Rule // no content options: evaluated on header alone
+	matcher     *Matcher
+	refs        []patternRef // indexed by pattern id
+	contentRule map[*Rule]bool
+
+	flows      map[packet.Flow]*flowState
+	thresholds map[thresholdKey]*thresholdState
+
+	// StreamWindow bounds the per-direction reassembly buffer; contents
+	// spanning more than this many bytes are not matched, mirroring a real
+	// IDS's bounded reassembly (paper §2.1: censors store only enough to
+	// reassemble flows).
+	StreamWindow int
+
+	// FlowTimeout evicts idle flows (virtual nanoseconds).
+	FlowTimeout int64
+
+	// Stats.
+	Packets   int
+	Bytes     int
+	Fired     int
+	HitsBySID map[int]int
+}
+
+// NewEngine compiles rules into an engine.
+func NewEngine(rules []*Rule) *Engine {
+	e := &Engine{
+		rules:        rules,
+		flows:        make(map[packet.Flow]*flowState),
+		thresholds:   make(map[thresholdKey]*thresholdState),
+		contentRule:  make(map[*Rule]bool),
+		HitsBySID:    make(map[int]int),
+		StreamWindow: 4096,
+		FlowTimeout:  int64(120e9),
+	}
+	var patterns [][]byte
+	var nocase []bool
+	for _, r := range rules {
+		if r.Action == ActionPass {
+			e.passRules = append(e.passRules, r)
+			continue
+		}
+		positive := 0
+		for i, c := range r.Contents {
+			if c.Negate {
+				continue
+			}
+			positive++
+			patterns = append(patterns, c.Pattern)
+			nocase = append(nocase, c.Nocase)
+			e.refs = append(e.refs, patternRef{rule: r, content: i})
+		}
+		if positive == 0 {
+			e.plainRules = append(e.plainRules, r)
+		} else {
+			e.contentRule[r] = true
+		}
+	}
+	e.matcher = NewMatcher(patterns, nocase)
+	return e
+}
+
+// Rules returns the compiled ruleset.
+func (e *Engine) Rules() []*Rule { return e.rules }
+
+// Feed evaluates one packet and returns any alerts (and drop-rule hits,
+// which carry Action=ActionDrop on their Rule).
+func (e *Engine) Feed(now int64, pkt *packet.Packet) []Alert {
+	if pkt == nil {
+		return nil
+	}
+	e.Packets++
+	e.Bytes += len(pkt.IP.Payload)
+
+	fs := e.trackFlow(now, pkt)
+
+	for _, r := range e.passRules {
+		if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) {
+			return nil
+		}
+	}
+
+	var alerts []Alert
+	emit := func(r *Rule) {
+		if fs != nil && pkt.TCP != nil {
+			if fs.fired[r.SID] {
+				return
+			}
+			fs.fired[r.SID] = true
+		}
+		if r.Threshold != nil && !e.thresholdOK(now, r, pkt) {
+			return
+		}
+		e.Fired++
+		e.HitsBySID[r.SID]++
+		alerts = append(alerts, Alert{Time: now, Rule: r, Flow: packet.FlowOf(pkt), Pkt: pkt})
+	}
+
+	for _, r := range e.plainRules {
+		if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) && e.negContentsOK(r, pkt, fs) {
+			emit(r)
+		}
+	}
+
+	if e.matcher.NumPatterns() > 0 {
+		e.scanContents(pkt, fs, func(r *Rule) {
+			if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) {
+				emit(r)
+			}
+		})
+	}
+	return alerts
+}
+
+// trackFlow updates TCP flow state and stream buffers.
+func (e *Engine) trackFlow(now int64, pkt *packet.Packet) *flowState {
+	if pkt.TCP == nil {
+		return nil
+	}
+	key := packet.FlowOf(pkt).Canonical()
+	fs, ok := e.flows[key]
+	if !ok {
+		fs = &flowState{fired: make(map[int]bool)}
+		e.flows[key] = fs
+	}
+	fs.lastSeen = now
+	t := pkt.TCP
+	switch {
+	case t.Flags&packet.TCPSyn != 0 && t.Flags&packet.TCPAck == 0:
+		fs.synSeen = true
+		fs.client = pkt.IP.Src
+		fs.clientPort = t.SrcPort
+	case fs.synSeen && !fs.established && t.Flags&packet.TCPAck != 0 && t.Flags&packet.TCPSyn == 0:
+		fs.established = true
+	}
+	if len(t.Payload) > 0 {
+		buf := &fs.bufS2C
+		if pkt.IP.Src == fs.client && t.SrcPort == fs.clientPort {
+			buf = &fs.bufC2S
+		}
+		*buf = append(*buf, t.Payload...)
+		if len(*buf) > e.StreamWindow {
+			*buf = (*buf)[len(*buf)-e.StreamWindow:]
+		}
+	}
+	return fs
+}
+
+// flowOptOK checks flow: options against tracked state.
+func (e *Engine) flowOptOK(r *Rule, pkt *packet.Packet, fs *flowState) bool {
+	f := r.Flow
+	if !f.Established && !f.ToServer && !f.ToClient {
+		return true
+	}
+	if pkt.TCP == nil || fs == nil {
+		return false
+	}
+	if f.Established && !fs.established {
+		return false
+	}
+	fromClient := pkt.IP.Src == fs.client && pkt.TCP.SrcPort == fs.clientPort
+	if f.ToServer && !fromClient {
+		return false
+	}
+	if f.ToClient && fromClient {
+		return false
+	}
+	return true
+}
+
+// scanContents runs the automaton over the right haystack (the TCP stream
+// window for TCP packets, the raw payload otherwise) and calls fire for
+// each rule whose positive contents are all present and negative contents
+// all absent.
+func (e *Engine) scanContents(pkt *packet.Packet, fs *flowState, fire func(*Rule)) {
+	var haystack []byte
+	switch {
+	case pkt.TCP != nil && fs != nil:
+		if len(pkt.TCP.Payload) == 0 {
+			return
+		}
+		if pkt.IP.Src == fs.client && pkt.TCP.SrcPort == fs.clientPort {
+			haystack = fs.bufC2S
+		} else {
+			haystack = fs.bufS2C
+		}
+	default:
+		haystack = pkt.TransportPayload()
+	}
+	if len(haystack) == 0 {
+		return
+	}
+	matches := e.matcher.Scan(haystack)
+	if len(matches) == 0 {
+		return
+	}
+	// Record every valid match END position per (rule, content) so the
+	// within-chain check can reason about ordering and proximity.
+	seen := make(map[*Rule]map[int][]int)
+	for _, m := range matches {
+		ref := e.refs[m.Pattern]
+		if !ref.rule.Contents[ref.content].positionOK(m.End) {
+			continue // offset/depth constraint failed at this position
+		}
+		set := seen[ref.rule]
+		if set == nil {
+			set = make(map[int][]int)
+			seen[ref.rule] = set
+		}
+		set[ref.content] = append(set[ref.content], m.End)
+	}
+	for r, ends := range seen {
+		ok := chainOK(r, ends)
+		if ok {
+			for _, c := range r.Contents {
+				if c.Negate && containsPattern(haystack, c) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			fire(r)
+		}
+	}
+}
+
+// chainOK verifies that every positive content matched, and that contents
+// carrying a `within` constraint can be satisfied by some combination of
+// match positions: each constrained content must end after, and within N
+// bytes of, the previous positive content's match end. Implemented as a
+// small feasible-set DP over candidate end positions.
+func chainOK(r *Rule, ends map[int][]int) bool {
+	prev := []int(nil) // feasible previous-end positions; nil = no anchor yet
+	for i, c := range r.Contents {
+		if c.Negate {
+			continue
+		}
+		es := ends[i]
+		if len(es) == 0 {
+			return false
+		}
+		if c.Within == 0 || prev == nil {
+			// Unconstrained (or first positive content): every match
+			// position is feasible.
+			prev = es
+			continue
+		}
+		var next []int
+		for _, e := range es {
+			for _, p := range prev {
+				if e > p && e-p <= c.Within {
+					next = append(next, e)
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		prev = next
+	}
+	return true
+}
+
+// negContentsOK verifies a plain rule's negated contents (plain rules have
+// no positive contents, so the automaton never nominates them).
+func (e *Engine) negContentsOK(r *Rule, pkt *packet.Packet, fs *flowState) bool {
+	if len(r.Contents) == 0 {
+		return true
+	}
+	var haystack []byte
+	if pkt.TCP != nil && fs != nil {
+		if pkt.IP.Src == fs.client && pkt.TCP.SrcPort == fs.clientPort {
+			haystack = fs.bufC2S
+		} else {
+			haystack = fs.bufS2C
+		}
+	} else {
+		haystack = pkt.TransportPayload()
+	}
+	for _, c := range r.Contents {
+		if c.Negate && containsPattern(haystack, c) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPattern(haystack []byte, c ContentOpt) bool {
+	if c.Nocase {
+		return bytes.Contains(toLower(haystack), toLower(c.Pattern))
+	}
+	return bytes.Contains(haystack, c.Pattern)
+}
+
+// thresholdOK applies the rule's threshold; returns true when this event
+// should produce an alert.
+func (e *Engine) thresholdOK(now int64, r *Rule, pkt *packet.Packet) bool {
+	th := r.Threshold
+	key := thresholdKey{sid: r.SID, src: pkt.IP.Src}
+	st, ok := e.thresholds[key]
+	window := int64(th.Seconds) * 1e9
+	if !ok || now-st.windowStart >= window {
+		st = &thresholdState{windowStart: now}
+		e.thresholds[key] = st
+	}
+	st.count++
+	if st.count >= th.Count && !st.firedInWin {
+		st.firedInWin = true
+		return true
+	}
+	return false
+}
+
+// Sweep evicts idle flows; call occasionally with the current virtual time.
+func (e *Engine) Sweep(now int64) int {
+	evicted := 0
+	for k, fs := range e.flows {
+		if now-fs.lastSeen > e.FlowTimeout {
+			delete(e.flows, k)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// FlowCount returns the number of tracked flows (the engine's working-set
+// size — the storage requirement the paper contrasts with surveillance).
+func (e *Engine) FlowCount() int { return len(e.flows) }

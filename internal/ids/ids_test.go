@@ -1,0 +1,408 @@
+package ids
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"safemeasure/internal/packet"
+)
+
+var (
+	home = netip.MustParsePrefix("10.1.0.0/24")
+	cli  = netip.MustParseAddr("10.1.0.10")
+	srv  = netip.MustParseAddr("203.0.113.80")
+)
+
+var testVars = map[string]netip.Prefix{"HOME_NET": home}
+
+func mustRule(t *testing.T, line string) *Rule {
+	t.Helper()
+	r, err := ParseRule(line, testVars)
+	if err != nil {
+		t.Fatalf("parse %q: %v", line, err)
+	}
+	return r
+}
+
+func tcpPacket(t testing.TB, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, flags uint8, seq uint32, payload string) *packet.Packet {
+	t.Helper()
+	raw, err := packet.BuildTCP(src, dst, 64, &packet.TCP{SrcPort: sp, DstPort: dp, Flags: flags, Seq: seq, Payload: []byte(payload)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := packet.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func udpPacket(t testing.TB, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload string) *packet.Packet {
+	t.Helper()
+	raw, err := packet.BuildUDP(src, dst, 64, &packet.UDP{SrcPort: sp, DstPort: dp, Payload: []byte(payload)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := packet.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// --- parser ---
+
+func TestParseBasicRule(t *testing.T) {
+	r := mustRule(t, `alert tcp $HOME_NET any -> any 80 (msg:"GFW keyword"; content:"falun"; nocase; sid:1001; rev:2; classtype:policy-violation;)`)
+	if r.Action != ActionAlert || r.Proto != ProtoTCP {
+		t.Fatalf("header: %+v", r)
+	}
+	if r.Src.Prefix != home || !r.Dst.Any || !r.SrcPort.Any || r.DstPort.Lo != 80 {
+		t.Fatalf("addrs: %+v", r)
+	}
+	if r.Msg != "GFW keyword" || r.SID != 1001 || r.Rev != 2 || r.Classtype != "policy-violation" {
+		t.Fatalf("options: %+v", r)
+	}
+	if len(r.Contents) != 1 || string(r.Contents[0].Pattern) != "falun" || !r.Contents[0].Nocase {
+		t.Fatalf("contents: %+v", r.Contents)
+	}
+}
+
+func TestParsePortRangeAndNegation(t *testing.T) {
+	r := mustRule(t, `alert tcp any 1024:65535 -> any !80 (msg:"x"; sid:1;)`)
+	if !r.SrcPort.Matches(2000) || r.SrcPort.Matches(80) {
+		t.Fatal("src range")
+	}
+	if r.DstPort.Matches(80) || !r.DstPort.Matches(81) {
+		t.Fatal("dst negation")
+	}
+	r = mustRule(t, `alert tcp any :1023 -> any any (msg:"y"; sid:2;)`)
+	if !r.SrcPort.Matches(0) || !r.SrcPort.Matches(1023) || r.SrcPort.Matches(1024) {
+		t.Fatal("open-low range")
+	}
+}
+
+func TestParseAddrForms(t *testing.T) {
+	r := mustRule(t, `alert ip 192.0.2.1 any -> !198.51.100.0/24 any (msg:"a"; sid:3;)`)
+	if !r.Src.Matches(netip.MustParseAddr("192.0.2.1")) || r.Src.Matches(netip.MustParseAddr("192.0.2.2")) {
+		t.Fatal("single addr")
+	}
+	if r.Dst.Matches(netip.MustParseAddr("198.51.100.7")) || !r.Dst.Matches(netip.MustParseAddr("203.0.113.1")) {
+		t.Fatal("negated prefix")
+	}
+}
+
+func TestParseHexContent(t *testing.T) {
+	r := mustRule(t, `alert udp any any -> any 53 (msg:"dns"; content:"|01 00 00 01|"; sid:4;)`)
+	if !bytes.Equal(r.Contents[0].Pattern, []byte{1, 0, 0, 1}) {
+		t.Fatalf("pattern: %x", r.Contents[0].Pattern)
+	}
+	r = mustRule(t, `alert tcp any any -> any any (msg:"mixed"; content:"GET|20|/"; sid:5;)`)
+	if string(r.Contents[0].Pattern) != "GET /" {
+		t.Fatalf("mixed pattern: %q", r.Contents[0].Pattern)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`alert tcp any any -> any 80`, // no options
+		`alert tcp any any -> any 80 (msg:"no sid";)`,               // missing sid
+		`nuke tcp any any -> any 80 (sid:1;)`,                       // bad action
+		`alert xyz any any -> any 80 (sid:1;)`,                      // bad proto
+		`alert tcp any any >> any 80 (sid:1;)`,                      // bad direction
+		`alert tcp any any -> any 99999 (sid:1;)`,                   // bad port
+		`alert tcp $NOPE any -> any 80 (sid:1;)`,                    // undefined var
+		`alert tcp any any -> any 80 (content:"x"; frob:1; sid:1;)`, // unknown option
+		`alert tcp any any -> any 80 (content:"|zz|"; sid:1;)`,      // bad hex
+		`alert tcp any any -> any 80 (nocase; sid:1;)`,              // nocase before content
+		`alert tcp !any any -> any 80 (sid:1;)`,                     // !any
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line, testVars); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseRulesMultiline(t *testing.T) {
+	text := `
+# GFC-style ruleset
+alert tcp any any -> any 80 (msg:"kw"; content:"banned"; sid:10;)
+
+alert udp any any -> any 53 (msg:"dns"; sid:11;)
+`
+	rules, err := ParseRules(text, testVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].SID != 10 || rules[1].SID != 11 {
+		t.Fatalf("rules: %v", rules)
+	}
+}
+
+func TestParseRulesReportsLine(t *testing.T) {
+	_, err := ParseRules("alert tcp any any -> any 80 (msg:\"ok\"; sid:1;)\ngarbage", testVars)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- Aho-Corasick ---
+
+func TestMatcherFindsOverlapping(t *testing.T) {
+	m := NewMatcher([][]byte{[]byte("he"), []byte("she"), []byte("hers")}, nil)
+	got := m.Scan([]byte("ushers"))
+	// "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+	found := map[int]bool{}
+	for _, mm := range got {
+		found[mm.Pattern] = true
+	}
+	if !found[0] || !found[1] || !found[2] {
+		t.Fatalf("matches: %v", got)
+	}
+}
+
+func TestMatcherCaseSensitivity(t *testing.T) {
+	m := NewMatcher([][]byte{[]byte("Tor"), []byte("vpn")}, []bool{false, true})
+	if got := m.Scan([]byte("tor relay")); len(got) != 0 {
+		t.Fatalf("case-sensitive matched lowercase: %v", got)
+	}
+	if got := m.Scan([]byte("Tor relay")); len(got) != 1 || got[0].Pattern != 0 {
+		t.Fatalf("missed exact: %v", got)
+	}
+	if got := m.Scan([]byte("VPN service")); len(got) != 1 || got[0].Pattern != 1 {
+		t.Fatalf("nocase miss: %v", got)
+	}
+}
+
+func TestQuickMatcherAgreesWithContains(t *testing.T) {
+	f := func(hay []byte, needleSeed uint8) bool {
+		needles := [][]byte{[]byte("abc"), []byte("XY"), {0, 1}, []byte("q")}
+		needle := needles[int(needleSeed)%len(needles)]
+		m := NewMatcher([][]byte{needle}, []bool{false})
+		found := len(m.Scan(hay)) > 0
+		return found == bytes.Contains(hay, needle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- engine ---
+
+func TestEngineKeywordAlert(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"kw"; content:"falun"; nocase; sid:100;)`, nil)
+	e := NewEngine(rules)
+	pkt := tcpPacket(t, cli, 4000, srv, 80, packet.TCPPsh|packet.TCPAck, 100, "GET /FaLun HTTP/1.1")
+	alerts := e.Feed(0, pkt)
+	if len(alerts) != 1 || alerts[0].Rule.SID != 100 {
+		t.Fatalf("alerts: %v", alerts)
+	}
+}
+
+func TestEngineStreamReassemblyAcrossSegments(t *testing.T) {
+	// The keyword is split across two TCP segments; a per-packet matcher
+	// misses it, the stream window catches it (GFC does reassembly).
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"kw"; content:"falungong"; sid:101;)`, nil)
+	e := NewEngine(rules)
+	a := e.Feed(0, tcpPacket(t, cli, 4000, srv, 80, packet.TCPAck, 100, "xxfalun"))
+	if len(a) != 0 {
+		t.Fatalf("early alert: %v", a)
+	}
+	a = e.Feed(1, tcpPacket(t, cli, 4000, srv, 80, packet.TCPAck, 107, "gongyy"))
+	if len(a) != 1 || a[0].Rule.SID != 101 {
+		t.Fatalf("split keyword missed: %v", a)
+	}
+}
+
+func TestEnginePerFlowDedupe(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"kw"; content:"bad"; sid:102;)`, nil)
+	e := NewEngine(rules)
+	p1 := tcpPacket(t, cli, 4000, srv, 80, packet.TCPAck, 100, "bad")
+	p2 := tcpPacket(t, cli, 4000, srv, 80, packet.TCPAck, 103, "bad again")
+	if n := len(e.Feed(0, p1)); n != 1 {
+		t.Fatalf("first: %d", n)
+	}
+	if n := len(e.Feed(1, p2)); n != 0 {
+		t.Fatalf("same flow re-alerted: %d", n)
+	}
+	// A different flow alerts independently.
+	p3 := tcpPacket(t, cli, 4001, srv, 80, packet.TCPAck, 100, "bad")
+	if n := len(e.Feed(2, p3)); n != 1 {
+		t.Fatalf("new flow: %d", n)
+	}
+}
+
+func TestEngineUDPNoDedupe(t *testing.T) {
+	rules, _ := ParseRules(`alert udp any any -> any 53 (msg:"q"; content:"evil"; sid:103;)`, nil)
+	e := NewEngine(rules)
+	p := udpPacket(t, cli, 5000, srv, 53, "evil query")
+	if len(e.Feed(0, p)) != 1 || len(e.Feed(1, p)) != 1 {
+		t.Fatal("udp packets should alert per-packet")
+	}
+}
+
+func TestEngineFlagsRule(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any any (msg:"syn scan"; flags:S; sid:104;)`, nil)
+	e := NewEngine(rules)
+	if n := len(e.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPSyn, 0, ""))); n != 1 {
+		t.Fatalf("SYN: %d", n)
+	}
+	if n := len(e.Feed(1, tcpPacket(t, cli, 2, srv, 80, packet.TCPSyn|packet.TCPAck, 0, ""))); n != 0 {
+		t.Fatalf("SYN/ACK matched flags:S: %d", n)
+	}
+}
+
+func TestEngineDsize(t *testing.T) {
+	rules, _ := ParseRules(`alert udp any any -> any any (msg:"big"; dsize:>100; sid:105;)`, nil)
+	e := NewEngine(rules)
+	if n := len(e.Feed(0, udpPacket(t, cli, 1, srv, 9, strings.Repeat("x", 101)))); n != 1 {
+		t.Fatalf("big: %d", n)
+	}
+	if n := len(e.Feed(1, udpPacket(t, cli, 1, srv, 9, "small"))); n != 0 {
+		t.Fatalf("small: %d", n)
+	}
+}
+
+func TestEngineNegatedContent(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"http no host"; content:"GET "; content:!"Host:"; sid:106;)`, nil)
+	e := NewEngine(rules)
+	if n := len(e.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "GET / HTTP/1.1\r\n\r\n"))); n != 1 {
+		t.Fatalf("no-host: %d", n)
+	}
+	e2 := NewEngine(rules)
+	if n := len(e2.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "GET / HTTP/1.1\r\nHost: x\r\n\r\n"))); n != 0 {
+		t.Fatalf("with-host fired: %d", n)
+	}
+}
+
+func TestEngineFlowEstablished(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"estab"; content:"data"; flow:established,to_server; sid:107;)`, nil)
+	e := NewEngine(rules)
+	// Data before handshake: no alert.
+	if n := len(e.Feed(0, tcpPacket(t, cli, 4000, srv, 80, packet.TCPAck, 1, "data"))); n != 0 {
+		t.Fatalf("pre-handshake: %d", n)
+	}
+	e = NewEngine(rules)
+	e.Feed(0, tcpPacket(t, cli, 4000, srv, 80, packet.TCPSyn, 0, ""))
+	e.Feed(1, tcpPacket(t, srv, 80, cli, 4000, packet.TCPSyn|packet.TCPAck, 0, ""))
+	e.Feed(2, tcpPacket(t, cli, 4000, srv, 80, packet.TCPAck, 1, ""))
+	if n := len(e.Feed(3, tcpPacket(t, cli, 4000, srv, 80, packet.TCPPsh|packet.TCPAck, 1, "data"))); n != 1 {
+		t.Fatalf("established to_server: %d", n)
+	}
+	// Server->client direction must not match to_server.
+	rules2, _ := ParseRules(`alert tcp any any -> any any (msg:"s2c"; content:"resp"; flow:established,to_server; sid:108;)`, nil)
+	e2 := NewEngine(rules2)
+	e2.Feed(0, tcpPacket(t, cli, 4000, srv, 80, packet.TCPSyn, 0, ""))
+	e2.Feed(1, tcpPacket(t, srv, 80, cli, 4000, packet.TCPSyn|packet.TCPAck, 0, ""))
+	e2.Feed(2, tcpPacket(t, cli, 4000, srv, 80, packet.TCPAck, 1, ""))
+	if n := len(e2.Feed(3, tcpPacket(t, srv, 80, cli, 4000, packet.TCPPsh|packet.TCPAck, 1, "resp"))); n != 0 {
+		t.Fatalf("to_server matched server->client: %d", n)
+	}
+}
+
+func TestEngineThreshold(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any any (msg:"scan"; flags:S; threshold:type both, track by_src, count 5, seconds 60; sid:109;)`, nil)
+	e := NewEngine(rules)
+	total := 0
+	for i := 0; i < 10; i++ {
+		pkt := tcpPacket(t, cli, uint16(1000+i), srv, uint16(i), packet.TCPSyn, 0, "")
+		total += len(e.Feed(int64(i)*1e9, pkt))
+	}
+	if total != 1 {
+		t.Fatalf("threshold alerts = %d, want 1 (fires once at 5th within window)", total)
+	}
+	// New window: fires again after 5 more.
+	for i := 0; i < 5; i++ {
+		pkt := tcpPacket(t, cli, uint16(2000+i), srv, uint16(i), packet.TCPSyn, 0, "")
+		total += len(e.Feed(int64(100+i)*1e9, pkt))
+	}
+	if total != 2 {
+		t.Fatalf("second window alerts = %d, want 2 cumulative", total)
+	}
+}
+
+func TestEnginePassRule(t *testing.T) {
+	rules, _ := ParseRules(`
+pass tcp any any -> any 22 (msg:"ssh ok"; sid:110;)
+alert tcp any any -> any any (msg:"kw"; content:"bad"; sid:111;)
+`, nil)
+	e := NewEngine(rules)
+	if n := len(e.Feed(0, tcpPacket(t, cli, 1, srv, 22, packet.TCPAck, 0, "bad stuff"))); n != 0 {
+		t.Fatalf("pass rule ignored: %d", n)
+	}
+	if n := len(e.Feed(1, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "bad stuff"))); n != 1 {
+		t.Fatalf("non-passed: %d", n)
+	}
+}
+
+func TestEngineBidirRule(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp 10.1.0.0/24 any <> any 80 (msg:"both"; content:"x"; sid:112;)`, nil)
+	e := NewEngine(rules)
+	if n := len(e.Feed(0, tcpPacket(t, srv, 80, cli, 4000, packet.TCPAck, 0, "x"))); n != 1 {
+		t.Fatalf("reverse direction: %d", n)
+	}
+}
+
+func TestEngineStreamWindowBound(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"kw"; content:"needle"; sid:113;)`, nil)
+	e := NewEngine(rules)
+	e.StreamWindow = 16
+	// "nee" then lots of filler then "dle": window evicts the prefix.
+	e.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "nee"))
+	e.Feed(1, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 3, strings.Repeat("z", 32)))
+	if n := len(e.Feed(2, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 35, "dle"))); n != 0 {
+		t.Fatalf("matched across evicted window: %d", n)
+	}
+}
+
+func TestEngineSweep(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any any (msg:"m"; content:"q"; sid:114;)`, nil)
+	e := NewEngine(rules)
+	e.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPSyn, 0, ""))
+	e.Feed(0, tcpPacket(t, cli, 2, srv, 80, packet.TCPSyn, 0, ""))
+	if e.FlowCount() != 2 {
+		t.Fatalf("flows = %d", e.FlowCount())
+	}
+	if n := e.Sweep(e.FlowTimeout + 1); n != 2 {
+		t.Fatalf("evicted = %d", n)
+	}
+	if e.FlowCount() != 0 {
+		t.Fatalf("flows after sweep = %d", e.FlowCount())
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"kw"; content:"bad"; sid:115;)`, nil)
+	e := NewEngine(rules)
+	a := e.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "bad"))
+	if len(a) != 1 || !strings.Contains(a[0].String(), "kw") || !strings.Contains(a[0].String(), "115") {
+		t.Fatalf("alert string: %v", a)
+	}
+}
+
+func BenchmarkEngineFeedClean(b *testing.B) {
+	rules, _ := ParseRules(`
+alert tcp any any -> any 80 (msg:"kw1"; content:"falun"; nocase; sid:1;)
+alert tcp any any -> any 80 (msg:"kw2"; content:"tiananmen"; nocase; sid:2;)
+alert tcp any any -> any 80 (msg:"kw3"; content:"banned-site.test"; sid:3;)
+alert tcp any any -> any any (msg:"scan"; flags:S; threshold:type both, track by_src, count 100, seconds 60; sid:4;)
+`, nil)
+	e := NewEngine(rules)
+	pkt := tcpPacket(b, cli, 4000, srv, 80, packet.TCPAck, 0, "GET /innocuous/path HTTP/1.1\r\nHost: news.test\r\n\r\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Feed(int64(i), pkt)
+	}
+}
+
+func tcpPacketB(b *testing.B, payload string) *packet.Packet {
+	raw, _ := packet.BuildTCP(cli, srv, 64, &packet.TCP{SrcPort: 4000, DstPort: 80, Flags: packet.TCPAck, Payload: []byte(payload)})
+	pkt, _ := packet.Parse(raw)
+	return pkt
+}

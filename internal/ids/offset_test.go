@@ -1,0 +1,140 @@
+package ids
+
+import (
+	"strings"
+	"testing"
+
+	"safemeasure/internal/packet"
+)
+
+func TestParseOffsetDepth(t *testing.T) {
+	r := mustRule(t, `alert tcp any any -> any 80 (msg:"m"; content:"GET"; offset:0; depth:3; sid:300;)`)
+	if r.Contents[0].Offset != 0 || r.Contents[0].Depth != 3 {
+		t.Fatalf("content: %+v", r.Contents[0])
+	}
+	bad := []string{
+		`alert tcp any any -> any 80 (offset:4; sid:1;)`,               // before content
+		`alert tcp any any -> any 80 (content:"x"; offset:-1; sid:1;)`, // negative
+		`alert tcp any any -> any 80 (content:"x"; depth:0; sid:1;)`,   // zero depth
+		`alert tcp any any -> any 80 (content:"x"; depth:xyz; sid:1;)`, // garbage
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line, nil); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestContentPositionOK(t *testing.T) {
+	c := ContentOpt{Pattern: []byte("GET"), Offset: 0, Depth: 3}
+	if !c.positionOK(3) { // match at [0,3)
+		t.Fatal("anchored match rejected")
+	}
+	if c.positionOK(4) { // match at [1,4): beyond depth
+		t.Fatal("deep match accepted")
+	}
+	c2 := ContentOpt{Pattern: []byte("ab"), Offset: 5}
+	if c2.positionOK(6) { // starts at 4 < offset 5
+		t.Fatal("early match accepted")
+	}
+	if !c2.positionOK(7) { // starts at 5
+		t.Fatal("valid offset match rejected")
+	}
+}
+
+func TestEngineDepthAnchorsMethodLine(t *testing.T) {
+	// "GET" anchored at the start of the stream: matches a request line but
+	// not a GET appearing later in a payload.
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"http get"; content:"GET"; offset:0; depth:3; sid:301;)`, nil)
+
+	e := NewEngine(rules)
+	pkt := tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "GET / HTTP/1.1\r\n\r\n")
+	if n := len(e.Feed(0, pkt)); n != 1 {
+		t.Fatalf("anchored GET: %d alerts", n)
+	}
+
+	e2 := NewEngine(rules)
+	pkt2 := tcpPacket(t, cli, 2, srv, 80, packet.TCPAck, 0, "POST /x HTTP/1.1\r\nX: GET\r\n\r\n")
+	if n := len(e2.Feed(0, pkt2)); n != 0 {
+		t.Fatalf("mid-payload GET matched anchored rule: %d alerts", n)
+	}
+}
+
+func TestEngineOffsetSkipsPrefix(t *testing.T) {
+	rules, _ := ParseRules(`alert udp any any -> any 53 (msg:"qtype"; content:"xyz"; offset:4; sid:302;)`, nil)
+	e := NewEngine(rules)
+	// Match entirely inside the first 4 bytes: rejected.
+	if n := len(e.Feed(0, udpPacket(t, cli, 1, srv, 53, "xyzA----"))); n != 0 {
+		t.Fatalf("early match accepted: %d", n)
+	}
+	// Match after the offset: accepted.
+	if n := len(e.Feed(1, udpPacket(t, cli, 1, srv, 53, "AAAAxyz"))); n != 1 {
+		t.Fatalf("valid match rejected: %d", n)
+	}
+}
+
+func TestHitsBySID(t *testing.T) {
+	rules, _ := ParseRules(`alert udp any any -> any 9 (msg:"m"; content:"q"; sid:303;)`, nil)
+	e := NewEngine(rules)
+	for i := 0; i < 3; i++ {
+		e.Feed(int64(i), udpPacket(t, cli, 1, srv, 9, "q"))
+	}
+	if e.HitsBySID[303] != 3 {
+		t.Fatalf("hits = %d", e.HitsBySID[303])
+	}
+}
+
+func TestParseWithin(t *testing.T) {
+	r := mustRule(t, `alert tcp any any -> any 80 (msg:"pair"; content:"User"; content:"Agent"; within:8; sid:310;)`)
+	if r.Contents[1].Within != 8 {
+		t.Fatalf("within: %+v", r.Contents[1])
+	}
+	bad := []string{
+		`alert tcp any any -> any 80 (content:"x"; within:4; sid:1;)`,               // needs a pair
+		`alert tcp any any -> any 80 (content:"a"; content:"b"; within:0; sid:1;)`,  // zero
+		`alert tcp any any -> any 80 (content:"a"; content:!"b"; within:4; sid:1;)`, // negated
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line, nil); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestEngineWithinProximity(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"pair"; content:"alpha"; content:"beta"; within:10; sid:311;)`, nil)
+	// Adjacent: "alpha..beta" within 10 bytes -> fires.
+	e := NewEngine(rules)
+	if n := len(e.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "xx alpha beta yy"))); n != 1 {
+		t.Fatalf("adjacent pair: %d alerts", n)
+	}
+	// Far apart: "beta" ends > 10 bytes after "alpha" ends -> no fire.
+	e2 := NewEngine(rules)
+	far := "alpha " + strings.Repeat("-", 40) + " beta"
+	if n := len(e2.Feed(0, tcpPacket(t, cli, 2, srv, 80, packet.TCPAck, 0, far))); n != 0 {
+		t.Fatalf("distant pair fired: %d alerts", n)
+	}
+	// Wrong order: "beta ... alpha" -> no fire (within implies ordering).
+	e3 := NewEngine(rules)
+	if n := len(e3.Feed(0, tcpPacket(t, cli, 3, srv, 80, packet.TCPAck, 0, "beta alpha"))); n != 0 {
+		t.Fatalf("reversed pair fired: %d alerts", n)
+	}
+	// Multiple candidate positions: a far "beta" plus a close one -> fires.
+	e4 := NewEngine(rules)
+	multi := "beta " + "alpha beta"
+	if n := len(e4.Feed(0, tcpPacket(t, cli, 4, srv, 80, packet.TCPAck, 0, multi))); n != 1 {
+		t.Fatalf("multi-candidate: %d alerts", n)
+	}
+}
+
+func TestEngineWithinThreeLink(t *testing.T) {
+	rules, _ := ParseRules(`alert tcp any any -> any 80 (msg:"chain"; content:"a1"; content:"b2"; within:6; content:"c3"; within:6; sid:312;)`, nil)
+	e := NewEngine(rules)
+	if n := len(e.Feed(0, tcpPacket(t, cli, 1, srv, 80, packet.TCPAck, 0, "a1 b2 c3"))); n != 1 {
+		t.Fatalf("tight chain: %d", n)
+	}
+	e2 := NewEngine(rules)
+	if n := len(e2.Feed(0, tcpPacket(t, cli, 2, srv, 80, packet.TCPAck, 0, "a1 b2 -------- c3"))); n != 0 {
+		t.Fatalf("broken chain fired: %d", n)
+	}
+}

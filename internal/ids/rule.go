@@ -1,0 +1,629 @@
+// Package ids implements a Snort-like signature IDS engine: a rule language
+// parser, an Aho-Corasick fast-pattern stage, a flow table with TCP stream
+// awareness, per-rule thresholds, and alert generation.
+//
+// Both middleboxes in the lab are configurations of this one engine — the
+// censor (internal/censor) attaches response actions to its alerts, the
+// surveillance MVR (internal/surveil) attaches retention and analyst
+// scoring — mirroring the paper's observation that the GFC and the NSA
+// systems are functionally off-path signature IDSes like Snort (§3.2.1).
+package ids
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"safemeasure/internal/packet"
+)
+
+// Action is what a rule does when it fires.
+type Action int
+
+// Rule actions.
+const (
+	ActionAlert Action = iota
+	ActionDrop         // inline only; the censor uses this for blackholing
+	ActionPass         // whitelist: stop processing this packet
+)
+
+// String returns the rule-language keyword.
+func (a Action) String() string {
+	switch a {
+	case ActionAlert:
+		return "alert"
+	case ActionDrop:
+		return "drop"
+	case ActionPass:
+		return "pass"
+	}
+	return "action?"
+}
+
+// Proto selects the transport a rule applies to.
+type Proto int
+
+// Rule protocols.
+const (
+	ProtoIP Proto = iota
+	ProtoTCP
+	ProtoUDP
+	ProtoICMP
+)
+
+// String returns the rule-language keyword.
+func (p Proto) String() string {
+	return [...]string{"ip", "tcp", "udp", "icmp"}[p]
+}
+
+// AddrSpec matches packet addresses: any, a CIDR prefix, or a negated CIDR.
+type AddrSpec struct {
+	Any    bool
+	Prefix netip.Prefix
+	Negate bool
+}
+
+// Matches reports whether addr satisfies the spec.
+func (a AddrSpec) Matches(addr netip.Addr) bool {
+	if a.Any {
+		return true
+	}
+	in := a.Prefix.Contains(addr)
+	if a.Negate {
+		return !in
+	}
+	return in
+}
+
+// PortSpec matches ports: any, a single port, a range, or a negation.
+type PortSpec struct {
+	Any    bool
+	Lo, Hi uint16
+	Negate bool
+}
+
+// Matches reports whether port satisfies the spec.
+func (p PortSpec) Matches(port uint16) bool {
+	if p.Any {
+		return true
+	}
+	in := port >= p.Lo && port <= p.Hi
+	if p.Negate {
+		return !in
+	}
+	return in
+}
+
+// ContentOpt is one content match with its modifiers.
+type ContentOpt struct {
+	Pattern []byte
+	Nocase  bool
+	Negate  bool // content:!"..."
+	// Offset skips this many haystack bytes before the pattern may begin
+	// (Snort `offset`). Depth, when nonzero, bounds how far into the
+	// haystack the pattern may END, measured from Offset (Snort `depth`).
+	Offset int
+	Depth  int
+	// Within, when nonzero, requires this content to END within Within
+	// bytes after the END of the previous content's match (a simplified
+	// Snort `within`/`distance`): the two patterns must appear close
+	// together and in order.
+	Within int
+}
+
+// positionOK checks a match ending at end (exclusive) against the
+// offset/depth constraints.
+func (c ContentOpt) positionOK(end int) bool {
+	start := end - len(c.Pattern)
+	if start < c.Offset {
+		return false
+	}
+	if c.Depth > 0 && end > c.Offset+c.Depth {
+		return false
+	}
+	return true
+}
+
+// FlowOpt constrains rule evaluation to flow state.
+type FlowOpt struct {
+	Established bool // only match on established TCP connections
+	ToServer    bool // only client->server direction
+	ToClient    bool
+}
+
+// ThresholdOpt rate-limits rule alerts: fire once per window after Count
+// events from the same source.
+type ThresholdOpt struct {
+	Count   int
+	Seconds int
+}
+
+// SizeCmp compares payload size.
+type SizeCmp int
+
+// dsize comparators.
+const (
+	SizeAny SizeCmp = iota
+	SizeGT
+	SizeLT
+	SizeEQ
+)
+
+// Rule is one parsed signature.
+type Rule struct {
+	Action  Action
+	Proto   Proto
+	Src     AddrSpec
+	SrcPort PortSpec
+	Bidir   bool // "<>" direction
+	Dst     AddrSpec
+	DstPort PortSpec
+
+	Msg       string
+	SID       int
+	Rev       int
+	Classtype string
+	Contents  []ContentOpt
+	Flags     string // required TCP flags, e.g. "S" (exactly-set semantics: all listed must be set)
+	FlagsMask bool   // "S,12" style ignored; true when flags option present
+	Dsize     SizeCmp
+	DsizeVal  int
+	Flow      FlowOpt
+	Threshold *ThresholdOpt
+
+	// StreamMatch applies content matching to the reassembled TCP stream
+	// (set by the engine for TCP rules with contents; keyword "stream").
+	raw string
+}
+
+// String returns the original rule text.
+func (r *Rule) String() string { return r.raw }
+
+// ParseRules parses a ruleset: one rule per line, '#' comments and blank
+// lines ignored. vars maps $NAME to CIDR prefixes (e.g. HOME_NET).
+func ParseRules(text string, vars map[string]netip.Prefix) ([]*Rule, error) {
+	var rules []*Rule
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line, vars)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// ParseRule parses a single rule line.
+func ParseRule(line string, vars map[string]netip.Prefix) (*Rule, error) {
+	r := &Rule{raw: line, Rev: 1}
+	head, opts, ok := strings.Cut(line, "(")
+	if !ok {
+		return nil, fmt.Errorf("ids: missing options block in %q", line)
+	}
+	opts = strings.TrimSpace(opts)
+	if !strings.HasSuffix(opts, ")") {
+		return nil, fmt.Errorf("ids: unterminated options block")
+	}
+	opts = opts[:len(opts)-1]
+
+	fields := strings.Fields(head)
+	if len(fields) != 7 {
+		return nil, fmt.Errorf("ids: header needs 7 fields, got %d", len(fields))
+	}
+	switch fields[0] {
+	case "alert":
+		r.Action = ActionAlert
+	case "drop":
+		r.Action = ActionDrop
+	case "pass":
+		r.Action = ActionPass
+	default:
+		return nil, fmt.Errorf("ids: unknown action %q", fields[0])
+	}
+	switch fields[1] {
+	case "ip":
+		r.Proto = ProtoIP
+	case "tcp":
+		r.Proto = ProtoTCP
+	case "udp":
+		r.Proto = ProtoUDP
+	case "icmp":
+		r.Proto = ProtoICMP
+	default:
+		return nil, fmt.Errorf("ids: unknown proto %q", fields[1])
+	}
+	var err error
+	if r.Src, err = parseAddr(fields[2], vars); err != nil {
+		return nil, err
+	}
+	if r.SrcPort, err = parsePort(fields[3]); err != nil {
+		return nil, err
+	}
+	switch fields[4] {
+	case "->":
+	case "<>":
+		r.Bidir = true
+	default:
+		return nil, fmt.Errorf("ids: bad direction %q", fields[4])
+	}
+	if r.Dst, err = parseAddr(fields[5], vars); err != nil {
+		return nil, err
+	}
+	if r.DstPort, err = parsePort(fields[6]); err != nil {
+		return nil, err
+	}
+	if err := r.parseOptions(opts); err != nil {
+		return nil, err
+	}
+	if r.SID == 0 {
+		return nil, fmt.Errorf("ids: rule missing sid")
+	}
+	return r, nil
+}
+
+func parseAddr(s string, vars map[string]netip.Prefix) (AddrSpec, error) {
+	var a AddrSpec
+	if strings.HasPrefix(s, "!") {
+		a.Negate = true
+		s = s[1:]
+	}
+	if s == "any" {
+		if a.Negate {
+			return a, fmt.Errorf("ids: !any is unsatisfiable")
+		}
+		a.Any = true
+		return a, nil
+	}
+	if strings.HasPrefix(s, "$") {
+		p, ok := vars[s[1:]]
+		if !ok {
+			return a, fmt.Errorf("ids: undefined variable %s", s)
+		}
+		a.Prefix = p
+		return a, nil
+	}
+	if strings.Contains(s, "/") {
+		p, err := netip.ParsePrefix(s)
+		if err != nil {
+			return a, fmt.Errorf("ids: bad prefix %q: %v", s, err)
+		}
+		a.Prefix = p
+		return a, nil
+	}
+	ip, err := netip.ParseAddr(s)
+	if err != nil {
+		return a, fmt.Errorf("ids: bad address %q: %v", s, err)
+	}
+	a.Prefix = netip.PrefixFrom(ip, ip.BitLen())
+	return a, nil
+}
+
+func parsePort(s string) (PortSpec, error) {
+	var p PortSpec
+	if strings.HasPrefix(s, "!") {
+		p.Negate = true
+		s = s[1:]
+	}
+	if s == "any" {
+		if p.Negate {
+			return p, fmt.Errorf("ids: !any port is unsatisfiable")
+		}
+		p.Any = true
+		return p, nil
+	}
+	if lo, hi, ok := strings.Cut(s, ":"); ok {
+		l, err := parsePortNum(lo, 0)
+		if err != nil {
+			return p, err
+		}
+		h, err := parsePortNum(hi, 65535)
+		if err != nil {
+			return p, err
+		}
+		p.Lo, p.Hi = l, h
+		return p, nil
+	}
+	n, err := parsePortNum(s, 0)
+	if err != nil {
+		return p, err
+	}
+	p.Lo, p.Hi = n, n
+	return p, nil
+}
+
+func parsePortNum(s string, def uint16) (uint16, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 65535 {
+		return 0, fmt.Errorf("ids: bad port %q", s)
+	}
+	return uint16(n), nil
+}
+
+// parseOptions handles the semicolon-separated key:value options.
+func (r *Rule) parseOptions(opts string) error {
+	for _, opt := range splitOptions(opts) {
+		key, val, _ := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "msg":
+			r.Msg = unquote(val)
+		case "sid":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("ids: bad sid %q", val)
+			}
+			r.SID = n
+		case "rev":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("ids: bad rev %q", val)
+			}
+			r.Rev = n
+		case "classtype":
+			r.Classtype = val
+		case "content":
+			c := ContentOpt{}
+			if strings.HasPrefix(val, "!") {
+				c.Negate = true
+				val = val[1:]
+			}
+			pat, err := decodeContent(unquote(val))
+			if err != nil {
+				return err
+			}
+			if len(pat) == 0 {
+				return fmt.Errorf("ids: empty content")
+			}
+			c.Pattern = pat
+			r.Contents = append(r.Contents, c)
+		case "nocase":
+			if len(r.Contents) == 0 {
+				return fmt.Errorf("ids: nocase before content")
+			}
+			r.Contents[len(r.Contents)-1].Nocase = true
+		case "offset":
+			if len(r.Contents) == 0 {
+				return fmt.Errorf("ids: offset before content")
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return fmt.Errorf("ids: bad offset %q", val)
+			}
+			r.Contents[len(r.Contents)-1].Offset = n
+		case "depth":
+			if len(r.Contents) == 0 {
+				return fmt.Errorf("ids: depth before content")
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("ids: bad depth %q", val)
+			}
+			r.Contents[len(r.Contents)-1].Depth = n
+		case "within":
+			if len(r.Contents) < 2 {
+				return fmt.Errorf("ids: within needs a preceding content pair")
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("ids: bad within %q", val)
+			}
+			if r.Contents[len(r.Contents)-1].Negate {
+				return fmt.Errorf("ids: within on negated content")
+			}
+			r.Contents[len(r.Contents)-1].Within = n
+		case "flags":
+			r.Flags = val
+			r.FlagsMask = true
+		case "dsize":
+			switch {
+			case strings.HasPrefix(val, ">"):
+				r.Dsize = SizeGT
+				val = val[1:]
+			case strings.HasPrefix(val, "<"):
+				r.Dsize = SizeLT
+				val = val[1:]
+			default:
+				r.Dsize = SizeEQ
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("ids: bad dsize %q", val)
+			}
+			r.DsizeVal = n
+		case "flow":
+			for _, part := range strings.Split(val, ",") {
+				switch strings.TrimSpace(part) {
+				case "established":
+					r.Flow.Established = true
+				case "to_server":
+					r.Flow.ToServer = true
+				case "to_client":
+					r.Flow.ToClient = true
+				case "stateless":
+				default:
+					return fmt.Errorf("ids: unknown flow option %q", part)
+				}
+			}
+		case "threshold":
+			th := &ThresholdOpt{Count: 1, Seconds: 60}
+			for _, part := range strings.Split(val, ",") {
+				k, v, _ := strings.Cut(strings.TrimSpace(part), " ")
+				v = strings.TrimSpace(v)
+				switch k {
+				case "type", "track": // accepted, single implemented semantics
+				case "count":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return fmt.Errorf("ids: bad threshold count %q", v)
+					}
+					th.Count = n
+				case "seconds":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return fmt.Errorf("ids: bad threshold seconds %q", v)
+					}
+					th.Seconds = n
+				default:
+					return fmt.Errorf("ids: unknown threshold option %q", k)
+				}
+			}
+			r.Threshold = th
+		case "":
+			// trailing semicolon
+		default:
+			return fmt.Errorf("ids: unknown option %q", key)
+		}
+	}
+	return nil
+}
+
+// splitOptions splits on ';' while respecting quoted strings.
+func splitOptions(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' && (i == 0 || s[i-1] != '\\'):
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ';' && !inQuote:
+			if t := strings.TrimSpace(cur.String()); t != "" {
+				out = append(out, t)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	return strings.ReplaceAll(s, `\"`, `"`)
+}
+
+// decodeContent handles Snort's |xx xx| hex escapes inside content strings.
+func decodeContent(s string) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(s); {
+		if s[i] != '|' {
+			out = append(out, s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i+1:], '|')
+		if end < 0 {
+			return nil, fmt.Errorf("ids: unterminated hex block in content")
+		}
+		hexPart := s[i+1 : i+1+end]
+		for _, tok := range strings.Fields(hexPart) {
+			b, err := strconv.ParseUint(tok, 16, 8)
+			if err != nil {
+				return nil, fmt.Errorf("ids: bad hex byte %q", tok)
+			}
+			out = append(out, byte(b))
+		}
+		i += end + 2
+	}
+	return out, nil
+}
+
+// matchesHeader checks everything except contents/threshold: proto,
+// addresses, ports, flags, dsize.
+func (r *Rule) matchesHeader(pkt *packet.Packet) bool {
+	switch r.Proto {
+	case ProtoTCP:
+		if pkt.TCP == nil {
+			return false
+		}
+	case ProtoUDP:
+		if pkt.UDP == nil {
+			return false
+		}
+	case ProtoICMP:
+		if pkt.ICMP == nil {
+			return false
+		}
+	}
+	flow := packet.FlowOf(pkt)
+	forward := r.Src.Matches(flow.Src) && r.SrcPort.Matches(flow.SrcPort) &&
+		r.Dst.Matches(flow.Dst) && r.DstPort.Matches(flow.DstPort)
+	if !forward && r.Bidir {
+		forward = r.Src.Matches(flow.Dst) && r.SrcPort.Matches(flow.DstPort) &&
+			r.Dst.Matches(flow.Src) && r.DstPort.Matches(flow.SrcPort)
+	}
+	if !forward {
+		return false
+	}
+	if r.FlagsMask {
+		if pkt.TCP == nil {
+			return false
+		}
+		want, ok := flagBits(r.Flags)
+		if !ok {
+			return false
+		}
+		if pkt.TCP.Flags != want {
+			return false
+		}
+	}
+	if r.Dsize != SizeAny {
+		n := len(pkt.TransportPayload())
+		switch r.Dsize {
+		case SizeGT:
+			if n <= r.DsizeVal {
+				return false
+			}
+		case SizeLT:
+			if n >= r.DsizeVal {
+				return false
+			}
+		case SizeEQ:
+			if n != r.DsizeVal {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// flagBits converts "SA" to flag bits; returns ok=false on unknown letters.
+func flagBits(s string) (uint8, bool) {
+	var bits uint8
+	for _, c := range s {
+		switch c {
+		case 'S':
+			bits |= packet.TCPSyn
+		case 'A':
+			bits |= packet.TCPAck
+		case 'F':
+			bits |= packet.TCPFin
+		case 'R':
+			bits |= packet.TCPRst
+		case 'P':
+			bits |= packet.TCPPsh
+		case 'U':
+			bits |= packet.TCPUrg
+		default:
+			return 0, false
+		}
+	}
+	return bits, true
+}

@@ -1,0 +1,254 @@
+package lab
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/dnswire"
+	"safemeasure/internal/httpwire"
+	"safemeasure/internal/packet"
+	"safemeasure/internal/spoof"
+	"safemeasure/internal/tcpsim"
+	"safemeasure/internal/websim"
+)
+
+func TestLabAssembles(t *testing.T) {
+	l, err := New(Config{PopulationSize: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Population) != 10 {
+		t.Fatalf("population = %d", len(l.Population))
+	}
+	if len(l.CensoredSites) == 0 || len(l.InnocuousSites) == 0 {
+		t.Fatal("site catalogs empty")
+	}
+	// Population is split across two /24s.
+	var in24, in24b int
+	for _, a := range l.PopulationAddrs() {
+		if a.As4()[2] == 0 {
+			in24++
+		} else {
+			in24b++
+		}
+	}
+	if in24 == 0 || in24b == 0 {
+		t.Fatalf("population split: %d/%d", in24, in24b)
+	}
+}
+
+func TestInnocuousBrowsingWorks(t *testing.T) {
+	l, err := New(Config{PopulationSize: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp *httpwire.Response
+	websim.Get(l.ClientStack, WebAddr, "site01.test", "/", func(r *httpwire.Response, err error) {
+		if err == nil {
+			resp = r
+		}
+	})
+	l.Run()
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestCensoredKeywordKillsConnection(t *testing.T) {
+	l, err := New(Config{PopulationSize: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	websim.Get(l.ClientStack, WebAddr, "site01.test", "/falun", func(r *httpwire.Response, err error) {
+		gotErr = err
+	})
+	l.Run()
+	if !errors.Is(gotErr, websim.ErrConnection) {
+		t.Fatalf("err = %v, want connection failure (RST injection)", gotErr)
+	}
+}
+
+func TestCensoredDomainPoisoned(t *testing.T) {
+	l, err := New(Config{PopulationSize: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var answer netip.Addr
+	l.ClientDNS.Query(DNSAddr, "twitter.com", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		if err == nil && len(m.Answers) > 0 {
+			answer = m.Answers[0].A
+		}
+	})
+	l.Run()
+	if !PoisonPrefix.Contains(answer) {
+		t.Fatalf("answer %v not in poison space", answer)
+	}
+}
+
+func TestInnocuousDomainResolves(t *testing.T) {
+	l, err := New(Config{PopulationSize: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var answer netip.Addr
+	l.ClientDNS.Query(DNSAddr, "site05.test", dnswire.TypeA, func(m *dnswire.Message, err error) {
+		if err == nil && len(m.Answers) > 0 {
+			answer = m.Answers[0].A
+		}
+	})
+	l.Run()
+	if answer != WebAddr {
+		t.Fatalf("answer = %v", answer)
+	}
+}
+
+func TestSAVBlocksSpoofingUnderStrictPolicy(t *testing.T) {
+	l, err := New(Config{PopulationSize: 4, SpoofPolicy: spoof.PolicyStrict, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := l.Population[0].Host.Addr
+	raw, _ := packet.BuildUDP(cover, DNSAddr, packet.DefaultTTL, &packet.UDP{SrcPort: 9999, DstPort: 53, Payload: []byte("x")})
+	l.Client.SendIP(raw)
+	l.Run()
+	if l.SAV.Dropped == 0 {
+		t.Fatal("spoofed packet not dropped under strict SAV")
+	}
+}
+
+func TestSAVAllowsSlash24Spoofing(t *testing.T) {
+	l, err := New(Config{PopulationSize: 4, SpoofPolicy: spoof.PolicySlash24, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cover user in the client's own /24.
+	var cover netip.Addr
+	for _, a := range l.PopulationAddrs() {
+		if a.As4()[2] == 0 {
+			cover = a
+			break
+		}
+	}
+	q := dnswire.NewQuery(77, "site01.test", dnswire.TypeA)
+	wire, _ := q.Marshal()
+	raw, _ := packet.BuildUDP(cover, DNSAddr, packet.DefaultTTL, &packet.UDP{SrcPort: 9999, DstPort: 53, Payload: wire})
+	l.Client.SendIP(raw)
+	l.Run()
+	if l.SAV.Passed == 0 {
+		t.Fatal("in-/24 spoof not passed")
+	}
+	// The DNS server answered toward the cover host, not the client.
+	if l.DNS.Queries != 1 {
+		t.Fatalf("dns queries = %d", l.DNS.Queries)
+	}
+}
+
+func TestSurveillanceSeesOvertProbe(t *testing.T) {
+	l, err := New(Config{PopulationSize: 6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	websim.Get(l.ClientStack, SensitiveAddr, "banned.test", "/", func(*httpwire.Response, error) {})
+	l.Run()
+	if !l.Surveil.Analyst().IsFlagged(ClientAddr) {
+		t.Fatalf("overt prober not flagged; score=%.2f alerts=%d",
+			l.Surveil.Analyst().Score(ClientAddr), l.Surveil.Analyst().AlertCount())
+	}
+}
+
+func TestPopulationTrafficRuns(t *testing.T) {
+	l, err := New(Config{PopulationSize: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPopulation(10 * time.Second)
+	l.Run()
+	if l.Pop.WebVisits == 0 || l.Pop.DNSQueries == 0 {
+		t.Fatalf("population idle: %+v", l.Pop)
+	}
+	if l.Surveil.PacketsSeen == 0 {
+		t.Fatal("surveillance saw nothing")
+	}
+}
+
+func TestMeasureServerReachable(t *testing.T) {
+	l, err := New(Config{PopulationSize: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	websim.Get(l.ClientStack, MeasureAddr, "measure.test", "/echo", func(r *httpwire.Response, err error) {
+		ok = err == nil && r.Status == 200
+	})
+	l.Run()
+	if !ok {
+		t.Fatal("measurement server unreachable")
+	}
+}
+
+func TestDefaultSurveilRulesParse(t *testing.T) {
+	text := DefaultSurveilRules(DefaultCensorConfig())
+	if !strings.Contains(text, "censorship-measurement") || !strings.Contains(text, "attempted-recon") {
+		t.Fatalf("ruleset:\n%s", text)
+	}
+}
+
+func TestWireName(t *testing.T) {
+	if got := wireName("twitter.com"); got != "|07|twitter|03|com" {
+		t.Fatalf("wireName = %q", got)
+	}
+}
+
+func TestSiteAddr(t *testing.T) {
+	l, err := New(Config{PopulationSize: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.SiteAddr("twitter.com") != SensitiveAddr {
+		t.Fatal("censored site addr")
+	}
+	if l.SiteAddr("site01.test") != WebAddr {
+		t.Fatal("innocuous site addr")
+	}
+}
+
+func TestBlackholeConfig(t *testing.T) {
+	cfg := DefaultCensorConfig()
+	cfg.Blackholed = []netip.Prefix{netip.PrefixFrom(SensitiveAddr, 32)}
+	l, err := New(Config{PopulationSize: 2, Censor: cfg, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	websim.Get(l.ClientStack, SensitiveAddr, "banned.test", "/", func(r *httpwire.Response, err error) { gotErr = err })
+	l.Run()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), tcpsim.ErrTimeout.Error()) {
+		t.Fatalf("err = %v, want timeout", gotErr)
+	}
+}
+
+func TestBackgroundScannerNoise(t *testing.T) {
+	l, err := New(Config{PopulationSize: 6, BackgroundScanRate: 50, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartPopulation(5 * time.Second)
+	l.Run()
+	if l.Pop.ScanProbes == 0 {
+		t.Fatal("background scanner idle")
+	}
+	// The scanner is outside the home network: it gets no dossier, and its
+	// probes must not flag anyone.
+	if l.Surveil.Analyst().IsFlagged(ScannerAddr) {
+		t.Fatal("external scanner got a dossier flag")
+	}
+	for _, u := range l.Population {
+		if l.Surveil.Analyst().IsFlagged(u.Host.Addr) {
+			t.Fatalf("population member %v flagged by scan noise", u.Host.Addr)
+		}
+	}
+}

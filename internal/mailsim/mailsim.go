@@ -1,0 +1,227 @@
+// Package mailsim implements SMTP delivery over the simulated TCP stack:
+// an MTA server that accepts mail on port 25 and a client state machine
+// that performs the full HELO/MAIL/RCPT/DATA/QUIT exchange.
+//
+// The paper's Method #2 (§3.1) rides on this: the measurement is an MX
+// lookup, an A lookup, a TCP connection to port 25, and a spam message —
+// indistinguishable from the zone-enumerating spam botnets that constantly
+// deliver to every .com domain (including, inevitably, censored ones).
+package mailsim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"safemeasure/internal/smtpwire"
+	"safemeasure/internal/tcpsim"
+)
+
+// SMTPPort is the standard MTA port.
+const SMTPPort = 25
+
+// Errors surfaced by the client.
+var (
+	ErrRejected = errors.New("mailsim: server rejected transaction")
+	ErrAborted  = errors.New("mailsim: connection failed")
+)
+
+// Envelope is one accepted message with its SMTP envelope.
+type Envelope struct {
+	HELO string
+	From string
+	To   string
+	Msg  *smtpwire.Message
+}
+
+// Server is a minimal MTA.
+type Server struct {
+	// Received collects accepted envelopes in arrival order.
+	Received []Envelope
+	// OnMessage, if set, fires for each accepted envelope.
+	OnMessage func(Envelope)
+	// RejectRcpt, if set, causes RCPT for matching addresses to 550.
+	RejectRcpt func(addr string) bool
+}
+
+// session is per-connection server state.
+type session struct {
+	srv  *Server
+	conn *tcpsim.Conn
+	buf  []byte
+
+	helo   string
+	from   string
+	rcpt   string
+	inData bool
+}
+
+// NewServer starts an MTA on the stack's port 25.
+func NewServer(stack *tcpsim.Stack) (*Server, error) {
+	srv := &Server{}
+	err := stack.Listen(SMTPPort, func(c *tcpsim.Conn) {
+		s := &session{srv: srv, conn: c}
+		c.OnData = s.onData
+		s.reply(220, "mail.test ESMTP ready")
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mailsim: %w", err)
+	}
+	return srv, nil
+}
+
+func (s *session) reply(code int, text string) {
+	s.conn.Send(smtpwire.Reply{Code: code, Text: text}.Marshal())
+}
+
+func (s *session) onData(_ *tcpsim.Conn, data []byte) {
+	s.buf = append(s.buf, data...)
+	for {
+		if s.inData {
+			msg, n, err := smtpwire.ParseMessage(s.buf)
+			if err != nil {
+				return // incomplete
+			}
+			s.buf = s.buf[n:]
+			s.inData = false
+			env := Envelope{HELO: s.helo, From: s.from, To: s.rcpt, Msg: msg}
+			s.srv.Received = append(s.srv.Received, env)
+			if s.srv.OnMessage != nil {
+				s.srv.OnMessage(env)
+			}
+			s.reply(250, "OK: queued")
+			continue
+		}
+		cmd, n, err := smtpwire.ParseCommand(s.buf)
+		if err != nil {
+			return // incomplete line
+		}
+		s.buf = s.buf[n:]
+		s.handle(cmd)
+	}
+}
+
+func (s *session) handle(cmd smtpwire.Command) {
+	switch cmd.Verb {
+	case "HELO", "EHLO":
+		s.helo = cmd.Arg
+		s.reply(250, "mail.test greets "+cmd.Arg)
+	case "MAIL":
+		addr, err := smtpwire.ExtractAddress(cmd.Arg)
+		if err != nil {
+			s.reply(501, "bad MAIL FROM")
+			return
+		}
+		s.from = addr
+		s.reply(250, "OK")
+	case "RCPT":
+		addr, err := smtpwire.ExtractAddress(cmd.Arg)
+		if err != nil {
+			s.reply(501, "bad RCPT TO")
+			return
+		}
+		if s.srv.RejectRcpt != nil && s.srv.RejectRcpt(addr) {
+			s.reply(550, "mailbox unavailable")
+			return
+		}
+		s.rcpt = addr
+		s.reply(250, "OK")
+	case "DATA":
+		if s.from == "" || s.rcpt == "" {
+			s.reply(503, "need MAIL and RCPT first")
+			return
+		}
+		s.inData = true
+		s.reply(354, "end data with <CRLF>.<CRLF>")
+	case "QUIT":
+		s.reply(221, "bye")
+		s.conn.Close()
+	case "RSET":
+		s.from, s.rcpt, s.inData = "", "", false
+		s.reply(250, "OK")
+	case "NOOP":
+		s.reply(250, "OK")
+	default:
+		s.reply(502, "command not implemented")
+	}
+}
+
+// clientPhase tracks the delivery state machine.
+type clientPhase int
+
+const (
+	phaseGreeting clientPhase = iota
+	phaseHelo
+	phaseMail
+	phaseRcpt
+	phaseData
+	phaseBody
+	phaseQuit
+	phaseDone
+)
+
+// SendMail delivers msg to the MTA at server:25 using the stack and calls
+// done(nil) after the server accepts the message and QUIT completes, or
+// done(err) on rejection, reset, or timeout. Returns the connection so
+// callers can adjust it (e.g. TTL) before the handshake proceeds.
+func SendMail(stack *tcpsim.Stack, server netip.Addr, helo string, msg *smtpwire.Message, done func(error)) *tcpsim.Conn {
+	conn := stack.Dial(server, SMTPPort)
+	var buf []byte
+	phase := phaseGreeting
+	finished := false
+	finish := func(err error) {
+		if !finished {
+			finished = true
+			done(err)
+		}
+	}
+
+	conn.OnFail = func(_ *tcpsim.Conn, err error) {
+		finish(fmt.Errorf("%w: %w", ErrAborted, err))
+	}
+	conn.OnClose = func(*tcpsim.Conn) {
+		if phase != phaseDone {
+			finish(fmt.Errorf("%w: closed mid-transaction", ErrAborted))
+			return
+		}
+		finish(nil)
+	}
+	conn.OnData = func(c *tcpsim.Conn, data []byte) {
+		buf = append(buf, data...)
+		for {
+			reply, n, err := smtpwire.ParseReply(buf)
+			if err != nil {
+				return // incomplete
+			}
+			buf = buf[n:]
+			if reply.Code >= 400 {
+				finish(fmt.Errorf("%w: %d %s", ErrRejected, reply.Code, reply.Text))
+				c.Close()
+				return
+			}
+			switch phase {
+			case phaseGreeting: // 220
+				c.Send(smtpwire.Command{Verb: "HELO", Arg: helo}.Marshal())
+				phase = phaseHelo
+			case phaseHelo: // 250
+				c.Send(smtpwire.Command{Verb: "MAIL", Arg: "FROM:<" + msg.From + ">"}.Marshal())
+				phase = phaseMail
+			case phaseMail: // 250
+				c.Send(smtpwire.Command{Verb: "RCPT", Arg: "TO:<" + msg.To + ">"}.Marshal())
+				phase = phaseRcpt
+			case phaseRcpt: // 250
+				c.Send(smtpwire.Command{Verb: "DATA"}.Marshal())
+				phase = phaseData
+			case phaseData: // 354
+				c.Send(msg.Marshal())
+				phase = phaseBody
+			case phaseBody: // 250 queued
+				c.Send(smtpwire.Command{Verb: "QUIT"}.Marshal())
+				phase = phaseQuit
+			case phaseQuit: // 221
+				phase = phaseDone
+			}
+		}
+	}
+	return conn
+}

@@ -1,0 +1,182 @@
+package mailsim
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/smtpwire"
+	"safemeasure/internal/tcpsim"
+)
+
+var (
+	cliAddr = netip.MustParseAddr("10.1.0.10")
+	mtaAddr = netip.MustParseAddr("203.0.113.25")
+	rtrAddr = netip.MustParseAddr("10.1.0.1")
+)
+
+type env struct {
+	sim    *netsim.Sim
+	cs, ms *tcpsim.Stack
+	router *netsim.Router
+	srv    *Server
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	sim := netsim.NewSim(11)
+	client := netsim.NewHost(sim, "client", cliAddr)
+	mta := netsim.NewHost(sim, "mta", mtaAddr)
+	router := netsim.NewRouter(sim, "r", rtrAddr, 2)
+	netsim.AttachHost(sim, client, router, 0, time.Millisecond)
+	netsim.AttachHost(sim, mta, router, 1, time.Millisecond)
+	router.AddRoute(netip.PrefixFrom(cliAddr, 32), 0)
+	router.SetDefaultRoute(1)
+	e := &env{sim: sim, cs: tcpsim.NewStack(client), ms: tcpsim.NewStack(mta), router: router}
+	var err error
+	e.srv, err = NewServer(e.ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testMsg() *smtpwire.Message {
+	return &smtpwire.Message{
+		From:    "promo@deals.biz",
+		To:      "user@example.test",
+		Subject: "WINNER! claim your lottery prize",
+		Body:    "Click here: http://deals.biz/claim — 100% free, act now!",
+	}
+}
+
+func TestFullDelivery(t *testing.T) {
+	e := newEnv(t)
+	var deliverErr error
+	called := false
+	SendMail(e.cs, mtaAddr, "client.test", testMsg(), func(err error) {
+		called = true
+		deliverErr = err
+	})
+	e.sim.Run()
+	if !called {
+		t.Fatal("done never called")
+	}
+	if deliverErr != nil {
+		t.Fatalf("delivery err: %v", deliverErr)
+	}
+	if len(e.srv.Received) != 1 {
+		t.Fatalf("received = %d", len(e.srv.Received))
+	}
+	env := e.srv.Received[0]
+	if env.HELO != "client.test" || env.From != "promo@deals.biz" || env.To != "user@example.test" {
+		t.Fatalf("envelope: %+v", env)
+	}
+	if !strings.Contains(env.Msg.Body, "100% free") || env.Msg.Subject != "WINNER! claim your lottery prize" {
+		t.Fatalf("message: %+v", env.Msg)
+	}
+}
+
+func TestOnMessageCallback(t *testing.T) {
+	e := newEnv(t)
+	var got Envelope
+	e.srv.OnMessage = func(env Envelope) { got = env }
+	SendMail(e.cs, mtaAddr, "h.test", testMsg(), func(error) {})
+	e.sim.Run()
+	if got.From != "promo@deals.biz" {
+		t.Fatalf("callback envelope: %+v", got)
+	}
+}
+
+func TestRcptRejection(t *testing.T) {
+	e := newEnv(t)
+	e.srv.RejectRcpt = func(addr string) bool { return strings.HasPrefix(addr, "noone@") }
+	msg := testMsg()
+	msg.To = "noone@example.test"
+	var deliverErr error
+	SendMail(e.cs, mtaAddr, "h.test", msg, func(err error) { deliverErr = err })
+	e.sim.Run()
+	if !errors.Is(deliverErr, ErrRejected) {
+		t.Fatalf("err = %v, want rejection", deliverErr)
+	}
+	if len(e.srv.Received) != 0 {
+		t.Fatal("rejected message stored")
+	}
+}
+
+func TestConnectionRefusedPort(t *testing.T) {
+	// Dial a host with no MTA: the OS RST maps to ErrAborted.
+	sim := netsim.NewSim(1)
+	client := netsim.NewHost(sim, "client", cliAddr)
+	bare := netsim.NewHost(sim, "bare", mtaAddr)
+	router := netsim.NewRouter(sim, "r", rtrAddr, 2)
+	netsim.AttachHost(sim, client, router, 0, 0)
+	netsim.AttachHost(sim, bare, router, 1, 0)
+	router.AddRoute(netip.PrefixFrom(cliAddr, 32), 0)
+	router.SetDefaultRoute(1)
+	cs := tcpsim.NewStack(client)
+	var deliverErr error
+	SendMail(cs, mtaAddr, "h.test", testMsg(), func(err error) { deliverErr = err })
+	sim.Run()
+	if !errors.Is(deliverErr, ErrAborted) {
+		t.Fatalf("err = %v, want aborted", deliverErr)
+	}
+}
+
+func TestBlackholedMTAFails(t *testing.T) {
+	e := newEnv(t)
+	e.router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
+		if tp.Pkt != nil && tp.Pkt.IP.Dst == mtaAddr {
+			return netsim.Drop
+		}
+		return netsim.Pass
+	}))
+	var deliverErr error
+	SendMail(e.cs, mtaAddr, "h.test", testMsg(), func(err error) { deliverErr = err })
+	e.sim.Run()
+	if !errors.Is(deliverErr, ErrAborted) {
+		t.Fatalf("err = %v, want aborted (blackhole)", deliverErr)
+	}
+}
+
+func TestTwoSequentialDeliveries(t *testing.T) {
+	e := newEnv(t)
+	okCount := 0
+	SendMail(e.cs, mtaAddr, "h.test", testMsg(), func(err error) {
+		if err == nil {
+			okCount++
+		}
+	})
+	e.sim.Run()
+	msg2 := testMsg()
+	msg2.Subject = "second"
+	SendMail(e.cs, mtaAddr, "h.test", msg2, func(err error) {
+		if err == nil {
+			okCount++
+		}
+	})
+	e.sim.Run()
+	if okCount != 2 || len(e.srv.Received) != 2 {
+		t.Fatalf("ok=%d received=%d", okCount, len(e.srv.Received))
+	}
+	if e.srv.Received[1].Msg.Subject != "second" {
+		t.Fatalf("second subject: %q", e.srv.Received[1].Msg.Subject)
+	}
+}
+
+func TestDotStuffedBodySurvivesDelivery(t *testing.T) {
+	e := newEnv(t)
+	msg := testMsg()
+	msg.Body = "line one\n.hidden dot line\nlast"
+	SendMail(e.cs, mtaAddr, "h.test", msg, func(error) {})
+	e.sim.Run()
+	if len(e.srv.Received) != 1 {
+		t.Fatal("not delivered")
+	}
+	if e.srv.Received[0].Msg.Body != msg.Body {
+		t.Fatalf("body: %q", e.srv.Received[0].Msg.Body)
+	}
+}

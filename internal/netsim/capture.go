@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+
+	"safemeasure/internal/packet"
+)
+
+// Capture is a passive tap that records every datagram it observes, in
+// order — the simulator's pcap. Tests and the surveillance system both
+// consume captures.
+type Capture struct {
+	Name    string
+	Packets []*TapPacket
+	Bytes   int
+}
+
+// NewCapture creates an empty capture.
+func NewCapture(name string) *Capture { return &Capture{Name: name} }
+
+// Observe implements Tap; it always passes.
+func (c *Capture) Observe(tp *TapPacket, _ Injector) Verdict {
+	c.Packets = append(c.Packets, tp)
+	c.Bytes += len(tp.Raw)
+	return Pass
+}
+
+// Reset clears recorded packets.
+func (c *Capture) Reset() {
+	c.Packets = nil
+	c.Bytes = 0
+}
+
+// Count returns the number of recorded datagrams.
+func (c *Capture) Count() int { return len(c.Packets) }
+
+// Filter returns the parsed packets matching pred.
+func (c *Capture) Filter(pred func(*packet.Packet) bool) []*packet.Packet {
+	var out []*packet.Packet
+	for _, tp := range c.Packets {
+		if tp.Pkt != nil && pred(tp.Pkt) {
+			out = append(out, tp.Pkt)
+		}
+	}
+	return out
+}
+
+// String renders a tcpdump-style trace (capped at 50 lines).
+func (c *Capture) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capture %q: %d packets, %d bytes\n", c.Name, len(c.Packets), c.Bytes)
+	for i, tp := range c.Packets {
+		if i == 50 {
+			fmt.Fprintf(&b, "... %d more\n", len(c.Packets)-50)
+			break
+		}
+		if tp.Pkt != nil {
+			fmt.Fprintf(&b, "%10.6f  %v\n", float64(tp.Time)/1e9, tp.Pkt)
+		} else {
+			fmt.Fprintf(&b, "%10.6f  [unparsed %d bytes]\n", float64(tp.Time)/1e9, len(tp.Raw))
+		}
+	}
+	return b.String()
+}

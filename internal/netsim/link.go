@@ -1,0 +1,89 @@
+package netsim
+
+import "time"
+
+// Endpoint is anything a link can deliver packets to.
+type Endpoint interface {
+	// DeliverIP hands a serialized IPv4 datagram to the node, arriving on
+	// the given port (the node's own port index).
+	DeliverIP(port int, raw []byte)
+}
+
+// Port is one end of a link, bound to a node and a port index on that node.
+type Port struct {
+	sim  *Sim
+	node Endpoint
+	idx  int
+	link *Link
+}
+
+// Link is a bidirectional point-to-point link with latency, optional
+// per-packet jitter, and a loss probability.
+type Link struct {
+	sim     *Sim
+	Latency time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter) to
+	// each delivery, drawn from the simulator's seeded RNG — realistic
+	// timing noise without losing reproducibility.
+	Jitter time.Duration
+	Loss   float64 // probability in [0,1] that a datagram is dropped
+	a, b   *Port
+
+	// Stats.
+	Delivered int
+	Dropped   int
+}
+
+// Connect creates a link between two endpoints. The returned ports are
+// passed back in DeliverIP as the receiving node's port index.
+func Connect(sim *Sim, a Endpoint, aPort int, b Endpoint, bPort int, latency time.Duration) *Link {
+	l := &Link{sim: sim, Latency: latency}
+	l.a = &Port{sim: sim, node: a, idx: aPort, link: l}
+	l.b = &Port{sim: sim, node: b, idx: bPort, link: l}
+	return l
+}
+
+// PortA returns the a-side port (attached to the first Connect argument).
+func (l *Link) PortA() *Port { return l.a }
+
+// PortB returns the b-side port.
+func (l *Link) PortB() *Port { return l.b }
+
+// AttachHost links a host's uplink to a router port. It returns the link so
+// callers can adjust latency or loss afterwards.
+func AttachHost(sim *Sim, h *Host, r *Router, rPort int, latency time.Duration) *Link {
+	l := Connect(sim, h, 0, r, rPort, latency)
+	h.AttachPort(l.PortA())
+	r.AttachPort(rPort, l.PortB())
+	return l
+}
+
+// ConnectRouters links two router ports together.
+func ConnectRouters(sim *Sim, a *Router, aPort int, b *Router, bPort int, latency time.Duration) *Link {
+	l := Connect(sim, a, aPort, b, bPort, latency)
+	a.AttachPort(aPort, l.PortA())
+	b.AttachPort(bPort, l.PortB())
+	return l
+}
+
+// Send transmits raw from this port toward the peer, applying latency and
+// loss. The slice is not copied; callers must not reuse it.
+func (p *Port) Send(raw []byte) {
+	l := p.link
+	if l.Loss > 0 && l.sim.Rand().Float64() < l.Loss {
+		l.Dropped++
+		return
+	}
+	peer := l.a
+	if p == l.a {
+		peer = l.b
+	}
+	delay := l.Latency
+	if l.Jitter > 0 {
+		delay += time.Duration(l.sim.Rand().Int63n(int64(l.Jitter)))
+	}
+	l.sim.Schedule(delay, func() {
+		l.Delivered++
+		peer.node.DeliverIP(peer.idx, raw)
+	})
+}

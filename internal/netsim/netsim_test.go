@@ -1,0 +1,479 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"safemeasure/internal/packet"
+)
+
+var (
+	clientAddr = netip.MustParseAddr("10.1.0.10")
+	coverAddr  = netip.MustParseAddr("10.1.0.11")
+	serverAddr = netip.MustParseAddr("203.0.113.80")
+	r1Addr     = netip.MustParseAddr("10.1.0.1")
+	r2Addr     = netip.MustParseAddr("198.51.100.1")
+)
+
+// twoRouterTopo builds: client, cover -- R1 -- R2 -- server.
+// R1 is the client AS edge; R2 is the border where taps attach.
+type topo struct {
+	sim           *Sim
+	client, cover *Host
+	server        *Host
+	r1, r2        *Router
+}
+
+func newTopo(t testing.TB, lat time.Duration) *topo {
+	t.Helper()
+	sim := NewSim(1)
+	tp := &topo{
+		sim:    sim,
+		client: NewHost(sim, "client", clientAddr),
+		cover:  NewHost(sim, "cover", coverAddr),
+		server: NewHost(sim, "server", serverAddr),
+		r1:     NewRouter(sim, "r1", r1Addr, 3), // 0: client, 1: cover, 2: uplink
+		r2:     NewRouter(sim, "r2", r2Addr, 2), // 0: r1, 1: server
+	}
+	AttachHost(sim, tp.client, tp.r1, 0, lat)
+	AttachHost(sim, tp.cover, tp.r1, 1, lat)
+	ConnectRouters(sim, tp.r1, 2, tp.r2, 0, lat)
+	AttachHost(sim, tp.server, tp.r2, 1, lat)
+
+	clientNet := netip.MustParsePrefix("10.1.0.0/24")
+	tp.r1.AddRoute(netip.PrefixFrom(clientAddr, 32), 0)
+	tp.r1.AddRoute(netip.PrefixFrom(coverAddr, 32), 1)
+	tp.r1.SetDefaultRoute(2)
+	tp.r2.AddRoute(clientNet, 0)
+	tp.r2.SetDefaultRoute(1)
+	return tp
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	sim := NewSim(0)
+	var order []int
+	sim.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	sim.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	sim.Schedule(1*time.Millisecond, func() { order = append(order, 11) }) // same time: FIFO by seq
+	sim.Schedule(0, func() { order = append(order, 0) })
+	sim.Run()
+	want := []int{0, 1, 11, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if sim.Now() != 2*time.Millisecond {
+		t.Fatalf("now = %v", sim.Now())
+	}
+}
+
+func TestRunForStopsAtDeadline(t *testing.T) {
+	sim := NewSim(0)
+	ran := 0
+	var tick func()
+	tick = func() {
+		ran++
+		sim.Schedule(time.Millisecond, tick)
+	}
+	sim.Schedule(0, tick)
+	sim.RunFor(10 * time.Millisecond)
+	if ran < 10 || ran > 12 {
+		t.Fatalf("ran = %d", ran)
+	}
+	if sim.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v", sim.Now())
+	}
+}
+
+func TestEndToEndUDPDelivery(t *testing.T) {
+	tp := newTopo(t, time.Millisecond)
+	var got []byte
+	var gotSrc netip.Addr
+	tp.server.BindUDP(53, func(h *Host, src netip.Addr, srcPort uint16, payload []byte) {
+		got = append([]byte(nil), payload...)
+		gotSrc = src
+	})
+	if err := tp.client.SendUDP(4000, serverAddr, 53, []byte("query")); err != nil {
+		t.Fatal(err)
+	}
+	tp.sim.Run()
+	if string(got) != "query" || gotSrc != clientAddr {
+		t.Fatalf("got %q from %v", got, gotSrc)
+	}
+	// 3 hops: client->r1, r1->r2, r2->server.
+	if tp.sim.Now() != 3*time.Millisecond {
+		t.Fatalf("delivery time = %v", tp.sim.Now())
+	}
+}
+
+func TestTTLDecrementAcrossRouters(t *testing.T) {
+	tp := newTopo(t, 0)
+	var gotTTL uint8
+	tp.server.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		gotTTL = pkt.IP.TTL
+	})
+	raw, _ := packet.BuildUDP(clientAddr, serverAddr, 10, &packet.UDP{SrcPort: 1, DstPort: 9, Payload: nil})
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if gotTTL != 8 { // two router hops
+		t.Fatalf("TTL at server = %d, want 8", gotTTL)
+	}
+}
+
+func TestTTLExpiryEmitsICMP(t *testing.T) {
+	tp := newTopo(t, 0)
+	var icmpFrom netip.Addr
+	var icmpType uint8
+	tp.client.HandleICMP(func(h *Host, src netip.Addr, msg *packet.ICMP) {
+		icmpFrom = src
+		icmpType = msg.Type
+	})
+	// TTL=2: decremented to 1 by r1, expires at r2 (the far router).
+	raw, _ := packet.BuildUDP(clientAddr, serverAddr, 2, &packet.UDP{SrcPort: 1, DstPort: 9})
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if icmpType != packet.ICMPTimeExceeded {
+		t.Fatalf("no time-exceeded received (type=%d)", icmpType)
+	}
+	if icmpFrom != r2Addr {
+		t.Fatalf("ICMP from %v, want %v", icmpFrom, r2Addr)
+	}
+	if tp.server.Received != 0 {
+		t.Fatal("packet leaked past TTL expiry")
+	}
+}
+
+func TestTTLLimitedReplyDiesAfterTapBeforeClient(t *testing.T) {
+	// The Figure 3b property: a server reply with TTL=1 crosses the border
+	// router (where the surveillance tap sits, which sees it) but dies at
+	// r1 before reaching the client.
+	tp := newTopo(t, 0)
+	cap2 := NewCapture("border")
+	tp.r2.AddTap(cap2)
+	raw, _ := packet.BuildTCP(serverAddr, coverAddr, 2, &packet.TCP{SrcPort: 80, DstPort: 5555, Flags: packet.TCPSyn | packet.TCPAck})
+	tp.server.SendIP(raw)
+	tp.sim.Run()
+	if cap2.Count() == 0 {
+		t.Fatal("surveillance tap did not observe the reply")
+	}
+	if tp.cover.Received != 0 {
+		t.Fatal("TTL-limited reply reached the spoofed client")
+	}
+	if tp.r1.TTLExpired != 1 {
+		t.Fatalf("r1.TTLExpired = %d", tp.r1.TTLExpired)
+	}
+}
+
+func TestTapDrop(t *testing.T) {
+	tp := newTopo(t, 0)
+	tp.r2.AddTap(TapFunc(func(pp *TapPacket, _ Injector) Verdict {
+		if pp.Pkt != nil && pp.Pkt.UDP != nil && pp.Pkt.UDP.DstPort == 53 {
+			return Drop
+		}
+		return Pass
+	}))
+	tp.client.SendUDP(4000, serverAddr, 53, []byte("blocked"))
+	tp.client.SendUDP(4000, serverAddr, 54, []byte("allowed"))
+	var got []uint16
+	for _, port := range []uint16{53, 54} {
+		port := port
+		tp.server.BindUDP(port, func(h *Host, src netip.Addr, sp uint16, payload []byte) {
+			got = append(got, port)
+		})
+	}
+	tp.sim.Run()
+	if len(got) != 1 || got[0] != 54 {
+		t.Fatalf("delivered ports = %v", got)
+	}
+	if tp.r2.TapDropped != 1 {
+		t.Fatalf("TapDropped = %d", tp.r2.TapDropped)
+	}
+}
+
+func TestTapInjectRST(t *testing.T) {
+	// A censor-style tap at r2 injects a RST toward the client when it sees
+	// a payload containing a keyword.
+	tp := newTopo(t, 0)
+	tp.r2.AddTap(TapFunc(func(pp *TapPacket, inj Injector) Verdict {
+		if pp.Pkt != nil && pp.Pkt.TCP != nil && len(pp.Pkt.TCP.Payload) > 0 {
+			t := pp.Pkt.TCP
+			rst := &packet.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort, Seq: t.Ack, Ack: t.Seq, Flags: packet.TCPRst}
+			raw, _ := packet.BuildTCP(pp.Pkt.IP.Dst, pp.Pkt.IP.Src, packet.DefaultTTL, rst)
+			inj.Inject(raw)
+		}
+		return Pass
+	}))
+	var sawRST bool
+	tp.client.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && pkt.TCP.Flags&packet.TCPRst != 0 && pkt.IP.Src == serverAddr {
+			sawRST = true
+		}
+	})
+	raw, _ := packet.BuildTCP(clientAddr, serverAddr, 64, &packet.TCP{SrcPort: 999, DstPort: 80, Flags: packet.TCPPsh | packet.TCPAck, Payload: []byte("falun")})
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if !sawRST {
+		t.Fatal("injected RST not received by client")
+	}
+}
+
+func TestHostClosedTCPPortSendsRST(t *testing.T) {
+	tp := newTopo(t, 0)
+	var rst *packet.TCP
+	tp.client.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && pkt.TCP.Flags&packet.TCPRst != 0 {
+			rst = pkt.TCP
+		}
+	})
+	raw, _ := packet.BuildTCP(clientAddr, serverAddr, 64, &packet.TCP{SrcPort: 1234, DstPort: 81, Flags: packet.TCPSyn, Seq: 41})
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if rst == nil {
+		t.Fatal("no RST from closed port")
+	}
+	if rst.SrcPort != 81 || rst.DstPort != 1234 || rst.Ack != 42 {
+		t.Fatalf("rst = %+v", rst)
+	}
+}
+
+func TestHostClosedUDPPortSendsICMP(t *testing.T) {
+	tp := newTopo(t, 0)
+	var unreach bool
+	tp.client.HandleICMP(func(h *Host, src netip.Addr, msg *packet.ICMP) {
+		if msg.Type == packet.ICMPDestUnreach && msg.Code == packet.ICMPCodePortUnreach {
+			unreach = true
+		}
+	})
+	tp.client.SendUDP(4000, serverAddr, 9999, []byte("x"))
+	tp.sim.Run()
+	if !unreach {
+		t.Fatal("no port-unreachable for closed UDP port")
+	}
+}
+
+func TestPingEcho(t *testing.T) {
+	tp := newTopo(t, time.Millisecond)
+	var reply bool
+	tp.client.HandleICMP(func(h *Host, src netip.Addr, msg *packet.ICMP) {})
+	tp.client.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.ICMP != nil && pkt.ICMP.Type == packet.ICMPEchoReply && pkt.ICMP.ID == 77 {
+			reply = true
+		}
+	})
+	msg := &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 77, Seq: 1}
+	raw, _ := packet.BuildICMP(clientAddr, serverAddr, 64, msg)
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if !reply {
+		t.Fatal("no echo reply")
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	sim := NewSim(42)
+	a := NewHost(sim, "a", clientAddr)
+	b := NewHost(sim, "b", serverAddr)
+	l := Connect(sim, a, 0, b, 0, 0)
+	l.Loss = 0.5
+	a.AttachPort(l.PortA())
+	b.AttachPort(l.PortB())
+	got := 0
+	b.BindUDP(7, func(h *Host, src netip.Addr, sp uint16, payload []byte) { got++ })
+	const n = 1000
+	for i := 0; i < n; i++ {
+		a.SendUDP(1, serverAddr, 7, []byte("x"))
+	}
+	sim.Run()
+	if got < 400 || got > 600 {
+		t.Fatalf("delivered %d/%d with 50%% loss", got, n)
+	}
+	if l.Dropped+l.Delivered < n { // ICMP replies also use the link
+		t.Fatalf("dropped=%d delivered=%d", l.Dropped, l.Delivered)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		tp := newTopo(t, 3*time.Millisecond)
+		cap2 := NewCapture("c")
+		tp.r2.AddTap(cap2)
+		for i := 0; i < 20; i++ {
+			tp.client.SendUDP(uint16(1000+i), serverAddr, 53, []byte{byte(i)})
+		}
+		tp.sim.Run()
+		var times []int64
+		for _, p := range cap2.Packets {
+			times = append(times, p.Time)
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lens %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSpoofedSourceRouting(t *testing.T) {
+	// The client spoofs the cover host's address; the server's reply must be
+	// routed to the cover host, not the client.
+	tp := newTopo(t, 0)
+	var coverGotReply, clientGotReply bool
+	tp.cover.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && pkt.TCP.Flags&packet.TCPRst != 0 {
+			coverGotReply = true
+		}
+	})
+	tp.client.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && pkt.IP.Src == serverAddr {
+			clientGotReply = true
+		}
+	})
+	// SYN to a closed port on the server, spoofed from cover.
+	raw, _ := packet.BuildTCP(coverAddr, serverAddr, 64, &packet.TCP{SrcPort: 777, DstPort: 81, Flags: packet.TCPSyn})
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if !coverGotReply {
+		t.Fatal("cover host did not get the reply")
+	}
+	if clientGotReply {
+		t.Fatal("reply leaked to the spoofing client")
+	}
+}
+
+func TestCaptureFilterAndString(t *testing.T) {
+	tp := newTopo(t, 0)
+	cap2 := NewCapture("border")
+	tp.r2.AddTap(cap2)
+	tp.client.SendUDP(1, serverAddr, 53, []byte("q"))
+	raw, _ := packet.BuildTCP(clientAddr, serverAddr, 64, &packet.TCP{SrcPort: 2, DstPort: 80, Flags: packet.TCPSyn})
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	// Expect the client's SYN and the server's closed-port RST.
+	syn := cap2.Filter(func(p *packet.Packet) bool { return p.TCP != nil && p.TCP.Flags == packet.TCPSyn })
+	rst := cap2.Filter(func(p *packet.Packet) bool { return p.TCP != nil && p.TCP.Flags&packet.TCPRst != 0 })
+	if len(syn) != 1 || len(rst) != 1 {
+		t.Fatalf("syn=%d rst=%d", len(syn), len(rst))
+	}
+	if s := cap2.String(); len(s) == 0 {
+		t.Fatal("empty capture dump")
+	}
+	cap2.Reset()
+	if cap2.Count() != 0 || cap2.Bytes != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func BenchmarkForwardingPath(b *testing.B) {
+	tp := newTopo(b, 0)
+	tp.server.BindUDP(53, func(h *Host, src netip.Addr, sp uint16, payload []byte) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.client.SendUDP(1, serverAddr, 53, []byte("benchmark payload"))
+		tp.sim.Run()
+	}
+}
+
+func TestLinkJitterDeterministic(t *testing.T) {
+	run := func() []int64 {
+		sim := NewSim(99)
+		a := NewHost(sim, "a", clientAddr)
+		b := NewHost(sim, "b", serverAddr)
+		l := Connect(sim, a, 0, b, 0, time.Millisecond)
+		l.Jitter = 2 * time.Millisecond
+		a.AttachPort(l.PortA())
+		b.AttachPort(l.PortB())
+		var times []int64
+		b.BindUDP(7, func(h *Host, src netip.Addr, sp uint16, payload []byte) {
+			times = append(times, int64(sim.Now()))
+		})
+		for i := 0; i < 20; i++ {
+			a.SendUDP(1, serverAddr, 7, []byte{byte(i)})
+		}
+		sim.Run()
+		return times
+	}
+	x, y := run(), run()
+	if len(x) != 20 || len(y) != 20 {
+		t.Fatalf("deliveries: %d/%d", len(x), len(y))
+	}
+	spread := false
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("jitter broke determinism")
+		}
+		if x[i] != x[0] {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("jitter had no effect")
+	}
+}
+
+func TestHostUnbindUDPAndSim(t *testing.T) {
+	tp := newTopo(t, 0)
+	if tp.server.Sim() != tp.sim {
+		t.Fatal("Sim accessor")
+	}
+	got := 0
+	tp.server.BindUDP(99, func(*Host, netip.Addr, uint16, []byte) { got++ })
+	tp.client.SendUDP(1, serverAddr, 99, []byte("a"))
+	tp.sim.Run()
+	tp.server.UnbindUDP(99)
+	tp.client.SendUDP(1, serverAddr, 99, []byte("b"))
+	tp.sim.Run()
+	if got != 1 {
+		t.Fatalf("handler fired %d times", got)
+	}
+	// Re-bind after unbind works.
+	if !tp.server.BindUDP(99, func(*Host, netip.Addr, uint16, []byte) {}) {
+		t.Fatal("re-bind failed")
+	}
+}
+
+func TestSimPending(t *testing.T) {
+	sim := NewSim(0)
+	if sim.Pending() {
+		t.Fatal("fresh sim pending")
+	}
+	sim.Schedule(time.Second, func() {})
+	if !sim.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	sim.Run()
+	if sim.Pending() {
+		t.Fatal("drained sim pending")
+	}
+}
+
+func TestRouterInjectEdgeCases(t *testing.T) {
+	tp := newTopo(t, 0)
+	// Garbage never crashes Inject.
+	tp.r2.Inject([]byte{0x45, 0x00})
+	// A router with no default route counts NoRoute on unroutable
+	// destinations (injected and forwarded alike).
+	lone := NewRouter(tp.sim, "lone", r2Addr, 1)
+	raw, _ := packet.BuildUDP(serverAddr, netip.MustParseAddr("192.0.2.77"), 64, &packet.UDP{SrcPort: 1, DstPort: 2})
+	lone.Inject(raw)
+	lone.DeliverIP(0, raw)
+	if lone.NoRoute != 2 {
+		t.Fatalf("NoRoute = %d", lone.NoRoute)
+	}
+}
+
+func TestRouterParseFailedCounts(t *testing.T) {
+	tp := newTopo(t, 0)
+	before := tp.r1.ParseFailed
+	tp.r1.DeliverIP(0, []byte{0xff, 0x00})
+	if tp.r1.ParseFailed != before+1 {
+		t.Fatalf("ParseFailed = %d", tp.r1.ParseFailed)
+	}
+}

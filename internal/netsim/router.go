@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"net/netip"
+	"sort"
+
+	"safemeasure/internal/packet"
+)
+
+// Verdict is a tap's decision about a datagram.
+type Verdict int
+
+// Tap verdicts. Only inline (censoring) taps may return Drop; the
+// surveillance tap is passive and always passes.
+const (
+	Pass Verdict = iota
+	Drop
+)
+
+// TapPacket is what a tap observes: the raw wire bytes plus a parse.
+type TapPacket struct {
+	Time   int64 // virtual nanoseconds (Sim.Now())
+	Raw    []byte
+	Pkt    *packet.Packet // nil if the datagram failed to parse
+	InPort int
+}
+
+// Tap observes datagrams traversing a router. The Injector lets a tap
+// originate packets of its own (the censor's forged RSTs and DNS replies).
+type Tap interface {
+	Observe(tp *TapPacket, inject Injector) Verdict
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(tp *TapPacket, inject Injector) Verdict
+
+// Observe implements Tap.
+func (f TapFunc) Observe(tp *TapPacket, inject Injector) Verdict { return f(tp, inject) }
+
+// Injector sends a datagram into the network as if originated at the
+// router's position (used for RST injection and DNS poisoning).
+type Injector interface {
+	Inject(raw []byte)
+}
+
+// route maps a destination prefix to an output port.
+type route struct {
+	prefix netip.Prefix
+	port   int
+}
+
+// Router forwards IPv4 datagrams between its ports using longest-prefix
+// match, decrements TTL, emits ICMP Time Exceeded when TTL expires, and runs
+// its taps in order on every forwarded datagram.
+type Router struct {
+	Name string
+	Addr netip.Addr // source of ICMP errors this router generates
+	sim  *Sim
+
+	ports       []*Port
+	routes      []route
+	defaultPort int // -1 if none
+	taps        []Tap
+
+	// Stats.
+	Forwarded   int
+	TTLExpired  int
+	TapDropped  int
+	NoRoute     int
+	ParseFailed int
+}
+
+// NewRouter creates a router with the given number of ports.
+func NewRouter(sim *Sim, name string, addr netip.Addr, nports int) *Router {
+	return &Router{Name: name, Addr: addr, sim: sim, ports: make([]*Port, nports), defaultPort: -1}
+}
+
+// AttachPort binds a link port to port index i.
+func (r *Router) AttachPort(i int, p *Port) { r.ports[i] = p }
+
+// AddRoute installs prefix -> port. Longest prefix wins.
+func (r *Router) AddRoute(prefix netip.Prefix, port int) {
+	r.routes = append(r.routes, route{prefix, port})
+	sort.SliceStable(r.routes, func(i, j int) bool {
+		return r.routes[i].prefix.Bits() > r.routes[j].prefix.Bits()
+	})
+}
+
+// SetDefaultRoute installs the port used when no prefix matches.
+func (r *Router) SetDefaultRoute(port int) { r.defaultPort = port }
+
+// AddTap appends a tap; taps run in attachment order.
+func (r *Router) AddTap(t Tap) { r.taps = append(r.taps, t) }
+
+// lookup returns the output port for dst, or -1.
+func (r *Router) lookup(dst netip.Addr) int {
+	for _, rt := range r.routes {
+		if rt.prefix.Contains(dst) {
+			return rt.port
+		}
+	}
+	return r.defaultPort
+}
+
+// DeliverIP implements Endpoint: a datagram arrived on port in.
+func (r *Router) DeliverIP(in int, raw []byte) {
+	r.forward(in, raw, true)
+}
+
+// Inject implements Injector: originate a datagram at this router. Injected
+// packets are routed but do not traverse the router's taps again (the
+// middlebox that created them has already seen them), and their TTL is not
+// decremented here.
+func (r *Router) Inject(raw []byte) {
+	var ip packet.IPv4
+	if err := ip.DecodeFromBytes(raw); err != nil {
+		return
+	}
+	out := r.lookup(ip.Dst)
+	if out < 0 || r.ports[out] == nil {
+		r.NoRoute++
+		return
+	}
+	r.ports[out].Send(raw)
+}
+
+func (r *Router) forward(in int, raw []byte, runTaps bool) {
+	var ip packet.IPv4
+	if err := ip.DecodeFromBytes(raw); err != nil {
+		r.ParseFailed++
+		return
+	}
+
+	if runTaps && len(r.taps) > 0 {
+		tp := &TapPacket{Time: int64(r.sim.Now()), Raw: raw, InPort: in}
+		if pkt, err := packet.Parse(raw); err == nil {
+			tp.Pkt = pkt
+		}
+		for _, t := range r.taps {
+			if t.Observe(tp, r) == Drop {
+				r.TapDropped++
+				return
+			}
+		}
+	}
+
+	if ip.TTL <= 1 {
+		r.TTLExpired++
+		r.sendTimeExceeded(&ip, raw)
+		return
+	}
+
+	out := r.lookup(ip.Dst)
+	if out < 0 || r.ports[out] == nil {
+		r.NoRoute++
+		return
+	}
+
+	// Decrement TTL; the IP header checksum must be recomputed, so
+	// re-marshal the header in place.
+	ip.TTL--
+	fwd, err := ip.Marshal()
+	if err != nil {
+		r.ParseFailed++
+		return
+	}
+	r.Forwarded++
+	r.ports[out].Send(fwd)
+}
+
+// sendTimeExceeded emits ICMP Time Exceeded to the datagram's source,
+// embedding the IP header + 8 payload bytes per RFC 792.
+func (r *Router) sendTimeExceeded(ip *packet.IPv4, raw []byte) {
+	if !r.Addr.IsValid() || ip.Protocol == packet.ProtoICMP {
+		return // avoid ICMP-about-ICMP storms
+	}
+	quote := raw
+	maxQuote := ip.HeaderLen() + 8
+	if len(quote) > maxQuote {
+		quote = quote[:maxQuote]
+	}
+	msg := &packet.ICMP{Type: packet.ICMPTimeExceeded, Code: packet.ICMPCodeTTLExpired,
+		Payload: append([]byte(nil), quote...)}
+	out, err := packet.BuildICMP(r.Addr, ip.Src, packet.DefaultTTL, msg)
+	if err != nil {
+		return
+	}
+	r.Inject(out)
+}

@@ -1,0 +1,48 @@
+package packet
+
+import "net/netip"
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumBytes(0, data))
+}
+
+// sumBytes adds data to a running 32-bit ones'-complement accumulator.
+func sumBytes(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the TCP/UDP pseudo-header contribution for the
+// given IPv4 endpoints, protocol and transport-segment length.
+func pseudoHeaderSum(src, dst netip.Addr, proto IPProtocol, length int) uint32 {
+	var sum uint32
+	s := src.As4()
+	d := dst.As4()
+	sum = sumBytes(sum, s[:])
+	sum = sumBytes(sum, d[:])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksum computes the checksum of a TCP or UDP segment, including
+// the IPv4 pseudo-header. segment must have its checksum field zeroed.
+func TransportChecksum(src, dst netip.Addr, proto IPProtocol, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	sum = sumBytes(sum, segment)
+	return finishChecksum(sum)
+}

@@ -1,0 +1,11 @@
+// Package packet implements the wire formats used throughout the simulated
+// network: IPv4, TCP, UDP and ICMP, together with Internet checksums and
+// flow (5-tuple) keys.
+//
+// The design follows the gopacket layering model: each layer type can decode
+// itself from bytes (DecodeFromBytes) and serialize itself in front of an
+// already-serialized payload (SerializeTo / Marshal helpers). The simulated
+// links in internal/netsim carry serialized IPv4 datagrams produced and
+// consumed by this package, so every packet that crosses the lab topology
+// round-trips through these codecs, exactly as traffic on a real wire would.
+package packet

@@ -1,0 +1,50 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Flow is a transport 5-tuple. It is comparable and usable as a map key,
+// which is how the IDS flow table and the surveillance metadata store index
+// traffic.
+type Flow struct {
+	Proto   IPProtocol
+	Src     netip.Addr
+	SrcPort uint16
+	Dst     netip.Addr
+	DstPort uint16
+}
+
+// Reverse returns the flow in the opposite direction.
+func (f Flow) Reverse() Flow {
+	return Flow{Proto: f.Proto, Src: f.Dst, SrcPort: f.DstPort, Dst: f.Src, DstPort: f.SrcPort}
+}
+
+// Canonical returns a direction-independent key: the flow whose (addr, port)
+// pair sorts lower becomes the source. Both directions of a connection map
+// to the same canonical flow.
+func (f Flow) Canonical() Flow {
+	if f.Src.Compare(f.Dst) > 0 || (f.Src == f.Dst && f.SrcPort > f.DstPort) {
+		return f.Reverse()
+	}
+	return f
+}
+
+// String renders "tcp 10.0.0.1:1234 > 93.184.216.34:80".
+func (f Flow) String() string {
+	return fmt.Sprintf("%v %v:%d > %v:%d", f.Proto, f.Src, f.SrcPort, f.Dst, f.DstPort)
+}
+
+// FlowOf extracts the 5-tuple of a parsed packet. Non-TCP/UDP packets get
+// zero ports.
+func FlowOf(p *Packet) Flow {
+	f := Flow{Proto: p.IP.Protocol, Src: p.IP.Src, Dst: p.IP.Dst}
+	switch {
+	case p.TCP != nil:
+		f.SrcPort, f.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		f.SrcPort, f.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return f
+}

@@ -1,0 +1,196 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Fragmentation support. The IDS-evasion literature the paper builds on
+// (Handley et al., Khattak et al.) revolves around what happens when a
+// middlebox does or does not reassemble fragments the way end hosts do:
+// hosts always reassemble (internal/netsim.Host uses a Reassembler), while
+// the censor's reassembly is a configuration choice the ablation
+// experiments toggle.
+
+// IsFragment reports whether a serialized datagram is a fragment (MF set
+// or a nonzero offset). Malformed input returns false.
+func IsFragment(raw []byte) bool {
+	if len(raw) < 20 {
+		return false
+	}
+	ff := binary.BigEndian.Uint16(raw[6:8])
+	return ff&0x2000 != 0 || ff&0x1fff != 0
+}
+
+// Fragment splits a serialized IPv4 datagram into fragments whose payloads
+// are at most mtu bytes (mtu excludes the IP header and must be a multiple
+// of 8, at least 8). The input must not itself be a fragment.
+func Fragment(raw []byte, mtu int) ([][]byte, error) {
+	if mtu < 8 || mtu%8 != 0 {
+		return nil, fmt.Errorf("packet: fragment payload size %d must be a positive multiple of 8", mtu)
+	}
+	var ip IPv4
+	if err := ip.DecodeFromBytes(raw); err != nil {
+		return nil, err
+	}
+	if ip.Flags&IPFlagMoreFragment != 0 || ip.FragOff != 0 {
+		return nil, fmt.Errorf("packet: refusing to fragment a fragment")
+	}
+	if len(ip.Payload) <= mtu {
+		return [][]byte{raw}, nil
+	}
+	var out [][]byte
+	payload := ip.Payload
+	for off := 0; off < len(payload); off += mtu {
+		end := off + mtu
+		last := end >= len(payload)
+		if last {
+			end = len(payload)
+		}
+		frag := IPv4{
+			TOS: ip.TOS, ID: ip.ID, TTL: ip.TTL, Protocol: ip.Protocol,
+			Src: ip.Src, Dst: ip.Dst,
+			FragOff: uint16(off / 8),
+			Payload: payload[off:end],
+		}
+		if !last {
+			frag.Flags = IPFlagMoreFragment
+		}
+		wire, err := frag.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wire)
+	}
+	return out, nil
+}
+
+// fragKey identifies a datagram being reassembled (RFC 791).
+type fragKey struct {
+	src, dst netip.Addr
+	id       uint16
+	proto    IPProtocol
+}
+
+type fragPiece struct {
+	off  int // bytes
+	data []byte
+	last bool
+}
+
+type fragBuf struct {
+	pieces   []fragPiece
+	lastSeen int64
+}
+
+// Reassembler rebuilds original datagrams from fragments. It is used by
+// every simulated host and, optionally, by the censor middlebox.
+type Reassembler struct {
+	bufs map[fragKey]*fragBuf
+	// Timeout evicts incomplete reassemblies (virtual nanoseconds).
+	Timeout int64
+}
+
+// NewReassembler creates a reassembler with a 30-second timeout.
+func NewReassembler() *Reassembler {
+	return &Reassembler{bufs: make(map[fragKey]*fragBuf), Timeout: int64(30e9)}
+}
+
+// Pending returns the number of incomplete reassemblies.
+func (r *Reassembler) Pending() int { return len(r.bufs) }
+
+// Add ingests one datagram. For a non-fragment it is returned unchanged.
+// For a fragment, Add returns the fully reassembled datagram once every
+// piece has arrived, or nil while pieces are missing.
+func (r *Reassembler) Add(now int64, raw []byte) []byte {
+	if !IsFragment(raw) {
+		return raw
+	}
+	var ip IPv4
+	if err := ip.DecodeFromBytes(raw); err != nil {
+		return nil
+	}
+	key := fragKey{ip.Src, ip.Dst, ip.ID, ip.Protocol}
+	buf, ok := r.bufs[key]
+	if !ok {
+		buf = &fragBuf{}
+		r.bufs[key] = buf
+	}
+	buf.lastSeen = now
+	piece := fragPiece{
+		off:  int(ip.FragOff) * 8,
+		data: append([]byte(nil), ip.Payload...),
+		last: ip.Flags&IPFlagMoreFragment == 0,
+	}
+	// Drop exact duplicates.
+	for _, p := range buf.pieces {
+		if p.off == piece.off && len(p.data) == len(piece.data) {
+			return nil
+		}
+	}
+	buf.pieces = append(buf.pieces, piece)
+
+	whole := buf.tryAssemble()
+	if whole == nil {
+		return nil
+	}
+	delete(r.bufs, key)
+	full := IPv4{
+		TOS: ip.TOS, ID: ip.ID, TTL: ip.TTL, Protocol: ip.Protocol,
+		Src: ip.Src, Dst: ip.Dst, Payload: whole,
+	}
+	out, err := full.Marshal()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// tryAssemble returns the contiguous payload if complete.
+func (b *fragBuf) tryAssemble() []byte {
+	sort.Slice(b.pieces, func(i, j int) bool { return b.pieces[i].off < b.pieces[j].off })
+	total := -1
+	for _, p := range b.pieces {
+		if p.last {
+			total = p.off + len(p.data)
+		}
+	}
+	if total < 0 {
+		return nil
+	}
+	out := make([]byte, total)
+	covered := 0
+	next := 0
+	for _, p := range b.pieces {
+		if p.off > next {
+			return nil // gap
+		}
+		end := p.off + len(p.data)
+		if end > total {
+			return nil // overlong piece
+		}
+		copy(out[p.off:end], p.data)
+		if end > next {
+			covered += end - next
+			next = end
+		}
+	}
+	if covered != total {
+		return nil
+	}
+	return out
+}
+
+// Sweep evicts reassemblies idle past the timeout; returns how many.
+func (r *Reassembler) Sweep(now int64) int {
+	n := 0
+	for k, b := range r.bufs {
+		if now-b.lastSeen > r.Timeout {
+			delete(r.bufs, k)
+			n++
+		}
+	}
+	return n
+}

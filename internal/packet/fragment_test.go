@@ -1,0 +1,185 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildBig(t testing.TB, n int) []byte {
+	t.Helper()
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	raw, err := BuildUDP(addrA, addrB, 64, &UDP{SrcPort: 7, DstPort: 9, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	raw := buildBig(t, 1000)
+	frags, err := Fragment(raw, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 4 { // 1008 UDP bytes / 256
+		t.Fatalf("fragments = %d", len(frags))
+	}
+	for i, f := range frags {
+		if !IsFragment(f) {
+			t.Fatalf("fragment %d not marked", i)
+		}
+	}
+	r := NewReassembler()
+	var out []byte
+	for i, f := range frags {
+		out = r.Add(int64(i), f)
+		if i < len(frags)-1 && out != nil {
+			t.Fatalf("complete after %d/%d pieces", i+1, len(frags))
+		}
+	}
+	if out == nil {
+		t.Fatal("never completed")
+	}
+	if !bytes.Equal(out, raw) {
+		t.Fatalf("reassembly mismatch: %d vs %d bytes", len(out), len(raw))
+	}
+	// The reassembled datagram parses cleanly, transport checksum intact.
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reassembled parse: %v", err)
+	}
+}
+
+func TestFragmentOutOfOrder(t *testing.T) {
+	raw := buildBig(t, 900)
+	frags, _ := Fragment(raw, 128)
+	rng := rand.New(rand.NewSource(5))
+	rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+	r := NewReassembler()
+	var out []byte
+	for i, f := range frags {
+		if got := r.Add(int64(i), f); got != nil {
+			out = got
+		}
+	}
+	if !bytes.Equal(out, raw) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+}
+
+func TestFragmentSmallPacketUntouched(t *testing.T) {
+	raw := buildBig(t, 50)
+	frags, err := Fragment(raw, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !bytes.Equal(frags[0], raw) {
+		t.Fatal("small datagram was fragmented")
+	}
+	if IsFragment(raw) {
+		t.Fatal("whole datagram marked as fragment")
+	}
+}
+
+func TestFragmentValidation(t *testing.T) {
+	raw := buildBig(t, 500)
+	if _, err := Fragment(raw, 100); err == nil { // not multiple of 8
+		t.Fatal("mtu 100 accepted")
+	}
+	if _, err := Fragment(raw, 0); err == nil {
+		t.Fatal("mtu 0 accepted")
+	}
+	frags, _ := Fragment(raw, 128)
+	if _, err := Fragment(frags[0], 64); err == nil {
+		t.Fatal("fragmenting a fragment accepted")
+	}
+}
+
+func TestReassemblerDuplicatePieces(t *testing.T) {
+	raw := buildBig(t, 600)
+	frags, _ := Fragment(raw, 256)
+	r := NewReassembler()
+	r.Add(0, frags[0])
+	r.Add(1, frags[0]) // duplicate
+	r.Add(2, frags[1])
+	out := r.Add(3, frags[2])
+	if !bytes.Equal(out, raw) {
+		t.Fatal("duplicate piece broke reassembly")
+	}
+}
+
+func TestReassemblerInterleavedDatagrams(t *testing.T) {
+	a := buildBig(t, 600)
+	// Different ID so the keys differ.
+	var ip IPv4
+	ip.DecodeFromBytes(a)
+	ip2 := IPv4{ID: 999, TTL: ip.TTL, Protocol: ip.Protocol, Src: ip.Src, Dst: ip.Dst, Payload: append([]byte(nil), ip.Payload...)}
+	b, _ := ip2.Marshal()
+
+	fa, _ := Fragment(a, 256)
+	fb, _ := Fragment(b, 256)
+	r := NewReassembler()
+	var gotA, gotB []byte
+	for i := range fa {
+		if out := r.Add(int64(i), fa[i]); out != nil {
+			gotA = out
+		}
+		if out := r.Add(int64(i), fb[i]); out != nil {
+			gotB = out
+		}
+	}
+	if !bytes.Equal(gotA, a) || !bytes.Equal(gotB, b) {
+		t.Fatal("interleaved reassembly failed")
+	}
+}
+
+func TestReassemblerSweep(t *testing.T) {
+	raw := buildBig(t, 600)
+	frags, _ := Fragment(raw, 256)
+	r := NewReassembler()
+	r.Add(0, frags[0]) // incomplete
+	if n := r.Sweep(r.Timeout + 1); n != 1 {
+		t.Fatalf("swept %d", n)
+	}
+	// After eviction the remaining pieces can't complete.
+	if out := r.Add(r.Timeout+2, frags[1]); out != nil {
+		t.Fatal("completed from evicted state")
+	}
+}
+
+func TestQuickFragmentReassembleRoundTrip(t *testing.T) {
+	f := func(seed int64, sizeSeed uint16, mtuSeed uint8) bool {
+		size := 100 + int(sizeSeed)%4000
+		mtu := (1 + int(mtuSeed)%64) * 8
+		payload := make([]byte, size)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Read(payload)
+		raw, err := BuildUDP(addrA, addrB, 64, &UDP{SrcPort: 1, DstPort: 2, Payload: payload})
+		if err != nil {
+			return false
+		}
+		frags, err := Fragment(raw, mtu)
+		if err != nil {
+			return false
+		}
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		r := NewReassembler()
+		var out []byte
+		for i, fr := range frags {
+			if got := r.Add(int64(i), fr); got != nil {
+				out = got
+			}
+		}
+		return bytes.Equal(out, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

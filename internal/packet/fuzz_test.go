@@ -1,0 +1,52 @@
+package packet
+
+import "testing"
+
+// FuzzParse must never panic and, when it accepts input, the parsed packet
+// must re-marshal to identical header semantics.
+func FuzzParse(f *testing.F) {
+	tcp, _ := BuildTCP(addrA, addrB, 64, &TCP{SrcPort: 1, DstPort: 80, Flags: TCPSyn})
+	udp, _ := BuildUDP(addrA, addrB, 64, &UDP{SrcPort: 53, DstPort: 53, Payload: []byte("q")})
+	icmp, _ := BuildICMP(addrA, addrB, 64, &ICMP{Type: ICMPEchoRequest, ID: 1})
+	f.Add(tcp)
+	f.Add(udp)
+	f.Add(icmp)
+	f.Add([]byte{0x45})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := p.IP.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet failed to re-marshal: %v", err)
+		}
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-marshaled packet failed to parse: %v", err)
+		}
+		if p2.IP.Src != p.IP.Src || p2.IP.Dst != p.IP.Dst || p2.IP.Protocol != p.IP.Protocol {
+			t.Fatal("header drift across round-trip")
+		}
+	})
+}
+
+// FuzzReassembler: arbitrary fragments must never panic or return a
+// datagram that fails to parse at the IP layer.
+func FuzzReassembler(f *testing.F) {
+	raw, _ := BuildUDP(addrA, addrB, 64, &UDP{SrcPort: 1, DstPort: 2, Payload: make([]byte, 600)})
+	frags, _ := Fragment(raw, 256)
+	for _, fr := range frags {
+		f.Add(fr)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReassembler()
+		if out := r.Add(0, data); out != nil {
+			var ip IPv4
+			if err := ip.DecodeFromBytes(out); err != nil {
+				t.Fatalf("reassembler emitted unparsable datagram: %v", err)
+			}
+		}
+	})
+}

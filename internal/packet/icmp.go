@@ -1,0 +1,63 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used in the lab.
+const (
+	ICMPEchoReply       uint8 = 0
+	ICMPDestUnreach     uint8 = 3
+	ICMPEchoRequest     uint8 = 8
+	ICMPTimeExceeded    uint8 = 11
+	ICMPCodeTTLExpired  uint8 = 0 // code for ICMPTimeExceeded
+	ICMPCodePortUnreach uint8 = 3 // code for ICMPDestUnreach
+	ICMPCodeHostUnreach uint8 = 1 // code for ICMPDestUnreach
+)
+
+const icmpHeaderLen = 8
+
+// ICMP is a decoded ICMP message. For error messages (TimeExceeded,
+// DestUnreach) Payload carries the offending datagram's IP header + 8 bytes,
+// per RFC 792.
+type ICMP struct {
+	Type    uint8
+	Code    uint8
+	ID      uint16 // echo only
+	Seq     uint16 // echo only
+	Payload []byte
+}
+
+// DecodeFromBytes parses an ICMP message and verifies its checksum.
+func (ic *ICMP) DecodeFromBytes(data []byte) error {
+	if len(data) < icmpHeaderLen {
+		return ErrTruncated
+	}
+	if Checksum(data) != 0 {
+		return ErrBadChecksum
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.ID = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	ic.Payload = data[icmpHeaderLen:]
+	return nil
+}
+
+// Marshal serializes the message, computing the checksum.
+func (ic *ICMP) Marshal() ([]byte, error) {
+	buf := make([]byte, icmpHeaderLen+len(ic.Payload))
+	buf[0] = ic.Type
+	buf[1] = ic.Code
+	binary.BigEndian.PutUint16(buf[4:6], ic.ID)
+	binary.BigEndian.PutUint16(buf[6:8], ic.Seq)
+	copy(buf[icmpHeaderLen:], ic.Payload)
+	binary.BigEndian.PutUint16(buf[2:4], Checksum(buf))
+	return buf, nil
+}
+
+// String renders a one-line summary for logs and debugging.
+func (ic *ICMP) String() string {
+	return fmt.Sprintf("ICMP type=%d code=%d id=%d seq=%d", ic.Type, ic.Code, ic.ID, ic.Seq)
+}

@@ -1,0 +1,179 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// IPProtocol identifies the protocol carried in an IPv4 payload.
+type IPProtocol uint8
+
+// Protocol numbers used in the lab.
+const (
+	ProtoICMP IPProtocol = 1
+	ProtoTCP  IPProtocol = 6
+	ProtoUDP  IPProtocol = 17
+)
+
+// String returns the conventional protocol name.
+func (p IPProtocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// IPv4 header flag bits (in the Flags field, upper 3 bits of byte 6).
+const (
+	IPFlagDontFragment = 0x2
+	IPFlagMoreFragment = 0x1
+)
+
+// DefaultTTL is the initial TTL hosts stamp on outgoing datagrams.
+const DefaultTTL = 64
+
+// ipv4HeaderLen is the length of a header without options.
+const ipv4HeaderLen = 20
+
+// Errors returned by the IPv4 codec.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadHeader   = errors.New("packet: malformed header")
+)
+
+// IPv4 is a decoded IPv4 datagram header plus payload.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // upper 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProtocol
+	Src      netip.Addr
+	Dst      netip.Addr
+	Options  []byte
+	Payload  []byte
+}
+
+// HeaderLen returns the header length in bytes including options,
+// rounded up to a 32-bit boundary.
+func (ip *IPv4) HeaderLen() int {
+	opt := (len(ip.Options) + 3) &^ 3
+	return ipv4HeaderLen + opt
+}
+
+// DecodeFromBytes parses an IPv4 datagram. The payload slice aliases data.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv4HeaderLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || ihl > len(data) {
+		return ErrBadHeader
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < ihl || total > len(data) {
+		return ErrTruncated
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = IPProtocol(data[9])
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	if ihl > ipv4HeaderLen {
+		ip.Options = data[ipv4HeaderLen:ihl]
+	} else {
+		ip.Options = nil
+	}
+	ip.Payload = data[ihl:total]
+	return nil
+}
+
+// DecodeQuotedHeader parses just the IPv4 header from an ICMP error's
+// quoted payload (RFC 792 quotes the header plus 8 bytes, so the datagram
+// is truncated by design and DecodeFromBytes would reject it). The Payload
+// field carries whatever quoted transport bytes are present.
+func (ip *IPv4) DecodeQuotedHeader(data []byte) error {
+	if len(data) < ipv4HeaderLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || ihl > len(data) {
+		return ErrBadHeader
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = IPProtocol(data[9])
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	ip.Options = nil
+	if ihl > ipv4HeaderLen {
+		ip.Options = data[ipv4HeaderLen:ihl]
+	}
+	ip.Payload = data[ihl:]
+	return nil
+}
+
+// Marshal serializes the datagram, computing total length and header
+// checksum. Src and Dst must be valid IPv4 addresses.
+func (ip *IPv4) Marshal() ([]byte, error) {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return nil, fmt.Errorf("packet: IPv4 requires 4-byte addresses (src=%v dst=%v)", ip.Src, ip.Dst)
+	}
+	hl := ip.HeaderLen()
+	total := hl + len(ip.Payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: datagram too large (%d bytes)", total)
+	}
+	buf := make([]byte, total)
+	buf[0] = 4<<4 | uint8(hl/4)
+	buf[1] = ip.TOS
+	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
+	binary.BigEndian.PutUint16(buf[4:6], ip.ID)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	buf[8] = ip.TTL
+	buf[9] = uint8(ip.Protocol)
+	src := ip.Src.As4()
+	dst := ip.Dst.As4()
+	copy(buf[12:16], src[:])
+	copy(buf[16:20], dst[:])
+	copy(buf[ipv4HeaderLen:hl], ip.Options)
+	binary.BigEndian.PutUint16(buf[10:12], Checksum(buf[:hl]))
+	copy(buf[hl:], ip.Payload)
+	return buf, nil
+}
+
+// String renders a one-line summary for logs and debugging.
+func (ip *IPv4) String() string {
+	return fmt.Sprintf("IPv4 %v -> %v %v ttl=%d len=%d", ip.Src, ip.Dst, ip.Protocol, ip.TTL, len(ip.Payload))
+}

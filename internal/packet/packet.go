@@ -1,0 +1,113 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Packet is a fully parsed IPv4 datagram: the IP layer plus at most one
+// transport layer. Exactly one of TCP, UDP, ICMP is non-nil for the
+// protocols the lab uses; unknown protocols leave all three nil and the raw
+// transport bytes available via IP.Payload.
+type Packet struct {
+	IP   *IPv4
+	TCP  *TCP
+	UDP  *UDP
+	ICMP *ICMP
+}
+
+// Parse decodes a serialized IPv4 datagram and its transport layer.
+// Transport checksums are verified.
+func Parse(data []byte) (*Packet, error) {
+	ip := new(IPv4)
+	if err := ip.DecodeFromBytes(data); err != nil {
+		return nil, err
+	}
+	p := &Packet{IP: ip}
+	switch ip.Protocol {
+	case ProtoTCP:
+		t := new(TCP)
+		if err := t.DecodeFromBytes(ip.Payload, ip.Src, ip.Dst); err != nil {
+			return nil, fmt.Errorf("tcp: %w", err)
+		}
+		p.TCP = t
+	case ProtoUDP:
+		u := new(UDP)
+		if err := u.DecodeFromBytes(ip.Payload, ip.Src, ip.Dst); err != nil {
+			return nil, fmt.Errorf("udp: %w", err)
+		}
+		p.UDP = u
+	case ProtoICMP:
+		ic := new(ICMP)
+		if err := ic.DecodeFromBytes(ip.Payload); err != nil {
+			return nil, fmt.Errorf("icmp: %w", err)
+		}
+		p.ICMP = ic
+	}
+	return p, nil
+}
+
+// TransportPayload returns the application payload of the packet, or nil for
+// packets without one.
+func (p *Packet) TransportPayload() []byte {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.Payload
+	case p.UDP != nil:
+		return p.UDP.Payload
+	case p.ICMP != nil:
+		return p.ICMP.Payload
+	default:
+		return nil
+	}
+}
+
+// String renders a one-line summary of the whole packet.
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil:
+		return fmt.Sprintf("%v:%d > %v:%d [%s] seq=%d ack=%d len=%d ttl=%d",
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort,
+			FlagString(p.TCP.Flags), p.TCP.Seq, p.TCP.Ack, len(p.TCP.Payload), p.IP.TTL)
+	case p.UDP != nil:
+		return fmt.Sprintf("%v:%d > %v:%d udp len=%d ttl=%d",
+			p.IP.Src, p.UDP.SrcPort, p.IP.Dst, p.UDP.DstPort, len(p.UDP.Payload), p.IP.TTL)
+	case p.ICMP != nil:
+		return fmt.Sprintf("%v > %v %v ttl=%d", p.IP.Src, p.IP.Dst, p.ICMP, p.IP.TTL)
+	default:
+		return p.IP.String()
+	}
+}
+
+// BuildTCP serializes a TCP segment inside an IPv4 datagram with the given
+// TTL and returns the wire bytes.
+func BuildTCP(src, dst netip.Addr, ttl uint8, seg *TCP) ([]byte, error) {
+	payload, err := seg.Marshal(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	ip := &IPv4{TTL: ttl, Protocol: ProtoTCP, Src: src, Dst: dst, Payload: payload}
+	return ip.Marshal()
+}
+
+// BuildUDP serializes a UDP datagram inside an IPv4 datagram with the given
+// TTL and returns the wire bytes.
+func BuildUDP(src, dst netip.Addr, ttl uint8, dgram *UDP) ([]byte, error) {
+	payload, err := dgram.Marshal(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	ip := &IPv4{TTL: ttl, Protocol: ProtoUDP, Src: src, Dst: dst, Payload: payload}
+	return ip.Marshal()
+}
+
+// BuildICMP serializes an ICMP message inside an IPv4 datagram with the
+// given TTL and returns the wire bytes.
+func BuildICMP(src, dst netip.Addr, ttl uint8, msg *ICMP) ([]byte, error) {
+	payload, err := msg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	ip := &IPv4{TTL: ttl, Protocol: ProtoICMP, Src: src, Dst: dst, Payload: payload}
+	return ip.Marshal()
+}

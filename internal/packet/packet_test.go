@@ -1,0 +1,347 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	addrA = netip.MustParseAddr("10.0.0.1")
+	addrB = netip.MustParseAddr("93.184.216.34")
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Classic example from RFC 1071 §3.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	got := Checksum(data)
+	if got != ^uint16(0xddf2) {
+		t.Fatalf("Checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0x01, 0x02, 0x03}
+	sum := Checksum(data)
+	// Appending the checksum (padded) must verify to zero.
+	padded := []byte{0x01, 0x02, 0x03, 0x00, byte(sum >> 8), byte(sum)}
+	if Checksum(padded) != 0 {
+		t.Fatalf("self-verification failed: %#x", Checksum(padded))
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	in := &IPv4{
+		TOS: 0x10, ID: 0xbeef, Flags: IPFlagDontFragment, TTL: 61,
+		Protocol: ProtoTCP, Src: addrA, Dst: addrB,
+		Payload: []byte("hello world"),
+	}
+	wire, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IPv4
+	if err := out.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.Src != in.Src || out.Dst != in.Dst || out.TTL != in.TTL ||
+		out.Protocol != in.Protocol || out.ID != in.ID || out.Flags != in.Flags || out.TOS != in.TOS {
+		t.Fatalf("header mismatch: got %+v want %+v", out, *in)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload mismatch: %q != %q", out.Payload, in.Payload)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	in := &IPv4{TTL: 64, Protocol: ProtoUDP, Src: addrA, Dst: addrB,
+		Options: []byte{0x94, 0x04, 0x00, 0x00}, Payload: []byte("x")}
+	wire, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IPv4
+	if err := out.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Options, in.Options) {
+		t.Fatalf("options mismatch: %x != %x", out.Options, in.Options)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload mismatch")
+	}
+}
+
+func TestIPv4CorruptionDetected(t *testing.T) {
+	in := &IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB, Payload: []byte("p")}
+	wire, _ := in.Marshal()
+	wire[8] ^= 0xff // flip TTL without fixing checksum
+	var out IPv4
+	if err := out.DecodeFromBytes(wire); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestIPv4Truncated(t *testing.T) {
+	in := &IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB, Payload: []byte("payload")}
+	wire, _ := in.Marshal()
+	var out IPv4
+	for _, n := range []int{0, 1, 10, 19} {
+		if err := out.DecodeFromBytes(wire[:n]); err == nil {
+			t.Fatalf("decode of %d bytes succeeded", n)
+		}
+	}
+}
+
+func TestIPv4BadVersion(t *testing.T) {
+	in := &IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB}
+	wire, _ := in.Marshal()
+	wire[0] = 6<<4 | wire[0]&0x0f
+	var out IPv4
+	if err := out.DecodeFromBytes(wire); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	in := &TCP{
+		SrcPort: 43210, DstPort: 80, Seq: 0x01020304, Ack: 0x0a0b0c0d,
+		Flags: TCPSyn | TCPAck, Window: 65000, Payload: []byte("GET / HTTP/1.1\r\n"),
+	}
+	wire, err := in.Marshal(addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out TCP
+	if err := out.DecodeFromBytes(wire, addrA, addrB); err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcPort != in.SrcPort || out.DstPort != in.DstPort || out.Seq != in.Seq ||
+		out.Ack != in.Ack || out.Flags != in.Flags || out.Window != in.Window {
+		t.Fatalf("header mismatch: got %+v want %+v", out, *in)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestTCPChecksumBindsAddresses(t *testing.T) {
+	in := &TCP{SrcPort: 1, DstPort: 2, Flags: TCPSyn}
+	wire, _ := in.Marshal(addrA, addrB)
+	var out TCP
+	// Decoding with a different source address must fail the pseudo-header
+	// checksum: this is what breaks naive IP spoofing without recomputation.
+	other := netip.MustParseAddr("10.0.0.99")
+	if err := out.DecodeFromBytes(wire, other, addrB); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	in := &UDP{SrcPort: 5353, DstPort: 53, Payload: []byte{0xde, 0xad}}
+	wire, err := in.Marshal(addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out UDP
+	if err := out.DecodeFromBytes(wire, addrA, addrB); err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcPort != in.SrcPort || out.DstPort != in.DstPort || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("mismatch: %+v", out)
+	}
+}
+
+func TestUDPZeroChecksumAccepted(t *testing.T) {
+	in := &UDP{SrcPort: 9, DstPort: 9, Payload: []byte("z")}
+	wire, _ := in.Marshal(addrA, addrB)
+	wire[6], wire[7] = 0, 0 // sender did not compute a checksum
+	var out UDP
+	if err := out.DecodeFromBytes(wire, addrA, addrB); err != nil {
+		t.Fatalf("zero checksum rejected: %v", err)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	in := &ICMP{Type: ICMPTimeExceeded, Code: ICMPCodeTTLExpired, Payload: []byte("orig header")}
+	wire, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ICMP
+	if err := out.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Code != in.Code || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("mismatch: %+v", out)
+	}
+}
+
+func TestParseFullTCPPacket(t *testing.T) {
+	wire, err := BuildTCP(addrA, addrB, 64, &TCP{SrcPort: 1234, DstPort: 80, Flags: TCPSyn, Seq: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TCP == nil || p.TCP.DstPort != 80 || p.TCP.Flags != TCPSyn {
+		t.Fatalf("parsed: %v", p)
+	}
+	f := FlowOf(p)
+	want := Flow{Proto: ProtoTCP, Src: addrA, SrcPort: 1234, Dst: addrB, DstPort: 80}
+	if f != want {
+		t.Fatalf("flow = %v, want %v", f, want)
+	}
+}
+
+func TestFlowReverseCanonical(t *testing.T) {
+	f := Flow{Proto: ProtoTCP, Src: addrB, SrcPort: 80, Dst: addrA, DstPort: 1234}
+	r := f.Reverse()
+	if r.Src != addrA || r.SrcPort != 1234 || r.Dst != addrB || r.DstPort != 80 {
+		t.Fatalf("reverse = %v", r)
+	}
+	if f.Canonical() != r.Canonical() {
+		t.Fatalf("canonical mismatch: %v vs %v", f.Canonical(), r.Canonical())
+	}
+	if f.Canonical() != r { // addrA sorts below addrB
+		t.Fatalf("canonical = %v, want %v", f.Canonical(), r)
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	cases := map[uint8]string{
+		TCPSyn:                   "S",
+		TCPSyn | TCPAck:          "SA",
+		TCPRst:                   "R",
+		TCPFin | TCPAck:          "FA",
+		TCPPsh | TCPAck:          "PA",
+		0:                        ".",
+		TCPUrg | TCPSyn | TCPAck: "SAU",
+	}
+	for flags, want := range cases {
+		if got := FlagString(flags); got != want {
+			t.Errorf("FlagString(%#x) = %q, want %q", flags, got, want)
+		}
+	}
+}
+
+// quickAddr derives a valid IPv4 address from fuzz input.
+func quickAddr(a, b, c, d byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{a, b, c, d})
+}
+
+func TestQuickIPv4RoundTrip(t *testing.T) {
+	f := func(tos, ttl byte, id uint16, a, b, c, d, e, fb, g, h byte, payload []byte) bool {
+		in := &IPv4{TOS: tos, ID: id, TTL: ttl, Protocol: ProtoUDP,
+			Src: quickAddr(a, b, c, d), Dst: quickAddr(e, fb, g, h), Payload: payload}
+		if len(payload) > 60000 {
+			return true
+		}
+		wire, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		var out IPv4
+		if err := out.DecodeFromBytes(wire); err != nil {
+			return false
+		}
+		return out.Src == in.Src && out.Dst == in.Dst && out.TTL == in.TTL &&
+			out.ID == in.ID && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTCPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags byte, win uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			return true
+		}
+		in := &TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags & 0x3f, Window: win, Payload: payload}
+		wire, err := in.Marshal(addrA, addrB)
+		if err != nil {
+			return false
+		}
+		var out TCP
+		if err := out.DecodeFromBytes(wire, addrA, addrB); err != nil {
+			return false
+		}
+		return out.SrcPort == sp && out.DstPort == dp && out.Seq == seq &&
+			out.Ack == ack && out.Flags == flags&0x3f && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChecksumIncremental(t *testing.T) {
+	// Property: checksum of data with its own checksum appended verifies to 0
+	// for even-length data.
+	f := func(data []byte) bool {
+		if len(data)%2 != 0 {
+			data = append(data, 0)
+		}
+		cs := Checksum(data)
+		whole := append(append([]byte{}, data...), byte(cs>>8), byte(cs))
+		return Checksum(whole) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data) // must not panic on arbitrary input
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIPv4Marshal(b *testing.B) {
+	ip := &IPv4{TTL: 64, Protocol: ProtoTCP, Src: addrA, Dst: addrB, Payload: make([]byte, 512)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTCP(b *testing.B) {
+	wire, _ := BuildTCP(addrA, addrB, 64, &TCP{SrcPort: 1, DstPort: 80, Flags: TCPAck, Payload: make([]byte, 512)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeQuotedHeader(t *testing.T) {
+	raw, _ := BuildUDP(addrA, addrB, 7, &UDP{SrcPort: 1, DstPort: 33434, Payload: make([]byte, 100)})
+	// ICMP errors quote the header + 8 bytes.
+	quote := raw[:28]
+	var ip IPv4
+	if err := ip.DecodeFromBytes(quote); err == nil {
+		t.Fatal("strict decoder accepted a truncated quote")
+	}
+	if err := ip.DecodeQuotedHeader(quote); err != nil {
+		t.Fatalf("quoted decode: %v", err)
+	}
+	if ip.Src != addrA || ip.Dst != addrB || ip.TTL != 7 || ip.Protocol != ProtoUDP {
+		t.Fatalf("quoted header: %+v", ip)
+	}
+	if len(ip.Payload) != 8 {
+		t.Fatalf("quoted payload = %d bytes", len(ip.Payload))
+	}
+	if err := ip.DecodeQuotedHeader(quote[:10]); err == nil {
+		t.Fatal("short quote accepted")
+	}
+}

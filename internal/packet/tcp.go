@@ -1,0 +1,113 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// FlagString renders TCP flags in the conventional "SA"/"R"/"FA" style.
+func FlagString(flags uint8) string {
+	var b strings.Builder
+	for _, f := range []struct {
+		bit  uint8
+		name byte
+	}{{TCPSyn, 'S'}, {TCPFin, 'F'}, {TCPRst, 'R'}, {TCPPsh, 'P'}, {TCPAck, 'A'}, {TCPUrg, 'U'}} {
+		if flags&f.bit != 0 {
+			b.WriteByte(f.name)
+		}
+	}
+	if b.Len() == 0 {
+		return "."
+	}
+	return b.String()
+}
+
+const tcpHeaderLen = 20
+
+// TCP is a decoded TCP segment.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Urgent  uint16
+	Options []byte
+	Payload []byte
+}
+
+// HeaderLen returns the header length in bytes including options,
+// rounded up to a 32-bit boundary.
+func (t *TCP) HeaderLen() int {
+	opt := (len(t.Options) + 3) &^ 3
+	return tcpHeaderLen + opt
+}
+
+// DecodeFromBytes parses a TCP segment. If src/dst are valid the transport
+// checksum is verified. The payload slice aliases data.
+func (t *TCP) DecodeFromBytes(data []byte, src, dst netip.Addr) error {
+	if len(data) < tcpHeaderLen {
+		return ErrTruncated
+	}
+	off := int(data[12]>>4) * 4
+	if off < tcpHeaderLen || off > len(data) {
+		return ErrBadHeader
+	}
+	if src.IsValid() && dst.IsValid() {
+		if TransportChecksum(src, dst, ProtoTCP, data) != 0 {
+			return ErrBadChecksum
+		}
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	if off > tcpHeaderLen {
+		t.Options = data[tcpHeaderLen:off]
+	} else {
+		t.Options = nil
+	}
+	t.Payload = data[off:]
+	return nil
+}
+
+// Marshal serializes the segment, computing the transport checksum from the
+// given IPv4 endpoints.
+func (t *TCP) Marshal(src, dst netip.Addr) ([]byte, error) {
+	hl := t.HeaderLen()
+	buf := make([]byte, hl+len(t.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
+	buf[12] = uint8(hl/4) << 4
+	buf[13] = t.Flags & 0x3f
+	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	binary.BigEndian.PutUint16(buf[18:20], t.Urgent)
+	copy(buf[tcpHeaderLen:hl], t.Options)
+	copy(buf[hl:], t.Payload)
+	binary.BigEndian.PutUint16(buf[16:18], TransportChecksum(src, dst, ProtoTCP, buf))
+	return buf, nil
+}
+
+// String renders a one-line summary for logs and debugging.
+func (t *TCP) String() string {
+	return fmt.Sprintf("TCP %d -> %d [%s] seq=%d ack=%d len=%d",
+		t.SrcPort, t.DstPort, FlagString(t.Flags), t.Seq, t.Ack, len(t.Payload))
+}

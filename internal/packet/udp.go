@@ -1,0 +1,62 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+const udpHeaderLen = 8
+
+// UDP is a decoded UDP datagram.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// DecodeFromBytes parses a UDP datagram. If src/dst are valid the transport
+// checksum is verified (a zero checksum field means "not computed" per RFC
+// 768 and is accepted). The payload slice aliases data.
+func (u *UDP) DecodeFromBytes(data []byte, src, dst netip.Addr) error {
+	if len(data) < udpHeaderLen {
+		return ErrTruncated
+	}
+	length := int(binary.BigEndian.Uint16(data[4:6]))
+	if length < udpHeaderLen || length > len(data) {
+		return ErrTruncated
+	}
+	if cs := binary.BigEndian.Uint16(data[6:8]); cs != 0 && src.IsValid() && dst.IsValid() {
+		if TransportChecksum(src, dst, ProtoUDP, data[:length]) != 0 {
+			return ErrBadChecksum
+		}
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Payload = data[udpHeaderLen:length]
+	return nil
+}
+
+// Marshal serializes the datagram, computing length and checksum.
+func (u *UDP) Marshal(src, dst netip.Addr) ([]byte, error) {
+	total := udpHeaderLen + len(u.Payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: UDP datagram too large (%d bytes)", total)
+	}
+	buf := make([]byte, total)
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(total))
+	copy(buf[udpHeaderLen:], u.Payload)
+	cs := TransportChecksum(src, dst, ProtoUDP, buf)
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted all-ones when computed sum is zero
+	}
+	binary.BigEndian.PutUint16(buf[6:8], cs)
+	return buf, nil
+}
+
+// String renders a one-line summary for logs and debugging.
+func (u *UDP) String() string {
+	return fmt.Sprintf("UDP %d -> %d len=%d", u.SrcPort, u.DstPort, len(u.Payload))
+}

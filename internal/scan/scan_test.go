@@ -1,0 +1,200 @@
+package scan
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/packet"
+	"safemeasure/internal/tcpsim"
+)
+
+var (
+	cliAddr = netip.MustParseAddr("10.1.0.10")
+	srvAddr = netip.MustParseAddr("203.0.113.80")
+	rtrAddr = netip.MustParseAddr("10.1.0.1")
+)
+
+type env struct {
+	sim    *netsim.Sim
+	client *netsim.Host
+	server *netsim.Host
+	router *netsim.Router
+	ss     *tcpsim.Stack
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	sim := netsim.NewSim(5)
+	e := &env{
+		sim:    sim,
+		client: netsim.NewHost(sim, "client", cliAddr),
+		server: netsim.NewHost(sim, "server", srvAddr),
+		router: netsim.NewRouter(sim, "r", rtrAddr, 2),
+	}
+	netsim.AttachHost(sim, e.client, e.router, 0, time.Millisecond)
+	netsim.AttachHost(sim, e.server, e.router, 1, time.Millisecond)
+	e.router.AddRoute(netip.PrefixFrom(cliAddr, 32), 0)
+	e.router.SetDefaultRoute(1)
+	e.ss = tcpsim.NewStack(e.server)
+	return e
+}
+
+func TestTopPorts(t *testing.T) {
+	top := TopPorts(1000)
+	if len(top) != 1000 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0] != 80 || top[1] != 23 || top[2] != 443 {
+		t.Fatalf("head = %v", top[:3])
+	}
+	seen := map[uint16]bool{}
+	for _, p := range top {
+		if seen[p] {
+			t.Fatalf("duplicate port %d", p)
+		}
+		seen[p] = true
+	}
+	if got := TopPorts(10); len(got) != 10 || got[0] != 80 {
+		t.Fatalf("TopPorts(10) = %v", got)
+	}
+}
+
+func TestScanClassifiesOpenClosedFiltered(t *testing.T) {
+	e := newEnv(t)
+	e.ss.Listen(80, func(c *tcpsim.Conn) {})
+	e.ss.Listen(22, func(c *tcpsim.Conn) {})
+	// Filter (drop) SYNs to port 443 at the router: "filtered".
+	e.router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
+		if tp.Pkt != nil && tp.Pkt.TCP != nil && tp.Pkt.TCP.DstPort == 443 {
+			return netsim.Drop
+		}
+		return netsim.Pass
+	}))
+	var res *Result
+	sc := NewScanner(e.client)
+	sc.Scan(srvAddr, []uint16{80, 22, 443, 8080}, func(r *Result) { res = r })
+	e.sim.Run()
+	if res == nil {
+		t.Fatal("scan never completed")
+	}
+	want := map[uint16]PortState{80: StateOpen, 22: StateOpen, 443: StateFiltered, 8080: StateClosed}
+	for p, st := range want {
+		if res.Ports[p] != st {
+			t.Errorf("port %d = %v, want %v", p, res.Ports[p], st)
+		}
+	}
+	if res.ProbesSent != 4 {
+		t.Fatalf("probes = %d", res.ProbesSent)
+	}
+	if got := res.OpenPorts(); len(got) != 2 || got[0] != 22 || got[1] != 80 {
+		t.Fatalf("open = %v", got)
+	}
+	if res.Count(StateFiltered) != 1 {
+		t.Fatalf("filtered count = %d", res.Count(StateFiltered))
+	}
+}
+
+func TestScanHalfOpenSendsRST(t *testing.T) {
+	// nmap -sS behaviour: after SYN/ACK, the scanner must RST, never ACK —
+	// the server connection must not complete.
+	e := newEnv(t)
+	accepted := false
+	e.ss.Listen(80, func(c *tcpsim.Conn) { accepted = true })
+	var sawRST bool
+	e.server.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && pkt.TCP.Flags&packet.TCPRst != 0 && pkt.IP.Src == cliAddr {
+			sawRST = true
+		}
+	})
+	sc := NewScanner(e.client)
+	var res *Result
+	sc.Scan(srvAddr, []uint16{80}, func(r *Result) { res = r })
+	e.sim.Run()
+	if res.Ports[80] != StateOpen {
+		t.Fatalf("port 80 = %v", res.Ports[80])
+	}
+	if !sawRST {
+		t.Fatal("no RST teardown after SYN/ACK")
+	}
+	if accepted {
+		t.Fatal("half-open scan completed the handshake")
+	}
+}
+
+func TestTwoScansDistinctPorts(t *testing.T) {
+	e := newEnv(t)
+	e.ss.Listen(80, func(c *tcpsim.Conn) {})
+	sc := NewScanner(e.client)
+	var r1, r2 *Result
+	sc.Scan(srvAddr, []uint16{80, 81}, func(r *Result) { r1 = r })
+	e.sim.Run()
+	sc.Scan(srvAddr, []uint16{80, 81}, func(r *Result) { r2 = r })
+	e.sim.Run()
+	if r1 == nil || r2 == nil {
+		t.Fatal("scans incomplete")
+	}
+	if r1.Ports[80] != StateOpen || r2.Ports[80] != StateOpen {
+		t.Fatalf("r1=%v r2=%v", r1.Ports, r2.Ports)
+	}
+	if r1.Ports[81] != StateClosed || r2.Ports[81] != StateClosed {
+		t.Fatalf("closed port: r1=%v r2=%v", r1.Ports[81], r2.Ports[81])
+	}
+}
+
+func TestInferCensorship(t *testing.T) {
+	res := &Result{Ports: map[uint16]PortState{80: StateClosed, 443: StateOpen}}
+	blocked, ev := InferCensorship(res, []uint16{80})
+	if !blocked || ev[80] != StateClosed {
+		t.Fatalf("blocked=%v ev=%v", blocked, ev)
+	}
+	blocked, _ = InferCensorship(res, []uint16{443})
+	if blocked {
+		t.Fatal("open port inferred as censored")
+	}
+	// Unknown port contributes nothing.
+	blocked, ev = InferCensorship(res, []uint16{9999})
+	if blocked || len(ev) != 0 {
+		t.Fatalf("unknown port: %v %v", blocked, ev)
+	}
+}
+
+func TestPortStateString(t *testing.T) {
+	if StateOpen.String() != "open" || StateClosed.String() != "closed" || StateFiltered.String() != "filtered" {
+		t.Fatal("names")
+	}
+}
+
+func TestScanShuffleStillAccurate(t *testing.T) {
+	e := newEnv(t)
+	e.ss.Listen(80, func(c *tcpsim.Conn) {})
+	var order []uint16
+	e.server.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && pkt.TCP.Flags == packet.TCPSyn {
+			order = append(order, pkt.TCP.DstPort)
+		}
+	})
+	sc := NewScanner(e.client)
+	sc.Shuffle = true
+	ports := TopPorts(30)
+	var res *Result
+	sc.Scan(srvAddr, ports, func(r *Result) { res = r })
+	e.sim.Run()
+	if res == nil || res.Ports[80] != StateOpen {
+		t.Fatalf("shuffled scan verdicts: %v", res)
+	}
+	if len(order) != 30 {
+		t.Fatalf("probes = %d", len(order))
+	}
+	inOrder := true
+	for i := range order {
+		if order[i] != ports[i] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("shuffle left ports in canonical order")
+	}
+}

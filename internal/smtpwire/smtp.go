@@ -1,0 +1,203 @@
+// Package smtpwire implements the SMTP command/reply wire format (RFC 5321
+// subset) and a simple RFC 5322 message representation. The spam-cloaked
+// measurement technique (paper §3.1, Method #2) delivers messages with this
+// codec over the simulated TCP stack; the Proofpoint-like scorer in
+// internal/spamscore consumes the Message type.
+package smtpwire
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the codec.
+var (
+	ErrIncomplete = errors.New("smtpwire: incomplete")
+	ErrMalformed  = errors.New("smtpwire: malformed")
+)
+
+// Command is one SMTP client command.
+type Command struct {
+	Verb string // upper-cased: HELO, EHLO, MAIL, RCPT, DATA, QUIT, RSET, NOOP
+	Arg  string // raw argument, e.g. "FROM:<a@b.test>"
+}
+
+// Marshal renders the command line with CRLF.
+func (c Command) Marshal() []byte {
+	if c.Arg == "" {
+		return []byte(c.Verb + "\r\n")
+	}
+	return []byte(c.Verb + " " + c.Arg + "\r\n")
+}
+
+// ParseCommand decodes one command from a CRLF-terminated line. consumed is
+// the number of bytes used; ErrIncomplete means no full line yet.
+func ParseCommand(data []byte) (Command, int, error) {
+	line, n, err := cutLine(data)
+	if err != nil {
+		return Command{}, 0, err
+	}
+	verb, arg, _ := strings.Cut(line, " ")
+	if verb == "" {
+		return Command{}, 0, ErrMalformed
+	}
+	return Command{Verb: strings.ToUpper(verb), Arg: strings.TrimSpace(arg)}, n, nil
+}
+
+// Reply is an SMTP server reply (single-line form).
+type Reply struct {
+	Code int
+	Text string
+}
+
+// Marshal renders "250 OK\r\n".
+func (r Reply) Marshal() []byte {
+	return []byte(fmt.Sprintf("%03d %s\r\n", r.Code, r.Text))
+}
+
+// ParseReply decodes one reply, including RFC 5321 multiline form
+// ("250-first\r\n250-second\r\n250 last"): continuation lines are joined
+// with newlines into Text, and consumed covers the whole group.
+func ParseReply(data []byte) (Reply, int, error) {
+	var texts []string
+	code := -1
+	consumed := 0
+	for {
+		line, n, err := cutLine(data[consumed:])
+		if err != nil {
+			return Reply{}, 0, err // incomplete group
+		}
+		if len(line) < 3 {
+			return Reply{}, 0, ErrMalformed
+		}
+		c, err := strconv.Atoi(line[:3])
+		if err != nil || c < 100 || c > 599 {
+			return Reply{}, 0, ErrMalformed
+		}
+		if code == -1 {
+			code = c
+		} else if c != code {
+			return Reply{}, 0, ErrMalformed // mixed codes in one group
+		}
+		consumed += n
+		cont := len(line) > 3 && line[3] == '-'
+		if len(line) > 4 {
+			texts = append(texts, line[4:])
+		} else if len(line) > 3 && !cont {
+			texts = append(texts, "")
+		}
+		if !cont {
+			break
+		}
+	}
+	return Reply{Code: code, Text: strings.Join(texts, "\n")}, consumed, nil
+}
+
+func cutLine(data []byte) (string, int, error) {
+	s := string(data)
+	i := strings.Index(s, "\r\n")
+	if i < 0 {
+		return "", 0, ErrIncomplete
+	}
+	return s[:i], i + 2, nil
+}
+
+// ExtractAddress pulls the path out of "FROM:<user@host>" / "TO:<user@host>".
+func ExtractAddress(arg string) (string, error) {
+	_, rest, ok := strings.Cut(arg, ":")
+	if !ok {
+		return "", ErrMalformed
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "<") || !strings.HasSuffix(rest, ">") {
+		return "", ErrMalformed
+	}
+	addr := rest[1 : len(rest)-1]
+	if addr != "" && !strings.Contains(addr, "@") {
+		return "", ErrMalformed
+	}
+	return addr, nil
+}
+
+// Domain returns the domain part of user@domain, lower-cased.
+func Domain(addr string) string {
+	_, dom, ok := strings.Cut(addr, "@")
+	if !ok {
+		return ""
+	}
+	return strings.ToLower(dom)
+}
+
+// Message is a simple RFC 5322 mail message.
+type Message struct {
+	From    string
+	To      string
+	Subject string
+	Headers map[string]string // extra headers
+	Body    string
+}
+
+// Marshal renders the message as DATA content, dot-stuffed, terminated with
+// the "\r\n.\r\n" end-of-data marker.
+func (m *Message) Marshal() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "From: %s\r\n", m.From)
+	fmt.Fprintf(&b, "To: %s\r\n", m.To)
+	fmt.Fprintf(&b, "Subject: %s\r\n", m.Subject)
+	for k, v := range m.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	for _, line := range strings.Split(m.Body, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if strings.HasPrefix(line, ".") {
+			b.WriteString(".") // dot-stuffing
+		}
+		b.WriteString(line)
+		b.WriteString("\r\n")
+	}
+	b.WriteString(".\r\n")
+	return []byte(b.String())
+}
+
+// ParseMessage decodes DATA content up to the end-of-data marker. consumed
+// includes the marker.
+func ParseMessage(data []byte) (*Message, int, error) {
+	s := string(data)
+	end := strings.Index(s, "\r\n.\r\n")
+	if end < 0 {
+		if s == ".\r\n" { // empty message
+			return &Message{}, 3, nil
+		}
+		return nil, 0, ErrIncomplete
+	}
+	content := s[:end]
+	consumed := end + 5
+	head, body, _ := strings.Cut(content, "\r\n\r\n")
+	m := &Message{Headers: map[string]string{}}
+	for _, line := range strings.Split(head, "\r\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(k) {
+		case "from":
+			m.From = v
+		case "to":
+			m.To = v
+		case "subject":
+			m.Subject = v
+		default:
+			m.Headers[k] = v
+		}
+	}
+	var lines []string
+	for _, line := range strings.Split(body, "\r\n") {
+		lines = append(lines, strings.TrimPrefix(line, "."))
+	}
+	m.Body = strings.Join(lines, "\n")
+	return m, consumed, nil
+}

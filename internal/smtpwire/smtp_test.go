@@ -1,0 +1,220 @@
+package smtpwire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	cases := []Command{
+		{Verb: "HELO", Arg: "client.test"},
+		{Verb: "MAIL", Arg: "FROM:<a@b.test>"},
+		{Verb: "RCPT", Arg: "TO:<x@y.test>"},
+		{Verb: "DATA"},
+		{Verb: "QUIT"},
+	}
+	for _, in := range cases {
+		out, n, err := ParseCommand(in.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if out != in || n != len(in.Marshal()) {
+			t.Fatalf("round-trip: %v -> %v", in, out)
+		}
+	}
+}
+
+func TestCommandCaseInsensitive(t *testing.T) {
+	out, _, err := ParseCommand([]byte("mail FROM:<a@b.test>\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verb != "MAIL" {
+		t.Fatalf("verb = %q", out.Verb)
+	}
+}
+
+func TestCommandIncomplete(t *testing.T) {
+	if _, _, err := ParseCommand([]byte("MAIL FROM:<a@b>")); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	in := Reply{Code: 250, Text: "OK"}
+	out, _, err := ParseReply(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestReplyMalformed(t *testing.T) {
+	for _, c := range []string{"ab\r\n", "99 too low\r\n", "600 too high\r\n", "xyz text\r\n"} {
+		if _, _, err := ParseReply([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestExtractAddress(t *testing.T) {
+	addr, err := ExtractAddress("FROM:<promo@deals.test>")
+	if err != nil || addr != "promo@deals.test" {
+		t.Fatalf("addr=%q err=%v", addr, err)
+	}
+	if _, err := ExtractAddress("FROM:no-brackets@x.test"); err == nil {
+		t.Fatal("missing brackets accepted")
+	}
+	if _, err := ExtractAddress("garbage"); err == nil {
+		t.Fatal("no colon accepted")
+	}
+	// Null reverse path is legal (bounces).
+	addr, err = ExtractAddress("FROM:<>")
+	if err != nil || addr != "" {
+		t.Fatalf("null path: %q %v", addr, err)
+	}
+}
+
+func TestDomain(t *testing.T) {
+	if Domain("user@Example.COM") != "example.com" {
+		t.Fatal("domain extraction")
+	}
+	if Domain("nodomain") != "" {
+		t.Fatal("bare name should have empty domain")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	in := &Message{
+		From: "promo@win.test", To: "victim@mail.test",
+		Subject: "You WON!!!",
+		Body:    "Click here\nhttp://win.test/claim\n.leading dot line",
+	}
+	wire := in.Marshal()
+	out, n, err := ParseMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d/%d", n, len(wire))
+	}
+	if out.From != in.From || out.To != in.To || out.Subject != in.Subject {
+		t.Fatalf("headers: %+v", out)
+	}
+	if out.Body != in.Body {
+		t.Fatalf("body %q != %q", out.Body, in.Body)
+	}
+}
+
+func TestMessageIncomplete(t *testing.T) {
+	if _, _, err := ParseMessage([]byte("From: a\r\n\r\npartial body")); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDotStuffing(t *testing.T) {
+	in := &Message{From: "a@x.test", To: "b@y.test", Subject: "s", Body: ".hidden\n..double"}
+	wire := string(in.Marshal())
+	if !strings.Contains(wire, "\r\n..hidden\r\n") {
+		t.Fatalf("dot not stuffed:\n%s", wire)
+	}
+	out, _, err := ParseMessage(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Body != in.Body {
+		t.Fatalf("body %q", out.Body)
+	}
+}
+
+func TestExtraHeadersPreserved(t *testing.T) {
+	in := &Message{From: "a@x.test", To: "b@y.test", Subject: "s",
+		Headers: map[string]string{"X-Mailer": "bulk v2"}, Body: "hi"}
+	out, _, err := ParseMessage(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Headers["X-Mailer"] != "bulk v2" {
+		t.Fatalf("extra headers: %+v", out.Headers)
+	}
+}
+
+func TestQuickMessageBodyRoundTrip(t *testing.T) {
+	f := func(seed []byte) bool {
+		// Printable body from fuzz bytes, allowing dots and newlines.
+		body := strings.Map(func(r rune) rune {
+			switch {
+			case r >= ' ' && r < 127:
+				return r
+			case r%7 == 0:
+				return '\n'
+			default:
+				return '.'
+			}
+		}, string(seed))
+		body = strings.Trim(body, "\n")
+		in := &Message{From: "a@x.test", To: "b@y.test", Subject: "q", Body: body}
+		out, _, err := ParseMessage(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Body == body
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, _ = ParseCommand(data)
+		_, _, _ = ParseReply(data)
+		_, _, _ = ParseMessage(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultilineReply(t *testing.T) {
+	wire := []byte("250-mail.test greets you\r\n250-SIZE 1000000\r\n250 HELP\r\n")
+	r, n, err := ParseReply(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d/%d", n, len(wire))
+	}
+	if r.Code != 250 {
+		t.Fatalf("code = %d", r.Code)
+	}
+	want := "mail.test greets you\nSIZE 1000000\nHELP"
+	if r.Text != want {
+		t.Fatalf("text = %q", r.Text)
+	}
+}
+
+func TestMultilineReplyIncomplete(t *testing.T) {
+	// Continuation announced but final line missing: whole group incomplete.
+	if _, _, err := ParseReply([]byte("250-first\r\n")); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultilineReplyMixedCodes(t *testing.T) {
+	if _, _, err := ParseReply([]byte("250-a\r\n550 b\r\n")); err == nil {
+		t.Fatal("mixed codes accepted")
+	}
+}
+
+func TestBareCodeReply(t *testing.T) {
+	r, _, err := ParseReply([]byte("354\r\n"))
+	if err != nil || r.Code != 354 || r.Text != "" {
+		t.Fatalf("bare code: %+v %v", r, err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package spamscore is the lab's stand-in for Proofpoint, the commercial
+// spam filter the paper used to validate that its spam-cloaked measurements
+// are classified as spam (Figure 2). It is a transparent rule-based scorer:
+// weighted content heuristics summed and squashed onto Proofpoint's 0-100
+// scale (0 = not spam, 100 = spam).
+//
+// The goal is shape fidelity, not filter excellence: messages built from
+// the lab's spam templates must land in the high-score region, and ordinary
+// correspondence must land low — which is what the paper's Figure 2 shows
+// for its n=100 test measurements.
+package spamscore
+
+import (
+	"math"
+	"strings"
+
+	"safemeasure/internal/smtpwire"
+)
+
+// Feature is one scored heuristic, reported for explainability.
+type Feature struct {
+	Name   string
+	Weight float64
+}
+
+// Result is a scored message.
+type Result struct {
+	Score    float64 // 0..100
+	Features []Feature
+}
+
+// phrase heuristics with weights, modeled on the classic SpamAssassin-style
+// rule corpus.
+var phraseRules = []struct {
+	needle string
+	name   string
+	weight float64
+}{
+	{"viagra", "DRUG_SPAM", 2.5},
+	{"cialis", "DRUG_SPAM_2", 2.5},
+	{"lottery", "LOTTERY", 2.2},
+	{"winner", "WINNER", 1.8},
+	{"you have won", "YOU_WON", 2.5},
+	{"claim your", "CLAIM", 1.6},
+	{"click here", "CLICK_HERE", 1.8},
+	{"act now", "URGENCY", 1.5},
+	{"limited time", "URGENCY_2", 1.3},
+	{"100% free", "FREE_100", 2.0},
+	{"no credit check", "CREDIT", 1.8},
+	{"earn money", "EARN", 1.5},
+	{"work from home", "WFH", 1.4},
+	{"unsubscribe", "UNSUB", 0.8},
+	{"dear friend", "DEAR_FRIEND", 1.6},
+	{"nigerian prince", "ADVANCE_FEE", 3.0},
+	{"wire transfer", "WIRE", 1.4},
+	{"cheap meds", "MEDS", 2.2},
+	{"hot singles", "ADULT", 2.4},
+	{"crypto doubling", "CRYPTO", 2.2},
+}
+
+// Scorer scores messages. The zero value is not usable; call New.
+type Scorer struct {
+	// SpamThreshold is the score at or above which a message is treated as
+	// spam by the mail pipeline (Proofpoint quarantines high scores).
+	SpamThreshold float64
+}
+
+// New returns a scorer with the default threshold.
+func New() *Scorer { return &Scorer{SpamThreshold: 80} }
+
+// Score evaluates a message.
+func (sc *Scorer) Score(m *smtpwire.Message) Result {
+	var raw float64
+	var feats []Feature
+	add := func(name string, w float64) {
+		raw += w
+		feats = append(feats, Feature{Name: name, Weight: w})
+	}
+
+	text := strings.ToLower(m.Subject + "\n" + m.Body)
+
+	for _, r := range phraseRules {
+		if strings.Contains(text, r.needle) {
+			add(r.name, r.weight)
+		}
+	}
+
+	// URL density.
+	urls := strings.Count(text, "http://") + strings.Count(text, "https://")
+	if urls > 0 {
+		add("HAS_URL", 0.6)
+	}
+	if urls >= 3 {
+		add("MANY_URLS", 1.5)
+	}
+
+	// Shouting subject.
+	if caps, letters := countCaps(m.Subject); letters >= 6 && float64(caps) > 0.5*float64(letters) {
+		add("SUBJ_ALL_CAPS", 1.7)
+	}
+	if strings.Count(m.Subject, "!") >= 2 {
+		add("SUBJ_EXCLAIM", 1.2)
+	}
+	if strings.Count(m.Body, "!!!") > 0 {
+		add("BODY_EXCLAIM", 1.0)
+	}
+
+	// Money amounts: "$1,000,000" and friends.
+	if strings.Contains(text, "$") && strings.Contains(text, ",000") {
+		add("BIG_MONEY", 1.8)
+	}
+
+	// Suspicious sender domain.
+	fromDom := smtpwire.Domain(m.From)
+	for _, tld := range []string{".biz", ".click", ".top", ".loan"} {
+		if strings.HasSuffix(fromDom, tld) {
+			add("SPAMMY_TLD", 1.3)
+			break
+		}
+	}
+	// From/To domain mismatch plus bulk header.
+	if m.Headers != nil {
+		if _, ok := m.Headers["X-Bulk"]; ok {
+			add("BULK_HEADER", 1.0)
+		}
+		if prec := m.Headers["Precedence"]; strings.EqualFold(prec, "bulk") {
+			add("PRECEDENCE_BULK", 1.0)
+		}
+	}
+
+	// Ham evidence: real correspondence markers pull the score down.
+	for _, marker := range []string{"meeting", "attached", "regards", "thanks", "yesterday", "minutes"} {
+		if strings.Contains(text, marker) {
+			add("HAM_"+strings.ToUpper(marker), -0.9)
+		}
+	}
+	if raw < 0 {
+		raw = 0
+	}
+
+	// Squash onto 0..100: a raw of ~10 (a handful of strong rules) maps
+	// near the spam threshold, and heavier rule stacks spread across the
+	// 80..100 region instead of saturating — matching the spread real
+	// gateway scores show across campaign templates.
+	score := 100 * (1 - math.Exp(-raw/6.0))
+	return Result{Score: score, Features: feats}
+}
+
+// IsSpam applies the threshold.
+func (sc *Scorer) IsSpam(m *smtpwire.Message) bool {
+	return sc.Score(m).Score >= sc.SpamThreshold
+}
+
+func countCaps(s string) (caps, letters int) {
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			caps++
+			letters++
+		case r >= 'a' && r <= 'z':
+			letters++
+		}
+	}
+	return caps, letters
+}

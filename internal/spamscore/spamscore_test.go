@@ -1,0 +1,118 @@
+package spamscore
+
+import (
+	"fmt"
+	"testing"
+
+	"safemeasure/internal/smtpwire"
+)
+
+func spamMsg(i int) *smtpwire.Message {
+	return &smtpwire.Message{
+		From:    fmt.Sprintf("promo%d@megadeals.biz", i),
+		To:      "probe@measurement.test",
+		Subject: "CONGRATULATIONS WINNER!!!",
+		Headers: map[string]string{"Precedence": "bulk"},
+		Body: "Dear friend, you have won the international lottery of $1,000,000!\n" +
+			"Act now, limited time! Click here to claim your prize:\n" +
+			"http://megadeals.biz/claim http://megadeals.biz/win http://megadeals.biz/now\n" +
+			"100% free! Unsubscribe anytime.",
+	}
+}
+
+func hamMsg() *smtpwire.Message {
+	return &smtpwire.Message{
+		From:    "alice@university.test",
+		To:      "bob@university.test",
+		Subject: "Meeting notes from yesterday",
+		Body:    "Hi Bob,\n\nAttached are the minutes from the meeting. Thanks for presenting.\n\nRegards,\nAlice",
+	}
+}
+
+func TestSpamTemplateScoresHigh(t *testing.T) {
+	sc := New()
+	res := sc.Score(spamMsg(0))
+	if res.Score < sc.SpamThreshold {
+		t.Fatalf("spam template scored %.1f (< threshold %.1f); features: %v", res.Score, sc.SpamThreshold, res.Features)
+	}
+	if !sc.IsSpam(spamMsg(0)) {
+		t.Fatal("IsSpam false for spam template")
+	}
+}
+
+func TestHamScoresLow(t *testing.T) {
+	sc := New()
+	res := sc.Score(hamMsg())
+	if res.Score >= 40 {
+		t.Fatalf("ham scored %.1f; features: %v", res.Score, res.Features)
+	}
+	if sc.IsSpam(hamMsg()) {
+		t.Fatal("IsSpam true for ham")
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	sc := New()
+	msgs := []*smtpwire.Message{spamMsg(0), hamMsg(), {}, {Subject: "x", Body: "y"}}
+	for _, m := range msgs {
+		s := sc.Score(m).Score
+		if s < 0 || s > 100 {
+			t.Fatalf("score %v out of range", s)
+		}
+	}
+}
+
+func TestSeparation(t *testing.T) {
+	// The discriminating property behind Figure 2: every spam variant
+	// scores well above every ham variant.
+	sc := New()
+	minSpam, maxHam := 101.0, -1.0
+	for i := 0; i < 20; i++ {
+		if s := sc.Score(spamMsg(i)).Score; s < minSpam {
+			minSpam = s
+		}
+	}
+	hams := []*smtpwire.Message{
+		hamMsg(),
+		{From: "a@x.test", To: "b@y.test", Subject: "lunch?", Body: "pizza at noon? thanks"},
+		{From: "ci@builds.test", To: "dev@y.test", Subject: "build 1234 passed", Body: "all 250 tests green"},
+	}
+	for _, m := range hams {
+		if s := sc.Score(m).Score; s > maxHam {
+			maxHam = s
+		}
+	}
+	if minSpam <= maxHam {
+		t.Fatalf("no separation: min spam %.1f <= max ham %.1f", minSpam, maxHam)
+	}
+}
+
+func TestFeatureExplainability(t *testing.T) {
+	sc := New()
+	res := sc.Score(spamMsg(0))
+	found := map[string]bool{}
+	for _, f := range res.Features {
+		found[f.Name] = true
+	}
+	for _, want := range []string{"LOTTERY", "CLICK_HERE", "SUBJ_ALL_CAPS", "MANY_URLS", "BIG_MONEY"} {
+		if !found[want] {
+			t.Errorf("feature %s not reported; got %v", want, res.Features)
+		}
+	}
+}
+
+func TestEmptyMessageScoresZeroish(t *testing.T) {
+	sc := New()
+	if s := sc.Score(&smtpwire.Message{}).Score; s > 20 {
+		t.Fatalf("empty message scored %.1f", s)
+	}
+}
+
+func TestHamMarkersReduceScore(t *testing.T) {
+	sc := New()
+	spammy := &smtpwire.Message{Subject: "winner", Body: "click here"}
+	withHam := &smtpwire.Message{Subject: "winner", Body: "click here. thanks, regards, see the attached meeting minutes"}
+	if sc.Score(withHam).Score >= sc.Score(spammy).Score {
+		t.Fatal("ham markers did not reduce score")
+	}
+}

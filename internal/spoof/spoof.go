@@ -1,0 +1,166 @@
+// Package spoof models source-address-validation (SAV) deployment and
+// cover-address selection for the paper's §4 techniques.
+//
+// The feasibility numbers come from Beverly et al. (IMC 2009), which the
+// paper cites in §4.2: 77 % of clients can spoof addresses within their own
+// /24, and 11 % can spoof within their own /16. The model assigns each
+// client network a filtering policy drawn to reproduce those population
+// fractions, then answers "which cover addresses can this client claim?".
+package spoof
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// Policy is the SAV filtering regime a client sits behind.
+type Policy int
+
+// Policies, from most to least restrictive.
+const (
+	// PolicyStrict: all spoofed packets are dropped at the first hop.
+	PolicyStrict Policy = iota
+	// PolicySlash24: spoofing permitted within the client's /24.
+	PolicySlash24
+	// PolicySlash16: spoofing permitted within the client's /16.
+	PolicySlash16
+)
+
+// String returns a short policy name.
+func (p Policy) String() string {
+	return [...]string{"strict", "/24", "/16"}[p]
+}
+
+// BeverlyFractions reproduces the paper's cited measurements: fraction of
+// clients that can spoof within each scope. /16 spoofers are a subset of
+// /24 spoofers.
+type Fractions struct {
+	Slash24 float64 // P(can spoof within /24) = 0.77
+	Slash16 float64 // P(can spoof within /16) = 0.11
+}
+
+// Beverly returns the published fractions.
+func Beverly() Fractions { return Fractions{Slash24: 0.77, Slash16: 0.11} }
+
+// Model assigns policies to clients and answers spoofability queries.
+type Model struct {
+	fr  Fractions
+	rng *rand.Rand
+}
+
+// NewModel creates a model with the given fractions and seed.
+func NewModel(fr Fractions, seed int64) (*Model, error) {
+	if fr.Slash16 > fr.Slash24 || fr.Slash24 > 1 || fr.Slash16 < 0 {
+		return nil, fmt.Errorf("spoof: inconsistent fractions %+v", fr)
+	}
+	return &Model{fr: fr, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// DrawPolicy samples a policy for one client.
+func (m *Model) DrawPolicy() Policy {
+	u := m.rng.Float64()
+	switch {
+	case u < m.fr.Slash16:
+		return PolicySlash16
+	case u < m.fr.Slash24:
+		return PolicySlash24
+	default:
+		return PolicyStrict
+	}
+}
+
+// CanSpoof reports whether a client at addr under policy may emit a packet
+// with source spoofed.
+func CanSpoof(policy Policy, addr, spoofed netip.Addr) bool {
+	if addr == spoofed {
+		return true // own address is always fine
+	}
+	switch policy {
+	case PolicySlash24:
+		return samePrefix(addr, spoofed, 24)
+	case PolicySlash16:
+		return samePrefix(addr, spoofed, 16)
+	default:
+		return false
+	}
+}
+
+func samePrefix(a, b netip.Addr, bits int) bool {
+	pa, err := a.Prefix(bits)
+	if err != nil {
+		return false
+	}
+	return pa.Contains(b)
+}
+
+// CoverSetSize returns how many distinct source addresses a client may
+// claim under the policy (including its own), assuming a fully populated
+// prefix: 1 for strict, 256 for /24, 65536 for /16. The paper's §6 uses the
+// /16 figure ("roughly 65k queries").
+func CoverSetSize(policy Policy) int {
+	switch policy {
+	case PolicySlash24:
+		return 1 << 8
+	case PolicySlash16:
+		return 1 << 16
+	default:
+		return 1
+	}
+}
+
+// CoverAddrs enumerates up to max spoofable addresses adjacent to addr
+// under policy, skipping network/broadcast-style endpoints and addr itself.
+func CoverAddrs(policy Policy, addr netip.Addr, max int) []netip.Addr {
+	var bits int
+	switch policy {
+	case PolicySlash24:
+		bits = 24
+	case PolicySlash16:
+		bits = 16
+	default:
+		return nil
+	}
+	prefix, err := addr.Prefix(bits)
+	if err != nil {
+		return nil
+	}
+	var out []netip.Addr
+	for a := prefix.Addr().Next(); prefix.Contains(a) && len(out) < max; a = a.Next() {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Filter is a netsim-style SAV check for an AS edge: given the true sender
+// and the packet's claimed source, does the edge forward it? Lab routers
+// consult this in an edge tap.
+type Filter struct {
+	policies map[netip.Addr]Policy
+
+	// Stats.
+	Passed  int
+	Dropped int
+}
+
+// NewFilter creates an empty SAV filter.
+func NewFilter() *Filter { return &Filter{policies: make(map[netip.Addr]Policy)} }
+
+// SetPolicy fixes a client's policy.
+func (f *Filter) SetPolicy(client netip.Addr, p Policy) { f.policies[client] = p }
+
+// Policy returns a client's policy (strict when unset).
+func (f *Filter) Policy(client netip.Addr) Policy { return f.policies[client] }
+
+// Allow reports whether a packet truly from sender claiming src passes.
+func (f *Filter) Allow(sender, claimed netip.Addr) bool {
+	ok := CanSpoof(f.policies[sender], sender, claimed)
+	if ok {
+		f.Passed++
+	} else {
+		f.Dropped++
+	}
+	return ok
+}

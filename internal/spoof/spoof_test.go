@@ -1,0 +1,144 @@
+package spoof
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var client = netip.MustParseAddr("10.1.2.10")
+
+func TestDrawPolicyReproducesBeverly(t *testing.T) {
+	m, err := NewModel(Beverly(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	counts := map[Policy]int{}
+	for i := 0; i < n; i++ {
+		counts[m.DrawPolicy()]++
+	}
+	// 77% can spoof at least /24 (i.e. /24 or /16 policies).
+	can24 := float64(counts[PolicySlash24]+counts[PolicySlash16]) / n
+	can16 := float64(counts[PolicySlash16]) / n
+	if math.Abs(can24-0.77) > 0.01 {
+		t.Fatalf("P(spoof /24) = %.3f, want 0.77", can24)
+	}
+	if math.Abs(can16-0.11) > 0.01 {
+		t.Fatalf("P(spoof /16) = %.3f, want 0.11", can16)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel(Fractions{Slash24: 0.1, Slash16: 0.5}, 1); err == nil {
+		t.Fatal("inconsistent fractions accepted")
+	}
+	if _, err := NewModel(Fractions{Slash24: 1.5, Slash16: 0.1}, 1); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestCanSpoofScopes(t *testing.T) {
+	in24 := netip.MustParseAddr("10.1.2.200")
+	in16 := netip.MustParseAddr("10.1.99.7")
+	outside := netip.MustParseAddr("10.2.0.1")
+
+	cases := []struct {
+		policy  Policy
+		spoofed netip.Addr
+		want    bool
+	}{
+		{PolicyStrict, in24, false},
+		{PolicyStrict, client, true}, // own address always ok
+		{PolicySlash24, in24, true},
+		{PolicySlash24, in16, false},
+		{PolicySlash16, in24, true},
+		{PolicySlash16, in16, true},
+		{PolicySlash16, outside, false},
+	}
+	for i, tc := range cases {
+		if got := CanSpoof(tc.policy, client, tc.spoofed); got != tc.want {
+			t.Errorf("case %d (%v spoofing %v): got %v", i, tc.policy, tc.spoofed, got)
+		}
+	}
+}
+
+func TestCoverSetSize(t *testing.T) {
+	if CoverSetSize(PolicyStrict) != 1 || CoverSetSize(PolicySlash24) != 256 {
+		t.Fatal("small scopes")
+	}
+	// §6: one measurement per IP in a /16 is ~65k queries.
+	if CoverSetSize(PolicySlash16) != 65536 {
+		t.Fatal("/16 scope")
+	}
+}
+
+func TestCoverAddrs(t *testing.T) {
+	addrs := CoverAddrs(PolicySlash24, client, 10)
+	if len(addrs) != 10 {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+	for _, a := range addrs {
+		if a == client {
+			t.Fatal("own address in cover set")
+		}
+		if !CanSpoof(PolicySlash24, client, a) {
+			t.Fatalf("cover addr %v not spoofable", a)
+		}
+	}
+	if CoverAddrs(PolicyStrict, client, 10) != nil {
+		t.Fatal("strict policy returned covers")
+	}
+	// Asking for more than the /24 holds caps out below 256.
+	all := CoverAddrs(PolicySlash24, client, 1000)
+	if len(all) >= 256 || len(all) < 250 {
+		t.Fatalf("full /24 cover set = %d", len(all))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := NewFilter()
+	f.SetPolicy(client, PolicySlash24)
+	neighbor := netip.MustParseAddr("10.1.2.77")
+	far := netip.MustParseAddr("10.9.9.9")
+	if !f.Allow(client, neighbor) {
+		t.Fatal("in-/24 spoof dropped")
+	}
+	if f.Allow(client, far) {
+		t.Fatal("cross-net spoof passed")
+	}
+	if f.Passed != 1 || f.Dropped != 1 {
+		t.Fatalf("stats: %d/%d", f.Passed, f.Dropped)
+	}
+	// Unconfigured client defaults to strict.
+	other := netip.MustParseAddr("10.1.2.11")
+	if f.Allow(other, neighbor) {
+		t.Fatal("default policy not strict")
+	}
+	if f.Policy(client) != PolicySlash24 {
+		t.Fatal("policy lookup")
+	}
+}
+
+func TestQuickCoverAddrsAlwaysSpoofable(t *testing.T) {
+	f := func(a, b, c, d byte, pol uint8) bool {
+		addr := netip.AddrFrom4([4]byte{a, b, c, d})
+		policy := Policy(pol % 3)
+		for _, cover := range CoverAddrs(policy, addr, 50) {
+			if !CanSpoof(policy, addr, cover) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyStrict.String() != "strict" || PolicySlash16.String() != "/16" {
+		t.Fatal("policy names")
+	}
+}

@@ -1,0 +1,246 @@
+// Package stats provides the small statistics toolkit the experiment harness
+// uses: empirical CDFs (Figure 2 is a CDF of spam scores), histograms,
+// percentile summaries, and fixed-width table rendering for the labbench
+// output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied, then sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.sorted[rank]
+}
+
+// Min returns the smallest sample.
+func (c *CDF) Min() float64 { return c.Quantile(0) }
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 { return c.Quantile(1) }
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Points returns (x, P(X<=x)) pairs at each distinct sample value — the
+// series a CDF plot would draw.
+func (c *CDF) Points() [][2]float64 {
+	var pts [][2]float64
+	n := float64(len(c.sorted))
+	for i, v := range c.sorted {
+		if i+1 < len(c.sorted) && c.sorted[i+1] == v {
+			continue
+		}
+		pts = append(pts, [2]float64{v, float64(i+1) / n})
+	}
+	return pts
+}
+
+// Series renders the CDF as rows "x\tF(x)" sampled at the given x values —
+// the textual equivalent of the paper's Figure 2 axes.
+func (c *CDF) Series(xs []float64) string {
+	var b strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%8.1f  %6.3f\n", x, c.At(x))
+	}
+	return b.String()
+}
+
+// Histogram counts samples into fixed-width buckets over [lo, hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	width   float64
+	under   int
+	over    int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n), width: (hi - lo) / float64(n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		h.Buckets[int((x-h.Lo)/h.width)]++
+	}
+}
+
+// Total returns the number of recorded samples, including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.under + h.over
+	for _, c := range h.Buckets {
+		n += c
+	}
+	return n
+}
+
+// String renders an ASCII bar chart.
+func (h *Histogram) String() string {
+	max := 1
+	for _, c := range h.Buckets {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Buckets {
+		lo := h.Lo + float64(i)*h.width
+		bar := strings.Repeat("#", c*40/max)
+		fmt.Fprintf(&b, "%8.1f..%-8.1f %6d %s\n", lo, lo+h.width, c, bar)
+	}
+	return b.String()
+}
+
+// Entropy computes the Shannon entropy (bits) of a discrete distribution
+// given as counts. Used for attribution entropy: how uncertain the
+// surveillance analyst is about WHICH user a set of alerts belongs to.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Ratio formats a/b as both a fraction and a percentage, guarding b == 0.
+func Ratio(a, b int) string {
+	if b == 0 {
+		return fmt.Sprintf("%d/0", a)
+	}
+	return fmt.Sprintf("%d/%d (%.2f%%)", a, b, 100*float64(a)/float64(b))
+}
+
+// Table renders rows of fixed columns with aligned, space-padded cells.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0.5); got != 30 {
+		t.Fatalf("median = %v", got)
+	}
+	if c.Min() != 10 || c.Max() != 50 {
+		t.Fatalf("min/max = %v/%v", c.Min(), c.Max())
+	}
+	if got := c.Mean(); got != 30 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 {
+		t.Fatal("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Fatal("empty CDF quantile/mean not NaN")
+	}
+}
+
+func TestCDFPointsMonotonic(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 2, 5})
+	pts := c.Points()
+	if len(pts) != 4 { // distinct values 1,2,3,5
+		t.Fatalf("points = %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] <= pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatalf("not monotonic: %v", pts)
+		}
+	}
+	if last := pts[len(pts)-1][1]; last != 1 {
+		t.Fatalf("final probability = %v", last)
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		clean := samples[:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				clean = append(clean, s)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := NewCDF(clean)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(samples []float64, q float64) bool {
+		clean := samples[:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				clean = append(clean, s)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		q = math.Abs(math.Mod(q, 1))
+		c := NewCDF(clean)
+		v := c.Quantile(q)
+		sort.Float64s(clean)
+		return v >= clean[0] && v <= clean[len(clean)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, v := range []float64{-5, 0, 9.99, 10, 55, 99.9, 100, 200} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[5] != 1 || h.Buckets[9] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Fatalf("under/over = %d/%d", h.under, h.over)
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Fatal("ASCII render empty")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for hi <= lo")
+		}
+	}()
+	NewHistogram(10, 10, 5)
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != "1/4 (25.00%)" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(3, 0); got != "3/0" {
+		t.Fatalf("Ratio div-zero = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("technique", "accuracy", "evaded")
+	tb.AddRow("overt-http", 1.0, false)
+	tb.AddRow("spam", 0.98, true)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "technique") || !strings.Contains(lines[2], "overt-http") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// All rows align to the same separator width.
+	if len(lines[1]) < len("technique") {
+		t.Fatalf("separator too short: %q", lines[1])
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{40, 80, 90, 95})
+	s := c.Series([]float64{40, 60, 100})
+	if !strings.Contains(s, "0.250") || !strings.Contains(s, "1.000") {
+		t.Fatalf("series:\n%s", s)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(nil); got != 0 {
+		t.Fatalf("empty entropy = %v", got)
+	}
+	if got := Entropy([]int{5}); got != 0 {
+		t.Fatalf("single-class entropy = %v", got)
+	}
+	if got := Entropy([]int{1, 1}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("two-way uniform = %v, want 1 bit", got)
+	}
+	if got := Entropy([]int{1, 1, 1, 1}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("four-way uniform = %v, want 2 bits", got)
+	}
+	// Skewed distribution carries less entropy than uniform.
+	if Entropy([]int{9, 1}) >= Entropy([]int{5, 5}) {
+		t.Fatal("skew did not reduce entropy")
+	}
+	// Zero and negative counts are ignored.
+	if got := Entropy([]int{3, 0, -2, 3}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("entropy with zeros = %v", got)
+	}
+}

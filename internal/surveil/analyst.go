@@ -1,0 +1,274 @@
+package surveil
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"safemeasure/internal/ids"
+)
+
+// Alert-class weights: how much one alert of a given classtype contributes
+// to a user's suspicion score. Malware-class alerts contribute almost
+// nothing — "being infected with malware is not cause for suspicion per se"
+// (paper §3.1) — while measurement-class alerts are what the analyst hunts.
+var classWeights = map[string]float64{
+	"censorship-measurement": 1.0,
+	"policy-violation":       0.5,
+	"attempted-recon":        0.05, // scans: background noise
+	"malware":                0.05,
+	"spam":                   0.05,
+	"ddos":                   0.05,
+	"":                       0.2, // unclassified
+}
+
+// Dossier is the analyst's per-user state.
+type Dossier struct {
+	User   netip.Addr
+	Alerts []ids.Alert
+}
+
+// malwareKey marks (user, destination) pairs whose traffic the MVR
+// classified as malware behaviour (scan/flood/spam).
+type malwareKey struct {
+	user, dst netip.Addr
+}
+
+// Analyst is stage 2: dossiers, prevalence weighting, and a flagging
+// decision with an investigation budget.
+type Analyst struct {
+	homeNet    netip.Prefix
+	dossiers   map[netip.Addr]*Dossier
+	sidUsers   map[int]map[netip.Addr]bool // which users triggered each SID
+	malwareCtx map[malwareKey]bool
+
+	// SuspicionThreshold is the minimum weighted score to flag a user.
+	SuspicionThreshold float64
+	// MaxImplicatedFraction: if more than this fraction of the observed
+	// population triggers a SID, the SID is useless for targeting (the
+	// Syrian logs: 1.57 % of users touched censored sites — far too many
+	// to pursue, §2.2).
+	MaxImplicatedFraction float64
+	// MinImplicated is an absolute floor on the actionable-user limit: an
+	// analyst can always chase a handful of suspects even in a small
+	// population.
+	MinImplicated int
+	// Population is the analyst's estimate of monitored users; when zero,
+	// the number of dossiers is used.
+	Population int
+}
+
+// NewAnalyst creates stage 2 for the given home network.
+func NewAnalyst(homeNet netip.Prefix) *Analyst {
+	return &Analyst{
+		homeNet:               homeNet,
+		dossiers:              make(map[netip.Addr]*Dossier),
+		sidUsers:              make(map[int]map[netip.Addr]bool),
+		malwareCtx:            make(map[malwareKey]bool),
+		SuspicionThreshold:    0.9,
+		MaxImplicatedFraction: 0.01,
+		MinImplicated:         3,
+	}
+}
+
+// Ingest records an alert against the responsible in-population user.
+// Traffic sourced outside the home network is attributed to the destination
+// when that is inside (replies), otherwise ignored.
+func (a *Analyst) Ingest(alert ids.Alert) {
+	user := alert.Flow.Src
+	if !a.homeNet.Contains(user) {
+		if a.homeNet.Contains(alert.Flow.Dst) {
+			user = alert.Flow.Dst
+		} else {
+			return
+		}
+	}
+	d, ok := a.dossiers[user]
+	if !ok {
+		d = &Dossier{User: user}
+		a.dossiers[user] = d
+	}
+	d.Alerts = append(d.Alerts, alert)
+	set := a.sidUsers[alert.Rule.SID]
+	if set == nil {
+		set = make(map[netip.Addr]bool)
+		a.sidUsers[alert.Rule.SID] = set
+	}
+	set[user] = true
+}
+
+// NoteMalwareContext records that the MVR classified user's traffic toward
+// dst as malware behaviour (scanning, flooding, spamming). Subsequent
+// measurement-class alerts for the same (user, dst) are explained by the
+// apparent infection and barely count — the paper's §3.1 observation that
+// being infected with malware is not cause for suspicion per se.
+func (a *Analyst) NoteMalwareContext(user, dst netip.Addr) {
+	if a.homeNet.Contains(user) {
+		a.malwareCtx[malwareKey{user, dst}] = true
+	}
+}
+
+// population returns the analyst's denominator for prevalence.
+func (a *Analyst) population() int {
+	if a.Population > 0 {
+		return a.Population
+	}
+	if n := len(a.dossiers); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// prevalence returns the fraction of the population that triggered sid.
+func (a *Analyst) prevalence(sid int) float64 {
+	return float64(len(a.sidUsers[sid])) / float64(a.population())
+}
+
+// actionable reports whether a SID implicates few enough users for the
+// analyst to act on it.
+func (a *Analyst) actionable(sid int) bool {
+	limit := int(a.MaxImplicatedFraction * float64(a.population()))
+	if limit < a.MinImplicated {
+		limit = a.MinImplicated
+	}
+	return len(a.sidUsers[sid]) <= limit
+}
+
+// Score computes a user's suspicion: class-weighted alerts, each discounted
+// by prevalence (a signature most of the population trips identifies no
+// one). Repeats of the same SID add diminishing value.
+func (a *Analyst) Score(user netip.Addr) float64 {
+	d, ok := a.dossiers[user]
+	if !ok {
+		return 0
+	}
+	bySID := make(map[int]int)
+	var score float64
+	for _, alert := range d.Alerts {
+		sid := alert.Rule.SID
+		bySID[sid]++
+		w := classWeights[alert.Rule.Classtype]
+		if w == 0 {
+			w = classWeights[""]
+		}
+		if a.malwareCtx[malwareKey{user, alert.Flow.Dst}] {
+			// The user looks like a bot toward this destination; the
+			// alert is attributed to the infection, not the person.
+			w = classWeights["malware"]
+		}
+		if !a.actionable(sid) {
+			// Too many users implicated: the analyst cannot act on this
+			// signature at all.
+			continue
+		}
+		// Diminishing returns per repeat: 1, 1/2, 1/3, ...
+		score += w / float64(bySID[sid])
+	}
+	return score
+}
+
+// Flagged returns the users whose suspicion crosses the threshold, sorted
+// by descending score — the surveillance system's output, i.e. who gets a
+// knock on the door.
+func (a *Analyst) Flagged() []netip.Addr {
+	type scored struct {
+		user  netip.Addr
+		score float64
+	}
+	var out []scored
+	for user := range a.dossiers {
+		if s := a.Score(user); s >= a.SuspicionThreshold {
+			out = append(out, scored{user, s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].user.Less(out[j].user)
+	})
+	users := make([]netip.Addr, len(out))
+	for i, s := range out {
+		users[i] = s.user
+	}
+	return users
+}
+
+// IsFlagged reports whether a specific user would be flagged.
+func (a *Analyst) IsFlagged(user netip.Addr) bool {
+	return a.Score(user) >= a.SuspicionThreshold
+}
+
+// Dossier returns a user's dossier, or nil.
+func (a *Analyst) Dossier(user netip.Addr) *Dossier {
+	return a.dossiers[user]
+}
+
+// Users returns how many distinct users have dossiers.
+func (a *Analyst) Users() int { return len(a.dossiers) }
+
+// AlertCountsByUser returns each dossier's alert count — the distribution
+// whose entropy quantifies attribution confusion (§4).
+func (a *Analyst) AlertCountsByUser() map[netip.Addr]int {
+	out := make(map[netip.Addr]int, len(a.dossiers))
+	for user, d := range a.dossiers {
+		out[user] = len(d.Alerts)
+	}
+	return out
+}
+
+// AlertCount returns the total alerts ingested (operator load, §6).
+func (a *Analyst) AlertCount() int {
+	n := 0
+	for _, d := range a.dossiers {
+		n += len(d.Alerts)
+	}
+	return n
+}
+
+// UsersTriggering returns how many users triggered the given SID.
+func (a *Analyst) UsersTriggering(sid int) int { return len(a.sidUsers[sid]) }
+
+// Report renders a human-readable intelligence report for one user: the
+// analyst's working document (score, flag decision, alert breakdown with
+// the prevalence and malware-context discounts made explicit).
+func (a *Analyst) Report(user netip.Addr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dossier: %v\n", user)
+	d := a.dossiers[user]
+	if d == nil {
+		b.WriteString("  no alerts on record\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  suspicion score: %.2f (threshold %.2f)  flagged: %v\n",
+		a.Score(user), a.SuspicionThreshold, a.IsFlagged(user))
+	bySID := make(map[int]int)
+	for _, alert := range d.Alerts {
+		bySID[alert.Rule.SID]++
+	}
+	sids := make([]int, 0, len(bySID))
+	for sid := range bySID {
+		sids = append(sids, sid)
+	}
+	sort.Ints(sids)
+	for _, sid := range sids {
+		var msg, classtype string
+		var sample ids.Alert
+		for _, alert := range d.Alerts {
+			if alert.Rule.SID == sid {
+				msg, classtype, sample = alert.Rule.Msg, alert.Rule.Classtype, alert
+				break
+			}
+		}
+		note := ""
+		if !a.actionable(sid) {
+			note = " [NOT ACTIONABLE: too many users implicated]"
+		} else if a.malwareCtx[malwareKey{user, sample.Flow.Dst}] {
+			note = " [discounted: user behaves like a bot toward this destination]"
+		}
+		fmt.Fprintf(&b, "  sid %d (%s, %s): %d alert(s), %d user(s) implicated%s\n",
+			sid, msg, classtype, bySID[sid], a.UsersTriggering(sid), note)
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+// Package surveil implements the surveillance system of the paper's model
+// (§2.1): a user-focused, two-stage pipeline.
+//
+// Stage 1 — Massive Volume Reduction (MVR) — classifies traffic and discards
+// whole classes (P2P, scanning, DDoS floods, spam), exactly the behaviour
+// the paper's stealth techniques exploit: traffic that looks like malware
+// has "little intelligence value" and is thrown away before any analyst sees
+// it. What remains is stored under a hard budget (the NSA's 7.5 % figure)
+// with bounded retention (3 days content, 30 days metadata).
+//
+// Stage 2 — the analyst — builds per-user dossiers from alerts raised on
+// retained traffic, weights them by how rare the alert is across the
+// population (an alert 1.57 % of all users trigger is useless for targeting,
+// per the Syrian log analysis), and flags users whose suspicion crosses a
+// threshold, subject to an investigation budget.
+package surveil
+
+import (
+	"net/netip"
+	"time"
+
+	"safemeasure/internal/packet"
+)
+
+// TrafficClass is the MVR's coarse classification of a packet.
+type TrafficClass int
+
+// Traffic classes.
+const (
+	ClassOther TrafficClass = iota
+	ClassWeb
+	ClassDNS
+	ClassMail
+	ClassP2P
+	ClassScan
+	ClassDDoS
+	ClassSpam
+	ClassICMP
+)
+
+var classNames = [...]string{"other", "web", "dns", "mail", "p2p", "scan", "ddos", "spam", "icmp"}
+
+// String returns the lowercase class name.
+func (c TrafficClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// Classifier assigns traffic classes using ports plus per-source behavioral
+// state (SYN fan-out for scans, request rate for DDoS, spam content
+// heuristics for SMTP).
+type Classifier struct {
+	// ScanFanout: distinct (dst,port) SYN targets within ScanWindow that
+	// make a source a scanner.
+	ScanFanout int
+	ScanWindow time.Duration
+	// DDoSRate: requests from one source to one destination within
+	// DDoSWindow that make the flow a flood.
+	DDoSRate   int
+	DDoSWindow time.Duration
+	// SpamMarkers are byte patterns whose presence in SMTP payloads marks
+	// the message as spam (the MVR's cheap content heuristic).
+	SpamMarkers []string
+
+	scanTargets map[netip.Addr]*fanoutWindow
+	ddosCounts  map[srcDst]*rateWindow
+}
+
+type srcDst struct {
+	src, dst netip.Addr
+}
+
+// scanTarget is what a scanner enumerates: destination host and port.
+// (Source ports vary per probe and must not count as distinct targets —
+// otherwise any busy client looks like a scanner.)
+type scanTarget struct {
+	dst  netip.Addr
+	port uint16
+}
+
+type fanoutWindow struct {
+	start   int64
+	targets map[scanTarget]bool
+}
+
+type rateWindow struct {
+	start int64
+	count int
+}
+
+// NewClassifier creates a classifier with the defaults used in the lab.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		ScanFanout: 15,
+		ScanWindow: 10 * time.Second,
+		DDoSRate:   20,
+		DDoSWindow: 10 * time.Second,
+		SpamMarkers: []string{
+			"viagra", "VIAGRA", "winner", "WINNER", "lottery",
+			"click here", "CLICK HERE", "100% free", "act now",
+		},
+		scanTargets: make(map[netip.Addr]*fanoutWindow),
+		ddosCounts:  make(map[srcDst]*rateWindow),
+	}
+}
+
+// Classify assigns the packet's class and updates behavioral state.
+func (c *Classifier) Classify(now int64, pkt *packet.Packet) TrafficClass {
+	switch {
+	case pkt.ICMP != nil:
+		return ClassICMP
+	case pkt.UDP != nil:
+		if pkt.UDP.DstPort == 53 || pkt.UDP.SrcPort == 53 {
+			return ClassDNS
+		}
+		if isP2PPort(pkt.UDP.DstPort) || isP2PPort(pkt.UDP.SrcPort) {
+			return ClassP2P
+		}
+		return ClassOther
+	case pkt.TCP == nil:
+		return ClassOther
+	}
+
+	t := pkt.TCP
+
+	// Scan detection: bare SYNs fanning out to many distinct targets.
+	if t.Flags == packet.TCPSyn {
+		fw := c.scanTargets[pkt.IP.Src]
+		if fw == nil || now-fw.start > int64(c.ScanWindow) {
+			fw = &fanoutWindow{start: now, targets: make(map[scanTarget]bool)}
+			c.scanTargets[pkt.IP.Src] = fw
+		}
+		fw.targets[scanTarget{pkt.IP.Dst, t.DstPort}] = true
+		if len(fw.targets) >= c.ScanFanout {
+			return ClassScan
+		}
+	} else if fw, ok := c.scanTargets[pkt.IP.Src]; ok && len(fw.targets) >= c.ScanFanout &&
+		now-fw.start <= int64(c.ScanWindow) {
+		// Follow-up packets from an identified scanner (RST probes etc.)
+		// stay in the scan class.
+		if t.Flags&packet.TCPRst != 0 || t.Flags == packet.TCPSyn {
+			return ClassScan
+		}
+	}
+
+	// DDoS detection: sustained request rate from one source to one
+	// destination.
+	if t.DstPort == 80 || t.DstPort == 443 {
+		key := srcDst{pkt.IP.Src, pkt.IP.Dst}
+		rw := c.ddosCounts[key]
+		if rw == nil || now-rw.start > int64(c.DDoSWindow) {
+			rw = &rateWindow{start: now}
+			c.ddosCounts[key] = rw
+		}
+		if t.Flags&packet.TCPSyn != 0 && t.Flags&packet.TCPAck == 0 {
+			rw.count++
+		}
+		if rw.count >= c.DDoSRate {
+			return ClassDDoS
+		}
+	}
+
+	// SMTP: mail, or spam when the cheap content heuristic fires.
+	if t.DstPort == 25 || t.SrcPort == 25 {
+		if c.looksSpammy(t.Payload) {
+			return ClassSpam
+		}
+		return ClassMail
+	}
+
+	if isP2PPort(t.DstPort) || isP2PPort(t.SrcPort) {
+		return ClassP2P
+	}
+	if t.DstPort == 80 || t.SrcPort == 80 || t.DstPort == 443 || t.SrcPort == 443 {
+		return ClassWeb
+	}
+	return ClassOther
+}
+
+func (c *Classifier) looksSpammy(payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	s := string(payload)
+	hits := 0
+	for _, m := range c.SpamMarkers {
+		if containsFold(s, m) {
+			hits++
+			if hits >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsFold is a case-insensitive substring check without allocation for
+// the common miss case.
+func containsFold(s, sub string) bool {
+	n := len(sub)
+	if n == 0 {
+		return true
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if equalFold(s[i:i+n], sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalFold(a, b string) bool {
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 'A' && ca <= 'Z' {
+			ca += 32
+		}
+		if cb >= 'A' && cb <= 'Z' {
+			cb += 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// isP2PPort matches the BitTorrent range plus common overlay ports: the MVR
+// throws all peer-to-peer traffic away (paper §2.1).
+func isP2PPort(p uint16) bool {
+	return (p >= 6881 && p <= 6999) || p == 4662 || p == 4672 || p == 51413
+}

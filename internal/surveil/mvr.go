@@ -1,0 +1,265 @@
+package surveil
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"safemeasure/internal/ids"
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/packet"
+)
+
+// MVRConfig parameterizes stage 1 from the paper's §2.1 numbers.
+type MVRConfig struct {
+	// StorageFraction is the hard cap on content bytes retained relative
+	// to bytes seen (TEMPORA: 7.5 %).
+	StorageFraction float64
+	// DiscardClasses are dropped wholesale before storage or analysis
+	// (TEMPORA's ~30 % volume reduction starts with all P2P).
+	DiscardClasses []TrafficClass
+	// ContentRetention and MetadataRetention bound how long stored data
+	// lives (3 days content, 30 days connection metadata).
+	ContentRetention  time.Duration
+	MetadataRetention time.Duration
+	// HomeNet identifies the monitored population; only sources inside it
+	// get dossiers.
+	HomeNet netip.Prefix
+}
+
+// DefaultMVRConfig returns the paper-calibrated configuration.
+func DefaultMVRConfig(homeNet netip.Prefix) MVRConfig {
+	return MVRConfig{
+		StorageFraction:   0.075,
+		DiscardClasses:    []TrafficClass{ClassP2P, ClassScan, ClassDDoS, ClassSpam},
+		ContentRetention:  72 * time.Hour,
+		MetadataRetention: 720 * time.Hour,
+		HomeNet:           homeNet,
+	}
+}
+
+// StoredContent is one retained packet (stage-1 content store).
+type StoredContent struct {
+	Time  int64
+	Flow  packet.Flow
+	Bytes int
+	Class TrafficClass
+}
+
+// FlowRecord is connection metadata (stage-1 metadata store) — the
+// simulator's equivalent of the campus network's 36-hour flow records.
+type FlowRecord struct {
+	Flow      packet.Flow
+	FirstSeen int64
+	LastSeen  int64
+	Packets   int
+	Bytes     int
+	Class     TrafficClass
+}
+
+// System is the full surveillance pipeline: classifier, MVR store, alert
+// engine, and analyst. It attaches to a router as a passive tap.
+type System struct {
+	cfg        MVRConfig
+	classifier *Classifier
+	engine     *ids.Engine
+	analyst    *Analyst
+	reasm      *packet.Reassembler
+
+	discard map[TrafficClass]bool
+
+	Content  []StoredContent
+	Metadata map[packet.Flow]*FlowRecord
+
+	// Stats.
+	PacketsSeen      int
+	BytesSeen        int
+	BytesRetained    int
+	PacketsDiscarded int
+	DiscardedByClass map[TrafficClass]int
+	// BudgetRejected counts content records evicted to respect the budget.
+	BudgetRejected int
+}
+
+// New builds a surveillance system with the given alert rules.
+func New(cfg MVRConfig, rules []*ids.Rule) *System {
+	s := &System{
+		cfg:              cfg,
+		classifier:       NewClassifier(),
+		engine:           ids.NewEngine(rules),
+		analyst:          NewAnalyst(cfg.HomeNet),
+		discard:          make(map[TrafficClass]bool),
+		Metadata:         make(map[packet.Flow]*FlowRecord),
+		DiscardedByClass: make(map[TrafficClass]int),
+	}
+	for _, c := range cfg.DiscardClasses {
+		s.discard[c] = true
+	}
+	return s
+}
+
+// Classifier exposes the stage-1 classifier for threshold tuning.
+func (s *System) Classifier() *Classifier { return s.classifier }
+
+// Analyst exposes stage 2.
+func (s *System) Analyst() *Analyst { return s.analyst }
+
+// Engine exposes the alert engine.
+func (s *System) Engine() *ids.Engine { return s.engine }
+
+// Observe implements netsim.Tap. The surveillance system is passive: it
+// always returns Pass.
+func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
+	s.PacketsSeen++
+	s.BytesSeen += len(tp.Raw)
+	pkt := tp.Pkt
+	if pkt == nil {
+		// Fragments are reassembled before classification — the paper
+		// assumes the surveillance system is at least as capable as the
+		// censor (§2.2).
+		if packet.IsFragment(tp.Raw) {
+			if s.reasm == nil {
+				s.reasm = packet.NewReassembler()
+			}
+			if whole := s.reasm.Add(tp.Time, tp.Raw); whole != nil {
+				if full, err := packet.Parse(whole); err == nil {
+					pkt = full
+				}
+			}
+		}
+		if pkt == nil {
+			return netsim.Pass
+		}
+	}
+
+	class := s.classifier.Classify(tp.Time, pkt)
+
+	// Stage 1a: wholesale discard. Discarded traffic never reaches the
+	// alert engine or the analyst — this is the gap the paper's malware-
+	// mimicry techniques hide in.
+	if s.discard[class] {
+		s.PacketsDiscarded++
+		s.DiscardedByClass[class]++
+		// The classification itself is cheap context the analyst keeps:
+		// this user behaves like a bot toward this destination.
+		if class == ClassScan || class == ClassDDoS || class == ClassSpam {
+			s.analyst.NoteMalwareContext(pkt.IP.Src, pkt.IP.Dst)
+		}
+		return netsim.Pass
+	}
+
+	// Stage 1b: metadata always (cheap), content under budget.
+	flow := packet.FlowOf(pkt).Canonical()
+	rec, ok := s.Metadata[flow]
+	if !ok {
+		rec = &FlowRecord{Flow: flow, FirstSeen: tp.Time, Class: class}
+		s.Metadata[flow] = rec
+	}
+	rec.LastSeen = tp.Time
+	rec.Packets++
+	rec.Bytes += len(tp.Raw)
+
+	// Content store works like a fixed-fraction ring buffer: new traffic is
+	// always captured, and the oldest content is evicted once the store
+	// exceeds the budget (TEMPORA's rolling 3-day buffer behaves the same
+	// way: everything is written, little survives).
+	s.Content = append(s.Content, StoredContent{Time: tp.Time, Flow: flow, Bytes: len(tp.Raw), Class: class})
+	s.BytesRetained += len(tp.Raw)
+	for len(s.Content) > 1 && float64(s.BytesRetained) > s.cfg.StorageFraction*float64(s.BytesSeen) {
+		s.BytesRetained -= s.Content[0].Bytes
+		s.Content = s.Content[1:]
+		s.BudgetRejected++
+	}
+
+	// Stage 1c: alerting on retained (non-discarded) traffic feeds the
+	// analyst's dossiers.
+	for _, alert := range s.engine.Feed(tp.Time, pkt) {
+		s.analyst.Ingest(alert)
+	}
+	return netsim.Pass
+}
+
+// Expire drops content and metadata past their retention windows.
+func (s *System) Expire(now int64) (contentDropped, metadataDropped int) {
+	keep := s.Content[:0]
+	for _, c := range s.Content {
+		if now-c.Time <= int64(s.cfg.ContentRetention) {
+			keep = append(keep, c)
+		} else {
+			s.BytesRetained -= c.Bytes
+			contentDropped++
+		}
+	}
+	s.Content = keep
+	for f, rec := range s.Metadata {
+		if now-rec.LastSeen > int64(s.cfg.MetadataRetention) {
+			delete(s.Metadata, f)
+			metadataDropped++
+		}
+	}
+	return contentDropped, metadataDropped
+}
+
+// RetentionFraction is retained content bytes / bytes seen.
+func (s *System) RetentionFraction() float64 {
+	if s.BytesSeen == 0 {
+		return 0
+	}
+	return float64(s.BytesRetained) / float64(s.BytesSeen)
+}
+
+// DiscardFraction is packets discarded wholesale / packets seen.
+func (s *System) DiscardFraction() float64 {
+	if s.PacketsSeen == 0 {
+		return 0
+	}
+	return float64(s.PacketsDiscarded) / float64(s.PacketsSeen)
+}
+
+// UsersContacting answers the retrospective analyst query the 30-day
+// metadata store exists for (XKeyscore-style): which home-network users
+// had flows touching dst in [since, until]? Sorted for determinism.
+func (s *System) UsersContacting(dst netip.Addr, since, until int64) []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	for _, rec := range s.Metadata {
+		if rec.LastSeen < since || rec.FirstSeen > until {
+			continue
+		}
+		if rec.Flow.Src == dst && s.cfg.HomeNet.Contains(rec.Flow.Dst) {
+			seen[rec.Flow.Dst] = true
+		}
+		if rec.Flow.Dst == dst && s.cfg.HomeNet.Contains(rec.Flow.Src) {
+			seen[rec.Flow.Src] = true
+		}
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// FlowHistory returns a user's flow records, oldest first — the dossier's
+// raw-metadata view.
+func (s *System) FlowHistory(user netip.Addr) []*FlowRecord {
+	var out []*FlowRecord
+	for _, rec := range s.Metadata {
+		if rec.Flow.Src == user || rec.Flow.Dst == user {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	return out
+}
+
+// SawTrafficFrom reports whether any retained content or metadata involves
+// addr — "did the measurement traffic survive the MVR?".
+func (s *System) SawTrafficFrom(addr netip.Addr) bool {
+	for _, rec := range s.Metadata {
+		if rec.Flow.Src == addr || rec.Flow.Dst == addr {
+			return true
+		}
+	}
+	return false
+}

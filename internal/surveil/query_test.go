@@ -1,0 +1,77 @@
+package surveil
+
+import (
+	"strings"
+	"testing"
+
+	"safemeasure/internal/packet"
+)
+
+func TestUsersContactingRetrospective(t *testing.T) {
+	s := newSystem(t, "")
+	// user1 and user2 contact the outside host at different times.
+	s.Observe(tcpTap(t, 100, user1, 4000, outside, 80, packet.TCPSyn, ""), nil)
+	s.Observe(tcpTap(t, 200, user2, 4001, outside, 80, packet.TCPSyn, ""), nil)
+	// A reply flow (outside -> user1) must attribute to user1 as well.
+	s.Observe(tcpTap(t, 300, outside, 80, user1, 4000, packet.TCPSyn|packet.TCPAck, ""), nil)
+
+	users := s.UsersContacting(outside, 0, 1000)
+	if len(users) != 2 || users[0] != user1 || users[1] != user2 {
+		t.Fatalf("users = %v", users)
+	}
+	// Time-bounded query excludes user2.
+	users = s.UsersContacting(outside, 0, 150)
+	if len(users) != 1 || users[0] != user1 {
+		t.Fatalf("bounded users = %v", users)
+	}
+	// Unknown destination: nobody.
+	if got := s.UsersContacting(user2, 500, 1000); len(got) != 0 {
+		t.Fatalf("phantom users = %v", got)
+	}
+}
+
+func TestFlowHistoryOrdered(t *testing.T) {
+	s := newSystem(t, "")
+	s.Observe(tcpTap(t, 500, user1, 4002, outside, 443, packet.TCPSyn, ""), nil)
+	s.Observe(tcpTap(t, 100, user1, 4000, outside, 80, packet.TCPSyn, ""), nil)
+	hist := s.FlowHistory(user1)
+	if len(hist) != 2 {
+		t.Fatalf("history = %d records", len(hist))
+	}
+	if hist[0].FirstSeen != 100 || hist[1].FirstSeen != 500 {
+		t.Fatalf("not ordered: %v, %v", hist[0].FirstSeen, hist[1].FirstSeen)
+	}
+	if s.FlowHistory(user2) != nil {
+		t.Fatal("phantom history")
+	}
+}
+
+func TestMetadataExpiryLimitsRetrospection(t *testing.T) {
+	// The paper's point about bounded retention: after 30 days the
+	// retrospective query comes back empty.
+	s := newSystem(t, "")
+	s.Observe(tcpTap(t, 0, user1, 4000, outside, 80, packet.TCPSyn, ""), nil)
+	if len(s.UsersContacting(outside, 0, 1)) != 1 {
+		t.Fatal("query before expiry failed")
+	}
+	s.Expire(int64(s.cfg.MetadataRetention) + 10)
+	if len(s.UsersContacting(outside, 0, 1)) != 0 {
+		t.Fatal("metadata survived past retention")
+	}
+}
+
+func TestAnalystReport(t *testing.T) {
+	s := newSystem(t, `alert tcp $HOME_NET any -> any 80 (msg:"overt probe"; content:"banned.test"; sid:5001; classtype:censorship-measurement;)`)
+	s.Analyst().Population = 1000
+	s.Observe(tcpTap(t, 0, user1, 4000, outside, 80, packet.TCPAck, "GET / HTTP/1.1\r\nHost: banned.test\r\n\r\n"), nil)
+	rep := s.Analyst().Report(user1)
+	for _, want := range []string{"dossier: 10.1.0.10", "flagged: true", "sid 5001", "overt probe"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	empty := s.Analyst().Report(user2)
+	if !strings.Contains(empty, "no alerts") {
+		t.Fatalf("empty report:\n%s", empty)
+	}
+}

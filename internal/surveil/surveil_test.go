@@ -1,0 +1,342 @@
+package surveil
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/ids"
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/packet"
+)
+
+var (
+	homeNet = netip.MustParsePrefix("10.1.0.0/24")
+	user1   = netip.MustParseAddr("10.1.0.10")
+	user2   = netip.MustParseAddr("10.1.0.11")
+	outside = netip.MustParseAddr("203.0.113.80")
+)
+
+func tcpTap(t testing.TB, now int64, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, flags uint8, payload string) *netsim.TapPacket {
+	t.Helper()
+	raw, err := packet.BuildTCP(src, dst, 64, &packet.TCP{SrcPort: sp, DstPort: dp, Flags: flags, Payload: []byte(payload)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := packet.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &netsim.TapPacket{Time: now, Raw: raw, Pkt: pkt}
+}
+
+func udpTap(t testing.TB, now int64, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload string) *netsim.TapPacket {
+	t.Helper()
+	raw, err := packet.BuildUDP(src, dst, 64, &packet.UDP{SrcPort: sp, DstPort: dp, Payload: []byte(payload)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := packet.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &netsim.TapPacket{Time: now, Raw: raw, Pkt: pkt}
+}
+
+// --- classifier ---
+
+func TestClassifyPorts(t *testing.T) {
+	c := NewClassifier()
+	cases := []struct {
+		tp   *netsim.TapPacket
+		want TrafficClass
+	}{
+		{tcpTap(t, 0, user1, 4000, outside, 80, packet.TCPAck, "GET /"), ClassWeb},
+		{tcpTap(t, 0, user1, 4000, outside, 443, packet.TCPAck, ""), ClassWeb},
+		{udpTap(t, 0, user1, 5000, outside, 53, "q"), ClassDNS},
+		{tcpTap(t, 0, user1, 4000, outside, 25, packet.TCPAck, "EHLO x"), ClassMail},
+		{tcpTap(t, 0, user1, 4000, outside, 6881, packet.TCPAck, ""), ClassP2P},
+		{udpTap(t, 0, user1, 51413, outside, 51413, "dht"), ClassP2P},
+		{tcpTap(t, 0, user1, 4000, outside, 9999, packet.TCPAck, ""), ClassOther},
+	}
+	for i, tc := range cases {
+		if got := c.Classify(tc.tp.Time, tc.tp.Pkt); got != tc.want {
+			t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyScanFanout(t *testing.T) {
+	c := NewClassifier()
+	var last TrafficClass
+	for port := 1; port <= 20; port++ {
+		tp := tcpTap(t, int64(port)*1e6, user1, 40000, outside, uint16(port), packet.TCPSyn, "")
+		last = c.Classify(tp.Time, tp.Pkt)
+	}
+	if last != ClassScan {
+		t.Fatalf("20-port SYN fanout classified as %v", last)
+	}
+	// A single SYN from a different host stays non-scan.
+	tp := tcpTap(t, 1e6, user2, 40000, outside, 80, packet.TCPSyn, "")
+	if got := c.Classify(tp.Time, tp.Pkt); got == ClassScan {
+		t.Fatalf("single SYN classified as scan")
+	}
+}
+
+func TestClassifyScanWindowExpires(t *testing.T) {
+	c := NewClassifier()
+	for port := 1; port <= 20; port++ {
+		tp := tcpTap(t, int64(port), user1, 40000, outside, uint16(port), packet.TCPSyn, "")
+		c.Classify(tp.Time, tp.Pkt)
+	}
+	// Far in the future, one SYN is not a scan anymore.
+	tp := tcpTap(t, int64(time.Minute), user1, 40000, outside, 80, packet.TCPSyn, "")
+	if got := c.Classify(tp.Time, tp.Pkt); got == ClassScan {
+		t.Fatal("scan state leaked across window")
+	}
+}
+
+func TestClassifyDDoSRate(t *testing.T) {
+	c := NewClassifier()
+	var last TrafficClass
+	for i := 0; i < 25; i++ {
+		tp := tcpTap(t, int64(i)*1e6, user1, uint16(30000+i), outside, 80, packet.TCPSyn, "")
+		last = c.Classify(tp.Time, tp.Pkt)
+	}
+	if last != ClassDDoS && last != ClassScan {
+		t.Fatalf("flood classified as %v", last)
+	}
+}
+
+func TestClassifySpamContent(t *testing.T) {
+	c := NewClassifier()
+	spam := tcpTap(t, 0, user1, 4000, outside, 25, packet.TCPAck,
+		"Subject: WINNER! you are a lottery winner, CLICK HERE now")
+	if got := c.Classify(0, spam.Pkt); got != ClassSpam {
+		t.Fatalf("spam classified as %v", got)
+	}
+	ham := tcpTap(t, 0, user1, 4000, outside, 25, packet.TCPAck,
+		"Subject: meeting notes\r\nSee you tomorrow")
+	if got := c.Classify(0, ham.Pkt); got != ClassMail {
+		t.Fatalf("ham classified as %v", got)
+	}
+}
+
+// --- MVR ---
+
+func newSystem(t testing.TB, ruleText string) *System {
+	t.Helper()
+	var rules []*ids.Rule
+	if ruleText != "" {
+		var err error
+		rules, err = ids.ParseRules(ruleText, map[string]netip.Prefix{"HOME_NET": homeNet})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(DefaultMVRConfig(homeNet), rules)
+}
+
+func TestMVRDiscardsScanTraffic(t *testing.T) {
+	s := newSystem(t, "")
+	for port := 1; port <= 40; port++ {
+		tp := tcpTap(t, int64(port)*1e6, user1, 40000, outside, uint16(port), packet.TCPSyn, "")
+		s.Observe(tp, nil)
+	}
+	if s.PacketsDiscarded == 0 {
+		t.Fatal("scan traffic never discarded")
+	}
+	if s.DiscardedByClass[ClassScan] == 0 {
+		t.Fatalf("discards: %v", s.DiscardedByClass)
+	}
+}
+
+func TestMVRStorageBudget(t *testing.T) {
+	s := newSystem(t, "")
+	payload := strings.Repeat("x", 1000)
+	for i := 0; i < 200; i++ {
+		tp := tcpTap(t, int64(i)*1e6, user1, uint16(4000), outside, 80, packet.TCPAck, payload)
+		s.Observe(tp, nil)
+	}
+	frac := s.RetentionFraction()
+	if frac > 0.081 { // budget plus at most one in-flight packet
+
+		t.Fatalf("retention fraction %.4f exceeds budget", frac)
+	}
+	if s.BytesRetained == 0 {
+		t.Fatal("nothing retained at all")
+	}
+	if s.BudgetRejected == 0 {
+		t.Fatal("budget never rejected anything")
+	}
+}
+
+func TestMVRMetadataAlwaysStored(t *testing.T) {
+	s := newSystem(t, "")
+	for i := 0; i < 50; i++ {
+		tp := tcpTap(t, int64(i), user1, 4000, outside, 80, packet.TCPAck, strings.Repeat("y", 1400))
+		s.Observe(tp, nil)
+	}
+	if len(s.Metadata) != 1 {
+		t.Fatalf("flow records = %d", len(s.Metadata))
+	}
+	for _, rec := range s.Metadata {
+		if rec.Packets != 50 {
+			t.Fatalf("record packets = %d", rec.Packets)
+		}
+	}
+	if !s.SawTrafficFrom(user1) {
+		t.Fatal("metadata lookup failed")
+	}
+	if s.SawTrafficFrom(user2) {
+		t.Fatal("phantom metadata")
+	}
+}
+
+func TestMVRRetentionExpiry(t *testing.T) {
+	s := newSystem(t, "")
+	tp := tcpTap(t, 0, user1, 4000, outside, 80, packet.TCPAck, "retain me")
+	s.Observe(tp, nil)
+	if len(s.Content) == 0 {
+		t.Fatal("content not stored")
+	}
+	// After 4 days content expires, metadata (30d) survives.
+	cd, md := s.Expire(int64(96 * time.Hour))
+	if cd == 0 || len(s.Content) != 0 {
+		t.Fatalf("content not expired: dropped=%d left=%d", cd, len(s.Content))
+	}
+	if md != 0 || len(s.Metadata) != 1 {
+		t.Fatalf("metadata wrongly expired: dropped=%d", md)
+	}
+	// After 31 days metadata goes too.
+	_, md = s.Expire(int64(31 * 24 * time.Hour))
+	if md != 1 || len(s.Metadata) != 0 {
+		t.Fatalf("metadata not expired: dropped=%d left=%d", md, len(s.Metadata))
+	}
+}
+
+func TestMVRAlertsFeedAnalyst(t *testing.T) {
+	s := newSystem(t, `alert tcp $HOME_NET any -> any 80 (msg:"overt probe"; content:"banned.test"; sid:5001; classtype:censorship-measurement;)`)
+	s.Analyst().Population = 1000
+	tp := tcpTap(t, 0, user1, 4000, outside, 80, packet.TCPAck, "GET / HTTP/1.1\r\nHost: banned.test\r\n\r\n")
+	s.Observe(tp, nil)
+	if s.Analyst().AlertCount() != 1 {
+		t.Fatalf("alerts = %d", s.Analyst().AlertCount())
+	}
+	if !s.Analyst().IsFlagged(user1) {
+		t.Fatal("overt prober not flagged")
+	}
+}
+
+func TestMVRDiscardedTrafficNeverAlerts(t *testing.T) {
+	// Even with a matching signature, discarded-class traffic is invisible
+	// to the analyst — the core of the paper's evasion argument.
+	s := newSystem(t, `alert tcp $HOME_NET any -> any any (msg:"syn to anything"; flags:S; sid:5002; classtype:censorship-measurement;)`)
+	for port := 1; port <= 100; port++ {
+		tp := tcpTap(t, int64(port)*1e6, user1, 40000, outside, uint16(port), packet.TCPSyn, "")
+		s.Observe(tp, nil)
+	}
+	// The first ScanFanout-1 SYNs pass through (not yet classified as a
+	// scan) and may alert; after classification kicks in, everything is
+	// discarded. The analyst sees far fewer alerts than packets.
+	if s.Analyst().AlertCount() >= 50 {
+		t.Fatalf("analyst saw %d alerts; discard not effective", s.Analyst().AlertCount())
+	}
+}
+
+// --- analyst ---
+
+func makeAlert(t *testing.T, sid int, classtype string, src netip.Addr) ids.Alert {
+	t.Helper()
+	line := fmt.Sprintf(`alert tcp any any -> any any (msg:"m%d"; sid:%d; classtype:%s;)`, sid, sid, classtype)
+	r, err := ids.ParseRule(line, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids.Alert{Rule: r, Flow: packet.Flow{Proto: packet.ProtoTCP, Src: src, Dst: outside}}
+}
+
+func TestAnalystFlagsRareMeasurementAlert(t *testing.T) {
+	a := NewAnalyst(homeNet)
+	a.Population = 1000
+	a.Ingest(makeAlert(t, 6001, "censorship-measurement", user1))
+	if !a.IsFlagged(user1) {
+		t.Fatalf("score = %v", a.Score(user1))
+	}
+}
+
+func TestAnalystPrevalenceNullifiesCommonAlerts(t *testing.T) {
+	// If >1% of the population triggers the same SID, it cannot be used for
+	// targeting (Syria: 1.57% touched censored content).
+	a := NewAnalyst(homeNet)
+	a.Population = 100
+	for i := 0; i < 5; i++ {
+		u := netip.AddrFrom4([4]byte{10, 1, 0, byte(10 + i)})
+		a.Ingest(makeAlert(t, 6002, "censorship-measurement", u))
+	}
+	if a.IsFlagged(user1) {
+		t.Fatal("user flagged on an alert 5% of the population triggers")
+	}
+	if got := a.UsersTriggering(6002); got != 5 {
+		t.Fatalf("users triggering = %d", got)
+	}
+}
+
+func TestAnalystMalwareAlertsBarelyCount(t *testing.T) {
+	a := NewAnalyst(homeNet)
+	a.Population = 1000
+	for i := 0; i < 10; i++ {
+		a.Ingest(makeAlert(t, 6003, "malware", user1))
+	}
+	if a.IsFlagged(user1) {
+		t.Fatalf("malware alerts flagged user: score=%v", a.Score(user1))
+	}
+}
+
+func TestAnalystDiminishingRepeats(t *testing.T) {
+	a := NewAnalyst(homeNet)
+	a.Population = 1000
+	a.Ingest(makeAlert(t, 6004, "censorship-measurement", user1))
+	one := a.Score(user1)
+	a.Ingest(makeAlert(t, 6004, "censorship-measurement", user1))
+	two := a.Score(user1)
+	if two <= one || two > 2*one {
+		t.Fatalf("repeat scoring: %v then %v", one, two)
+	}
+}
+
+func TestAnalystAttributionOutsideHomeNet(t *testing.T) {
+	a := NewAnalyst(homeNet)
+	a.Population = 10
+	// Alert on a reply packet: src outside, dst inside — attribute to dst.
+	r, _ := ids.ParseRule(`alert tcp any any -> any any (msg:"reply"; sid:6005; classtype:censorship-measurement;)`, nil)
+	a.Ingest(ids.Alert{Rule: r, Flow: packet.Flow{Proto: packet.ProtoTCP, Src: outside, Dst: user2}})
+	if a.Dossier(user2) == nil {
+		t.Fatal("reply not attributed to in-population user")
+	}
+	// Fully external flow: ignored.
+	a.Ingest(ids.Alert{Rule: r, Flow: packet.Flow{Proto: packet.ProtoTCP, Src: outside, Dst: outside}})
+	if len(a.dossiers) != 1 {
+		t.Fatalf("dossiers = %d", len(a.dossiers))
+	}
+}
+
+func TestAnalystFlaggedSorted(t *testing.T) {
+	a := NewAnalyst(homeNet)
+	a.Population = 1000
+	a.Ingest(makeAlert(t, 6006, "censorship-measurement", user1))
+	a.Ingest(makeAlert(t, 6007, "censorship-measurement", user2))
+	a.Ingest(makeAlert(t, 6008, "censorship-measurement", user2))
+	flagged := a.Flagged()
+	if len(flagged) != 2 || flagged[0] != user2 {
+		t.Fatalf("flagged = %v", flagged)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassScan.String() != "scan" || ClassSpam.String() != "spam" {
+		t.Fatal("class names")
+	}
+}

@@ -1,0 +1,389 @@
+package tcpsim
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/packet"
+)
+
+var (
+	clientAddr = netip.MustParseAddr("10.1.0.10")
+	serverAddr = netip.MustParseAddr("203.0.113.80")
+	r1Addr     = netip.MustParseAddr("10.1.0.1")
+)
+
+type env struct {
+	sim    *netsim.Sim
+	client *netsim.Host
+	server *netsim.Host
+	router *netsim.Router
+	cs, ss *Stack
+}
+
+func newEnv(t testing.TB, lat time.Duration) *env {
+	t.Helper()
+	sim := netsim.NewSim(7)
+	e := &env{
+		sim:    sim,
+		client: netsim.NewHost(sim, "client", clientAddr),
+		server: netsim.NewHost(sim, "server", serverAddr),
+		router: netsim.NewRouter(sim, "r1", r1Addr, 2),
+	}
+	netsim.AttachHost(sim, e.client, e.router, 0, lat)
+	netsim.AttachHost(sim, e.server, e.router, 1, lat)
+	e.router.AddRoute(netip.PrefixFrom(clientAddr, 32), 0)
+	e.router.SetDefaultRoute(1)
+	e.cs = NewStack(e.client)
+	e.ss = NewStack(e.server)
+	return e
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	e := newEnv(t, time.Millisecond)
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) {
+			c.Send(append([]byte("echo:"), data...))
+		}
+	})
+	var got bytes.Buffer
+	var connected bool
+	c := e.cs.Dial(serverAddr, 80)
+	c.OnConnect = func(c *Conn) {
+		connected = true
+		c.Send([]byte("hello"))
+	}
+	c.OnData = func(c *Conn, data []byte) { got.Write(data) }
+	e.sim.Run()
+	if !connected {
+		t.Fatal("never connected")
+	}
+	if got.String() != "echo:hello" {
+		t.Fatalf("got %q", got.String())
+	}
+	if c.State() != StateEstablished {
+		t.Fatalf("client state = %v", c.State())
+	}
+}
+
+func TestLargeTransferSegmentsAtMSS(t *testing.T) {
+	e := newEnv(t, 0)
+	payload := bytes.Repeat([]byte("abcdefgh"), 2000) // 16000 bytes > 10*MSS
+	var got bytes.Buffer
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) { got.Write(data) }
+	})
+	// Count wire segments to prove MSS segmentation.
+	segs := 0
+	e.server.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil && len(pkt.TCP.Payload) > 0 {
+			segs++
+			if len(pkt.TCP.Payload) > MSS {
+				t.Errorf("segment of %d bytes exceeds MSS", len(pkt.TCP.Payload))
+			}
+		}
+	})
+	c := e.cs.Dial(serverAddr, 80)
+	c.OnConnect = func(c *Conn) { c.Send(payload) }
+	e.sim.Run()
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("transfer mismatch: %d/%d bytes", got.Len(), len(payload))
+	}
+	if want := (len(payload) + MSS - 1) / MSS; segs != want {
+		t.Fatalf("segments = %d, want %d", segs, want)
+	}
+}
+
+func TestOrderlyClose(t *testing.T) {
+	e := newEnv(t, time.Millisecond)
+	var serverClosed, clientClosed bool
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnClose = func(*Conn) { serverClosed = true }
+	})
+	c := e.cs.Dial(serverAddr, 80)
+	c.OnConnect = func(c *Conn) { c.Close() }
+	c.OnClose = func(*Conn) { clientClosed = true }
+	e.sim.Run()
+	if !serverClosed {
+		t.Fatal("server OnClose never fired")
+	}
+	if !clientClosed {
+		t.Fatal("client OnClose never fired")
+	}
+}
+
+func TestInjectedRSTAbortsConnection(t *testing.T) {
+	// A censor tap at the router injects a RST toward the client whenever it
+	// sees the keyword — the GFC behaviour. The client must observe
+	// ErrReset: that observation IS the censorship measurement.
+	e := newEnv(t, time.Millisecond)
+	e.router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, inj netsim.Injector) netsim.Verdict {
+		if tp.Pkt != nil && tp.Pkt.TCP != nil && bytes.Contains(tp.Pkt.TCP.Payload, []byte("falun")) {
+			t := tp.Pkt.TCP
+			rst := &packet.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort, Seq: t.Ack, Flags: packet.TCPRst}
+			raw, _ := packet.BuildTCP(tp.Pkt.IP.Dst, tp.Pkt.IP.Src, packet.DefaultTTL, rst)
+			inj.Inject(raw)
+		}
+		return netsim.Pass
+	}))
+	e.ss.Listen(80, func(c *Conn) {})
+	var failErr error
+	c := e.cs.Dial(serverAddr, 80)
+	c.OnConnect = func(c *Conn) { c.Send([]byte("GET /falun HTTP/1.1")) }
+	c.OnFail = func(c *Conn, err error) { failErr = err }
+	e.sim.Run()
+	if !errors.Is(failErr, ErrReset) {
+		t.Fatalf("fail err = %v, want ErrReset", failErr)
+	}
+}
+
+func TestBlackholeTimesOut(t *testing.T) {
+	// Drop everything to the server: SYN retransmissions exhaust and the
+	// dialer reports ErrTimeout — how IP blackholing shows up to a probe.
+	e := newEnv(t, time.Millisecond)
+	e.router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
+		if tp.Pkt != nil && tp.Pkt.IP.Dst == serverAddr {
+			return netsim.Drop
+		}
+		return netsim.Pass
+	}))
+	var failErr error
+	syns := 0
+	e.client.AddSniffer(func(raw []byte, pkt *packet.Packet) {})
+	c := e.cs.Dial(serverAddr, 80)
+	c.OnFail = func(c *Conn, err error) { failErr = err }
+	// Count SYN transmissions at the router input (before the drop tap
+	// decision applies we still observe).
+	e.sim.Run()
+	_ = syns
+	if !errors.Is(failErr, ErrTimeout) {
+		t.Fatalf("fail err = %v, want ErrTimeout", failErr)
+	}
+	if e.sim.Now() < 3*e.cs.RTO {
+		t.Fatalf("gave up too early: %v", e.sim.Now())
+	}
+}
+
+func TestRetransmissionRecoversFromLoss(t *testing.T) {
+	e := newEnv(t, time.Millisecond)
+	// Drop the first data segment only.
+	dropped := false
+	e.router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
+		if !dropped && tp.Pkt != nil && tp.Pkt.TCP != nil && len(tp.Pkt.TCP.Payload) > 0 {
+			dropped = true
+			return netsim.Drop
+		}
+		return netsim.Pass
+	}))
+	var got bytes.Buffer
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) { got.Write(data) }
+	})
+	c := e.cs.Dial(serverAddr, 80)
+	c.OnConnect = func(c *Conn) { c.Send([]byte("retransmit me")) }
+	e.sim.Run()
+	if got.String() != "retransmit me" {
+		t.Fatalf("got %q", got.String())
+	}
+	if !dropped {
+		t.Fatal("tap never dropped anything")
+	}
+}
+
+func TestSynToClosedPortFails(t *testing.T) {
+	e := newEnv(t, time.Millisecond)
+	var failErr error
+	c := e.cs.Dial(serverAddr, 81) // nothing listening
+	c.OnFail = func(c *Conn, err error) { failErr = err }
+	e.sim.Run()
+	if !errors.Is(failErr, ErrReset) {
+		t.Fatalf("fail err = %v, want ErrReset (closed port)", failErr)
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	// Drive the receive path directly with out-of-order segments.
+	e := newEnv(t, 0)
+	var got bytes.Buffer
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) { got.Write(data) }
+	})
+	c := e.cs.Dial(serverAddr, 80)
+	var sc *Conn
+	c.OnConnect = func(cc *Conn) {}
+	e.sim.Run() // complete handshake
+	// Find the server-side conn.
+	for _, conn := range e.ss.conns {
+		sc = conn
+	}
+	if sc == nil || sc.State() != StateEstablished {
+		t.Fatalf("no established server conn")
+	}
+	base := sc.rcvNxt
+	sc.ingestData(base+5, []byte("world"))
+	if got.Len() != 0 {
+		t.Fatal("out-of-order data delivered early")
+	}
+	sc.ingestData(base, []byte("hello"))
+	if got.String() != "helloworld" {
+		t.Fatalf("got %q", got.String())
+	}
+}
+
+func TestDuplicateDataTrimmed(t *testing.T) {
+	e := newEnv(t, 0)
+	var got bytes.Buffer
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) { got.Write(data) }
+	})
+	c := e.cs.Dial(serverAddr, 80)
+	_ = c
+	e.sim.Run()
+	var sc *Conn
+	for _, conn := range e.ss.conns {
+		sc = conn
+	}
+	base := sc.rcvNxt
+	sc.ingestData(base, []byte("abcdef"))
+	sc.ingestData(base, []byte("abcdef"))   // exact duplicate
+	sc.ingestData(base+3, []byte("defghi")) // overlapping
+	if got.String() != "abcdefghi" {
+		t.Fatalf("got %q", got.String())
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	e := newEnv(t, 0)
+	e.ss.Listen(80, func(c *Conn) {})
+	seen := map[uint16]bool{}
+	for i := 0; i < 50; i++ {
+		c := e.cs.Dial(serverAddr, 80)
+		if seen[c.LocalPort()] {
+			t.Fatalf("port %d reused", c.LocalPort())
+		}
+		seen[c.LocalPort()] = true
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	e := newEnv(t, time.Millisecond)
+	var serverFail error
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnFail = func(c *Conn, err error) { serverFail = err }
+	})
+	c := e.cs.Dial(serverAddr, 80)
+	c.OnConnect = func(c *Conn) { c.Abort() }
+	e.sim.Run()
+	if !errors.Is(serverFail, ErrReset) {
+		t.Fatalf("server fail = %v, want ErrReset", serverFail)
+	}
+	if c.State() != StateClosed {
+		t.Fatalf("client state = %v", c.State())
+	}
+}
+
+func TestTTLOverrideOnConn(t *testing.T) {
+	e := newEnv(t, 0)
+	var ttls []uint8
+	e.server.AddSniffer(func(raw []byte, pkt *packet.Packet) {
+		if pkt.TCP != nil {
+			ttls = append(ttls, pkt.IP.TTL)
+		}
+	})
+	e.ss.Listen(80, func(c *Conn) {})
+	c := e.cs.Dial(serverAddr, 80)
+	c.TTL = 10
+	c.OnConnect = func(c *Conn) { c.Send([]byte("x")) }
+	e.sim.Run()
+	if len(ttls) < 2 {
+		t.Fatalf("segments seen: %d", len(ttls))
+	}
+	// First segment (SYN) used the default TTL; later ones use 10 (-1 hop).
+	for _, ttl := range ttls[1:] {
+		if ttl != 9 {
+			t.Fatalf("ttl = %v, want 9 after one hop", ttl)
+		}
+	}
+}
+
+func TestListenTwiceFails(t *testing.T) {
+	e := newEnv(t, 0)
+	if err := e.ss.Listen(80, func(c *Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ss.Listen(80, func(c *Conn) {}); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	e.ss.CloseListener(80)
+	if err := e.ss.Listen(80, func(c *Conn) {}); err != nil {
+		t.Fatal("re-listen after close failed")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateEstablished.String() != "established" || !strings.Contains(State(99).String(), "99") {
+		t.Fatal("state names wrong")
+	}
+}
+
+func BenchmarkConnectSendClose(b *testing.B) {
+	e := newEnv(b, 0)
+	e.ss.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) { c.Send(data) }
+	})
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		c := e.cs.Dial(serverAddr, 80)
+		c.OnConnect = func(c *Conn) { c.Send(payload) }
+		c.OnData = func(c *Conn, data []byte) {
+			if !done {
+				done = true
+				c.Close()
+			}
+		}
+		e.sim.Run()
+	}
+}
+
+func TestTransferSurvivesLossySeeds(t *testing.T) {
+	// Property-style: for several RNG seeds, a multi-segment transfer over
+	// a 20%-loss path must still arrive intact via retransmission.
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 400) // 6400 bytes
+	for seed := int64(1); seed <= 6; seed++ {
+		sim := netsim.NewSim(seed)
+		client := netsim.NewHost(sim, "client", clientAddr)
+		server := netsim.NewHost(sim, "server", serverAddr)
+		router := netsim.NewRouter(sim, "r", r1Addr, 2)
+		lc := netsim.AttachHost(sim, client, router, 0, time.Millisecond)
+		ls := netsim.AttachHost(sim, server, router, 1, time.Millisecond)
+		lc.Loss = 0.2
+		ls.Loss = 0.2
+		router.AddRoute(netip.PrefixFrom(clientAddr, 32), 0)
+		router.SetDefaultRoute(1)
+		cs, ss := NewStack(client), NewStack(server)
+		cs.MaxRetries, ss.MaxRetries = 30, 30
+		var got bytes.Buffer
+		ss.Listen(80, func(c *Conn) {
+			c.OnData = func(c *Conn, data []byte) { got.Write(data) }
+		})
+		var failErr error
+		c := cs.Dial(serverAddr, 80)
+		c.OnConnect = func(c *Conn) { c.Send(payload) }
+		c.OnFail = func(c *Conn, err error) { failErr = err }
+		sim.Run()
+		if failErr != nil {
+			t.Fatalf("seed %d: connection failed: %v", seed, failErr)
+		}
+		if !bytes.Equal(got.Bytes(), payload) {
+			t.Fatalf("seed %d: transfer corrupted (%d/%d bytes)", seed, got.Len(), len(payload))
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package trace writes netsim captures as standard pcap files (the classic
+// libpcap format, readable by tcpdump/Wireshark) using LINKTYPE_RAW (101):
+// each record is a bare IPv4 datagram, exactly what the simulated links
+// carry. Virtual timestamps map to seconds/microseconds since epoch 0.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"safemeasure/internal/netsim"
+)
+
+const (
+	pcapMagic     = 0xa1b2c3d4
+	linktypeRaw   = 101
+	maxSnapLen    = 65535
+	recordHdrSize = 16
+)
+
+// ErrBadPcap reports a malformed file to the reader.
+var ErrBadPcap = errors.New("trace: malformed pcap")
+
+// WritePcap serializes a capture. Returns bytes written.
+func WritePcap(w io.Writer, c *netsim.Capture) (int64, error) {
+	var n int64
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	// thiszone, sigfigs: zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], maxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linktypeRaw)
+	c2, err := w.Write(hdr)
+	n += int64(c2)
+	if err != nil {
+		return n, err
+	}
+	rec := make([]byte, recordHdrSize)
+	for _, tp := range c.Packets {
+		sec := uint32(tp.Time / 1e9)
+		usec := uint32(tp.Time % 1e9 / 1e3)
+		binary.LittleEndian.PutUint32(rec[0:4], sec)
+		binary.LittleEndian.PutUint32(rec[4:8], usec)
+		capLen := len(tp.Raw)
+		if capLen > maxSnapLen {
+			capLen = maxSnapLen
+		}
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(capLen))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(tp.Raw)))
+		c2, err = w.Write(rec)
+		n += int64(c2)
+		if err != nil {
+			return n, err
+		}
+		c2, err = w.Write(tp.Raw[:capLen])
+		n += int64(c2)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Record is one packet read back from a pcap file.
+type Record struct {
+	Time int64 // virtual nanoseconds
+	Raw  []byte
+}
+
+// ReadPcap parses a file written by WritePcap (little-endian, raw-IP).
+func ReadPcap(r io.Reader) ([]Record, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadPcap, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != pcapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadPcap)
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != linktypeRaw {
+		return nil, fmt.Errorf("%w: unexpected linktype %d", ErrBadPcap, lt)
+	}
+	var out []Record
+	rec := make([]byte, recordHdrSize)
+	for {
+		_, err := io.ReadFull(r, rec)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: record header: %v", ErrBadPcap, err)
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:4])
+		usec := binary.LittleEndian.Uint32(rec[4:8])
+		capLen := binary.LittleEndian.Uint32(rec[8:12])
+		if capLen > maxSnapLen {
+			return nil, fmt.Errorf("%w: caplen %d", ErrBadPcap, capLen)
+		}
+		data := make([]byte, capLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("%w: truncated record: %v", ErrBadPcap, err)
+		}
+		out = append(out, Record{
+			Time: int64(sec)*1e9 + int64(usec)*1e3,
+			Raw:  data,
+		})
+	}
+}

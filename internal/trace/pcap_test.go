@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/packet"
+)
+
+func sampleCapture(t *testing.T) *netsim.Capture {
+	t.Helper()
+	sim := netsim.NewSim(1)
+	a := netsim.NewHost(sim, "a", netip.MustParseAddr("10.0.0.1"))
+	b := netsim.NewHost(sim, "b", netip.MustParseAddr("10.0.0.2"))
+	r := netsim.NewRouter(sim, "r", netip.MustParseAddr("10.0.0.254"), 2)
+	netsim.AttachHost(sim, a, r, 0, time.Millisecond)
+	netsim.AttachHost(sim, b, r, 1, time.Millisecond)
+	r.AddRoute(netip.PrefixFrom(a.Addr, 32), 0)
+	r.SetDefaultRoute(1)
+	cap := netsim.NewCapture("test")
+	r.AddTap(cap)
+	b.BindUDP(9, func(*netsim.Host, netip.Addr, uint16, []byte) {})
+	for i := 0; i < 5; i++ {
+		a.SendUDP(uint16(1000+i), b.Addr, 9, []byte("payload"))
+	}
+	sim.Run()
+	return cap
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	cap := sampleCapture(t)
+	var buf bytes.Buffer
+	n, err := WritePcap(&buf, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d, wrote %d", n, buf.Len())
+	}
+	recs, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != cap.Count() {
+		t.Fatalf("records = %d, want %d", len(recs), cap.Count())
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Raw, cap.Packets[i].Raw) {
+			t.Fatalf("record %d bytes differ", i)
+		}
+		// Timestamps survive to microsecond precision.
+		d := rec.Time - cap.Packets[i].Time
+		if d < -1000 || d > 1000 {
+			t.Fatalf("record %d time drift %dns", i, d)
+		}
+		// Every record is a parsable IPv4 datagram (LINKTYPE_RAW).
+		if _, err := packet.Parse(rec.Raw); err != nil {
+			t.Fatalf("record %d unparsable: %v", i, err)
+		}
+	}
+}
+
+func TestPcapHeaderFields(t *testing.T) {
+	cap := sampleCapture(t)
+	var buf bytes.Buffer
+	if _, err := WritePcap(&buf, cap); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()[:24]
+	if hdr[0] != 0xd4 || hdr[1] != 0xc3 || hdr[2] != 0xb2 || hdr[3] != 0xa1 {
+		t.Fatalf("magic bytes: % x", hdr[:4])
+	}
+	if hdr[20] != 101 { // LINKTYPE_RAW little-endian
+		t.Fatalf("linktype byte: %d", hdr[20])
+	}
+}
+
+func TestReadPcapErrors(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	bad := make([]byte, 24) // zero magic
+	if _, err := ReadPcap(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Valid header, truncated record.
+	cap := sampleCapture(t)
+	var buf bytes.Buffer
+	WritePcap(&buf, cap)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadPcap(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WritePcap(&buf, netsim.NewCapture("empty")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}

@@ -1,0 +1,101 @@
+// Package websim provides an HTTP/1.1 server and client over the simulated
+// TCP stack. The overt HTTP baseline, the DDoS-mimicry technique, and the
+// population's web browsing all use it.
+package websim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"safemeasure/internal/httpwire"
+	"safemeasure/internal/tcpsim"
+)
+
+// HTTPPort is the server port.
+const HTTPPort = 80
+
+// ErrConnection wraps transport failures (reset or timeout).
+var ErrConnection = errors.New("websim: connection failed")
+
+// Server is a minimal virtual-hosting web server.
+type Server struct {
+	// Hits counts requests served.
+	Hits int
+	// HitsByHost tallies per Host header.
+	HitsByHost map[string]int
+	// Handler produces responses; the default returns 200 with a small
+	// page naming the host and path.
+	Handler func(*httpwire.Request) *httpwire.Response
+}
+
+// NewServer starts a web server on the stack's port 80.
+func NewServer(stack *tcpsim.Stack) (*Server, error) {
+	srv := &Server{HitsByHost: make(map[string]int)}
+	err := stack.Listen(HTTPPort, func(c *tcpsim.Conn) {
+		var buf []byte
+		c.OnData = func(c *tcpsim.Conn, data []byte) {
+			buf = append(buf, data...)
+			for {
+				req, n, err := httpwire.ParseRequest(buf)
+				if err != nil {
+					return // incomplete or garbage; wait for more
+				}
+				buf = buf[n:]
+				srv.Hits++
+				srv.HitsByHost[req.Host()]++
+				resp := srv.respond(req)
+				c.Send(resp.Marshal())
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("websim: %w", err)
+	}
+	return srv, nil
+}
+
+func (s *Server) respond(req *httpwire.Request) *httpwire.Response {
+	if s.Handler != nil {
+		return s.Handler(req)
+	}
+	body := fmt.Sprintf("<html><body>%s%s</body></html>", req.Host(), req.Path)
+	return &httpwire.Response{Status: 200, Headers: map[string]string{"Server": "websim"}, Body: []byte(body)}
+}
+
+// Get fetches http://host path from the server at addr and calls done with
+// the response or an error (censored connections surface as resets or
+// timeouts wrapped in ErrConnection). It returns the connection so callers
+// can tweak it before the handshake completes.
+func Get(stack *tcpsim.Stack, addr netip.Addr, host, path string, done func(*httpwire.Response, error)) *tcpsim.Conn {
+	conn := stack.Dial(addr, HTTPPort)
+	var buf []byte
+	finished := false
+	finish := func(r *httpwire.Response, err error) {
+		if !finished {
+			finished = true
+			done(r, err)
+		}
+	}
+	conn.OnConnect = func(c *tcpsim.Conn) {
+		req := httpwire.NewRequest("GET", host, path)
+		req.Headers["User-Agent"] = "popbrowser/1.0"
+		c.Send(req.Marshal())
+	}
+	conn.OnData = func(c *tcpsim.Conn, data []byte) {
+		buf = append(buf, data...)
+		resp, _, err := httpwire.ParseResponse(buf)
+		if err != nil {
+			return // incomplete
+		}
+		finish(resp, nil)
+		c.Close()
+	}
+	conn.OnFail = func(_ *tcpsim.Conn, err error) {
+		finish(nil, fmt.Errorf("%w: %w", ErrConnection, err))
+	}
+	conn.OnClose = func(*tcpsim.Conn) {
+		finish(nil, fmt.Errorf("%w: closed before response", ErrConnection))
+	}
+	return conn
+}

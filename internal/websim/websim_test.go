@@ -1,0 +1,112 @@
+package websim
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/httpwire"
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/tcpsim"
+)
+
+var (
+	cliAddr = netip.MustParseAddr("10.1.0.10")
+	srvAddr = netip.MustParseAddr("203.0.113.80")
+	rtrAddr = netip.MustParseAddr("10.1.0.1")
+)
+
+func newEnv(t *testing.T) (*netsim.Sim, *tcpsim.Stack, *Server, *netsim.Router) {
+	t.Helper()
+	sim := netsim.NewSim(13)
+	client := netsim.NewHost(sim, "client", cliAddr)
+	server := netsim.NewHost(sim, "server", srvAddr)
+	router := netsim.NewRouter(sim, "r", rtrAddr, 2)
+	netsim.AttachHost(sim, client, router, 0, time.Millisecond)
+	netsim.AttachHost(sim, server, router, 1, time.Millisecond)
+	router.AddRoute(netip.PrefixFrom(cliAddr, 32), 0)
+	router.SetDefaultRoute(1)
+	cs := tcpsim.NewStack(client)
+	ss := tcpsim.NewStack(server)
+	srv, err := NewServer(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, cs, srv, router
+}
+
+func TestGet200(t *testing.T) {
+	sim, cs, srv, _ := newEnv(t)
+	var resp *httpwire.Response
+	Get(cs, srvAddr, "news.test", "/world", func(r *httpwire.Response, err error) {
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		resp = r
+	})
+	sim.Run()
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if !strings.Contains(string(resp.Body), "news.test/world") {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if srv.Hits != 1 || srv.HitsByHost["news.test"] != 1 {
+		t.Fatalf("hits: %d %v", srv.Hits, srv.HitsByHost)
+	}
+}
+
+func TestCustomHandler(t *testing.T) {
+	sim, cs, srv, _ := newEnv(t)
+	srv.Handler = func(req *httpwire.Request) *httpwire.Response {
+		if req.Path == "/blocked" {
+			return &httpwire.Response{Status: 451, Body: []byte("censored")}
+		}
+		return &httpwire.Response{Status: 200, Body: []byte("ok")}
+	}
+	var status int
+	Get(cs, srvAddr, "x.test", "/blocked", func(r *httpwire.Response, err error) {
+		if err == nil {
+			status = r.Status
+		}
+	})
+	sim.Run()
+	if status != 451 {
+		t.Fatalf("status = %d", status)
+	}
+}
+
+func TestConnectionFailureSurfaces(t *testing.T) {
+	sim, cs, _, router := newEnv(t)
+	router.AddTap(netsim.TapFunc(func(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
+		if tp.Pkt != nil && tp.Pkt.IP.Dst == srvAddr {
+			return netsim.Drop
+		}
+		return netsim.Pass
+	}))
+	var gotErr error
+	Get(cs, srvAddr, "x.test", "/", func(r *httpwire.Response, err error) { gotErr = err })
+	sim.Run()
+	if !errors.Is(gotErr, ErrConnection) {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestSequentialRequests(t *testing.T) {
+	sim, cs, srv, _ := newEnv(t)
+	ok := 0
+	for i := 0; i < 5; i++ {
+		Get(cs, srvAddr, "a.test", "/", func(r *httpwire.Response, err error) {
+			if err == nil && r.Status == 200 {
+				ok++
+			}
+		})
+	}
+	sim.Run()
+	if ok != 5 || srv.Hits != 5 {
+		t.Fatalf("ok=%d hits=%d", ok, srv.Hits)
+	}
+}
