@@ -9,9 +9,11 @@
 package safemeasure
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"safemeasure/internal/campaign"
 	"safemeasure/internal/experiments"
 	"safemeasure/internal/spoof"
 )
@@ -191,4 +193,38 @@ func boolMetric(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// BenchmarkCampaign measures campaign throughput (runs/sec) at several
+// worker-pool sizes over a fixed 21-run matrix. Throughput should scale
+// with workers until the host's cores saturate; results stay identical at
+// every width (see TestCampaignDeterministicAcrossWorkerCounts).
+func BenchmarkCampaign(b *testing.B) {
+	plan, err := campaign.NewPlan(campaign.PlanConfig{
+		Scenarios: []string{"keyword-rst", "dns-poison", "blackhole"},
+		Trials:    2,
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runs := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				recs, err := campaign.Run(plan, campaign.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rec := range recs {
+					if rec.Error != "" {
+						b.Fatalf("%s/%s: %s", rec.Technique, rec.Scenario, rec.Error)
+					}
+				}
+				runs += len(recs)
+			}
+			b.ReportMetric(float64(runs)/time.Since(start).Seconds(), "runs/s")
+		})
+	}
 }

@@ -1,0 +1,181 @@
+// Command campaign runs measurement campaigns: a technique × scenario ×
+// trial matrix sharded across a worker pool, streamed to a JSONL file as
+// runs complete, and aggregated into per-technique/per-scenario accuracy,
+// MVR-evasion, and analyst-flag tables.
+//
+// Usage:
+//
+//	campaign -techniques all -scenarios keyword-rst,dns-poison,blackhole \
+//	         -trials 20 -workers 8 -seed 1 -out results.jsonl
+//	campaign -techniques spam,spoofed-dns -scenarios dns-poison -trials 50
+//	campaign -resume -out results.jsonl     # finish an interrupted campaign
+//	campaign -list
+//
+// Every run seed derives from -seed and the run's coordinates, so repeating
+// a campaign with a different -workers value yields identical records (the
+// JSONL line order is completion order; sort to compare).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"safemeasure/internal/campaign"
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+)
+
+func main() {
+	techniques := flag.String("techniques", "all", "comma-separated technique names, or all")
+	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or all")
+	trials := flag.Int("trials", 1, "trials per technique x scenario cell")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+	seed := flag.Int64("seed", 1, "campaign master seed")
+	out := flag.String("out", "", "JSONL output path (- for stdout; empty writes no file)")
+	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock budget per run")
+	resume := flag.Bool("resume", false, "skip runs already recorded in -out and append")
+	list := flag.Bool("list", false, "list scenarios and techniques, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("scenarios:")
+		for _, sc := range lab.Scenarios() {
+			truth := "accessible"
+			if sc.Censored {
+				truth = "censored"
+			}
+			fmt.Printf("  %-12s %-10s %s\n", sc.Name, truth, sc.Summary)
+		}
+		fmt.Println("techniques:")
+		for _, name := range core.Names() {
+			kind := "overt baseline"
+			if t, _ := core.ByName(name); core.Stealth(t) {
+				kind = "stealth"
+			}
+			fmt.Printf("  %-14s %s\n", name, kind)
+		}
+		return
+	}
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "campaign: -trials must be >= 1 (got %d)\n", *trials)
+		os.Exit(2)
+	}
+	plan, err := campaign.NewPlan(campaign.PlanConfig{
+		Techniques: splitCSV(*techniques),
+		Scenarios:  splitCSV(*scenarios),
+		Trials:     *trials,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	planned := len(plan.Specs)
+
+	opts := campaign.Options{Workers: *workers, Timeout: *timeout}
+	var sink *campaign.JSONLSink
+	switch {
+	case *out == "-":
+		sink = campaign.NewJSONLSink(os.Stdout)
+	case *out != "" && *resume:
+		done, err := readDone(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		plan = plan.Filter(func(s campaign.RunSpec) bool {
+			return !done[[3]any{s.Technique, s.Scenario, s.Trial}]
+		})
+		if len(plan.Specs) == 0 {
+			fmt.Fprintf(os.Stderr, "campaign: all %d planned runs already in %s\n", planned, *out)
+			return
+		}
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = campaign.NewJSONLSink(f)
+	case *out != "":
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = campaign.NewJSONLSink(f)
+	}
+	if sink != nil {
+		opts.OnRecord = sink.Write
+	}
+
+	start := time.Now()
+	recs, err := campaign.Run(plan, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: sink:", err)
+			os.Exit(1)
+		}
+	}
+
+	sum := campaign.Aggregate(recs)
+	fmt.Println(sum.Render())
+	fmt.Printf("executed %d/%d runs with %d workers in %v (%.1f runs/s)\n",
+		len(recs), planned, *workers, elapsed.Round(time.Millisecond),
+		float64(len(recs))/elapsed.Seconds())
+	if *out != "" && *out != "-" {
+		fmt.Printf("records appended to %s\n", *out)
+	}
+	if sum.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d runs failed\n", sum.Errors)
+		os.Exit(1)
+	}
+}
+
+// splitCSV turns "a,b , c" into {"a","b","c"}.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// readDone loads the coordinates of error-free runs already in a JSONL file.
+func readDone(path string) (map[[3]any]bool, error) {
+	done := map[[3]any]bool{}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := campaign.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: -resume: %w", err)
+	}
+	for _, r := range recs {
+		if r.Error == "" {
+			done[[3]any{r.Technique, r.Scenario, r.Trial}] = true
+		}
+	}
+	return done, nil
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each is still internally deterministic)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent experiments with -parallel")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -94,12 +96,20 @@ func main() {
 	if *parallel {
 		// Every experiment builds its own lab and RNGs, so they are
 		// independent; output order stays deterministic because rendering
-		// happens after the join.
+		// happens after the join. A semaphore bounds concurrency at
+		// -workers so a wide -only selection cannot oversubscribe the host.
+		n := *workers
+		if n < 1 {
+			n = 1
+		}
+		sem := make(chan struct{}, n)
 		var wg sync.WaitGroup
 		for i := range selectedJobs {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
 				runOne(i)
 			}(i)
 		}

@@ -52,14 +52,8 @@ func main() {
 		return
 	}
 
-	var tech core.Technique
-	for _, t := range core.All() {
-		if t.Name() == *techName {
-			tech = t
-			break
-		}
-	}
-	if tech == nil {
+	tech, ok := core.ByName(*techName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown technique %q (try -list)\n", *techName)
 		os.Exit(2)
 	}
@@ -130,29 +124,13 @@ func main() {
 
 	risk := core.EvaluateRisk(l, lab.ClientAddr)
 	if *jsonOut {
-		out := struct {
-			Technique  string   `json:"technique"`
-			Target     string   `json:"target"`
-			Verdict    string   `json:"verdict"`
-			Mechanism  string   `json:"mechanism,omitempty"`
-			Probes     int      `json:"probes"`
-			Cover      int      `json:"cover"`
-			Evidence   []string `json:"evidence"`
-			Retained   bool     `json:"traffic_retained"`
-			Alerts     int      `json:"analyst_alerts"`
-			Score      float64  `json:"suspicion_score"`
-			Implicated int      `json:"implicated_users"`
-			Flagged    bool     `json:"flagged"`
-		}{
-			Technique: res.Technique, Target: res.Target.String(),
-			Verdict: res.Verdict.String(), Mechanism: res.Mechanism,
-			Probes: res.ProbesSent, Cover: res.CoverSent, Evidence: res.Evidence,
-			Retained: risk.TrafficRetained, Alerts: risk.AnalystAlerts,
-			Score: risk.Score, Implicated: risk.ImplicatedUsers, Flagged: risk.Flagged,
-		}
+		// The same record shape the campaign JSONL sink writes, so ad-hoc
+		// runs and campaign post-processing share tooling. elapsed_ms is
+		// virtual (simulated) time — identical across re-runs of a seed.
+		rec := core.NewRecord(res, risk, *seed, l.Sim.Now())
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(rec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

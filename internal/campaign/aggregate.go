@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safemeasure/internal/stats"
+)
+
+// Cell aggregates every run of one technique against one scenario.
+type Cell struct {
+	Scenario  string
+	Technique string
+	Stealth   bool
+
+	Runs     int // completed runs (errors excluded)
+	Errors   int
+	Correct  int // verdict matched the scenario's ground truth
+	Flagged  int // analyst flagged the measurer
+	Alerted  int // runs where measurement traffic survived the MVR and tripped a rule
+	Retained int // MVR kept metadata for the measurer (stage-1 visibility)
+
+	Score     stats.Summary // analyst suspicion
+	Entropy   stats.Summary // attribution entropy (bits)
+	ElapsedMS stats.Summary // virtual per-run duration
+}
+
+// Accuracy is the fraction of completed runs with a correct verdict.
+func (c *Cell) Accuracy() float64 { return frac(c.Correct, c.Runs) }
+
+// FlagRate is the fraction of completed runs where the measurer was flagged.
+func (c *Cell) FlagRate() float64 { return frac(c.Flagged, c.Runs) }
+
+// EvasionRate is the fraction of completed runs where nothing incriminating
+// survived the MVR: zero alerts in the measurer's dossier. Alerts only fire
+// on traffic the MVR retained past its wholesale-discard stage, so an empty
+// dossier means the measurement evaded MVR-fed analysis — the paper's
+// evasion criterion. (Raw metadata retention is near-universal: even a
+// benign resolver lookup leaves a flow record, so it is tracked in Retained
+// but is not the evasion signal.)
+func (c *Cell) EvasionRate() float64 { return frac(c.Runs-c.Alerted, c.Runs) }
+
+// KindTotals aggregates one technique family (overt or stealth).
+type KindTotals struct {
+	Runs, Errors, Correct, Flagged int
+}
+
+// Accuracy is the family's correct fraction.
+func (k KindTotals) Accuracy() float64 { return frac(k.Correct, k.Runs) }
+
+// FlagRate is the family's flagged fraction.
+func (k KindTotals) FlagRate() float64 { return frac(k.Flagged, k.Runs) }
+
+// Summary is a whole campaign reduced to its reportable statistics.
+type Summary struct {
+	Cells          []Cell // sorted by (scenario, technique)
+	Overt, Stealth KindTotals
+	Runs, Errors   int
+}
+
+// Aggregate folds run records into per-cell and per-family statistics.
+func Aggregate(recs []RunRecord) *Summary {
+	cells := map[[2]string]*Cell{}
+	sum := &Summary{}
+	for _, r := range recs {
+		key := [2]string{r.Scenario, r.Technique}
+		c := cells[key]
+		if c == nil {
+			c = &Cell{Scenario: r.Scenario, Technique: r.Technique, Stealth: r.Stealth}
+			cells[key] = c
+		}
+		sum.Runs++
+		if r.Error != "" {
+			c.Errors++
+			sum.Errors++
+			continue
+		}
+		kind := &sum.Overt
+		if r.Stealth {
+			kind = &sum.Stealth
+		}
+		c.Runs++
+		kind.Runs++
+		if r.Correct {
+			c.Correct++
+			kind.Correct++
+		}
+		if r.Flagged {
+			c.Flagged++
+			kind.Flagged++
+		}
+		if r.Alerts > 0 {
+			c.Alerted++
+		}
+		if r.Retained {
+			c.Retained++
+		}
+		c.Score.Add(r.Score)
+		c.Entropy.Add(r.Entropy)
+		c.ElapsedMS.Add(r.ElapsedMS)
+	}
+	for _, c := range cells {
+		sum.Cells = append(sum.Cells, *c)
+	}
+	sort.Slice(sum.Cells, func(i, j int) bool {
+		if sum.Cells[i].Scenario != sum.Cells[j].Scenario {
+			return sum.Cells[i].Scenario < sum.Cells[j].Scenario
+		}
+		return sum.Cells[i].Technique < sum.Cells[j].Technique
+	})
+	return sum
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Render prints the campaign matrix and the overt-vs-stealth headline.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign summary — %d runs (%d errors)\n\n", s.Runs, s.Errors)
+	t := stats.NewTable("scenario", "technique", "kind", "runs", "accuracy",
+		"mvr-evasion", "flag-rate", "mean-score", "entropy-bits", "virt-ms")
+	for _, c := range s.Cells {
+		kind := "overt"
+		if c.Stealth {
+			kind = "stealth"
+		}
+		runs := fmt.Sprintf("%d", c.Runs)
+		if c.Errors > 0 {
+			runs = fmt.Sprintf("%d(+%derr)", c.Runs, c.Errors)
+		}
+		t.AddRow(c.Scenario, c.Technique, kind, runs, c.Accuracy(),
+			c.EvasionRate(), c.FlagRate(), c.Score.Mean(), c.Entropy.Mean(),
+			c.ElapsedMS.Mean())
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\naccuracy:  overt %.2f vs stealth %.2f (must be comparable)\n",
+		s.Overt.Accuracy(), s.Stealth.Accuracy())
+	fmt.Fprintf(&b, "flag rate: overt %.2f vs stealth %.2f (stealth must be lower)\n",
+		s.Overt.FlagRate(), s.Stealth.FlagRate())
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	mk := func(scenario, technique string, stealth, correct, flagged bool, alerts int, score float64, errMsg string) RunRecord {
+		rec := RunRecord{Scenario: scenario, Correct: correct, Error: errMsg}
+		rec.Technique = technique
+		rec.Stealth = stealth
+		rec.Flagged = flagged
+		rec.Alerts = alerts
+		rec.Retained = true // metadata retention is near-universal
+		rec.Score = score
+		rec.ElapsedMS = 100
+		return rec
+	}
+	recs := []RunRecord{
+		mk("dns-poison", "overt-dns", false, true, true, 3, 2.0, ""),
+		mk("dns-poison", "overt-dns", false, true, true, 5, 4.0, ""),
+		mk("dns-poison", "spam", true, true, false, 0, 0.5, ""),
+		mk("dns-poison", "spam", true, false, false, 0, 0.5, ""),
+		mk("dns-poison", "spam", true, false, false, 0, 0, "lab: boom"),
+	}
+	sum := Aggregate(recs)
+	if sum.Runs != 5 || sum.Errors != 1 {
+		t.Fatalf("totals: %+v", sum)
+	}
+	if len(sum.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(sum.Cells))
+	}
+	overt, spam := sum.Cells[0], sum.Cells[1]
+	if overt.Technique != "overt-dns" || spam.Technique != "spam" {
+		t.Fatalf("cell order: %+v", sum.Cells)
+	}
+	if overt.Runs != 2 || overt.Accuracy() != 1 || overt.FlagRate() != 1 || overt.EvasionRate() != 0 {
+		t.Fatalf("overt cell: %+v", overt)
+	}
+	if math.Abs(overt.Score.Mean()-3.0) > 1e-12 {
+		t.Fatalf("overt mean score = %v", overt.Score.Mean())
+	}
+	if spam.Runs != 2 || spam.Errors != 1 || spam.Accuracy() != 0.5 ||
+		spam.FlagRate() != 0 || spam.EvasionRate() != 1 {
+		t.Fatalf("spam cell: %+v", spam)
+	}
+	if sum.Overt.FlagRate() != 1 || sum.Stealth.FlagRate() != 0 {
+		t.Fatalf("family flag rates: overt %+v stealth %+v", sum.Overt, sum.Stealth)
+	}
+
+	text := sum.Render()
+	for _, want := range []string{"dns-poison", "overt-dns", "spam", "flag rate", "accuracy", "(+1err)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	sum := Aggregate(nil)
+	if sum.Runs != 0 || len(sum.Cells) != 0 {
+		t.Fatalf("empty aggregate: %+v", sum)
+	}
+	if !strings.Contains(sum.Render(), "0 runs") {
+		t.Fatalf("render: %s", sum.Render())
+	}
+}

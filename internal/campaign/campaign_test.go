@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// smallPlan is a cheap, representative matrix: one censoring scenario with
+// its three applicable techniques, two trials each.
+func smallPlan(t *testing.T, seed int64) *Plan {
+	t.Helper()
+	p, err := NewPlan(PlanConfig{Scenarios: []string{"dns-poison"}, Trials: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunCompletesInPlanOrder(t *testing.T) {
+	p := smallPlan(t, 1)
+	var streamed atomic.Int64
+	recs, err := Run(p, Options{Workers: 3, OnRecord: func(RunRecord) { streamed.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(p.Specs) {
+		t.Fatalf("records = %d, want %d", len(recs), len(p.Specs))
+	}
+	if int(streamed.Load()) != len(p.Specs) {
+		t.Fatalf("OnRecord fired %d times, want %d", streamed.Load(), len(p.Specs))
+	}
+	for i, rec := range recs {
+		spec := p.Specs[i]
+		if rec.Error != "" {
+			t.Fatalf("run %d (%s/%s) failed: %s", i, spec.Technique, spec.Scenario, rec.Error)
+		}
+		if rec.Technique != spec.Technique || rec.Scenario != spec.Scenario ||
+			rec.Trial != spec.Trial || rec.Seed != spec.Seed {
+			t.Fatalf("record %d out of plan order: %+v vs spec %+v", i, rec, spec)
+		}
+		if !rec.Correct {
+			t.Errorf("%s/%s trial %d: verdict %s against ground truth %v",
+				rec.Technique, rec.Scenario, rec.Trial, rec.Verdict, rec.GroundTruth)
+		}
+	}
+}
+
+// sortedJSONL marshals records one per line and sorts the lines — the
+// scheduling-independent canonical form of a campaign output file.
+func sortedJSONL(t *testing.T, recs []RunRecord) string {
+	t.Helper()
+	lines := make([]string, len(recs))
+	for i, rec := range recs {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[i] = string(raw)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The satellite acceptance check: same campaign seed, different worker
+	// counts, byte-identical sorted JSONL.
+	var outputs []string
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		sink := NewJSONLSink(&buf)
+		recs, err := Run(smallPlan(t, 42), Options{Workers: workers, OnRecord: sink.Write})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// The streamed sink and the returned slice hold the same records.
+		streamed, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sortedJSONL(t, streamed) != sortedJSONL(t, recs) {
+			t.Fatalf("workers=%d: sink contents diverge from returned records", workers)
+		}
+		outputs = append(outputs, sortedJSONL(t, recs))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("worker count changed campaign results:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	p := smallPlan(t, 7)
+	boom := p.Specs[2]
+	recs, err := Run(p, Options{
+		Workers: 2,
+		execute: func(spec RunSpec, horizon time.Duration) RunRecord {
+			if spec.Index == boom.Index {
+				panic("lab exploded")
+			}
+			return Execute(spec, horizon)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if i == boom.Index {
+			if !strings.Contains(rec.Error, "panic") || !strings.Contains(rec.Error, "lab exploded") {
+				t.Fatalf("panic not captured: %+v", rec)
+			}
+			if rec.Technique != boom.Technique || rec.Seed != boom.Seed {
+				t.Fatalf("panic record lost its coordinates: %+v", rec)
+			}
+		} else if rec.Error != "" {
+			t.Fatalf("run %d poisoned by neighbour's panic: %s", i, rec.Error)
+		}
+	}
+}
+
+func TestRunTimesOutWedgedRuns(t *testing.T) {
+	p := smallPlan(t, 8).Filter(func(s RunSpec) bool { return s.Index < 2 })
+	recs, err := Run(p, Options{
+		Workers: 2,
+		Timeout: 20 * time.Millisecond,
+		execute: func(spec RunSpec, _ time.Duration) RunRecord {
+			if spec.Index == 0 {
+				time.Sleep(5 * time.Second) // a wedged simulator
+			}
+			// A fast stub, not a real lab run: the healthy run must finish
+			// well inside the timeout even under -race instrumentation.
+			rec := RunRecord{Scenario: spec.Scenario, Trial: spec.Trial}
+			rec.Technique = spec.Technique
+			rec.Seed = spec.Seed
+			return rec
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(recs[0].Error, "timeout") {
+		t.Fatalf("wedged run not timed out: %+v", recs[0])
+	}
+	if recs[1].Error != "" {
+		t.Fatalf("healthy run caught the timeout: %+v", recs[1])
+	}
+}
+
+func TestRunRejectsEmptyPlan(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	if _, err := Run(&Plan{}, Options{}); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+}
+
+func TestExecuteErrorPaths(t *testing.T) {
+	rec := Execute(RunSpec{Technique: "no-such", Scenario: "open"}, 0)
+	if !strings.Contains(rec.Error, "unknown technique") {
+		t.Fatalf("rec = %+v", rec)
+	}
+	rec = Execute(RunSpec{Technique: "spam", Scenario: "no-such"}, 0)
+	if !strings.Contains(rec.Error, "unknown scenario") {
+		t.Fatalf("rec = %+v", rec)
+	}
+}

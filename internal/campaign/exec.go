@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"safemeasure/internal/core"
+	"safemeasure/internal/lab"
+)
+
+// DefaultHorizon is how long population cover traffic runs alongside each
+// measurement — the E11 evaluation value.
+const DefaultHorizon = 2 * time.Second
+
+// configured returns a fresh technique instance tuned with the E11
+// evaluation parameters (bounded scan/flood sizes, cover counts), falling
+// back to core defaults for anything unlisted.
+func configured(name string) (core.Technique, bool) {
+	switch name {
+	case "syn-scan":
+		return &core.SYNScan{Ports: 100}, true
+	case "ddos":
+		return &core.DDoS{Requests: 30}, true
+	case "spoofed-dns":
+		return &core.SpoofedDNS{Covers: 8}, true
+	case "spoofed-syn":
+		return &core.SpoofedSYN{Covers: 8}, true
+	case "stateful-spoof":
+		return &core.Stateful{Covers: 4}, true
+	default:
+		return core.ByName(name)
+	}
+}
+
+// errorRecord fills a RunRecord for a run that produced no measurement.
+func errorRecord(spec RunSpec, err error) RunRecord {
+	rec := RunRecord{Scenario: spec.Scenario, Trial: spec.Trial, Error: err.Error()}
+	rec.Technique = spec.Technique
+	rec.Seed = spec.Seed
+	return rec
+}
+
+// Execute runs one spec to completion in its own lab: build, start
+// population cover traffic for horizon, run the technique, drain the
+// simulator, and evaluate the measurer's risk. It never shares state with
+// other runs, so any number of Executes may proceed concurrently.
+func Execute(spec RunSpec, horizon time.Duration) RunRecord {
+	tech, ok := configured(spec.Technique)
+	if !ok {
+		return errorRecord(spec, fmt.Errorf("unknown technique %q", spec.Technique))
+	}
+	sc, ok := lab.ScenarioByName(spec.Scenario)
+	if !ok {
+		return errorRecord(spec, fmt.Errorf("unknown scenario %q", spec.Scenario))
+	}
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	l, err := lab.New(sc.Config(spec.Seed))
+	if err != nil {
+		return errorRecord(spec, fmt.Errorf("lab: %w", err))
+	}
+	l.StartPopulation(horizon)
+
+	tgt := core.Target{Domain: sc.Domain, Path: sc.Path, Port: sc.Port, Addr: sc.Addr}
+	var res *core.Result
+	tech.Run(l, tgt, func(r *core.Result) { res = r })
+	l.Run()
+	if res == nil {
+		return errorRecord(spec, fmt.Errorf("%s never completed", spec.Technique))
+	}
+
+	risk := core.EvaluateRisk(l, lab.ClientAddr)
+	rec := RunRecord{
+		Scenario:    spec.Scenario,
+		Trial:       spec.Trial,
+		Record:      core.NewRecord(res, risk, spec.Seed, l.Sim.Now()),
+		GroundTruth: sc.Censored,
+	}
+	rec.Correct = (res.Verdict == core.VerdictCensored) == sc.Censored &&
+		res.Verdict != core.VerdictInconclusive
+	return rec
+}

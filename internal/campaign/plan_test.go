@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPlanFullMatrix(t *testing.T) {
+	p, err := NewPlan(PlanConfig{Trials: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Applicability: 3 techniques per censoring scenario (x4) plus all 9 on
+	// the open control = 21 cells, times 2 trials.
+	if len(p.Specs) != 42 {
+		t.Fatalf("specs = %d, want 42", len(p.Specs))
+	}
+	if len(p.Cells()) != 21 {
+		t.Fatalf("cells = %d, want 21", len(p.Cells()))
+	}
+	for i, spec := range p.Specs {
+		if spec.Index != i {
+			t.Fatalf("spec %d has index %d", i, spec.Index)
+		}
+		if !Applicable(spec.Technique, spec.Scenario) {
+			t.Fatalf("planned inapplicable pair %s/%s", spec.Technique, spec.Scenario)
+		}
+	}
+}
+
+func TestNewPlanSelection(t *testing.T) {
+	p, err := NewPlan(PlanConfig{
+		Techniques: []string{"overt-dns", "spam", "spoofed-dns"},
+		Scenarios:  []string{"dns-poison"},
+		Trials:     3,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Specs) != 9 {
+		t.Fatalf("specs = %d, want 9", len(p.Specs))
+	}
+
+	if _, err := NewPlan(PlanConfig{Techniques: []string{"no-such"}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown technique") {
+		t.Fatalf("unknown technique err = %v", err)
+	}
+	if _, err := NewPlan(PlanConfig{Scenarios: []string{"no-such"}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("unknown scenario err = %v", err)
+	}
+	// A selection where nothing applies must refuse, not silently plan zero
+	// runs: an HTTP-keyword probe cannot see DNS poisoning.
+	if _, err := NewPlan(PlanConfig{
+		Techniques: []string{"overt-http"},
+		Scenarios:  []string{"dns-poison"},
+	}); err == nil {
+		t.Fatal("inapplicable matrix accepted")
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	a := deriveSeed(1, "spam", "dns-poison", 0)
+	if a != deriveSeed(1, "spam", "dns-poison", 0) {
+		t.Fatal("seed derivation not deterministic")
+	}
+	if a < 0 {
+		t.Fatalf("derived seed %d is negative", a)
+	}
+	distinct := map[int64]bool{a: true}
+	for _, other := range []int64{
+		deriveSeed(1, "spam", "dns-poison", 1),
+		deriveSeed(1, "spam", "open", 0),
+		deriveSeed(1, "overt-dns", "dns-poison", 0),
+		deriveSeed(2, "spam", "dns-poison", 0),
+	} {
+		if distinct[other] {
+			t.Fatalf("seed collision across coordinates: %d", other)
+		}
+		distinct[other] = true
+	}
+
+	// Seeds are coordinate-derived, not position-derived: a narrowed plan
+	// assigns the same seed to the same (technique, scenario, trial).
+	full, err := NewPlan(PlanConfig{Trials: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := NewPlan(PlanConfig{Scenarios: []string{"blackhole"}, Trials: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[[3]any]int64{}
+	for _, s := range full.Specs {
+		seeds[[3]any{s.Technique, s.Scenario, s.Trial}] = s.Seed
+	}
+	for _, s := range narrow.Specs {
+		if want := seeds[[3]any{s.Technique, s.Scenario, s.Trial}]; want != s.Seed {
+			t.Fatalf("%s/%s trial %d: seed %d in narrow plan vs %d in full plan",
+				s.Technique, s.Scenario, s.Trial, s.Seed, want)
+		}
+	}
+}
+
+func TestPlanFilter(t *testing.T) {
+	p, err := NewPlan(PlanConfig{Scenarios: []string{"dns-poison"}, Trials: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := p.Filter(func(s RunSpec) bool { return s.Trial == 1 })
+	if len(kept.Specs) != len(p.Specs)/2 {
+		t.Fatalf("filtered specs = %d, want %d", len(kept.Specs), len(p.Specs)/2)
+	}
+	for i, s := range kept.Specs {
+		if s.Index != i {
+			t.Fatalf("filter left stale index %d at position %d", s.Index, i)
+		}
+		if s.Trial != 1 {
+			t.Fatalf("filter kept trial %d", s.Trial)
+		}
+	}
+}

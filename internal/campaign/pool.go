@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options parameterizes Run.
+type Options struct {
+	// Workers bounds concurrency; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout is the wall-clock budget per run; a run exceeding it yields
+	// an error record instead of stalling the campaign. 0 means 60s;
+	// negative disables the timeout.
+	Timeout time.Duration
+	// Horizon is the population cover-traffic horizon per run; 0 means
+	// DefaultHorizon.
+	Horizon time.Duration
+	// OnRecord, when set, receives every record as its run completes —
+	// typically a JSONL sink's Write. It may be called from multiple
+	// workers at once; sinks in this package are safe for that.
+	OnRecord func(RunRecord)
+	// execute overrides the per-spec executor (tests exercise the pool's
+	// recovery paths with it); nil means Execute.
+	execute func(RunSpec, time.Duration) RunRecord
+}
+
+// Run shards the plan across a bounded worker pool and returns every record
+// in plan order. Each run is isolated in its own lab, guarded by panic
+// recovery and the wall-clock timeout; a failed run becomes an error record,
+// never a lost slot. The returned slice is ordered by RunSpec.Index, so its
+// contents are independent of worker count and scheduling.
+func Run(plan *Plan, opts Options) ([]RunRecord, error) {
+	if plan == nil || len(plan.Specs) == 0 {
+		return nil, fmt.Errorf("campaign: empty plan")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan.Specs) {
+		workers = len(plan.Specs)
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 60 * time.Second
+	}
+	execute := opts.execute
+	if execute == nil {
+		execute = Execute
+	}
+
+	records := make([]RunRecord, len(plan.Specs))
+	specs := make(chan RunSpec)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range specs {
+				rec := runGuarded(spec, execute, opts.Horizon, timeout)
+				records[spec.Index] = rec
+				if opts.OnRecord != nil {
+					opts.OnRecord(rec)
+				}
+			}
+		}()
+	}
+	for _, spec := range plan.Specs {
+		specs <- spec
+	}
+	close(specs)
+	wg.Wait()
+	return records, nil
+}
+
+// runGuarded executes one spec with panic recovery and a wall-clock
+// timeout. The run proceeds in a fresh goroutine so a wedged simulator
+// cannot occupy a worker forever; on timeout the goroutine is abandoned
+// (its lab is private, so nothing it later does can corrupt the campaign).
+func runGuarded(spec RunSpec, execute func(RunSpec, time.Duration) RunRecord, horizon, timeout time.Duration) RunRecord {
+	done := make(chan RunRecord, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- errorRecord(spec, fmt.Errorf("panic: %v", p))
+			}
+		}()
+		done <- execute(spec, horizon)
+	}()
+	if timeout < 0 {
+		return <-done
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rec := <-done:
+		return rec
+	case <-timer.C:
+		return errorRecord(spec, fmt.Errorf("run exceeded %v wall-clock timeout", timeout))
+	}
+}

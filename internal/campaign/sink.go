@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONLSink streams run records to a writer, one JSON object per line, as
+// they complete. Write is safe to call from multiple workers; lines are
+// written whole, so a campaign interrupted mid-flight leaves a valid prefix
+// that a later -resume can read back.
+type JSONLSink struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	count int
+	err   error
+}
+
+// NewJSONLSink wraps a writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Write emits one record. The first encoding or I/O error is retained and
+// reported by Flush; later writes after an error are dropped.
+func (s *JSONLSink) Write(rec RunRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	raw = append(raw, '\n')
+	if _, err := s.w.Write(raw); err != nil {
+		s.err = err
+		return
+	}
+	s.count++
+}
+
+// Count returns how many records were written so far.
+func (s *JSONLSink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Flush drains buffers and returns the first error the sink hit.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// ReadJSONL parses records back from a JSONL stream — the aggregation and
+// resume path for campaigns written earlier.
+func ReadJSONL(r io.Reader) ([]RunRecord, error) {
+	var out []RunRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("campaign: jsonl line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

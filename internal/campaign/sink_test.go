@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func fakeRecord(scenario, technique string, trial int) RunRecord {
+	rec := RunRecord{Scenario: scenario, Trial: trial}
+	rec.Technique = technique
+	rec.Seed = int64(trial)
+	rec.Verdict = "censored"
+	rec.Correct = true
+	return rec
+}
+
+func TestJSONLSinkRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	want := []RunRecord{
+		fakeRecord("dns-poison", "spam", 0),
+		fakeRecord("dns-poison", "spam", 1),
+		fakeRecord("open", "overt-dns", 0),
+	}
+	for _, rec := range want {
+		sink.Write(rec)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() != len(want) {
+		t.Fatalf("count = %d, want %d", sink.Count(), len(want))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read back %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONLSinkConcurrentWrites(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sink.Write(fakeRecord("open", "spam", i))
+		}(i)
+	}
+	wg.Wait()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("concurrent writes interleaved: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d records, want %d", len(recs), n)
+	}
+	seen := map[int]bool{}
+	for _, r := range recs {
+		if seen[r.Trial] {
+			t.Fatalf("trial %d written twice", r.Trial)
+		}
+		seen[r.Trial] = true
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"scenario\":\"open\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse failure", err)
+	}
+	recs, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty stream: %v, %v", recs, err)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLSinkRetainsFirstError(t *testing.T) {
+	sink := NewJSONLSink(&failWriter{after: 1}) // room for less than one line
+	for i := 0; i < 100; i++ {
+		sink.Write(fakeRecord("open", "spam", i))
+	}
+	if err := sink.Flush(); err == nil {
+		t.Fatal("sink swallowed the write error")
+	}
+}

@@ -102,6 +102,9 @@ type Result struct {
 	ProbesSent int
 	// CoverSent counts spoofed cover packets emitted on top.
 	CoverSent int
+	// CoverAddrs lists the spoofed cover addresses the technique planned to
+	// send from (empty for techniques that use no spoofed cover).
+	CoverAddrs []netip.Addr
 }
 
 func (r *Result) addEvidence(format string, args ...any) {
@@ -133,6 +136,27 @@ func All() []Technique {
 		&SYNScan{}, &Spam{}, &DDoS{},
 		&SpoofedDNS{}, &SpoofedSYN{}, &Stateful{},
 	}
+}
+
+// ByName returns a fresh instance of the technique with the given name, so
+// callers may configure and run it without sharing state with other runs.
+func ByName(name string) (Technique, bool) {
+	for _, t := range All() {
+		if t.Name() == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists every technique name in All() order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, t := range all {
+		out[i] = t.Name()
+	}
+	return out
 }
 
 // Stealth reports whether a technique is one of the paper's risk-reducing

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 
 	"safemeasure/internal/lab"
+	"safemeasure/internal/stats"
 )
 
 // RiskReport summarizes what the surveillance system knows about a user
@@ -26,6 +28,10 @@ type RiskReport struct {
 	// ImplicatedUsers: how many distinct users the surveillance system's
 	// dossiers implicate — large values mean attribution confusion (§4).
 	ImplicatedUsers int
+	// AttributionEntropy is the Shannon entropy (bits) of the analyst's
+	// alert-count distribution across users: 0 when every alert points at
+	// one host, higher when cover traffic spreads the evidence (§4).
+	AttributionEntropy float64
 }
 
 // String renders a one-line summary.
@@ -49,5 +55,13 @@ func EvaluateRisk(l *lab.Lab, user netip.Addr) RiskReport {
 	if d := a.Dossier(user); d != nil {
 		rep.AnalystAlerts = len(d.Alerts)
 	}
+	counts := make([]int, 0, rep.ImplicatedUsers)
+	for _, n := range a.AlertCountsByUser() {
+		counts = append(counts, n)
+	}
+	// Map iteration order is random and float addition is not associative;
+	// sort so the entropy is bit-identical across runs of the same seed.
+	sort.Ints(counts)
+	rep.AttributionEntropy = stats.Entropy(counts)
 	return rep
 }

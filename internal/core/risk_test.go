@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/json"
+	"net/netip"
+	"testing"
+
+	"safemeasure/internal/lab"
+	"safemeasure/internal/spoof"
+)
+
+func TestEvaluateRiskEmptyLab(t *testing.T) {
+	// A lab in which nothing ever ran: the surveillance system knows
+	// nothing about anyone.
+	l, err := lab.New(lab.Config{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Run()
+	rep := EvaluateRisk(l, lab.ClientAddr)
+	if rep.TrafficRetained || rep.AnalystAlerts != 0 || rep.Score != 0 ||
+		rep.Flagged || rep.ImplicatedUsers != 0 || rep.AttributionEntropy != 0 {
+		t.Fatalf("empty lab produced a non-zero risk report: %v", rep)
+	}
+}
+
+func TestEvaluateRiskFlaggedClient(t *testing.T) {
+	// An overt probe of a censored domain must leave an incriminating
+	// report: traffic retained, alerts in the dossier, flagged.
+	res, l := runOne(t, lab.Config{Seed: 42}, &OvertHTTP{}, Target{Domain: "banned.test"})
+	if res.Verdict != VerdictCensored {
+		t.Fatalf("overt probe verdict: %v", res)
+	}
+	rep := EvaluateRisk(l, lab.ClientAddr)
+	if !rep.TrafficRetained {
+		t.Errorf("overt probe traffic not retained: %v", rep)
+	}
+	if rep.AnalystAlerts == 0 || rep.Score <= 0 {
+		t.Errorf("overt probe left no analyst evidence: %v", rep)
+	}
+	if !rep.Flagged {
+		t.Errorf("overt probe not flagged: %v", rep)
+	}
+	if rep.User != lab.ClientAddr {
+		t.Errorf("report user = %v, want %v", rep.User, lab.ClientAddr)
+	}
+}
+
+func TestEvaluateRiskCleanClient(t *testing.T) {
+	// Another host's overt probe must not implicate an uninvolved address.
+	res, l := runOne(t, lab.Config{Seed: 43}, &OvertHTTP{}, Target{Domain: "banned.test"})
+	if res.Verdict != VerdictCensored {
+		t.Fatalf("overt probe verdict: %v", res)
+	}
+	bystander := netip.MustParseAddr("10.1.0.250") // in the AS, never sent a packet
+	rep := EvaluateRisk(l, bystander)
+	if rep.TrafficRetained || rep.AnalystAlerts != 0 || rep.Score != 0 || rep.Flagged {
+		t.Fatalf("clean bystander implicated: %v", rep)
+	}
+}
+
+func TestEvaluateRiskAttributionEntropy(t *testing.T) {
+	// Spoofed cover spreads alerts over many users; the analyst's
+	// alert-count distribution gains entropy compared to an overt probe.
+	overtRes, lOvert := runOne(t, lab.Config{Seed: 44}, &OvertDNS{}, Target{Domain: "twitter.com"})
+	if overtRes.Verdict != VerdictCensored {
+		t.Fatalf("overt: %v", overtRes)
+	}
+	overt := EvaluateRisk(lOvert, lab.ClientAddr)
+
+	spoofRes, lSpoof := runOne(t, lab.Config{Seed: 44, SpoofPolicy: spoof.PolicySlash24},
+		&SpoofedDNS{Covers: 8}, Target{Domain: "twitter.com"})
+	if spoofRes.Verdict != VerdictCensored {
+		t.Fatalf("spoofed: %v", spoofRes)
+	}
+	spoofed := EvaluateRisk(lSpoof, lab.ClientAddr)
+	if spoofed.AttributionEntropy <= overt.AttributionEntropy {
+		t.Fatalf("cover did not raise attribution entropy: spoofed %.2f <= overt %.2f",
+			spoofed.AttributionEntropy, overt.AttributionEntropy)
+	}
+	if len(spoofRes.CoverAddrs) == 0 {
+		t.Fatal("spoofed-dns recorded no cover addresses")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		tech, ok := ByName(name)
+		if !ok || tech.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, tech, ok)
+		}
+	}
+	// Fresh instance each call: configuring one must not leak into the next.
+	a, _ := ByName("ddos")
+	a.(*DDoS).Requests = 3
+	b, _ := ByName("ddos")
+	if b.(*DDoS).Requests != 0 {
+		t.Fatal("ByName returned a shared instance")
+	}
+	if _, ok := ByName("no-such-technique"); ok {
+		t.Fatal("ByName invented a technique")
+	}
+}
+
+func TestRecordShape(t *testing.T) {
+	res, l := runOne(t, lab.Config{Seed: 45, SpoofPolicy: spoof.PolicySlash24},
+		&SpoofedDNS{Covers: 4}, Target{Domain: "twitter.com"})
+	rec := NewRecord(res, EvaluateRisk(l, lab.ClientAddr), 45, l.Sim.Now())
+	if !rec.Stealth || rec.Seed != 45 || rec.Technique != "spoofed-dns" {
+		t.Fatalf("record metadata: %+v", rec)
+	}
+	if rec.ElapsedMS <= 0 {
+		t.Fatalf("elapsed_ms = %v, want > 0 (virtual time advanced)", rec.ElapsedMS)
+	}
+	if len(rec.CoverAddresses) != len(res.CoverAddrs) {
+		t.Fatalf("cover addresses: %v vs %v", rec.CoverAddresses, res.CoverAddrs)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"technique", "target", "seed", "verdict", "elapsed_ms",
+		"cover_addresses", "suspicion_score", "attribution_entropy", "flagged"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("record JSON missing %q: %s", key, raw)
+		}
+	}
+	// Same seed, fresh lab: the record must be byte-identical (virtual
+	// elapsed time included).
+	res2, l2 := runOne(t, lab.Config{Seed: 45, SpoofPolicy: spoof.PolicySlash24},
+		&SpoofedDNS{Covers: 4}, Target{Domain: "twitter.com"})
+	raw2, err := json.Marshal(NewRecord(res2, EvaluateRisk(l2, lab.ClientAddr), 45, l2.Sim.Now()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("records differ across identical runs:\n%s\n%s", raw, raw2)
+	}
+}

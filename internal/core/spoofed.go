@@ -36,6 +36,7 @@ func (s *SpoofedDNS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	res := &Result{Technique: s.Name(), Target: tgt}
 
 	covers := spoof.CoverAddrs(l.Cfg.SpoofPolicy, lab.ClientAddr, n)
+	res.CoverAddrs = covers
 	for i, cover := range covers {
 		cover := cover
 		// Space cover queries like organic lookups, bracketing the real one.
@@ -138,6 +139,7 @@ func (s *SpoofedSYN) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	}
 
 	covers := spoof.CoverAddrs(l.Cfg.SpoofPolicy, lab.ClientAddr, n)
+	res.CoverAddrs = covers
 	for i, cover := range covers {
 		cover := cover
 		l.Sim.Schedule(time.Duration(i)*5*time.Millisecond, func() {

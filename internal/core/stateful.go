@@ -177,6 +177,7 @@ func (s *Stateful) run(l *lab.Lab, tgt Target, ttl uint8, done func(*Result)) {
 	} else {
 		sources = append(sources, spoof.CoverAddrs(l.Cfg.SpoofPolicy, lab.ClientAddr, n)...)
 	}
+	res.CoverAddrs = sources[1:]
 
 	for i, src := range sources {
 		src := src

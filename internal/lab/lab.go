@@ -84,7 +84,12 @@ type Config struct {
 	// StartPopulation — the Durumeric et al. background the paper's
 	// Method #1 hides in.
 	BackgroundScanRate float64
-	Seed               int64
+	// SiteCount is how many innocuous sites the lab hosts and serves DNS
+	// for (0 means 30). Campaign runs build thousands of labs; a smaller
+	// catalog makes per-run construction cheaper without changing any
+	// technique's behaviour.
+	SiteCount int
+	Seed      int64
 }
 
 // DefaultCensorConfig is the GFC-style ground truth used across the
@@ -159,6 +164,9 @@ func New(cfg Config) (*Lab, error) {
 	}
 	if cfg.PopRates == (population.Rates{}) {
 		cfg.PopRates = population.DefaultRates()
+	}
+	if cfg.SiteCount <= 0 {
+		cfg.SiteCount = 30
 	}
 
 	l := &Lab{Cfg: cfg, Sim: netsim.NewSim(cfg.Seed), hostPorts: make(map[int]netip.Addr)}
@@ -246,7 +254,7 @@ func New(cfg Config) (*Lab, error) {
 	// censored sites on the sensitive one; every domain gets an MX at the
 	// mail server.
 	zone := dnssim.NewZone()
-	for i := 0; i < 30; i++ {
+	for i := 0; i < cfg.SiteCount; i++ {
 		site := fmt.Sprintf("site%02d.test", i)
 		l.InnocuousSites = append(l.InnocuousSites, site)
 		zone.AddA(site, WebAddr)

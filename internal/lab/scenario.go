@@ -1,0 +1,111 @@
+package lab
+
+import (
+	"net/netip"
+
+	"safemeasure/internal/censor"
+	"safemeasure/internal/spoof"
+)
+
+// Scenario is a named censorship preset with ground truth: a censor
+// configuration, the canonical target it censors (or leaves alone), and
+// whether a correct measurement must conclude "censored". Scenarios are what
+// campaigns sweep — the censorship mechanisms of the paper's E11 matrix plus
+// an uncensored control.
+type Scenario struct {
+	Name    string
+	Summary string
+	// NewCensor builds a fresh censor config implementing the scenario.
+	NewCensor func() censor.Config
+	// Canonical target, in core-free primitives (core.Target is assembled
+	// by the caller; lab cannot import core).
+	Domain string
+	Path   string
+	Port   uint16
+	Addr   netip.Addr
+	// Censored is the ground truth: true means a correct verdict is
+	// "censored", false means "accessible".
+	Censored bool
+}
+
+// Scenarios returns every preset, in stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:      "keyword-rst",
+			Summary:   "GFC-style keyword match on an HTTP request, RST injected both ways",
+			NewCensor: DefaultCensorConfig,
+			Domain:    "site01.test", Path: "/falun",
+			Censored: true,
+		},
+		{
+			Name:      "dns-poison",
+			Summary:   "forged DNS answers for a blocked domain (twitter.com ground truth)",
+			NewCensor: DefaultCensorConfig,
+			Domain:    "twitter.com",
+			Censored:  true,
+		},
+		{
+			Name:    "blackhole",
+			Summary: "null-routing of the sensitive web server's address",
+			NewCensor: func() censor.Config {
+				c := DefaultCensorConfig()
+				c.Blackholed = []netip.Prefix{netip.PrefixFrom(SensitiveAddr, 32)}
+				return c
+			},
+			Domain:   "banned.test",
+			Censored: true,
+		},
+		{
+			Name:    "port-block",
+			Summary: "TCP port 443 blocked at the border",
+			NewCensor: func() censor.Config {
+				c := DefaultCensorConfig()
+				c.BlockedPorts = []uint16{443}
+				return c
+			},
+			Addr: WebAddr, Port: 443,
+			Censored: true,
+		},
+		{
+			Name:      "open",
+			Summary:   "control: an innocuous site the censor ignores",
+			NewCensor: DefaultCensorConfig,
+			Domain:    "site02.test",
+			Censored:  false,
+		},
+	}
+}
+
+// ScenarioByName looks a preset up by name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// ScenarioNames lists every preset name in Scenarios() order.
+func ScenarioNames() []string {
+	all := Scenarios()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Config returns a campaign-ready lab config for the scenario: the E11
+// evaluation parameters (population of 20, /24 SAV so spoofed cover works)
+// with a trimmed site catalog for cheaper per-run construction.
+func (s Scenario) Config(seed int64) Config {
+	return Config{
+		PopulationSize: 20,
+		Censor:         s.NewCensor(),
+		SpoofPolicy:    spoof.PolicySlash24,
+		SiteCount:      16,
+		Seed:           seed,
+	}
+}

@@ -1,0 +1,58 @@
+package lab
+
+import (
+	"testing"
+)
+
+func TestScenarioPresets(t *testing.T) {
+	all := Scenarios()
+	if len(all) < 5 {
+		t.Fatalf("scenarios = %d, want >= 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, sc := range all {
+		if sc.Name == "" || seen[sc.Name] {
+			t.Fatalf("bad or duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Domain == "" && !sc.Addr.IsValid() {
+			t.Errorf("%s: no target", sc.Name)
+		}
+		// Every preset must yield a buildable lab.
+		l, err := New(sc.Config(1))
+		if err != nil {
+			t.Fatalf("%s: lab.New: %v", sc.Name, err)
+		}
+		if sc.Domain != "" && !l.SiteAddr(sc.Domain).IsValid() {
+			t.Errorf("%s: target domain %s not hosted", sc.Name, sc.Domain)
+		}
+	}
+	for _, name := range []string{"keyword-rst", "dns-poison", "blackhole", "port-block", "open"} {
+		if _, ok := ScenarioByName(name); !ok {
+			t.Errorf("missing scenario %q", name)
+		}
+	}
+	if _, ok := ScenarioByName("nonexistent"); ok {
+		t.Error("ScenarioByName invented a scenario")
+	}
+	if got := len(ScenarioNames()); got != len(all) {
+		t.Errorf("ScenarioNames = %d names, want %d", got, len(all))
+	}
+}
+
+func TestSiteCountTrimsCatalog(t *testing.T) {
+	small, err := New(Config{SiteCount: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.InnocuousSites) != 5 {
+		t.Fatalf("SiteCount=5 hosted %d sites", len(small.InnocuousSites))
+	}
+	dflt, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dflt.InnocuousSites) != 30 {
+		t.Fatalf("default hosted %d sites, want 30", len(dflt.InnocuousSites))
+	}
+}

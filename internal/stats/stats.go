@@ -175,6 +175,52 @@ func Entropy(counts []int) float64 {
 	return h
 }
 
+// Summary is a streaming accumulator for count/sum/min/max/mean — the
+// aggregation primitive campaign reporting uses, cheaper than keeping every
+// sample when only the moments are reported.
+type Summary struct {
+	N    int
+	Sum  float64
+	MinV float64
+	MaxV float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	if s.N == 0 || x < s.MinV {
+		s.MinV = x
+	}
+	if s.N == 0 || x > s.MaxV {
+		s.MaxV = x
+	}
+	s.N++
+	s.Sum += x
+}
+
+// Mean returns the sample mean (NaN with no samples).
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Min returns the smallest sample (NaN with no samples).
+func (s *Summary) Min() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.MinV
+}
+
+// Max returns the largest sample (NaN with no samples).
+func (s *Summary) Max() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.MaxV
+}
+
 // Ratio formats a/b as both a fraction and a percentage, guarding b == 0.
 func Ratio(a, b int) string {
 	if b == 0 {

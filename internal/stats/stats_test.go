@@ -192,3 +192,19 @@ func TestEntropy(t *testing.T) {
 		t.Fatalf("entropy with zeros = %v", got)
 	}
 }
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty summary must report NaN moments")
+	}
+	for _, x := range []float64{3, -1, 4, 1.5} {
+		s.Add(x)
+	}
+	if s.N != 4 || s.Min() != -1 || s.Max() != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean()-1.875) > 1e-12 {
+		t.Fatalf("mean = %v, want 1.875", s.Mean())
+	}
+}

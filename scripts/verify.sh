@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repo verification: tier-1 (build + tests) plus vet and a race pass over
+# the concurrency-heavy campaign package.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/campaign
