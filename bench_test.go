@@ -16,6 +16,7 @@ import (
 	"safemeasure/internal/campaign"
 	"safemeasure/internal/experiments"
 	"safemeasure/internal/spoof"
+	"safemeasure/internal/telemetry"
 )
 
 func BenchmarkE1_ReferenceSystems(b *testing.B) {
@@ -227,4 +228,45 @@ func BenchmarkCampaign(b *testing.B) {
 			b.ReportMetric(float64(runs)/time.Since(start).Seconds(), "runs/s")
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead is the overhead guard for the telemetry
+// subsystem: the same single-run campaign executed with telemetry disabled
+// (nil registry — every hot-path handle is nil and costs one comparison)
+// versus fully enabled (shared registry + per-run trace ring). Compare the
+// two ns/op figures to bound the cost of leaving telemetry on.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	plan, err := campaign.NewPlan(campaign.PlanConfig{
+		Techniques: []string{"spam"},
+		Scenarios:  []string{"dns-poison"},
+		Trials:     1,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := plan.Specs[0]
+
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, _ := campaign.ExecuteInstrumented(spec, campaign.ExecConfig{})
+			if rec.Error != "" {
+				b.Fatal(rec.Error)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			rec, events := campaign.ExecuteInstrumented(spec, campaign.ExecConfig{
+				Metrics: reg, Trace: true,
+			})
+			if rec.Error != "" {
+				b.Fatal(rec.Error)
+			}
+			if len(events) == 0 {
+				b.Fatal("enabled run emitted no trace events")
+			}
+		}
+	})
 }

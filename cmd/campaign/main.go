@@ -9,7 +9,14 @@
 //	         -trials 20 -workers 8 -seed 1 -out results.jsonl
 //	campaign -techniques spam,spoofed-dns -scenarios dns-poison -trials 50
 //	campaign -resume -out results.jsonl     # finish an interrupted campaign
+//	campaign -trials 5 -metrics-addr :9090 -trace trace.jsonl
 //	campaign -list
+//
+// -metrics-addr serves live Prometheus-style counters on /metrics and a JSON
+// view of per-cell campaign completion on /progress. -trace streams every
+// run's packet-path events (probe sent, censor alert, MVR log/discard, TTL
+// expiry, RST injection) as JSONL with virtual-time timestamps; sorting the
+// file's lines yields a byte-identical stream for any -workers value.
 //
 // Every run seed derives from -seed and the run's coordinates, so repeating
 // a campaign with a different -workers value yields identical records (the
@@ -19,6 +26,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -27,6 +36,7 @@ import (
 	"safemeasure/internal/campaign"
 	"safemeasure/internal/core"
 	"safemeasure/internal/lab"
+	"safemeasure/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +49,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock budget per run")
 	resume := flag.Bool("resume", false, "skip runs already recorded in -out and append")
 	list := flag.Bool("list", false, "list scenarios and techniques, then exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /progress on this address (e.g. :9090)")
+	tracePath := flag.String("trace", "", "stream packet-path trace events to this JSONL file (- for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -86,10 +98,18 @@ func main() {
 	case *out == "-":
 		sink = campaign.NewJSONLSink(os.Stdout)
 	case *out != "" && *resume:
-		done, err := readDone(*out)
+		done, truncateAt, err := readDone(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if truncateAt >= 0 {
+			// Cut the partial trailing line off before appending, so the
+			// first new record starts on its own line.
+			if err := os.Truncate(*out, truncateAt); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: -resume:", err)
+				os.Exit(1)
+			}
 		}
 		plan = plan.Filter(func(s campaign.RunSpec) bool {
 			return !done[[3]any{s.Technique, s.Scenario, s.Trial}]
@@ -114,8 +134,57 @@ func main() {
 		defer f.Close()
 		sink = campaign.NewJSONLSink(f)
 	}
+	// Telemetry: a registry when either endpoint consumer wants it, a
+	// progress tracker for /progress, and a trace sink for -trace. The
+	// progress tracker is built after -resume filtering so its planned
+	// totals reflect what this invocation will actually run.
+	var reg *telemetry.Registry
+	var prog *campaign.Progress
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		prog = campaign.NewProgress(plan)
+		srv := &http.Server{
+			Addr:    *metricsAddr,
+			Handler: telemetry.Handler(reg, func() any { return prog.Snapshot() }),
+		}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "campaign: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "campaign: serving /metrics and /progress on %s\n", *metricsAddr)
+	}
+	opts.Metrics = reg
+
+	var traceSink *campaign.TraceSink
+	if *tracePath != "" {
+		var tw io.Writer = os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			tw = f
+		}
+		traceSink = campaign.NewTraceSink(tw)
+		opts.OnTrace = traceSink.Write
+	}
+
+	var onRecord []func(campaign.RunRecord)
 	if sink != nil {
-		opts.OnRecord = sink.Write
+		onRecord = append(onRecord, sink.Write)
+	}
+	if prog != nil {
+		onRecord = append(onRecord, prog.Record)
+	}
+	if len(onRecord) > 0 {
+		opts.OnRecord = func(rec campaign.RunRecord) {
+			for _, f := range onRecord {
+				f(rec)
+			}
+		}
 	}
 
 	start := time.Now()
@@ -129,6 +198,15 @@ func main() {
 		if err := sink.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "campaign: sink:", err)
 			os.Exit(1)
+		}
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: trace sink:", err)
+			os.Exit(1)
+		}
+		if *tracePath != "-" {
+			fmt.Printf("%d trace events written to %s\n", traceSink.Count(), *tracePath)
 		}
 	}
 
@@ -157,25 +235,30 @@ func splitCSV(s string) []string {
 	return out
 }
 
-// readDone loads the coordinates of error-free runs already in a JSONL file.
-func readDone(path string) (map[[3]any]bool, error) {
+// readDone loads the coordinates of error-free runs already in a JSONL
+// file. truncateAt, when >= 0, is the offset of a corrupt trailing line
+// the caller must truncate away before appending.
+func readDone(path string) (map[[3]any]bool, int64, error) {
 	done := map[[3]any]bool{}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return done, nil
+		return done, -1, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	defer f.Close()
-	recs, err := campaign.ReadJSONL(f)
+	recs, truncateAt, err := campaign.ReadJSONLResume(f, func(line int, err error) {
+		fmt.Fprintf(os.Stderr, "campaign: -resume: skipping corrupt trailing line %d of %s: %v\n",
+			line, path, err)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("campaign: -resume: %w", err)
+		return nil, -1, fmt.Errorf("campaign: -resume: %w", err)
 	}
 	for _, r := range recs {
 		if r.Error == "" {
 			done[[3]any{r.Technique, r.Scenario, r.Trial}] = true
 		}
 	}
-	return done, nil
+	return done, truncateAt, nil
 }

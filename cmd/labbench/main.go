@@ -20,6 +20,7 @@ import (
 
 	"safemeasure/internal/experiments"
 	"safemeasure/internal/spoof"
+	"safemeasure/internal/telemetry"
 )
 
 // renderer is any experiment result.
@@ -84,11 +85,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Experiment wall-clock latency lands in a telemetry histogram so the
+	// footer can report tail latency (p50/p90/p99), not just a mean that a
+	// single slow experiment would hide behind.
+	latency := telemetry.NewRegistry().HistogramBuckets("labbench_experiment_seconds", 1e-3, 2, 24)
+
 	results := make([]outcome, len(selectedJobs))
 	runOne := func(i int) {
 		start := time.Now()
 		res, err := selectedJobs[i].run()
-		results[i] = outcome{id: selectedJobs[i].id, elapsed: time.Since(start), err: err}
+		elapsed := time.Since(start)
+		latency.Observe(elapsed.Seconds())
+		results[i] = outcome{id: selectedJobs[i].id, elapsed: elapsed, err: err}
 		if err == nil {
 			results[i].text = res.Render()
 		}
@@ -129,4 +137,8 @@ func main() {
 		fmt.Println(r.text)
 		fmt.Printf("[%s completed in %v]\n\n", r.id, r.elapsed.Round(time.Millisecond))
 	}
+	fmt.Println(strings.Repeat("=", 78))
+	fmt.Printf("experiment latency: n=%d mean=%.3fs p50=%.3fs p90=%.3fs p99=%.3fs\n",
+		latency.Count(), latency.Mean(),
+		latency.Quantile(0.50), latency.Quantile(0.90), latency.Quantile(0.99))
 }

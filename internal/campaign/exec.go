@@ -6,6 +6,7 @@ import (
 
 	"safemeasure/internal/core"
 	"safemeasure/internal/lab"
+	"safemeasure/internal/telemetry"
 )
 
 // DefaultHorizon is how long population cover traffic runs alongside each
@@ -40,25 +41,71 @@ func errorRecord(spec RunSpec, err error) RunRecord {
 	return rec
 }
 
+// DefaultTraceCap bounds each run's trace ring when ExecConfig leaves
+// TraceCap zero; the ring keeps the newest events and counts drops.
+const DefaultTraceCap = 8192
+
+// ExecConfig parameterizes ExecuteInstrumented.
+type ExecConfig struct {
+	// Horizon is the population cover-traffic horizon; 0 means
+	// DefaultHorizon.
+	Horizon time.Duration
+	// Metrics, when set, receives the run's hot-path counters (shared
+	// across runs — every metric is atomic and commutative, so final
+	// values are independent of worker count).
+	Metrics *telemetry.Registry
+	// Trace enables per-run packet-path tracing into a private ring.
+	Trace bool
+	// TraceCap bounds the ring; 0 means DefaultTraceCap.
+	TraceCap int
+}
+
 // Execute runs one spec to completion in its own lab: build, start
 // population cover traffic for horizon, run the technique, drain the
 // simulator, and evaluate the measurer's risk. It never shares state with
 // other runs, so any number of Executes may proceed concurrently.
 func Execute(spec RunSpec, horizon time.Duration) RunRecord {
+	rec, _ := ExecuteInstrumented(spec, ExecConfig{Horizon: horizon})
+	return rec
+}
+
+// ExecuteInstrumented is Execute with telemetry: hot-path metrics flow into
+// cfg.Metrics and, when cfg.Trace is set, the run's packet-path events are
+// returned in emission order. Each run gets its own ring, so traces are
+// per-run deterministic regardless of what other workers are doing.
+func ExecuteInstrumented(spec RunSpec, cfg ExecConfig) (RunRecord, []telemetry.Event) {
 	tech, ok := configured(spec.Technique)
 	if !ok {
-		return errorRecord(spec, fmt.Errorf("unknown technique %q", spec.Technique))
+		return errorRecord(spec, fmt.Errorf("unknown technique %q", spec.Technique)), nil
 	}
 	sc, ok := lab.ScenarioByName(spec.Scenario)
 	if !ok {
-		return errorRecord(spec, fmt.Errorf("unknown scenario %q", spec.Scenario))
+		return errorRecord(spec, fmt.Errorf("unknown scenario %q", spec.Scenario)), nil
 	}
+	horizon := cfg.Horizon
 	if horizon <= 0 {
 		horizon = DefaultHorizon
 	}
-	l, err := lab.New(sc.Config(spec.Seed))
+	labCfg := sc.Config(spec.Seed)
+	labCfg.Telemetry = cfg.Metrics
+	var ring *telemetry.Ring
+	if cfg.Trace {
+		capacity := cfg.TraceCap
+		if capacity <= 0 {
+			capacity = DefaultTraceCap
+		}
+		ring = telemetry.NewRing(capacity)
+		labCfg.Trace = telemetry.NewTracer(ring)
+	}
+	events := func() []telemetry.Event {
+		if ring == nil {
+			return nil
+		}
+		return ring.Events()
+	}
+	l, err := lab.New(labCfg)
 	if err != nil {
-		return errorRecord(spec, fmt.Errorf("lab: %w", err))
+		return errorRecord(spec, fmt.Errorf("lab: %w", err)), events()
 	}
 	l.StartPopulation(horizon)
 
@@ -67,7 +114,7 @@ func Execute(spec RunSpec, horizon time.Duration) RunRecord {
 	tech.Run(l, tgt, func(r *core.Result) { res = r })
 	l.Run()
 	if res == nil {
-		return errorRecord(spec, fmt.Errorf("%s never completed", spec.Technique))
+		return errorRecord(spec, fmt.Errorf("%s never completed", spec.Technique)), events()
 	}
 
 	risk := core.EvaluateRisk(l, lab.ClientAddr)
@@ -79,5 +126,5 @@ func Execute(spec RunSpec, horizon time.Duration) RunRecord {
 	}
 	rec.Correct = (res.Verdict == core.VerdictCensored) == sc.Censored &&
 		res.Verdict != core.VerdictInconclusive
-	return rec
+	return rec, events()
 }

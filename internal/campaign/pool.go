@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"safemeasure/internal/telemetry"
 )
 
 // Options parameterizes Run.
@@ -22,9 +24,34 @@ type Options struct {
 	// typically a JSONL sink's Write. It may be called from multiple
 	// workers at once; sinks in this package are safe for that.
 	OnRecord func(RunRecord)
+	// Metrics, when set, receives pool-level metrics (queue depth, run
+	// latency, per-family success counters) and is threaded into every run
+	// for hot-path instrumentation. All counters and the virtual-time
+	// histogram are deterministic for a given plan and seed regardless of
+	// Workers; only the wall-clock histogram varies.
+	Metrics *telemetry.Registry
+	// OnTrace, when set, enables per-run packet-path tracing and receives
+	// each run's event stream as it completes. Like OnRecord it may be
+	// called from multiple workers at once.
+	OnTrace func(RunTrace)
+	// TraceCap bounds each run's trace ring; 0 means DefaultTraceCap.
+	TraceCap int
 	// execute overrides the per-spec executor (tests exercise the pool's
 	// recovery paths with it); nil means Execute.
 	execute func(RunSpec, time.Duration) RunRecord
+}
+
+// familyOf groups techniques into the paper's families for the labeled
+// campaign counters.
+func familyOf(technique string) string {
+	switch technique {
+	case "overt-dns", "overt-http", "overt-tcp":
+		return "overt"
+	case "syn-scan", "spam", "ddos":
+		return "mimicry"
+	default:
+		return "spoofed"
+	}
 }
 
 // Run shards the plan across a bounded worker pool and returns every record
@@ -49,8 +76,34 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 	}
 	execute := opts.execute
 	if execute == nil {
-		execute = Execute
+		execute = func(spec RunSpec, horizon time.Duration) RunRecord {
+			rec, events := ExecuteInstrumented(spec, ExecConfig{
+				Horizon:  horizon,
+				Metrics:  opts.Metrics,
+				Trace:    opts.OnTrace != nil,
+				TraceCap: opts.TraceCap,
+			})
+			if opts.OnTrace != nil {
+				opts.OnTrace(RunTrace{
+					Scenario: spec.Scenario, Technique: spec.Technique,
+					Trial: spec.Trial, Events: events,
+				})
+			}
+			return rec
+		}
 	}
+
+	// Pool-level metrics. Every handle is nil-safe, so a nil registry costs
+	// one comparison per use. The wall-clock histogram is the only
+	// nondeterministic metric; the virtual-time one depends only on seeds.
+	queued := opts.Metrics.Gauge("campaign_queue_depth")
+	inflight := opts.Metrics.Gauge("campaign_runs_inflight")
+	var wallHist, virtHist *telemetry.Histogram
+	if opts.Metrics != nil {
+		wallHist = opts.Metrics.HistogramBuckets("campaign_run_wall_seconds", 1e-3, 2, 24)
+		virtHist = opts.Metrics.HistogramBuckets("campaign_run_virtual_ms", 1, 2, 24)
+	}
+	queued.Set(int64(len(plan.Specs)))
 
 	records := make([]RunRecord, len(plan.Specs))
 	specs := make(chan RunSpec)
@@ -60,7 +113,24 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 		go func() {
 			defer wg.Done()
 			for spec := range specs {
+				queued.Add(-1)
+				inflight.Add(1)
+				start := time.Now()
 				rec := runGuarded(spec, execute, opts.Horizon, timeout)
+				wallHist.Observe(time.Since(start).Seconds())
+				inflight.Add(-1)
+				if m := opts.Metrics; m != nil {
+					fam := familyOf(spec.Technique)
+					m.Counter(telemetry.Labels("campaign_runs_total", "family", fam)).Inc()
+					if rec.Error != "" {
+						m.Counter("campaign_errors_total").Inc()
+					} else {
+						virtHist.Observe(rec.ElapsedMS)
+						if rec.Correct {
+							m.Counter(telemetry.Labels("campaign_correct_total", "family", fam)).Inc()
+						}
+					}
+				}
 				records[spec.Index] = rec
 				if opts.OnRecord != nil {
 					opts.OnRecord(rec)

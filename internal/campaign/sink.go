@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -84,4 +85,54 @@ func ReadJSONL(r io.Reader) ([]RunRecord, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ReadJSONLResume parses records like ReadJSONL, but tolerates a truncated
+// or corrupt FINAL line — the normal wreckage of a campaign killed mid-write
+// (the sink writes whole lines, so at most the last one can be partial). The
+// bad line is skipped and warn, when non-nil, is told which line and why.
+// Corruption anywhere before the last non-empty line still aborts: that
+// indicates real file damage, not an interrupted append.
+//
+// truncateAt is the byte offset where the corrupt tail begins, or -1 when
+// the stream is clean. A caller that intends to APPEND to the underlying
+// file must truncate it there first, or the first appended record would be
+// glued onto the partial line. Offsets assume LF line endings — what
+// JSONLSink writes.
+func ReadJSONLResume(r io.Reader, warn func(line int, err error)) (recs []RunRecord, truncateAt int64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	badLine := 0
+	var off, badStart int64
+	var badErr error
+	for sc.Scan() {
+		line++
+		lineStart := off
+		off += int64(len(sc.Bytes())) + 1
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		if badErr != nil {
+			// The bad line has non-empty data after it, so it was not a
+			// trailing partial write.
+			return nil, -1, fmt.Errorf("campaign: jsonl line %d: %w", badLine, badErr)
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			badLine, badErr, badStart = line, err, lineStart
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, -1, err
+	}
+	if badErr != nil {
+		if warn != nil {
+			warn(badLine, badErr)
+		}
+		return recs, badStart, nil
+	}
+	return recs, -1, nil
 }

@@ -111,3 +111,75 @@ func TestJSONLSinkRetainsFirstError(t *testing.T) {
 		t.Fatal("sink swallowed the write error")
 	}
 }
+
+func TestReadJSONLResumeSkipsTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.Write(fakeRecord("dns-poison", "spam", 0))
+	sink.Write(fakeRecord("dns-poison", "spam", 1))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A campaign killed mid-write leaves a partial final line.
+	goodLen := int64(buf.Len())
+	buf.WriteString(`{"scenario":"dns-poi`)
+
+	var warnedLine int
+	recs, truncateAt, err := ReadJSONLResume(&buf, func(line int, err error) { warnedLine = line })
+	if err != nil {
+		t.Fatalf("tolerant read failed: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if warnedLine != 3 {
+		t.Fatalf("warned about line %d, want 3", warnedLine)
+	}
+	if truncateAt != goodLen {
+		t.Fatalf("truncateAt = %d, want %d (end of last good line)", truncateAt, goodLen)
+	}
+	// The strict reader still rejects the same input.
+	strict := strings.NewReader(`{"scenario":"dns-poi`)
+	if _, err := ReadJSONL(strict); err == nil {
+		t.Fatal("strict ReadJSONL accepted a truncated line")
+	}
+}
+
+func TestReadJSONLResumeRejectsMidFileCorruption(t *testing.T) {
+	input := `{"scenario":"open","trial":0,"technique":"overt-dns","correct":true}
+not json at all
+{"scenario":"open","trial":1,"technique":"overt-dns","correct":true}
+`
+	warned := false
+	_, _, err := ReadJSONLResume(strings.NewReader(input), func(int, error) { warned = true })
+	if err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+	if warned {
+		t.Fatal("warn called for a hard error")
+	}
+}
+
+func TestReadJSONLResumeCleanFile(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	want := []RunRecord{fakeRecord("open", "overt-dns", 0), fakeRecord("open", "overt-tcp", 0)}
+	for _, rec := range want {
+		sink.Write(rec)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, truncateAt, err := ReadJSONLResume(&buf, func(line int, err error) {
+		t.Fatalf("unexpected warning for clean file: line %d: %v", line, err)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncateAt != -1 {
+		t.Fatalf("truncateAt = %d for a clean file, want -1", truncateAt)
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", recs, want)
+	}
+}

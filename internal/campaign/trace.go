@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"safemeasure/internal/telemetry"
+)
+
+// RunTrace is one run's packet-path event stream plus the plan coordinates
+// that identify it. Events are in emission order and carry virtual-time
+// timestamps, so a run's trace depends only on its seed — never on worker
+// count or scheduling.
+type RunTrace struct {
+	Scenario  string
+	Technique string
+	Trial     int
+	Events    []telemetry.Event
+}
+
+// TraceLine is the JSONL shape of one trace event: the run coordinates, the
+// event's sequence number within the run, and the event itself. Because
+// (scenario, technique, trial, seq) uniquely orders every line and each
+// run's events are deterministic, sorting a trace file's lines yields a
+// byte-identical stream for any worker count.
+type TraceLine struct {
+	Scenario  string `json:"scenario"`
+	Technique string `json:"technique"`
+	Trial     int    `json:"trial"`
+	Seq       int    `json:"seq"`
+	T         int64  `json:"t"`
+	Kind      string `json:"kind"`
+	Src       string `json:"src,omitempty"`
+	Dst       string `json:"dst,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// TraceSink streams run traces to a writer as JSONL, one line per event.
+// Write is safe to call from multiple workers; a run's events are written
+// contiguously under the lock.
+type TraceSink struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	count int
+	err   error
+}
+
+// NewTraceSink wraps a writer.
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{w: bufio.NewWriter(w)}
+}
+
+// Write emits one run's events. The first encoding or I/O error is retained
+// and reported by Flush; later writes after an error are dropped.
+func (s *TraceSink) Write(rt RunTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	for i, ev := range rt.Events {
+		line := TraceLine{
+			Scenario: rt.Scenario, Technique: rt.Technique, Trial: rt.Trial,
+			Seq: i, T: ev.T, Kind: ev.Kind, Src: ev.Src, Dst: ev.Dst, Detail: ev.Detail,
+		}
+		raw, err := json.Marshal(line)
+		if err != nil {
+			s.err = err
+			return
+		}
+		raw = append(raw, '\n')
+		if _, err := s.w.Write(raw); err != nil {
+			s.err = err
+			return
+		}
+		s.count++
+	}
+}
+
+// Count returns how many event lines were written so far.
+func (s *TraceSink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Flush drains buffers and returns the first error the sink hit.
+func (s *TraceSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

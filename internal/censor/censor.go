@@ -28,6 +28,7 @@ import (
 	"safemeasure/internal/ids"
 	"safemeasure/internal/netsim"
 	"safemeasure/internal/packet"
+	"safemeasure/internal/telemetry"
 )
 
 // Mechanism identifies which censorship mechanism acted.
@@ -109,6 +110,24 @@ type Censor struct {
 	ResponsesForged int
 	Dropped         int
 	ResidualRSTs    int
+
+	// Telemetry (optional; see SetTelemetry).
+	trace                   *telemetry.Tracer
+	mEvents, mRSTs, mForged *telemetry.Counter
+	mDropped                *telemetry.Counter
+}
+
+// SetTelemetry wires the censor's actions into a metrics registry and
+// packet-path tracer. Either argument may be nil; the lab calls this for
+// every run that has telemetry enabled.
+func (c *Censor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	c.trace = tr
+	c.mEvents = reg.Counter("censor_events_total")
+	c.mRSTs = reg.Counter("censor_rst_injected_total")
+	c.mForged = reg.Counter("censor_dns_forged_total")
+	c.mDropped = reg.Counter("censor_dropped_total")
+	c.engine.SetMetrics(reg.Counter("censor_ids_packets_total"),
+		reg.Counter("censor_ids_alerts_total"))
 }
 
 // New builds a censor from cfg. The keyword and host rules are compiled
@@ -167,6 +186,7 @@ func (c *Censor) Observe(tp *netsim.TapPacket, inject netsim.Injector) netsim.Ve
 	for _, p := range c.cfg.Blackholed {
 		if p.Contains(hdr.Dst) || p.Contains(hdr.Src) {
 			c.Dropped++
+			c.mDropped.Inc()
 			c.log(tp.Time, MechIPBlackhole, &packet.Packet{IP: &hdr}, p.String())
 			return netsim.Drop
 		}
@@ -203,6 +223,7 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 		for _, port := range c.cfg.BlockedPorts {
 			if pkt.TCP.DstPort == port {
 				c.Dropped++
+				c.mDropped.Inc()
 				c.log(now, MechPortBlock, pkt, fmt.Sprintf("port %d", port))
 				return netsim.Drop
 			}
@@ -213,7 +234,7 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 	// response still flows; the forged one wins the race.
 	if pkt.UDP != nil && pkt.UDP.DstPort == 53 {
 		if dom, ok := c.dnsQueryBlocked(pkt); ok {
-			c.forgeDNSReply(pkt, inject)
+			c.forgeDNSReply(now, pkt, inject)
 			c.log(now, MechDNSPoison, pkt, dom)
 		}
 	}
@@ -225,7 +246,7 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 		if expiry, ok := c.residual[pair]; ok {
 			if now < expiry {
 				c.ResidualRSTs++
-				c.injectRSTPair(pkt, inject)
+				c.injectRSTPair(now, pkt, inject)
 				return netsim.Pass
 			}
 			delete(c.residual, pair)
@@ -238,7 +259,7 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 		if alert.Rule.Classtype == "censor-host" {
 			mech = MechHostBlock
 		}
-		c.injectRSTPair(pkt, inject)
+		c.injectRSTPair(now, pkt, inject)
 		c.log(now, mech, pkt, alert.Rule.Msg)
 		if c.cfg.ResidualBlock > 0 {
 			c.residual[pairOf(pkt.IP.Src, pkt.IP.Dst)] = now + int64(c.cfg.ResidualBlock)
@@ -265,7 +286,7 @@ func (c *Censor) dnsQueryBlocked(pkt *packet.Packet) (string, bool) {
 // forgeDNSReply injects a response with a bogus A record toward the client.
 // Note the forged answer is an A record even for MX queries — the observed
 // GFC behaviour the paper validated from a PlanetLab node in China.
-func (c *Censor) forgeDNSReply(pkt *packet.Packet, inject netsim.Injector) {
+func (c *Censor) forgeDNSReply(now int64, pkt *packet.Packet, inject netsim.Injector) {
 	msg, err := dnswire.ParseMessage(pkt.UDP.Payload)
 	if err != nil || len(msg.Questions) == 0 {
 		return
@@ -287,11 +308,16 @@ func (c *Censor) forgeDNSReply(pkt *packet.Packet, inject netsim.Injector) {
 		return
 	}
 	c.ResponsesForged++
+	c.mForged.Inc()
+	if tr := c.trace; tr != nil {
+		tr.Emit(now, telemetry.EvDNSForge,
+			pkt.IP.Src.String(), pkt.IP.Dst.String(), msg.Questions[0].Name)
+	}
 	inject.Inject(raw)
 }
 
 // injectRSTPair sends RSTs to both endpoints of the flow, the GFC teardown.
-func (c *Censor) injectRSTPair(pkt *packet.Packet, inject netsim.Injector) {
+func (c *Censor) injectRSTPair(now int64, pkt *packet.Packet, inject netsim.Injector) {
 	if pkt.TCP == nil {
 		return
 	}
@@ -301,6 +327,7 @@ func (c *Censor) injectRSTPair(pkt *packet.Packet, inject netsim.Injector) {
 	if raw, err := packet.BuildTCP(pkt.IP.Dst, pkt.IP.Src, packet.DefaultTTL, toSender); err == nil {
 		inject.Inject(raw)
 		c.RSTsInjected++
+		c.mRSTs.Inc()
 	}
 	// To the receiver: appears to come from the sender, sequenced after the
 	// offending segment.
@@ -309,11 +336,21 @@ func (c *Censor) injectRSTPair(pkt *packet.Packet, inject netsim.Injector) {
 	if raw, err := packet.BuildTCP(pkt.IP.Src, pkt.IP.Dst, packet.DefaultTTL, toReceiver); err == nil {
 		inject.Inject(raw)
 		c.RSTsInjected++
+		c.mRSTs.Inc()
+	}
+	if tr := c.trace; tr != nil {
+		tr.Emit(now, telemetry.EvRSTInject,
+			pkt.IP.Src.String(), pkt.IP.Dst.String(), "rst-pair")
 	}
 }
 
 func (c *Censor) log(now int64, mech Mechanism, pkt *packet.Packet, detail string) {
 	c.Events = append(c.Events, Event{Time: now, Mechanism: mech, Flow: packet.FlowOf(pkt), Detail: detail})
+	c.mEvents.Inc()
+	if tr := c.trace; tr != nil && pkt.IP != nil {
+		tr.Emit(now, telemetry.EvCensorAlert,
+			pkt.IP.Src.String(), pkt.IP.Dst.String(), mech.String()+": "+detail)
+	}
 }
 
 // EventsByMechanism tallies logged events.

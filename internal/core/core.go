@@ -29,6 +29,8 @@ import (
 	"net/netip"
 
 	"safemeasure/internal/lab"
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/telemetry"
 )
 
 // Verdict is a technique's conclusion about the target.
@@ -157,6 +159,42 @@ func Names() []string {
 		out[i] = t.Name()
 	}
 	return out
+}
+
+// runTel bundles the telemetry handles a technique resolves once per Run:
+// per-technique labeled probe/cover counters plus the lab's tracer. The zero
+// value (telemetry disabled) is fully inert — every method is nil-safe.
+type runTel struct {
+	probes, cover *telemetry.Counter
+	trace         *telemetry.Tracer
+	sim           *netsim.Sim
+}
+
+// newRunTel resolves the technique's counter handles. Label strings are only
+// built when the lab actually carries a registry.
+func newRunTel(l *lab.Lab, technique string) runTel {
+	t := runTel{trace: l.Cfg.Trace, sim: l.Sim}
+	if reg := l.Cfg.Telemetry; reg != nil {
+		t.probes = reg.Counter(telemetry.Labels("core_probes_total", "technique", technique))
+		t.cover = reg.Counter(telemetry.Labels("core_cover_total", "technique", technique))
+	}
+	return t
+}
+
+// probe records n measurement probes from src toward dst.
+func (t runTel) probe(n int, src, dst netip.Addr, detail string) {
+	t.probes.Add(int64(n))
+	if tr := t.trace; tr != nil {
+		tr.Emit(int64(t.sim.Now()), telemetry.EvProbeSent, src.String(), dst.String(), detail)
+	}
+}
+
+// coverSent records one spoofed cover packet from src toward dst.
+func (t runTel) coverSent(src, dst netip.Addr, detail string) {
+	t.cover.Inc()
+	if tr := t.trace; tr != nil {
+		tr.Emit(int64(t.sim.Now()), telemetry.EvCoverSent, src.String(), dst.String(), detail)
+	}
 }
 
 // Stealth reports whether a technique is one of the paper's risk-reducing

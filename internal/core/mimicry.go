@@ -36,9 +36,11 @@ func (s *SYNScan) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 		n = 100
 	}
 	res := &Result{Technique: s.Name(), Target: tgt}
+	tel := newRunTel(l, s.Name())
 	sc := scan.NewScanner(l.Client)
 	sc.Scan(tgt.Addr, scan.TopPorts(n), func(r *scan.Result) {
 		res.ProbesSent = r.ProbesSent
+		tel.probe(r.ProbesSent, lab.ClientAddr, tgt.Addr, "syn-scan")
 		blocked, evidence := scan.InferCensorship(r, knownOpenPorts(tgt))
 		res.addEvidence("open=%d closed=%d filtered=%d",
 			r.Count(scan.StateOpen), r.Count(scan.StateClosed), r.Count(scan.StateFiltered))
@@ -135,10 +137,12 @@ func (*Spam) Name() string { return "spam" }
 func (s *Spam) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	tgt = tgt.resolve(l)
 	res := &Result{Technique: s.Name(), Target: tgt}
+	tel := newRunTel(l, s.Name())
 
 	// Stage 1: MX lookup. The GFC injects bad A records even for MX
 	// queries (§3.2.3), so a poisoned answer shows up right here.
 	res.ProbesSent++
+	tel.probe(1, lab.ClientAddr, lab.DNSAddr, "mx-lookup")
 	l.ClientDNS.Query(lab.DNSAddr, tgt.Domain, dnswire.TypeMX, func(m *dnswire.Message, err error) {
 		if err != nil {
 			res.Verdict = VerdictCensored
@@ -173,6 +177,7 @@ func (s *Spam) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 
 		// Stage 2: A lookup for the exchanger.
 		res.ProbesSent++
+		tel.probe(1, lab.ClientAddr, lab.DNSAddr, "exchanger-lookup")
 		l.ClientDNS.Query(lab.DNSAddr, exchanger, dnswire.TypeA, func(m2 *dnswire.Message, err error) {
 			if err != nil || len(m2.Answers) == 0 {
 				res.Verdict = VerdictCensored
@@ -193,6 +198,7 @@ func (s *Spam) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 
 			// Stage 3: SMTP delivery of the spam message.
 			res.ProbesSent++
+			tel.probe(1, lab.ClientAddr, mxAddr, "smtp-delivery")
 			mailsim.SendMail(l.ClientStack, mxAddr, "client.campus.test", SpamTemplate(tgt.Domain, s.Seq), func(err error) {
 				switch {
 				case err == nil:
@@ -238,6 +244,7 @@ func (d *DDoS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 		spacing = 150 * time.Millisecond
 	}
 	res := &Result{Technique: d.Name(), Target: tgt}
+	tel := newRunTel(l, d.Name())
 	var ok, reset, timeout, other int
 	remaining := n
 	finishOne := func() {
@@ -264,6 +271,7 @@ func (d *DDoS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 		delay := time.Duration(i) * spacing
 		l.Sim.Schedule(delay, func() {
 			res.ProbesSent++
+			tel.probe(1, lab.ClientAddr, tgt.Addr, "http-flood")
 			websim.Get(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, err error) {
 				sample := &Result{}
 				classifyHTTP(sample, r, err)

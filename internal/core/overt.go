@@ -24,6 +24,7 @@ func (*OvertDNS) Name() string { return "overt-dns" }
 func (o *OvertDNS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	tgt = tgt.resolve(l)
 	res := &Result{Technique: o.Name(), Target: tgt, ProbesSent: 1}
+	newRunTel(l, o.Name()).probe(1, lab.ClientAddr, lab.DNSAddr, tgt.Domain)
 	l.ClientDNS.Query(lab.DNSAddr, tgt.Domain, dnswire.TypeA, func(m *dnswire.Message, err error) {
 		classifyDNS(res, m, err)
 		done(res)
@@ -62,6 +63,7 @@ func (*OvertHTTP) Name() string { return "overt-http" }
 func (o *OvertHTTP) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	tgt = tgt.resolve(l)
 	res := &Result{Technique: o.Name(), Target: tgt, ProbesSent: 1}
+	newRunTel(l, o.Name()).probe(1, lab.ClientAddr, tgt.Addr, tgt.Domain)
 	websim.Get(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, err error) {
 		classifyHTTP(res, r, err)
 		done(res)
@@ -109,6 +111,7 @@ func (*OvertTCP) Name() string { return "overt-tcp" }
 func (o *OvertTCP) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	tgt = tgt.resolve(l)
 	res := &Result{Technique: o.Name(), Target: tgt, ProbesSent: 1}
+	newRunTel(l, o.Name()).probe(1, lab.ClientAddr, tgt.Addr, "tcp-connect")
 	finished := false
 	finish := func() {
 		if !finished {

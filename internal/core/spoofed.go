@@ -34,6 +34,7 @@ func (s *SpoofedDNS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 		n = 0
 	}
 	res := &Result{Technique: s.Name(), Target: tgt}
+	tel := newRunTel(l, s.Name())
 
 	covers := spoof.CoverAddrs(l.Cfg.SpoofPolicy, lab.ClientAddr, n)
 	res.CoverAddrs = covers
@@ -52,6 +53,7 @@ func (s *SpoofedDNS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 				return
 			}
 			res.CoverSent++
+			tel.coverSent(cover, lab.DNSAddr, "spoofed-query")
 			l.Client.SendIP(raw)
 		})
 	}
@@ -63,6 +65,7 @@ func (s *SpoofedDNS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	mid := time.Duration(len(covers)/2) * 7 * time.Millisecond
 	l.Sim.Schedule(mid, func() {
 		res.ProbesSent++
+		tel.probe(1, lab.ClientAddr, lab.DNSAddr, tgt.Domain)
 		l.ClientDNS.Query(lab.DNSAddr, tgt.Domain, dnswire.TypeA, func(m *dnswire.Message, err error) {
 			classifyDNS(res, m, err)
 			done(res)
@@ -97,6 +100,7 @@ func (s *SpoofedSYN) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 		timeout = 300 * time.Millisecond
 	}
 	res := &Result{Technique: s.Name(), Target: tgt}
+	tel := newRunTel(l, s.Name())
 	const probePort = 61000
 	l.ClientStack.IgnorePort(probePort) // raw probe: keep the stack silent
 
@@ -144,12 +148,14 @@ func (s *SpoofedSYN) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 		cover := cover
 		l.Sim.Schedule(time.Duration(i)*5*time.Millisecond, func() {
 			res.CoverSent++
+			tel.coverSent(cover, tgt.Addr, "spoofed-syn")
 			sendSYN(cover, probePort)
 		})
 	}
 	mid := time.Duration(len(covers)/2) * 5 * time.Millisecond
 	l.Sim.Schedule(mid, func() {
 		res.ProbesSent++
+		tel.probe(1, lab.ClientAddr, tgt.Addr, "syn-probe")
 		sendSYN(lab.ClientAddr, probePort)
 	})
 	l.Sim.Schedule(mid+timeout, func() {

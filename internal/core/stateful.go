@@ -165,6 +165,7 @@ func (s *Stateful) run(l *lab.Lab, tgt Target, ttl uint8, done func(*Result)) {
 
 	server := InstallMimicServer(l, port, ttl)
 	res := &Result{Technique: s.Name(), Target: tgt}
+	tel := newRunTel(l, s.Name())
 
 	// The measurement payload: a request naming the censored resource, so
 	// keyword- and Host-based censorship triggers on the client->server
@@ -190,8 +191,10 @@ func (s *Stateful) run(l *lab.Lab, tgt Target, ttl uint8, done func(*Result)) {
 				if raw, err := packet.BuildTCP(src, lab.MeasureAddr, packet.DefaultTTL, t); err == nil {
 					if src == lab.ClientAddr {
 						res.ProbesSent++
+						tel.probe(1, src, lab.MeasureAddr, "stateful-segment")
 					} else {
 						res.CoverSent++
+						tel.coverSent(src, lab.MeasureAddr, "stateful-segment")
 					}
 					l.Client.SendIP(raw)
 				}

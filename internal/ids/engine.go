@@ -6,6 +6,7 @@ import (
 	"net/netip"
 
 	"safemeasure/internal/packet"
+	"safemeasure/internal/telemetry"
 )
 
 // Alert is one rule firing.
@@ -77,6 +78,17 @@ type Engine struct {
 	Bytes     int
 	Fired     int
 	HitsBySID map[int]int
+
+	// MPackets and MAlerts, when set, additionally count evaluated packets
+	// and fired alerts into the owning system's telemetry registry (each
+	// middlebox names its own metrics). Nil-safe — leave unset to disable.
+	MPackets, MAlerts *telemetry.Counter
+}
+
+// SetMetrics installs the telemetry counters the engine increments on its
+// match/alert hot path. Either may be nil.
+func (e *Engine) SetMetrics(packets, alerts *telemetry.Counter) {
+	e.MPackets, e.MAlerts = packets, alerts
 }
 
 // NewEngine compiles rules into an engine.
@@ -128,6 +140,7 @@ func (e *Engine) Feed(now int64, pkt *packet.Packet) []Alert {
 	}
 	e.Packets++
 	e.Bytes += len(pkt.IP.Payload)
+	e.MPackets.Inc()
 
 	fs := e.trackFlow(now, pkt)
 
@@ -150,6 +163,7 @@ func (e *Engine) Feed(now int64, pkt *packet.Packet) []Alert {
 		}
 		e.Fired++
 		e.HitsBySID[r.SID]++
+		e.MAlerts.Inc()
 		alerts = append(alerts, Alert{Time: now, Rule: r, Flow: packet.FlowOf(pkt), Pkt: pkt})
 	}
 

@@ -32,6 +32,7 @@ import (
 	"safemeasure/internal/spoof"
 	"safemeasure/internal/surveil"
 	"safemeasure/internal/tcpsim"
+	"safemeasure/internal/telemetry"
 	"safemeasure/internal/websim"
 )
 
@@ -90,6 +91,14 @@ type Config struct {
 	// technique's behaviour.
 	SiteCount int
 	Seed      int64
+
+	// Telemetry, when set, receives hot-path metrics from the simulator,
+	// routers, middleboxes, and techniques. Nil keeps the zero-overhead
+	// disabled path.
+	Telemetry *telemetry.Registry
+	// Trace, when set, receives packet-path events stamped with the lab's
+	// virtual clock. Nil disables tracing.
+	Trace *telemetry.Tracer
 }
 
 // DefaultCensorConfig is the GFC-style ground truth used across the
@@ -170,6 +179,10 @@ func New(cfg Config) (*Lab, error) {
 	}
 
 	l := &Lab{Cfg: cfg, Sim: netsim.NewSim(cfg.Seed), hostPorts: make(map[int]netip.Addr)}
+	// Telemetry must be installed before any router is constructed: routers
+	// resolve their counter handles from Sim.Tel at creation time.
+	l.Sim.Tel = cfg.Telemetry
+	l.Sim.Trace = cfg.Trace
 	lat := cfg.LinkLatency
 
 	nHosts := cfg.PopulationSize + 1
@@ -296,6 +309,11 @@ func New(cfg Config) (*Lab, error) {
 		return nil, err
 	}
 	l.Border.AddTap(l.Censor)
+
+	if cfg.Telemetry != nil || cfg.Trace != nil {
+		l.Surveil.SetTelemetry(cfg.Telemetry, cfg.Trace)
+		l.Censor.SetTelemetry(cfg.Telemetry, cfg.Trace)
+	}
 
 	// Population generator.
 	l.Pop = population.New(l.Sim, population.Config{

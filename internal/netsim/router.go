@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"safemeasure/internal/packet"
+	"safemeasure/internal/telemetry"
 )
 
 // Verdict is a tap's decision about a datagram.
@@ -68,11 +69,20 @@ type Router struct {
 	TapDropped  int
 	NoRoute     int
 	ParseFailed int
+
+	// Telemetry handles, resolved once from sim.Tel at construction;
+	// nil (telemetry disabled) costs one comparison per use.
+	mForwarded, mTTLExpired, mTapDropped, mNoRoute *telemetry.Counter
 }
 
 // NewRouter creates a router with the given number of ports.
 func NewRouter(sim *Sim, name string, addr netip.Addr, nports int) *Router {
-	return &Router{Name: name, Addr: addr, sim: sim, ports: make([]*Port, nports), defaultPort: -1}
+	r := &Router{Name: name, Addr: addr, sim: sim, ports: make([]*Port, nports), defaultPort: -1}
+	r.mForwarded = sim.Tel.Counter("netsim_forwarded_total")
+	r.mTTLExpired = sim.Tel.Counter("netsim_ttl_expired_total")
+	r.mTapDropped = sim.Tel.Counter("netsim_tap_dropped_total")
+	r.mNoRoute = sim.Tel.Counter("netsim_no_route_total")
+	return r
 }
 
 // AttachPort binds a link port to port index i.
@@ -119,6 +129,7 @@ func (r *Router) Inject(raw []byte) {
 	out := r.lookup(ip.Dst)
 	if out < 0 || r.ports[out] == nil {
 		r.NoRoute++
+		r.mNoRoute.Inc()
 		return
 	}
 	r.ports[out].Send(raw)
@@ -139,6 +150,11 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 		for _, t := range r.taps {
 			if t.Observe(tp, r) == Drop {
 				r.TapDropped++
+				r.mTapDropped.Inc()
+				if tr := r.sim.Trace; tr != nil {
+					tr.Emit(int64(r.sim.Now()), telemetry.EvTapDrop,
+						ip.Src.String(), ip.Dst.String(), r.Name)
+				}
 				return
 			}
 		}
@@ -146,6 +162,11 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 
 	if ip.TTL <= 1 {
 		r.TTLExpired++
+		r.mTTLExpired.Inc()
+		if tr := r.sim.Trace; tr != nil {
+			tr.Emit(int64(r.sim.Now()), telemetry.EvTTLExpiry,
+				ip.Src.String(), ip.Dst.String(), r.Name)
+		}
 		r.sendTimeExceeded(&ip, raw)
 		return
 	}
@@ -153,6 +174,7 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 	out := r.lookup(ip.Dst)
 	if out < 0 || r.ports[out] == nil {
 		r.NoRoute++
+		r.mNoRoute.Inc()
 		return
 	}
 
@@ -165,6 +187,7 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 		return
 	}
 	r.Forwarded++
+	r.mForwarded.Inc()
 	r.ports[out].Send(fwd)
 }
 

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"safemeasure/internal/telemetry"
 )
 
 // event is a scheduled callback.
@@ -52,6 +54,15 @@ type Sim struct {
 
 	// MaxEvents bounds a single Run call as a runaway-loop backstop.
 	MaxEvents int
+
+	// Tel, when set, receives hot-path metrics from components built on
+	// this simulator (router forwarding, taps). Set it before constructing
+	// routers — they resolve their counter handles once, at creation. Nil
+	// keeps the zero-telemetry fast path.
+	Tel *telemetry.Registry
+	// Trace, when set, receives packet-path events stamped with this
+	// simulator's virtual clock. Nil disables tracing.
+	Trace *telemetry.Tracer
 }
 
 // NewSim creates a simulator with a deterministic RNG.

@@ -8,6 +8,7 @@ import (
 	"safemeasure/internal/ids"
 	"safemeasure/internal/netsim"
 	"safemeasure/internal/packet"
+	"safemeasure/internal/telemetry"
 )
 
 // MVRConfig parameterizes stage 1 from the paper's §2.1 numbers.
@@ -79,6 +80,24 @@ type System struct {
 	DiscardedByClass map[TrafficClass]int
 	// BudgetRejected counts content records evicted to respect the budget.
 	BudgetRejected int
+
+	// Telemetry (optional; see SetTelemetry).
+	trace                      *telemetry.Tracer
+	mSeen, mDiscarded, mLogged *telemetry.Counter
+	mBudgetEvicted             *telemetry.Counter
+}
+
+// SetTelemetry wires the MVR pipeline into a metrics registry and packet-path
+// tracer. Either argument may be nil; the lab calls this for every run that
+// has telemetry enabled.
+func (s *System) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	s.trace = tr
+	s.mSeen = reg.Counter("surveil_packets_seen_total")
+	s.mDiscarded = reg.Counter("surveil_discarded_total")
+	s.mLogged = reg.Counter("surveil_content_logged_total")
+	s.mBudgetEvicted = reg.Counter("surveil_budget_evicted_total")
+	s.engine.SetMetrics(reg.Counter("surveil_ids_packets_total"),
+		reg.Counter("surveil_ids_alerts_total"))
 }
 
 // New builds a surveillance system with the given alert rules.
@@ -112,6 +131,7 @@ func (s *System) Engine() *ids.Engine { return s.engine }
 func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {
 	s.PacketsSeen++
 	s.BytesSeen += len(tp.Raw)
+	s.mSeen.Inc()
 	pkt := tp.Pkt
 	if pkt == nil {
 		// Fragments are reassembled before classification — the paper
@@ -140,6 +160,11 @@ func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict
 	if s.discard[class] {
 		s.PacketsDiscarded++
 		s.DiscardedByClass[class]++
+		s.mDiscarded.Inc()
+		if tr := s.trace; tr != nil {
+			tr.Emit(tp.Time, telemetry.EvMVRDiscard,
+				pkt.IP.Src.String(), pkt.IP.Dst.String(), class.String())
+		}
 		// The classification itself is cheap context the analyst keeps:
 		// this user behaves like a bot toward this destination.
 		if class == ClassScan || class == ClassDDoS || class == ClassSpam {
@@ -165,10 +190,16 @@ func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict
 	// way: everything is written, little survives).
 	s.Content = append(s.Content, StoredContent{Time: tp.Time, Flow: flow, Bytes: len(tp.Raw), Class: class})
 	s.BytesRetained += len(tp.Raw)
+	s.mLogged.Inc()
+	if tr := s.trace; tr != nil {
+		tr.Emit(tp.Time, telemetry.EvMVRLog,
+			pkt.IP.Src.String(), pkt.IP.Dst.String(), class.String())
+	}
 	for len(s.Content) > 1 && float64(s.BytesRetained) > s.cfg.StorageFraction*float64(s.BytesSeen) {
 		s.BytesRetained -= s.Content[0].Bytes
 		s.Content = s.Content[1:]
 		s.BudgetRejected++
+		s.mBudgetEvicted.Inc()
 	}
 
 	// Stage 1c: alerting on retained (non-discarded) traffic feeds the

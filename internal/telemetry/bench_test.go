@@ -1,0 +1,68 @@
+package telemetry
+
+import "testing"
+
+// The micro-benchmarks below quantify the per-operation cost of enabled
+// telemetry against the disabled (nil-handle / NopSink) fast path. The
+// repo-root BenchmarkTelemetryOverhead measures the same comparison
+// end-to-end through a whole campaign run.
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkTracerNop(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr != nil {
+			tr.Emit(int64(i), EvProbeSent, "", "", "")
+		}
+	}
+}
+
+func BenchmarkTracerNopSink(b *testing.B) {
+	tr := NewTracer(NopSink{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(int64(i), EvProbeSent, "src", "dst", "detail")
+	}
+}
+
+func BenchmarkTracerRing(b *testing.B) {
+	tr := NewTracer(NewRing(4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(int64(i), EvProbeSent, "src", "dst", "detail")
+	}
+}

@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	GET /metrics  — Prometheus text exposition of the registry
+//	GET /progress — JSON from the progress func (404 when progress is nil)
+//
+// The handler snapshots on every request, so it can be scraped while a
+// campaign is mid-flight; atomics make the reads race-free.
+func Handler(reg *Registry, progress func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
+		if progress == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(progress())
+	})
+	return mux
+}

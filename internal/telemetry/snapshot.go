@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot. Buckets holds cumulative
+// counts aligned with Bounds; the final entry of Buckets (without a bound)
+// is the total including overflow.
+type HistogramValue struct {
+	Name    string    `json:"name"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot is a consistent-enough copy of a registry: each metric is read
+// atomically, sorted by name, suitable for rendering or diffing.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures every registered metric, sorted by name. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range hists {
+		hv := HistogramValue{Name: h.name, Bounds: h.Bounds(), Count: h.Count(), Sum: h.Sum()}
+		var cum int64
+		for _, n := range h.BucketCounts() {
+			cum += n
+			hv.Buckets = append(hv.Buckets, cum)
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// splitLabels splits `name{a="b"}` into (`name`, `a="b"`); names without
+// labels return ("name", "").
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// joinLabels merges an existing label string with one extra pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText renders the snapshot in Prometheus text exposition format,
+// sorted by name within each metric kind (counters, then gauges, then
+// histograms), so two snapshots of equal state render byte-identically.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		base, _ := splitLabels(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", base, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		base, _ := splitLabels(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", base, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		base, labels := splitLabels(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+			return err
+		}
+		for i, bound := range h.Bounds {
+			le := joinLabels(labels, `le="`+fmtFloat(bound)+`"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, le, h.Buckets[i]); err != nil {
+				return err
+			}
+		}
+		inf := joinLabels(labels, `le="+Inf"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, inf, h.Count); err != nil {
+			return err
+		}
+		sumName, countName := base+"_sum", base+"_count"
+		if labels != "" {
+			sumName += "{" + labels + "}"
+			countName += "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n", sumName, fmtFloat(h.Sum), countName, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountersText renders only the counter lines (no TYPE comments) — the
+// deterministic core of a campaign's final metrics, used by tests that
+// compare runs across worker counts.
+func (s Snapshot) CountersText() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	return b.String()
+}

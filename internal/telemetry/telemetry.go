@@ -1,0 +1,315 @@
+// Package telemetry is the repo's zero-dependency observability layer: an
+// atomic metrics registry (counters, gauges, exponential-bucket histograms)
+// plus a structured packet-path event tracer, both designed around the
+// simulator's virtual clock so that everything they record is
+// byte-deterministic for a given seed regardless of worker count or host
+// speed.
+//
+// Two design rules keep the disabled path essentially free:
+//
+//   - Every metric method is safe on a nil receiver, and a nil *Registry
+//     hands out nil metrics. Components resolve their handles once at
+//     construction and increment unconditionally; with telemetry off the
+//     increment is a single nil check.
+//   - Trace emission goes through a *Tracer that callers nil-check before
+//     building event strings, and the NopSink discards events without
+//     allocating, so instrumented hot paths pay nothing when tracing is off.
+//
+// Determinism: counters and gauges are integers; histograms accumulate
+// their sum in integer micro-units rather than floats, so totals are
+// independent of the order concurrent workers observed samples in. The only
+// intentionally nondeterministic values are wall-clock measurements fed in
+// by callers (e.g. the campaign pool's wall-latency histogram).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-safe: a nil counter (from a nil registry) silently does nothing.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depths, live totals).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// sumScale converts observed values to the integer micro-units the
+// histogram sum accumulates in, keeping totals order-independent (integer
+// addition commutes; float addition does not).
+const sumScale = 1e6
+
+// Histogram counts observations into fixed exponential buckets:
+// bucket i covers (lo*factor^(i-1), lo*factor^i], with an implicit
+// overflow bucket above the last bound. Everything is atomic and safe
+// under -race.
+type Histogram struct {
+	name   string
+	bounds []float64      // upper bounds, ascending
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64 // in micro-units (value * sumScale, rounded)
+}
+
+// ExpBuckets returns n exponential upper bounds lo, lo*factor, ...,
+// lo*factor^(n-1).
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	if n <= 0 || lo <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	b := lo
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(v*sumScale + 0.5))
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sum.Load()) / sumScale
+}
+
+// Mean returns Sum/Count, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// sample (nearest rank). With no samples, or on a nil histogram, it
+// returns 0; ranks landing in the overflow bucket report the last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // overflow: clamp to last bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// BucketCounts returns the per-bucket counts (last entry is overflow).
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Registry holds named metrics. Lookups take a mutex (resolve handles once,
+// at construction time); the metrics themselves are lock-free atomics. A nil
+// registry is valid and hands out nil metrics, giving callers a single code
+// path whether telemetry is enabled or not.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// DefaultBuckets is the registry's default histogram shape: 32 exponential
+// buckets from 1µs to ~4295s (unit-agnostic; pick names that say the unit).
+func DefaultBuckets() []float64 { return ExpBuckets(1e-6, 2, 32) }
+
+// Histogram returns the named histogram with the default exponential
+// buckets, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, 1e-6, 2, 32)
+}
+
+// HistogramBuckets returns the named histogram with n exponential buckets
+// starting at lo with the given factor. The shape is fixed at first
+// creation; later calls return the existing histogram unchanged.
+func (r *Registry) HistogramBuckets(name string, lo, factor float64, n int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bounds := ExpBuckets(lo, factor, n)
+		h = &Histogram{name: name, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Labels renders a metric name with labels in canonical (key-sorted) form:
+// Labels("x_total", "family", "overt") == `x_total{family="overt"}`.
+// The registry treats the full string as the metric identity, so equal
+// label sets always resolve to the same metric.
+func Labels(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("same name resolved to a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilRegistryAndMetricsAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	var tr *Tracer
+	tr.Emit(1, EvProbeSent, "a", "b", "c")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Enabled() {
+		t.Fatal("nil metrics retained state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry produced a non-empty snapshot")
+	}
+}
+
+// TestDisabledPathAllocates nothing: the NopSink/nil-handle fast path must
+// stay allocation-free or the hot-path instrumentation would tax every
+// packet forwarded with telemetry off. This is the benchmark guard's
+// deterministic twin (the benchmarks in the repo root measure time).
+func TestDisabledPathAllocates(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("h")
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(1)
+		if tr != nil {
+			tr.Emit(0, EvProbeSent, "", "", "")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry path allocates %.1f per op, want 0", allocs)
+	}
+	nop := NopSink{}
+	allocs = testing.AllocsPerRun(1000, func() {
+		nop.Emit(Event{T: 1, Kind: EvProbeSent})
+	})
+	if allocs != 0 {
+		t.Fatalf("NopSink.Emit allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", 1, 2, 10) // bounds 1,2,4,...,512
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 5049.9 || got > 5050.1 {
+		t.Fatalf("sum = %v, want 5050", got)
+	}
+	// p50 of 1..100 is 50, which lands in the (32,64] bucket.
+	if got := h.Quantile(0.5); got != 64 {
+		t.Fatalf("p50 = %v, want 64", got)
+	}
+	if got := h.Quantile(0.99); got != 128 {
+		t.Fatalf("p99 = %v, want 128", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	// Overflow values clamp to the last bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 512 {
+		t.Fatalf("p100 = %v, want 512 (overflow clamps)", got)
+	}
+}
+
+func TestHistogramSumOrderIndependent(t *testing.T) {
+	// The sum accumulates in integer micro-units, so any interleaving of
+	// the same observations yields identical totals — the property the
+	// campaign's byte-identical /metrics claim rests on.
+	mk := func(order []float64) float64 {
+		r := NewRegistry()
+		h := r.Histogram("x")
+		for _, v := range order {
+			h.Observe(v)
+		}
+		return h.Sum()
+	}
+	a := mk([]float64{0.1, 0.2, 0.3, 1e6, 1e-6, 7.25})
+	b := mk([]float64{1e-6, 7.25, 0.3, 0.1, 1e6, 0.2})
+	if a != b {
+		t.Fatalf("sum depends on observation order: %v vs %v", a, b)
+	}
+}
+
+func TestLabelsCanonical(t *testing.T) {
+	a := Labels("runs_total", "family", "overt", "scenario", "open")
+	b := Labels("runs_total", "scenario", "open", "family", "overt")
+	if a != b {
+		t.Fatalf("label order changed identity: %q vs %q", a, b)
+	}
+	want := `runs_total{family="overt",scenario="open"}`
+	if a != want {
+		t.Fatalf("labels = %q, want %q", a, want)
+	}
+	if got := Labels("odd", "only-key"); got != "odd" {
+		t.Fatalf("odd kv should return bare name, got %q", got)
+	}
+}
+
+func TestSnapshotTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter(Labels("a_total", "k", "v")).Inc()
+	r.Gauge("depth").Set(3)
+	h := r.HistogramBuckets("lat_seconds", 1, 2, 3) // bounds 1,2,4
+	h.Observe(1.5)
+	h.Observe(100) // overflow
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total{k=\"v\"} 1\n",
+		"# TYPE b_total counter\nb_total 2\n",
+		"# TYPE depth gauge\ndepth 3\n",
+		`lat_seconds_bucket{le="2"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 101.5",
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Counters render sorted: a_total before b_total.
+	if strings.Index(text, "a_total") > strings.Index(text, "b_total") {
+		t.Fatal("counters not sorted by name")
+	}
+	// Two snapshots of the same state render byte-identically.
+	var b2 strings.Builder
+	if err := r.Snapshot().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("snapshot rendering is nondeterministic")
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets(Labels("lat_seconds", "family", "overt"), 1, 2, 2)
+	h.Observe(1)
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lat_seconds_bucket{family="overt",le="1"} 1`,
+		`lat_seconds_sum{family="overt"} 1`,
+		`lat_seconds_count{family="overt"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestConcurrentMetricsUnderRace(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("shared_gauge")
+			h := r.Histogram("shared_hist")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared_hist").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRingKeepsNewestAndCountsDropped(t *testing.T) {
+	ring := NewRing(3)
+	for i := 0; i < 5; i++ {
+		ring.Emit(Event{T: int64(i), Kind: EvProbeSent})
+	}
+	evs := ring.Events()
+	if len(evs) != 3 || ring.Len() != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.T != int64(i+2) {
+			t.Fatalf("event %d has T=%d, want %d (oldest evicted first)", i, ev.T, i+2)
+		}
+	}
+	if ring.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", ring.Dropped())
+	}
+}
+
+func TestTracerEmitsThroughRing(t *testing.T) {
+	ring := NewRing(16)
+	tr := NewTracer(ring)
+	if !tr.Enabled() {
+		t.Fatal("tracer with sink should be enabled")
+	}
+	tr.Emit(42, EvCensorAlert, "10.1.0.10", "203.0.113.81", "keyword falun")
+	evs := ring.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	want := Event{T: 42, Kind: EvCensorAlert, Src: "10.1.0.10", Dst: "203.0.113.81", Detail: "keyword falun"}
+	if evs[0] != want {
+		t.Fatalf("event = %+v, want %+v", evs[0], want)
+	}
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) should be a disabled (nil) tracer")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(9)
+	h := Handler(r, func() any { return map[string]int{"done": 4, "planned": 10} })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [4096]byte
+	n, _ := resp.Body.Read(buf[:])
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), "hits_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", buf[:n])
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(buf[:])
+	resp.Body.Close()
+	body := string(buf[:n])
+	if !strings.Contains(body, `"done": 4`) || !strings.Contains(body, `"planned": 10`) {
+		t.Fatalf("/progress body = %s", body)
+	}
+
+	// No progress func: 404.
+	srv2 := httptest.NewServer(Handler(r, nil))
+	defer srv2.Close()
+	resp, err = srv2.Client().Get(srv2.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("/progress without func = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ExpBuckets(0, 2, 4) != nil || ExpBuckets(1, 1, 4) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Fatal("degenerate bucket shapes should return nil")
+	}
+}

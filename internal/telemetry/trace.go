@@ -1,0 +1,129 @@
+package telemetry
+
+import "sync"
+
+// Event kinds recorded on the packet path. Every event's T field is
+// virtual nanoseconds from the owning simulator's clock, so traces of the
+// same seed are byte-identical no matter how many workers ran the campaign.
+const (
+	EvProbeSent   = "probe-sent"    // a technique sent a measurement probe
+	EvCoverSent   = "cover-sent"    // a technique sent a spoofed cover packet
+	EvCensorAlert = "censor-alert"  // the censor's engine matched restricted content
+	EvRSTInject   = "rst-injection" // the censor forged a TCP RST pair
+	EvDNSForge    = "dns-forge"     // the censor forged a DNS answer
+	EvMVRLog      = "mvr-log"       // the surveillance MVR retained content
+	EvMVRDiscard  = "mvr-discard"   // the MVR discarded a packet wholesale
+	EvTTLExpiry   = "ttl-expiry"    // a router dropped a datagram at TTL 0
+	EvTapDrop     = "tap-drop"      // an inline tap (censor/SAV) dropped a datagram
+)
+
+// Event is one packet-path occurrence.
+type Event struct {
+	T      int64  `json:"t"` // virtual nanoseconds
+	Kind   string `json:"kind"`
+	Src    string `json:"src,omitempty"`
+	Dst    string `json:"dst,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink consumes trace events.
+type Sink interface {
+	Emit(Event)
+}
+
+// NopSink discards events without allocating — the disabled-tracing fast
+// path that the telemetry benchmarks compare against.
+type NopSink struct{}
+
+// Emit implements Sink.
+func (NopSink) Emit(Event) {}
+
+// Ring is a bounded event buffer: once full it overwrites the oldest
+// events, keeping the most recent cap entries and counting what it shed.
+// Emission is mutex-guarded so concurrent sources stay race-free; within
+// one simulator everything arrives from a single goroutine in virtual-time
+// order, so the retained window is deterministic.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	n       int
+	dropped int
+}
+
+// NewRing creates a ring holding up to capacity events (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+	} else {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events in emission order.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns how many events are retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Tracer is the handle instrumented code emits through. A nil tracer is
+// disabled; hot paths nil-check it before building event strings so the
+// off path costs one comparison:
+//
+//	if tr := sim.Trace; tr != nil {
+//		tr.Emit(now, telemetry.EvTTLExpiry, src.String(), dst.String(), name)
+//	}
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer wraps a sink. A nil sink yields a disabled (nil) tracer.
+func NewTracer(s Sink) *Tracer {
+	if s == nil {
+		return nil
+	}
+	return &Tracer{sink: s}
+}
+
+// Emit records one event. Safe on a nil tracer.
+func (t *Tracer) Emit(now int64, kind, src, dst, detail string) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{T: now, Kind: kind, Src: src, Dst: dst, Detail: detail})
+}
+
+// Enabled reports whether emissions reach a sink.
+func (t *Tracer) Enabled() bool { return t != nil }

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Repo verification: tier-1 (build + tests) plus vet and a race pass over
-# the concurrency-heavy campaign package.
+# the concurrency-heavy packages (campaign pool, telemetry registry/tracer,
+# and the simulator whose counters every worker's lab increments).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -8,4 +9,4 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/campaign
+go test -race ./internal/campaign ./internal/telemetry ./internal/netsim
