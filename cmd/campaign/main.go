@@ -1,13 +1,16 @@
 // Command campaign runs measurement campaigns: a technique × scenario ×
-// trial matrix sharded across a worker pool, streamed to a JSONL file as
-// runs complete, and aggregated into per-technique/per-scenario accuracy,
-// MVR-evasion, and analyst-flag tables.
+// impairment × trial matrix sharded across a worker pool, streamed to a
+// JSONL file as runs complete, and aggregated into per-technique,
+// per-scenario, and per-impairment accuracy, MVR-evasion, and analyst-flag
+// tables.
 //
 // Usage:
 //
 //	campaign -techniques all -scenarios keyword-rst,dns-poison,blackhole \
 //	         -trials 20 -workers 8 -seed 1 -out results.jsonl
 //	campaign -techniques spam,spoofed-dns -scenarios dns-poison -trials 50
+//	campaign -impairments all -trials 10    # sweep every link impairment
+//	campaign -impairments lossy20 -retries 1  # single-shot scoring ablation
 //	campaign -resume -out results.jsonl     # finish an interrupted campaign
 //	campaign -trials 5 -metrics-addr :9090 -trace trace.jsonl
 //	campaign -list
@@ -42,7 +45,9 @@ import (
 func main() {
 	techniques := flag.String("techniques", "all", "comma-separated technique names, or all")
 	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or all")
-	trials := flag.Int("trials", 1, "trials per technique x scenario cell")
+	impairments := flag.String("impairments", "none", "comma-separated link-impairment presets, or all")
+	retries := flag.Int("retries", core.DefaultMaxAttempts, "max probe attempts per run (1 = single-shot legacy scoring)")
+	trials := flag.Int("trials", 1, "trials per technique x scenario x impairment cell")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 	seed := flag.Int64("seed", 1, "campaign master seed")
 	out := flag.String("out", "", "JSONL output path (- for stdout; empty writes no file)")
@@ -70,6 +75,10 @@ func main() {
 			}
 			fmt.Printf("  %-14s %s\n", name, kind)
 		}
+		fmt.Println("impairments:")
+		for _, p := range lab.Impairments() {
+			fmt.Printf("  %-12s %s\n", p.Name, p.Summary)
+		}
 		return
 	}
 
@@ -80,11 +89,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "campaign: -trials must be >= 1 (got %d)\n", *trials)
 		os.Exit(2)
 	}
+	if *retries < 1 {
+		fmt.Fprintf(os.Stderr, "campaign: -retries must be >= 1 (got %d)\n", *retries)
+		os.Exit(2)
+	}
 	plan, err := campaign.NewPlan(campaign.PlanConfig{
-		Techniques: splitCSV(*techniques),
-		Scenarios:  splitCSV(*scenarios),
-		Trials:     *trials,
-		Seed:       *seed,
+		Techniques:  splitCSV(*techniques),
+		Scenarios:   splitCSV(*scenarios),
+		Impairments: splitCSV(*impairments),
+		Trials:      *trials,
+		Seed:        *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -92,7 +106,9 @@ func main() {
 	}
 	planned := len(plan.Specs)
 
-	opts := campaign.Options{Workers: *workers, Timeout: *timeout}
+	retry := core.DefaultRetryPolicy()
+	retry.MaxAttempts = *retries
+	opts := campaign.Options{Workers: *workers, Timeout: *timeout, Retry: retry}
 	var sink *campaign.JSONLSink
 	switch {
 	case *out == "-":
@@ -112,7 +128,7 @@ func main() {
 			}
 		}
 		plan = plan.Filter(func(s campaign.RunSpec) bool {
-			return !done[[3]any{s.Technique, s.Scenario, s.Trial}]
+			return !done[[4]any{s.Technique, s.Scenario, canonImpairment(s.Impairment), s.Trial}]
 		})
 		if len(plan.Specs) == 0 {
 			fmt.Fprintf(os.Stderr, "campaign: all %d planned runs already in %s\n", planned, *out)
@@ -235,11 +251,21 @@ func splitCSV(s string) []string {
 	return out
 }
 
+// canonImpairment maps the planner's "none" and the record form "" onto one
+// resume key, so files written before the impairment axis existed resume
+// cleanly.
+func canonImpairment(name string) string {
+	if name == lab.ImpairmentNone {
+		return ""
+	}
+	return name
+}
+
 // readDone loads the coordinates of error-free runs already in a JSONL
 // file. truncateAt, when >= 0, is the offset of a corrupt trailing line
 // the caller must truncate away before appending.
-func readDone(path string) (map[[3]any]bool, int64, error) {
-	done := map[[3]any]bool{}
+func readDone(path string) (map[[4]any]bool, int64, error) {
+	done := map[[4]any]bool{}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return done, -1, nil
@@ -257,7 +283,7 @@ func readDone(path string) (map[[3]any]bool, int64, error) {
 	}
 	for _, r := range recs {
 		if r.Error == "" {
-			done[[3]any{r.Technique, r.Scenario, r.Trial}] = true
+			done[[4]any{r.Technique, r.Scenario, canonImpairment(r.Impairment), r.Trial}] = true
 		}
 	}
 	return done, truncateAt, nil

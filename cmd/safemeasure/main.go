@@ -8,6 +8,8 @@
 //	safemeasure -technique overt-http -domain site01.test -path /falun
 //	safemeasure -technique syn-scan -domain banned.test -blackhole
 //	safemeasure -technique spoofed-dns -domain youtube.com -sav /24
+//	safemeasure -technique overt-dns -domain site02.test -impair lossy20
+//	safemeasure -technique overt-dns -impair lossy20 -retries 1  # legacy scoring
 //	safemeasure -list
 package main
 
@@ -35,7 +37,9 @@ func main() {
 	blockPort := flag.Uint("block-port", 0, "additionally port-block this TCP port")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	pop := flag.Int("population", 20, "cover population size")
-	list := flag.Bool("list", false, "list techniques and exit")
+	impair := flag.String("impair", "none", "link-impairment preset on the WAN uplink (see -list)")
+	retries := flag.Int("retries", core.DefaultMaxAttempts, "max probe attempts (1 = single-shot legacy scoring)")
+	list := flag.Bool("list", false, "list techniques and impairments, then exit")
 	jsonOut := flag.Bool("json", false, "emit the result and risk report as JSON")
 	pcapPath := flag.String("pcap", "", "write the border-tap capture to this pcap file")
 	flag.Parse()
@@ -49,12 +53,25 @@ func main() {
 			}
 			fmt.Printf("  %-14s %s\n", t.Name(), kind)
 		}
+		fmt.Println("impairments:")
+		for _, p := range lab.Impairments() {
+			fmt.Printf("  %-12s %s\n", p.Name, p.Summary)
+		}
 		return
 	}
 
 	tech, ok := core.ByName(*techName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown technique %q (try -list)\n", *techName)
+		os.Exit(2)
+	}
+	preset, ok := lab.ImpairmentByName(*impair)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown impairment %q (try -list)\n", *impair)
+		os.Exit(2)
+	}
+	if *retries < 1 {
+		fmt.Fprintf(os.Stderr, "-retries must be >= 1 (got %d)\n", *retries)
 		os.Exit(2)
 	}
 
@@ -83,6 +100,7 @@ func main() {
 		PopulationSize: *pop,
 		Censor:         censorCfg,
 		SpoofPolicy:    policy,
+		Impair:         preset.Impair,
 		Seed:           *seed,
 	})
 	if err != nil {
@@ -97,8 +115,10 @@ func main() {
 	}
 
 	tgt := core.Target{Domain: *domain, Path: *path, Port: uint16(*port)}
+	retry := core.DefaultRetryPolicy()
+	retry.MaxAttempts = *retries
 	var res *core.Result
-	tech.Run(l, tgt, func(r *core.Result) { res = r })
+	core.RunWithRetry(l, tech, tgt, retry, func(r *core.Result) { res = r })
 	l.Run()
 
 	if capture != nil {
@@ -147,6 +167,9 @@ func main() {
 		fmt.Printf("mechanism : %s\n", res.Mechanism)
 	}
 	fmt.Printf("probes    : %d (+%d cover)\n", res.ProbesSent, res.CoverSent)
+	if res.Attempts > 1 {
+		fmt.Printf("attempts  : %d\n", res.Attempts)
+	}
 	for _, e := range res.Evidence {
 		fmt.Printf("evidence  : %s\n", e)
 	}

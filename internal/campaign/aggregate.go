@@ -8,26 +8,36 @@ import (
 	"safemeasure/internal/stats"
 )
 
-// Cell aggregates every run of one technique against one scenario.
+// Cell aggregates every run of one technique against one scenario under one
+// link impairment. The impairment axis is what makes the E11 matrix
+// three-dimensional: the same (scenario, technique) pair appears once per
+// impairment preset swept.
 type Cell struct {
-	Scenario  string
-	Technique string
-	Stealth   bool
+	Scenario   string
+	Impairment string // "" means the pristine link
+	Technique  string
+	Stealth    bool
 
-	Runs     int // completed runs (errors excluded)
-	Errors   int
-	Correct  int // verdict matched the scenario's ground truth
-	Flagged  int // analyst flagged the measurer
-	Alerted  int // runs where measurement traffic survived the MVR and tripped a rule
-	Retained int // MVR kept metadata for the measurer (stage-1 visibility)
+	Runs         int // completed runs (errors excluded)
+	Errors       int
+	Correct      int // verdict matched the scenario's ground truth
+	Inconclusive int // tri-state middle: refused to call loss vs blocking
+	Flagged      int // analyst flagged the measurer
+	Alerted      int // runs where measurement traffic survived the MVR and tripped a rule
+	Retained     int // MVR kept metadata for the measurer (stage-1 visibility)
 
 	Score     stats.Summary // analyst suspicion
 	Entropy   stats.Summary // attribution entropy (bits)
+	Attempts  stats.Summary // probe attempts consumed per run (retry policy)
 	ElapsedMS stats.Summary // virtual per-run duration
 }
 
 // Accuracy is the fraction of completed runs with a correct verdict.
 func (c *Cell) Accuracy() float64 { return frac(c.Correct, c.Runs) }
+
+// InconclusiveRate is the fraction of completed runs the retry policy left
+// unresolved rather than guessing.
+func (c *Cell) InconclusiveRate() float64 { return frac(c.Inconclusive, c.Runs) }
 
 // FlagRate is the fraction of completed runs where the measurer was flagged.
 func (c *Cell) FlagRate() float64 { return frac(c.Flagged, c.Runs) }
@@ -52,27 +62,54 @@ func (k KindTotals) Accuracy() float64 { return frac(k.Correct, k.Runs) }
 // FlagRate is the family's flagged fraction.
 func (k KindTotals) FlagRate() float64 { return frac(k.Flagged, k.Runs) }
 
+// ImpairmentTotals aggregates every run under one impairment preset — the
+// marginal of the matrix along its new axis, answering "how much accuracy
+// does a lossy link cost, and how much does the retry policy buy back".
+type ImpairmentTotals struct {
+	Impairment string // "" means the pristine link
+	Runs, Errors, Correct, Inconclusive, Alerted int
+}
+
+// Accuracy is the per-impairment correct fraction.
+func (i ImpairmentTotals) Accuracy() float64 { return frac(i.Correct, i.Runs) }
+
+// InconclusiveRate is the per-impairment unresolved fraction.
+func (i ImpairmentTotals) InconclusiveRate() float64 { return frac(i.Inconclusive, i.Runs) }
+
+// EvasionRate is the per-impairment evasion fraction (see Cell.EvasionRate).
+func (i ImpairmentTotals) EvasionRate() float64 { return frac(i.Runs-i.Alerted, i.Runs) }
+
 // Summary is a whole campaign reduced to its reportable statistics.
 type Summary struct {
-	Cells          []Cell // sorted by (scenario, technique)
+	Cells          []Cell // sorted by (scenario, impairment, technique)
+	Impairments    []ImpairmentTotals // sorted by name, pristine first
 	Overt, Stealth KindTotals
 	Runs, Errors   int
 }
 
-// Aggregate folds run records into per-cell and per-family statistics.
+// Aggregate folds run records into per-cell, per-impairment, and per-family
+// statistics.
 func Aggregate(recs []RunRecord) *Summary {
-	cells := map[[2]string]*Cell{}
+	cells := map[[3]string]*Cell{}
+	impairs := map[string]*ImpairmentTotals{}
 	sum := &Summary{}
 	for _, r := range recs {
-		key := [2]string{r.Scenario, r.Technique}
+		key := [3]string{r.Scenario, r.Impairment, r.Technique}
 		c := cells[key]
 		if c == nil {
-			c = &Cell{Scenario: r.Scenario, Technique: r.Technique, Stealth: r.Stealth}
+			c = &Cell{Scenario: r.Scenario, Impairment: r.Impairment,
+				Technique: r.Technique, Stealth: r.Stealth}
 			cells[key] = c
+		}
+		im := impairs[r.Impairment]
+		if im == nil {
+			im = &ImpairmentTotals{Impairment: r.Impairment}
+			impairs[r.Impairment] = im
 		}
 		sum.Runs++
 		if r.Error != "" {
 			c.Errors++
+			im.Errors++
 			sum.Errors++
 			continue
 		}
@@ -81,10 +118,16 @@ func Aggregate(recs []RunRecord) *Summary {
 			kind = &sum.Stealth
 		}
 		c.Runs++
+		im.Runs++
 		kind.Runs++
 		if r.Correct {
 			c.Correct++
+			im.Correct++
 			kind.Correct++
+		}
+		if r.Verdict == "inconclusive" {
+			c.Inconclusive++
+			im.Inconclusive++
 		}
 		if r.Flagged {
 			c.Flagged++
@@ -92,22 +135,34 @@ func Aggregate(recs []RunRecord) *Summary {
 		}
 		if r.Alerts > 0 {
 			c.Alerted++
+			im.Alerted++
 		}
 		if r.Retained {
 			c.Retained++
 		}
 		c.Score.Add(r.Score)
 		c.Entropy.Add(r.Entropy)
+		c.Attempts.Add(float64(max(r.Attempts, 1)))
 		c.ElapsedMS.Add(r.ElapsedMS)
 	}
 	for _, c := range cells {
 		sum.Cells = append(sum.Cells, *c)
 	}
 	sort.Slice(sum.Cells, func(i, j int) bool {
-		if sum.Cells[i].Scenario != sum.Cells[j].Scenario {
-			return sum.Cells[i].Scenario < sum.Cells[j].Scenario
+		a, b := sum.Cells[i], sum.Cells[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
 		}
-		return sum.Cells[i].Technique < sum.Cells[j].Technique
+		if a.Impairment != b.Impairment {
+			return a.Impairment < b.Impairment
+		}
+		return a.Technique < b.Technique
+	})
+	for _, im := range impairs {
+		sum.Impairments = append(sum.Impairments, *im)
+	}
+	sort.Slice(sum.Impairments, func(i, j int) bool {
+		return sum.Impairments[i].Impairment < sum.Impairments[j].Impairment
 	})
 	return sum
 }
@@ -119,12 +174,20 @@ func frac(a, b int) float64 {
 	return float64(a) / float64(b)
 }
 
+// impairLabel renders the pristine link's empty name readably.
+func impairLabel(name string) string {
+	if name == "" {
+		return "-"
+	}
+	return name
+}
+
 // Render prints the campaign matrix and the overt-vs-stealth headline.
 func (s *Summary) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign summary — %d runs (%d errors)\n\n", s.Runs, s.Errors)
-	t := stats.NewTable("scenario", "technique", "kind", "runs", "accuracy",
-		"mvr-evasion", "flag-rate", "mean-score", "entropy-bits", "virt-ms")
+	t := stats.NewTable("scenario", "impair", "technique", "kind", "runs", "accuracy",
+		"inconcl", "mvr-evasion", "flag-rate", "mean-score", "attempts", "virt-ms")
 	for _, c := range s.Cells {
 		kind := "overt"
 		if c.Stealth {
@@ -134,11 +197,24 @@ func (s *Summary) Render() string {
 		if c.Errors > 0 {
 			runs = fmt.Sprintf("%d(+%derr)", c.Runs, c.Errors)
 		}
-		t.AddRow(c.Scenario, c.Technique, kind, runs, c.Accuracy(),
-			c.EvasionRate(), c.FlagRate(), c.Score.Mean(), c.Entropy.Mean(),
-			c.ElapsedMS.Mean())
+		t.AddRow(c.Scenario, impairLabel(c.Impairment), c.Technique, kind, runs,
+			c.Accuracy(), c.InconclusiveRate(), c.EvasionRate(), c.FlagRate(),
+			c.Score.Mean(), c.Attempts.Mean(), c.ElapsedMS.Mean())
 	}
 	b.WriteString(t.String())
+	if len(s.Impairments) > 1 {
+		it := stats.NewTable("impairment", "runs", "accuracy", "inconcl", "mvr-evasion")
+		for _, im := range s.Impairments {
+			runs := fmt.Sprintf("%d", im.Runs)
+			if im.Errors > 0 {
+				runs = fmt.Sprintf("%d(+%derr)", im.Runs, im.Errors)
+			}
+			it.AddRow(impairLabel(im.Impairment), runs, im.Accuracy(),
+				im.InconclusiveRate(), im.EvasionRate())
+		}
+		b.WriteString("\nper-impairment marginals:\n")
+		b.WriteString(it.String())
+	}
 	fmt.Fprintf(&b, "\naccuracy:  overt %.2f vs stealth %.2f (must be comparable)\n",
 		s.Overt.Accuracy(), s.Stealth.Accuracy())
 	fmt.Fprintf(&b, "flag rate: overt %.2f vs stealth %.2f (stealth must be lower)\n",

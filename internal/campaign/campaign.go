@@ -27,7 +27,10 @@ import (
 // the JSONL line format of the sink.
 type RunRecord struct {
 	Scenario string `json:"scenario"`
-	Trial    int    `json:"trial"`
+	// Impairment names the link-impairment preset the run's lab carried
+	// (omitted for the pristine link).
+	Impairment string `json:"impairment,omitempty"`
+	Trial      int    `json:"trial"`
 	core.Record
 	// GroundTruth is whether the scenario really censors the target;
 	// Correct is whether the verdict matched it.

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"safemeasure/internal/telemetry"
 )
 
 // smallPlan is a cheap, representative matrix: one censoring scenario with
@@ -96,16 +99,60 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestImpairedCampaignDeterministicAcrossWorkerCounts extends the
+// determinism guarantee to the impairment axis and the retry layer: lossy,
+// reordering, and corrupting links draw all their randomness from the lab
+// seed, and every hot-path counter (including retry counters) merges
+// commutatively, so sorted records AND final counter values are
+// byte-identical for any worker count.
+func TestImpairedCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	var outputs, counters []string
+	for _, workers := range []int{1, 4} {
+		p, err := NewPlan(PlanConfig{
+			Scenarios:   []string{"dns-poison"},
+			Impairments: []string{"lossy20", "reorder", "corrupt"},
+			Trials:      1,
+			Seed:        99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		recs, err := Run(p, Options{Workers: workers, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if rec.Error != "" {
+				t.Fatalf("impaired run failed: %+v", rec)
+			}
+			if rec.Impairment == "" {
+				t.Fatalf("impaired record lost its impairment: %+v", rec)
+			}
+		}
+		outputs = append(outputs, sortedJSONL(t, recs))
+		counters = append(counters, reg.Snapshot().CountersText())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("impaired records diverge across worker counts:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+	if counters[0] != counters[1] {
+		t.Fatalf("impaired counters diverge across worker counts:\n%s\nvs\n%s", counters[0], counters[1])
+	}
+}
+
 func TestRunRecoversPanics(t *testing.T) {
 	p := smallPlan(t, 7)
 	boom := p.Specs[2]
 	recs, err := Run(p, Options{
 		Workers: 2,
-		execute: func(spec RunSpec, horizon time.Duration) RunRecord {
+		execute: func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord {
 			if spec.Index == boom.Index {
 				panic("lab exploded")
 			}
-			return Execute(spec, horizon)
+			rec := Execute(spec, horizon)
+			claim()
+			return rec
 		},
 	})
 	if err != nil {
@@ -130,7 +177,7 @@ func TestRunTimesOutWedgedRuns(t *testing.T) {
 	recs, err := Run(p, Options{
 		Workers: 2,
 		Timeout: 20 * time.Millisecond,
-		execute: func(spec RunSpec, _ time.Duration) RunRecord {
+		execute: func(spec RunSpec, _ time.Duration, claim func() bool) RunRecord {
 			if spec.Index == 0 {
 				time.Sleep(5 * time.Second) // a wedged simulator
 			}
@@ -139,6 +186,7 @@ func TestRunTimesOutWedgedRuns(t *testing.T) {
 			rec := RunRecord{Scenario: spec.Scenario, Trial: spec.Trial}
 			rec.Technique = spec.Technique
 			rec.Seed = spec.Seed
+			claim()
 			return rec
 		},
 	})
@@ -150,6 +198,79 @@ func TestRunTimesOutWedgedRuns(t *testing.T) {
 	}
 	if recs[1].Error != "" {
 		t.Fatalf("healthy run caught the timeout: %+v", recs[1])
+	}
+}
+
+// TestAbandonedRunPublishesNothing pins the pool's post-timeout contract:
+// a wedged run the pool abandoned must lose the claim race, so it can never
+// emit a trace or merge metrics after its timeout error record went out —
+// and because publication is atomic, results are identical for any worker
+// count. Run under -race, this also proves the claim gate is the only
+// synchronization the abandoned goroutine needs.
+func TestAbandonedRunPublishesNothing(t *testing.T) {
+	const wedge = 150 * time.Millisecond
+	var outputs, counters []string
+	for _, workers := range []int{1, 8} {
+		p := smallPlan(t, 11) // 6 specs
+		wedged := p.Specs[1]
+		reg := telemetry.NewRegistry()
+		var mu sync.Mutex
+		var traced []string
+		settled := make(chan bool, 1) // claim outcome of the wedged run
+		recs, err := Run(p, Options{
+			Workers: workers,
+			Timeout: 20 * time.Millisecond,
+			Metrics: reg,
+			execute: func(spec RunSpec, _ time.Duration, claim func() bool) RunRecord {
+				if spec.Index == wedged.Index {
+					time.Sleep(wedge)
+				}
+				rec := RunRecord{Scenario: spec.Scenario, Trial: spec.Trial}
+				rec.Technique = spec.Technique
+				rec.Seed = spec.Seed
+				ok := claim()
+				if spec.Index == wedged.Index {
+					settled <- ok
+				}
+				if !ok {
+					return rec // abandoned: publish nothing
+				}
+				// The default executor's publication step, emulated: a trace
+				// plus a shared-metric bump, both gated on the claim.
+				mu.Lock()
+				traced = append(traced, spec.Technique)
+				mu.Unlock()
+				reg.Counter("test_published_total").Inc()
+				return rec
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Let the abandoned goroutine finish its claim attempt before
+		// inspecting shared state (and before the test ends, for -race).
+		if ok := <-settled; ok {
+			t.Fatal("abandoned run won the claim race after its timeout record was emitted")
+		}
+		if !strings.Contains(recs[wedged.Index].Error, "timeout") {
+			t.Fatalf("wedged run record: %+v", recs[wedged.Index])
+		}
+		mu.Lock()
+		if len(traced) != len(p.Specs)-1 {
+			t.Fatalf("traces = %v, want one per healthy run", traced)
+		}
+		mu.Unlock()
+		if got := reg.Counter("test_published_total").Value(); got != int64(len(p.Specs)-1) {
+			t.Fatalf("published = %d, want %d", got, len(p.Specs)-1)
+		}
+		outputs = append(outputs, sortedJSONL(t, recs))
+		counters = append(counters, reg.Snapshot().CountersText())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("records diverge across worker counts:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+	if counters[0] != counters[1] {
+		t.Fatalf("counters diverge across worker counts:\n%s\nvs\n%s", counters[0], counters[1])
 	}
 }
 

@@ -35,10 +35,20 @@ func configured(name string) (core.Technique, bool) {
 
 // errorRecord fills a RunRecord for a run that produced no measurement.
 func errorRecord(spec RunSpec, err error) RunRecord {
-	rec := RunRecord{Scenario: spec.Scenario, Trial: spec.Trial, Error: err.Error()}
+	rec := RunRecord{Scenario: spec.Scenario, Impairment: recordImpairment(spec.Impairment),
+		Trial: spec.Trial, Error: err.Error()}
 	rec.Technique = spec.Technique
 	rec.Seed = spec.Seed
 	return rec
+}
+
+// recordImpairment canonicalizes the impairment name for records: the
+// pristine link renders as the empty string (omitted from JSONL).
+func recordImpairment(name string) string {
+	if name == lab.ImpairmentNone {
+		return ""
+	}
+	return name
 }
 
 // DefaultTraceCap bounds each run's trace ring when ExecConfig leaves
@@ -58,6 +68,10 @@ type ExecConfig struct {
 	Trace bool
 	// TraceCap bounds the ring; 0 means DefaultTraceCap.
 	TraceCap int
+	// Retry is the per-probe retry policy (virtual-time backoff + jitter);
+	// the zero value means core.DefaultRetryPolicy(). Set
+	// core.SingleShot() for the legacy one-probe behaviour.
+	Retry core.RetryPolicy
 }
 
 // Execute runs one spec to completion in its own lab: build, start
@@ -82,11 +96,16 @@ func ExecuteInstrumented(spec RunSpec, cfg ExecConfig) (RunRecord, []telemetry.E
 	if !ok {
 		return errorRecord(spec, fmt.Errorf("unknown scenario %q", spec.Scenario)), nil
 	}
+	imp, ok := lab.ImpairmentByName(spec.Impairment)
+	if !ok {
+		return errorRecord(spec, fmt.Errorf("unknown impairment %q", spec.Impairment)), nil
+	}
 	horizon := cfg.Horizon
 	if horizon <= 0 {
 		horizon = DefaultHorizon
 	}
 	labCfg := sc.Config(spec.Seed)
+	labCfg.Impair = imp.Impair
 	labCfg.Telemetry = cfg.Metrics
 	var ring *telemetry.Ring
 	if cfg.Trace {
@@ -111,7 +130,7 @@ func ExecuteInstrumented(spec RunSpec, cfg ExecConfig) (RunRecord, []telemetry.E
 
 	tgt := core.Target{Domain: sc.Domain, Path: sc.Path, Port: sc.Port, Addr: sc.Addr}
 	var res *core.Result
-	tech.Run(l, tgt, func(r *core.Result) { res = r })
+	core.RunWithRetry(l, tech, tgt, cfg.Retry, func(r *core.Result) { res = r })
 	l.Run()
 	if res == nil {
 		return errorRecord(spec, fmt.Errorf("%s never completed", spec.Technique)), events()
@@ -120,6 +139,7 @@ func ExecuteInstrumented(spec RunSpec, cfg ExecConfig) (RunRecord, []telemetry.E
 	risk := core.EvaluateRisk(l, lab.ClientAddr)
 	rec := RunRecord{
 		Scenario:    spec.Scenario,
+		Impairment:  recordImpairment(spec.Impairment),
 		Trial:       spec.Trial,
 		Record:      core.NewRecord(res, risk, spec.Seed, l.Sim.Now()),
 		GroundTruth: sc.Censored,

@@ -10,14 +10,18 @@ import (
 	"safemeasure/internal/lab"
 )
 
-// RunSpec is one planned run: a technique against a scenario, one trial.
+// RunSpec is one planned run: a technique against a scenario under a link
+// impairment, one trial.
 type RunSpec struct {
 	// Index is the spec's position in the plan — stable across worker
 	// counts, so results can be reassembled in plan order.
 	Index     int
 	Technique string
 	Scenario  string
-	Trial     int
+	// Impairment names the lab link-impairment preset the run's uplink
+	// carries ("" is equivalent to "none").
+	Impairment string
+	Trial      int
 	// Seed is the lab seed, derived from the campaign seed and the spec
 	// coordinates (never from Index or scheduling order).
 	Seed int64
@@ -37,7 +41,11 @@ type PlanConfig struct {
 	// Scenarios to sweep, by lab scenario name; empty or ["all"] means
 	// every preset.
 	Scenarios []string
-	// Trials per (technique, scenario) cell; 0 means 1.
+	// Impairments to sweep, by lab impairment preset name. Empty means
+	// just "none" (an impairment-unaware campaign); ["all"] sweeps every
+	// preset, growing the matrix by a full impairment dimension.
+	Impairments []string
+	// Trials per (technique, scenario, impairment) cell; 0 means 1.
 	Trials int
 	// Seed is the campaign master seed every run seed derives from.
 	Seed int64
@@ -113,24 +121,38 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	impairments := cfg.Impairments
+	if len(impairments) == 0 {
+		// Unlike techniques/scenarios, the default is the single pristine
+		// link, not the whole axis: an impairment-unaware campaign should
+		// not sextuple in size.
+		impairments = []string{lab.ImpairmentNone}
+	}
+	impairments, err = expand(impairments, lab.ImpairmentNames(), "impairment")
+	if err != nil {
+		return nil, err
+	}
 	trials := cfg.Trials
 	if trials <= 0 {
 		trials = 1
 	}
 	p := &Plan{Seed: cfg.Seed}
 	for _, sc := range scenarios {
-		for _, tech := range techniques {
-			if !Applicable(tech, sc) {
-				continue
-			}
-			for trial := 0; trial < trials; trial++ {
-				p.Specs = append(p.Specs, RunSpec{
-					Index:     len(p.Specs),
-					Technique: tech,
-					Scenario:  sc,
-					Trial:     trial,
-					Seed:      deriveSeed(cfg.Seed, tech, sc, trial),
-				})
+		for _, imp := range impairments {
+			for _, tech := range techniques {
+				if !Applicable(tech, sc) {
+					continue
+				}
+				for trial := 0; trial < trials; trial++ {
+					p.Specs = append(p.Specs, RunSpec{
+						Index:      len(p.Specs),
+						Technique:  tech,
+						Scenario:   sc,
+						Impairment: imp,
+						Trial:      trial,
+						Seed:       deriveSeed(cfg.Seed, tech, sc, imp, trial),
+					})
+				}
 			}
 		}
 	}
@@ -176,10 +198,12 @@ func (p *Plan) Cells() [][2]string {
 }
 
 // deriveSeed hashes the campaign seed and the run coordinates into a lab
-// seed. The derivation depends only on (seed, technique, scenario, trial),
-// never on plan position or scheduling, so a re-planned or resumed campaign
-// reproduces the same per-run results.
-func deriveSeed(seed int64, technique, scenario string, trial int) int64 {
+// seed. The derivation depends only on (seed, technique, scenario,
+// impairment, trial), never on plan position or scheduling, so a re-planned
+// or resumed campaign reproduces the same per-run results. The pristine
+// impairment contributes nothing to the hash, keeping unimpaired runs
+// seed-compatible with records from before the impairment axis existed.
+func deriveSeed(seed int64, technique, scenario, impairment string, trial int) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := 0; i < 8; i++ {
@@ -190,6 +214,10 @@ func deriveSeed(seed int64, technique, scenario string, trial int) int64 {
 	h.Write([]byte{0})
 	h.Write([]byte(scenario))
 	h.Write([]byte{0})
+	if impairment != "" && impairment != lab.ImpairmentNone {
+		h.Write([]byte(impairment))
+		h.Write([]byte{0})
+	}
 	for i := 0; i < 8; i++ {
 		buf[i] = byte(uint64(trial) >> (8 * i))
 	}

@@ -61,19 +61,26 @@ func TestNewPlanSelection(t *testing.T) {
 }
 
 func TestSeedDerivation(t *testing.T) {
-	a := deriveSeed(1, "spam", "dns-poison", 0)
-	if a != deriveSeed(1, "spam", "dns-poison", 0) {
+	a := deriveSeed(1, "spam", "dns-poison", "none", 0)
+	if a != deriveSeed(1, "spam", "dns-poison", "none", 0) {
 		t.Fatal("seed derivation not deterministic")
 	}
 	if a < 0 {
 		t.Fatalf("derived seed %d is negative", a)
 	}
+	// The pristine impairment is hashed as nothing at all, keeping seeds
+	// compatible with records planned before the impairment axis existed.
+	if a != deriveSeed(1, "spam", "dns-poison", "", 0) {
+		t.Fatal(`"none" and "" impairments must derive the same seed`)
+	}
 	distinct := map[int64]bool{a: true}
 	for _, other := range []int64{
-		deriveSeed(1, "spam", "dns-poison", 1),
-		deriveSeed(1, "spam", "open", 0),
-		deriveSeed(1, "overt-dns", "dns-poison", 0),
-		deriveSeed(2, "spam", "dns-poison", 0),
+		deriveSeed(1, "spam", "dns-poison", "none", 1),
+		deriveSeed(1, "spam", "open", "none", 0),
+		deriveSeed(1, "overt-dns", "dns-poison", "none", 0),
+		deriveSeed(2, "spam", "dns-poison", "none", 0),
+		deriveSeed(1, "spam", "dns-poison", "lossy20", 0),
+		deriveSeed(1, "spam", "dns-poison", "lossy5", 0),
 	} {
 		if distinct[other] {
 			t.Fatalf("seed collision across coordinates: %d", other)
@@ -100,6 +107,45 @@ func TestSeedDerivation(t *testing.T) {
 			t.Fatalf("%s/%s trial %d: seed %d in narrow plan vs %d in full plan",
 				s.Technique, s.Scenario, s.Trial, s.Seed, want)
 		}
+	}
+}
+
+func TestPlanImpairmentAxis(t *testing.T) {
+	base, err := NewPlan(PlanConfig{Scenarios: []string{"dns-poison"}, Trials: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range base.Specs {
+		if s.Impairment != "none" {
+			t.Fatalf("default plan carries impairment %q", s.Impairment)
+		}
+	}
+	swept, err := NewPlan(PlanConfig{
+		Scenarios: []string{"dns-poison"}, Impairments: []string{"all"}, Trials: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(base.Specs) * 6; len(swept.Specs) != want {
+		t.Fatalf("swept specs = %d, want %d (6 presets)", len(swept.Specs), want)
+	}
+	// Unimpaired specs keep the seeds of an impairment-unaware plan.
+	seeds := map[string]int64{}
+	for _, s := range base.Specs {
+		seeds[s.Technique] = s.Seed
+	}
+	for _, s := range swept.Specs {
+		if s.Impairment == "none" && seeds[s.Technique] != s.Seed {
+			t.Fatalf("%s: unimpaired seed changed from %d to %d",
+				s.Technique, seeds[s.Technique], s.Seed)
+		}
+		if s.Impairment != "none" && seeds[s.Technique] == s.Seed {
+			t.Fatalf("%s/%s: impaired seed equals the unimpaired one", s.Technique, s.Impairment)
+		}
+	}
+	if _, err := NewPlan(PlanConfig{Impairments: []string{"no-such"}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown impairment") {
+		t.Fatalf("unknown impairment err = %v", err)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"safemeasure/internal/core"
 	"safemeasure/internal/telemetry"
 )
 
@@ -20,15 +22,21 @@ type Options struct {
 	// Horizon is the population cover-traffic horizon per run; 0 means
 	// DefaultHorizon.
 	Horizon time.Duration
+	// Retry is the per-probe retry policy threaded into every run; the zero
+	// value means core.DefaultRetryPolicy(). core.SingleShot() reproduces
+	// the pre-resilience scoring.
+	Retry core.RetryPolicy
 	// OnRecord, when set, receives every record as its run completes —
 	// typically a JSONL sink's Write. It may be called from multiple
 	// workers at once; sinks in this package are safe for that.
 	OnRecord func(RunRecord)
 	// Metrics, when set, receives pool-level metrics (queue depth, run
-	// latency, per-family success counters) and is threaded into every run
-	// for hot-path instrumentation. All counters and the virtual-time
-	// histogram are deterministic for a given plan and seed regardless of
-	// Workers; only the wall-clock histogram varies.
+	// latency, per-family success counters) and the per-run hot-path
+	// counters. Each run stages its hot-path metrics in a private registry
+	// and merges them in atomically on completion, so an abandoned
+	// (timed-out) run never touches shared state; because every merge is an
+	// integer sum, final values are independent of Workers. Only the
+	// wall-clock histogram varies run to run.
 	Metrics *telemetry.Registry
 	// OnTrace, when set, enables per-run packet-path tracing and receives
 	// each run's event stream as it completes. Like OnRecord it may be
@@ -37,8 +45,12 @@ type Options struct {
 	// TraceCap bounds each run's trace ring; 0 means DefaultTraceCap.
 	TraceCap int
 	// execute overrides the per-spec executor (tests exercise the pool's
-	// recovery paths with it); nil means Execute.
-	execute func(RunSpec, time.Duration) RunRecord
+	// recovery paths with it); nil means the instrumented Execute. The
+	// claim callback reports whether the run still owns its slot: it
+	// returns true exactly once, and false forever after the pool has
+	// abandoned the run, in which case the executor must not publish any
+	// side effects (traces, shared metrics).
+	execute func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord
 }
 
 // familyOf groups techniques into the paper's families for the labeled
@@ -76,17 +88,30 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 	}
 	execute := opts.execute
 	if execute == nil {
-		execute = func(spec RunSpec, horizon time.Duration) RunRecord {
+		execute = func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord {
+			// Hot-path metrics stage in a registry private to this run and
+			// merge into the shared one only if the run still owns its slot:
+			// a goroutine the pool abandoned at the timeout must not keep
+			// bumping campaign-wide counters from the past.
+			var staged *telemetry.Registry
+			if opts.Metrics != nil {
+				staged = telemetry.NewRegistry()
+			}
 			rec, events := ExecuteInstrumented(spec, ExecConfig{
 				Horizon:  horizon,
-				Metrics:  opts.Metrics,
+				Metrics:  staged,
 				Trace:    opts.OnTrace != nil,
 				TraceCap: opts.TraceCap,
+				Retry:    opts.Retry,
 			})
+			if !claim() {
+				return rec // abandoned: the timeout record already went out
+			}
+			opts.Metrics.Merge(staged)
 			if opts.OnTrace != nil {
 				opts.OnTrace(RunTrace{
-					Scenario: spec.Scenario, Technique: spec.Technique,
-					Trial: spec.Trial, Events: events,
+					Scenario: spec.Scenario, Impairment: recordImpairment(spec.Impairment),
+					Technique: spec.Technique, Trial: spec.Trial, Events: events,
 				})
 			}
 			return rec
@@ -129,6 +154,9 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 						if rec.Correct {
 							m.Counter(telemetry.Labels("campaign_correct_total", "family", fam)).Inc()
 						}
+						if rec.Verdict == "inconclusive" {
+							m.Counter(telemetry.Labels("campaign_inconclusive_total", "family", fam)).Inc()
+						}
 					}
 				}
 				records[spec.Index] = rec
@@ -148,17 +176,26 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 
 // runGuarded executes one spec with panic recovery and a wall-clock
 // timeout. The run proceeds in a fresh goroutine so a wedged simulator
-// cannot occupy a worker forever; on timeout the goroutine is abandoned
-// (its lab is private, so nothing it later does can corrupt the campaign).
-func runGuarded(spec RunSpec, execute func(RunSpec, time.Duration) RunRecord, horizon, timeout time.Duration) RunRecord {
+// cannot occupy a worker forever; on timeout the goroutine is abandoned.
+// The claim token decides which side owns the outcome: exactly one of the
+// run (just before publishing its traces and staged metrics) and the
+// timeout path wins the CompareAndSwap, so an abandoned run can never leak
+// side effects into the campaign after its error record was emitted.
+func runGuarded(spec RunSpec, execute func(RunSpec, time.Duration, func() bool) RunRecord,
+	horizon, timeout time.Duration) RunRecord {
+	var claimed atomic.Bool
+	claim := func() bool { return claimed.CompareAndSwap(false, true) }
 	done := make(chan RunRecord, 1)
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
+				// The buffered send cannot block: a panic means the normal
+				// send never happened. If the timeout already claimed the
+				// run, nobody reads this record and it is simply dropped.
 				done <- errorRecord(spec, fmt.Errorf("panic: %v", p))
 			}
 		}()
-		done <- execute(spec, horizon)
+		done <- execute(spec, horizon, claim)
 	}()
 	if timeout < 0 {
 		return <-done
@@ -169,6 +206,11 @@ func runGuarded(spec RunSpec, execute func(RunSpec, time.Duration) RunRecord, ho
 	case rec := <-done:
 		return rec
 	case <-timer.C:
-		return errorRecord(spec, fmt.Errorf("run exceeded %v wall-clock timeout", timeout))
+		if claim() {
+			return errorRecord(spec, fmt.Errorf("run exceeded %v wall-clock timeout", timeout))
+		}
+		// The run claimed completion between the timer firing and our
+		// claim attempt; its side effects are published, take its record.
+		return <-done
 	}
 }

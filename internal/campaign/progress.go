@@ -5,15 +5,16 @@ import (
 	"sync"
 )
 
-// CellProgress is the live completion state of one (scenario, technique)
-// cell of the campaign matrix.
+// CellProgress is the live completion state of one (scenario, impairment,
+// technique) cell of the campaign matrix.
 type CellProgress struct {
-	Scenario  string `json:"scenario"`
-	Technique string `json:"technique"`
-	Planned   int    `json:"planned"`
-	Done      int    `json:"done"`
-	Correct   int    `json:"correct"`
-	Errors    int    `json:"errors"`
+	Scenario   string `json:"scenario"`
+	Impairment string `json:"impairment,omitempty"`
+	Technique  string `json:"technique"`
+	Planned    int    `json:"planned"`
+	Done       int    `json:"done"`
+	Correct    int    `json:"correct"`
+	Errors     int    `json:"errors"`
 }
 
 // ProgressSnapshot is a point-in-time view of campaign completion, the JSON
@@ -29,7 +30,7 @@ type ProgressSnapshot struct {
 // from multiple workers; wire it into Options.OnRecord alongside the sink.
 type Progress struct {
 	mu    sync.Mutex
-	cells map[[2]string]*CellProgress
+	cells map[[3]string]*CellProgress
 	total int
 	done  int
 	errs  int
@@ -38,16 +39,17 @@ type Progress struct {
 // NewProgress enumerates the plan's cells so the snapshot shows planned
 // totals from the start, not only cells that have completed runs.
 func NewProgress(plan *Plan) *Progress {
-	p := &Progress{cells: make(map[[2]string]*CellProgress)}
+	p := &Progress{cells: make(map[[3]string]*CellProgress)}
 	if plan == nil {
 		return p
 	}
 	for _, spec := range plan.Specs {
 		p.total++
-		k := [2]string{spec.Scenario, spec.Technique}
+		imp := recordImpairment(spec.Impairment)
+		k := [3]string{spec.Scenario, imp, spec.Technique}
 		c, ok := p.cells[k]
 		if !ok {
-			c = &CellProgress{Scenario: spec.Scenario, Technique: spec.Technique}
+			c = &CellProgress{Scenario: spec.Scenario, Impairment: imp, Technique: spec.Technique}
 			p.cells[k] = c
 		}
 		c.Planned++
@@ -60,10 +62,10 @@ func (p *Progress) Record(rec RunRecord) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
-	k := [2]string{rec.Scenario, rec.Technique}
+	k := [3]string{rec.Scenario, rec.Impairment, rec.Technique}
 	c, ok := p.cells[k]
 	if !ok {
-		c = &CellProgress{Scenario: rec.Scenario, Technique: rec.Technique}
+		c = &CellProgress{Scenario: rec.Scenario, Impairment: rec.Impairment, Technique: rec.Technique}
 		p.cells[k] = c
 	}
 	c.Done++
@@ -85,10 +87,14 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		s.Cells = append(s.Cells, *c)
 	}
 	sort.Slice(s.Cells, func(i, j int) bool {
-		if s.Cells[i].Scenario != s.Cells[j].Scenario {
-			return s.Cells[i].Scenario < s.Cells[j].Scenario
+		a, b := s.Cells[i], s.Cells[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
 		}
-		return s.Cells[i].Technique < s.Cells[j].Technique
+		if a.Impairment != b.Impairment {
+			return a.Impairment < b.Impairment
+		}
+		return a.Technique < b.Technique
 	})
 	return s
 }

@@ -14,27 +14,29 @@ import (
 // timestamps, so a run's trace depends only on its seed — never on worker
 // count or scheduling.
 type RunTrace struct {
-	Scenario  string
-	Technique string
-	Trial     int
-	Events    []telemetry.Event
+	Scenario   string
+	Impairment string // "" means the pristine link
+	Technique  string
+	Trial      int
+	Events     []telemetry.Event
 }
 
 // TraceLine is the JSONL shape of one trace event: the run coordinates, the
 // event's sequence number within the run, and the event itself. Because
-// (scenario, technique, trial, seq) uniquely orders every line and each
-// run's events are deterministic, sorting a trace file's lines yields a
-// byte-identical stream for any worker count.
+// (scenario, impairment, technique, trial, seq) uniquely orders every line
+// and each run's events are deterministic, sorting a trace file's lines
+// yields a byte-identical stream for any worker count.
 type TraceLine struct {
-	Scenario  string `json:"scenario"`
-	Technique string `json:"technique"`
-	Trial     int    `json:"trial"`
-	Seq       int    `json:"seq"`
-	T         int64  `json:"t"`
-	Kind      string `json:"kind"`
-	Src       string `json:"src,omitempty"`
-	Dst       string `json:"dst,omitempty"`
-	Detail    string `json:"detail,omitempty"`
+	Scenario   string `json:"scenario"`
+	Impairment string `json:"impairment,omitempty"`
+	Technique  string `json:"technique"`
+	Trial      int    `json:"trial"`
+	Seq        int    `json:"seq"`
+	T          int64  `json:"t"`
+	Kind       string `json:"kind"`
+	Src        string `json:"src,omitempty"`
+	Dst        string `json:"dst,omitempty"`
+	Detail     string `json:"detail,omitempty"`
 }
 
 // TraceSink streams run traces to a writer as JSONL, one line per event.
@@ -62,7 +64,8 @@ func (s *TraceSink) Write(rt RunTrace) {
 	}
 	for i, ev := range rt.Events {
 		line := TraceLine{
-			Scenario: rt.Scenario, Technique: rt.Technique, Trial: rt.Trial,
+			Scenario: rt.Scenario, Impairment: rt.Impairment,
+			Technique: rt.Technique, Trial: rt.Trial,
 			Seq: i, T: ev.T, Kind: ev.Kind, Src: ev.Src, Dst: ev.Dst, Detail: ev.Detail,
 		}
 		raw, err := json.Marshal(line)

@@ -107,6 +107,10 @@ type Result struct {
 	// CoverAddrs lists the spoofed cover addresses the technique planned to
 	// send from (empty for techniques that use no spoofed cover).
 	CoverAddrs []netip.Addr
+	// Attempts is how many times the technique ran before the verdict was
+	// final (see RunWithRetry); 0 means the technique ran outside a retry
+	// policy, which is equivalent to 1.
+	Attempts int
 }
 
 func (r *Result) addEvidence(format string, args ...any) {

@@ -22,6 +22,7 @@ type Record struct {
 	Mechanism      string   `json:"mechanism,omitempty"`
 	Probes         int      `json:"probes"`
 	Cover          int      `json:"cover"`
+	Attempts       int      `json:"attempts"`
 	CoverAddresses []string `json:"cover_addresses,omitempty"`
 	Evidence       []string `json:"evidence,omitempty"`
 	ElapsedMS      float64  `json:"elapsed_ms"`
@@ -44,6 +45,7 @@ func NewRecord(res *Result, risk RiskReport, seed int64, elapsed time.Duration) 
 		Mechanism:  res.Mechanism,
 		Probes:     res.ProbesSent,
 		Cover:      res.CoverSent,
+		Attempts:   max(res.Attempts, 1),
 		Evidence:   res.Evidence,
 		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
 		Retained:   risk.TrafficRetained,

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"safemeasure/internal/lab"
+	"safemeasure/internal/telemetry"
+)
+
+// RetryPolicy bounds how a measurement is retried before silence is scored.
+// All delays are virtual time and all jitter is drawn from the lab
+// simulator's seeded RNG, so retried runs remain byte-reproducible.
+//
+// The policy exists because a single probe cannot separate packet loss from
+// blocking: on an impaired link, "no answer" is the expected outcome of loss
+// about as often as of censorship (the confound OONI's websteps analysis
+// spends most of its effort untangling). Retrying with backoff turns one
+// ambiguous silence into a sequence of independent observations:
+//
+//   - any attempt that produces positive evidence (an injected RST, a
+//     poisoned answer, a block page, or a successful exchange) is final;
+//   - silence across every attempt is consistent blocking, and keeps the
+//     censored/timeout verdict;
+//   - mixed failure modes (some silence, some inconclusive) exhaust the
+//     budget without a signal and yield VerdictInconclusive — the tri-state
+//     outcome that keeps lossy-link noise out of censorship statistics.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts (first try included); 0 means
+	// DefaultMaxAttempts, 1 means single-shot (the legacy behaviour, which
+	// scores any silence as censorship).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; it doubles per attempt
+	// (exponential backoff). 0 means 200ms of virtual time.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means 1600ms.
+	MaxDelay time.Duration
+	// JitterFrac adds a uniform random extra in [0, delay*JitterFrac) to
+	// each backoff, decorrelating retries from periodic interference.
+	// 0 means 0.25; negative disables jitter.
+	JitterFrac float64
+}
+
+// Retry policy defaults.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 200 * time.Millisecond
+	DefaultMaxDelay    = 1600 * time.Millisecond
+	DefaultJitterFrac  = 0.25
+)
+
+// DefaultRetryPolicy is the bounded exponential backoff used by campaigns:
+// up to 4 attempts, 200ms base delay doubling to 1600ms, 25% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: DefaultMaxAttempts,
+		BaseDelay:   DefaultBaseDelay,
+		MaxDelay:    DefaultMaxDelay,
+		JitterFrac:  DefaultJitterFrac,
+	}
+}
+
+// SingleShot disables retries: one attempt, silence scored as censorship —
+// the pre-resilience behaviour, kept for ablations and comparisons.
+func SingleShot() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+// normalized fills zero fields with defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = DefaultJitterFrac
+	}
+	return p
+}
+
+// backoff returns the virtual-time wait before the retry following the
+// given attempt number (1-based): BaseDelay*2^(attempt-1), capped at
+// MaxDelay, plus jitter drawn from rng.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.JitterFrac > 0 {
+		if j := int64(float64(d) * p.JitterFrac); j > 0 {
+			d += time.Duration(rng.Int63n(j))
+		}
+	}
+	return d
+}
+
+// Retryable reports whether a result is worth retrying: outcomes that could
+// equally be produced by packet loss — silence (the timeout/blackhole
+// mechanism) and inconclusive evidence. Positive evidence of either
+// blocking (RST, poisoned answer, block page) or access is final.
+func Retryable(res *Result) bool {
+	if res == nil {
+		return false
+	}
+	return res.Verdict == VerdictInconclusive ||
+		(res.Verdict == VerdictCensored && res.Mechanism == MechTimeout)
+}
+
+// RunWithRetry runs a technique under a retry policy, in the lab's virtual
+// time: retryable outcomes re-run the technique after exponential backoff
+// with seeded jitter, until positive evidence arrives or the attempt budget
+// exhausts. done receives one merged Result whose Attempts, ProbesSent,
+// CoverSent, and Evidence cover every attempt.
+//
+// Exhaustion semantics implement the tri-state verdict: silence on every
+// attempt keeps the censored/timeout verdict (consistent blocking); mixed
+// retryable outcomes demote to VerdictInconclusive, so a probe that died to
+// loss is not scored as censorship. Callers drive l.Run() to completion as
+// with Technique.Run.
+func RunWithRetry(l *lab.Lab, t Technique, tgt Target, p RetryPolicy, done func(*Result)) {
+	p = p.normalized()
+	var retries *telemetry.Counter
+	var attemptsHist *telemetry.Histogram
+	if reg := l.Cfg.Telemetry; reg != nil {
+		retries = reg.Counter(telemetry.Labels("core_retries_total", "technique", t.Name()))
+		attemptsHist = reg.HistogramBuckets(
+			telemetry.Labels("core_attempts", "technique", t.Name()), 1, 2, 6)
+	}
+
+	var (
+		attempt         = 1
+		probes, cover   int
+		timeoutAttempts int
+		attemptLog      []string
+	)
+	var launch func()
+	finalize := func(res *Result) {
+		res.Attempts = attempt
+		res.ProbesSent = probes
+		res.CoverSent = cover
+		if len(attemptLog) > 0 {
+			res.Evidence = append(append([]string(nil), attemptLog...), res.Evidence...)
+		}
+		if Retryable(res) && p.MaxAttempts > 1 {
+			if timeoutAttempts == attempt {
+				// Every attempt died silent, through backoff windows spaced
+				// widely enough that independent loss is improbable.
+				res.Verdict = VerdictCensored
+				res.Mechanism = MechTimeout
+				res.addEvidence("silent on all %d attempts: consistent blocking, not loss", attempt)
+			} else {
+				res.Verdict = VerdictInconclusive
+				res.Mechanism = MechNone
+				res.addEvidence("no positive evidence after %d attempts: cannot separate loss from blocking", attempt)
+			}
+		}
+		attemptsHist.Observe(float64(attempt))
+		done(res)
+	}
+	launch = func() {
+		t.Run(l, tgt, func(res *Result) {
+			probes += res.ProbesSent
+			cover += res.CoverSent
+			if res.Verdict == VerdictCensored && res.Mechanism == MechTimeout {
+				timeoutAttempts++
+			}
+			if Retryable(res) && attempt < p.MaxAttempts {
+				delay := p.backoff(attempt, l.Sim.Rand())
+				attemptLog = append(attemptLog, fmt.Sprintf(
+					"attempt %d/%d inconclusive (%v%s); retrying after %v",
+					attempt, p.MaxAttempts, res.Verdict, mechSuffix(res.Mechanism), delay))
+				retries.Inc()
+				attempt++
+				l.Sim.Schedule(delay, launch)
+				return
+			}
+			finalize(res)
+		})
+	}
+	launch()
+}
+
+// mechSuffix renders ", mech" or nothing, for attempt-log lines.
+func mechSuffix(mech string) string {
+	if mech == "" {
+		return ""
+	}
+	return ", " + mech
+}

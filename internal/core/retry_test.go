@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/lab"
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/telemetry"
+)
+
+// lossyConfig returns a lab config carrying a named impairment preset.
+func lossyConfig(t *testing.T, preset string, seed int64) lab.Config {
+	t.Helper()
+	p, ok := lab.ImpairmentByName(preset)
+	if !ok {
+		t.Fatalf("unknown impairment preset %q", preset)
+	}
+	return lab.Config{Seed: seed, Impair: p.Impair}
+}
+
+// runRetry builds a fresh lab and drives one technique through RunWithRetry.
+func runRetry(t *testing.T, cfg lab.Config, tech Technique, tgt Target, p RetryPolicy) *Result {
+	t.Helper()
+	if cfg.PopulationSize == 0 {
+		cfg.PopulationSize = 8
+	}
+	l, err := lab.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	RunWithRetry(l, tech, tgt, p, func(r *Result) { res = r })
+	l.Run()
+	if res == nil {
+		t.Fatalf("%s never completed under retry", tech.Name())
+	}
+	return res
+}
+
+// TestLossy20SingleShotMisclassifiesButRetryRecovers is the acceptance test
+// for the resilience layer: on a 20%-loss uplink there is a seed where a
+// single-shot DNS probe of an uncensored domain dies to loss and is scored
+// as censorship, while the default retry policy — same seed, same lab —
+// refuses to call it blocked.
+func TestLossy20SingleShotMisclassifiesButRetryRecovers(t *testing.T) {
+	tgt := Target{Domain: "site02.test"} // the "open" scenario's domain
+	found := int64(-1)
+	for seed := int64(1); seed <= 400; seed++ {
+		res := runRetry(t, lossyConfig(t, "lossy20", seed), &OvertDNS{}, tgt, SingleShot())
+		if res.Verdict == VerdictCensored && res.Mechanism == MechTimeout {
+			found = seed
+			break
+		}
+	}
+	if found < 0 {
+		t.Fatal("no seed in [1,400] made single-shot DNS on lossy20 misclassify an open target")
+	}
+
+	res := runRetry(t, lossyConfig(t, "lossy20", found), &OvertDNS{}, tgt, DefaultRetryPolicy())
+	if res.Verdict == VerdictCensored {
+		t.Fatalf("retry policy still calls the open target censored (seed %d): %v", found, res.Evidence)
+	}
+	if res.Verdict != VerdictAccessible && res.Verdict != VerdictInconclusive {
+		t.Fatalf("unexpected verdict %v", res.Verdict)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (the first attempt timed out)", res.Attempts)
+	}
+}
+
+// TestRetryDeterministic: two labs with equal seeds produce byte-identical
+// retried results, including the attempt log.
+func TestRetryDeterministic(t *testing.T) {
+	tgt := Target{Domain: "site02.test"}
+	a := runRetry(t, lossyConfig(t, "lossy20", 7), &OvertDNS{}, tgt, DefaultRetryPolicy())
+	b := runRetry(t, lossyConfig(t, "lossy20", 7), &OvertDNS{}, tgt, DefaultRetryPolicy())
+	if a.Verdict != b.Verdict || a.Attempts != b.Attempts ||
+		a.ProbesSent != b.ProbesSent || a.CoverSent != b.CoverSent {
+		t.Fatalf("nondeterministic retry: %+v vs %+v", a, b)
+	}
+	if strings.Join(a.Evidence, "\n") != strings.Join(b.Evidence, "\n") {
+		t.Fatalf("evidence diverged:\n%v\n%v", a.Evidence, b.Evidence)
+	}
+}
+
+// TestRetryConsistentSilenceStaysCensored: a genuinely blackholed target is
+// silent on every attempt, and the retry layer keeps the censored/timeout
+// verdict rather than demoting real blocking to inconclusive.
+func TestRetryConsistentSilenceStaysCensored(t *testing.T) {
+	sc, ok := lab.ScenarioByName("blackhole")
+	if !ok {
+		t.Fatal("no blackhole scenario")
+	}
+	cfg := lab.Config{Censor: sc.NewCensor(), Seed: 9}
+	res := runRetry(t, cfg, &OvertTCP{}, Target{Addr: lab.SensitiveAddr, Port: 80}, DefaultRetryPolicy())
+	if res.Verdict != VerdictCensored || res.Mechanism != MechTimeout {
+		t.Fatalf("res = %v/%q %v", res.Verdict, res.Mechanism, res.Evidence)
+	}
+	if res.Attempts != DefaultMaxAttempts {
+		t.Fatalf("attempts = %d, want the full budget %d", res.Attempts, DefaultMaxAttempts)
+	}
+	if !strings.Contains(strings.Join(res.Evidence, " "), "consistent blocking") {
+		t.Fatalf("missing consistent-blocking evidence: %v", res.Evidence)
+	}
+}
+
+// TestRetryPositiveEvidenceIsFinal: injected evidence (DNS poison) ends the
+// run on the attempt that observes it — no retries burned on a clear signal.
+func TestRetryPositiveEvidenceIsFinal(t *testing.T) {
+	res := runRetry(t, lab.Config{Seed: 3}, &OvertDNS{}, Target{Domain: "twitter.com"}, DefaultRetryPolicy())
+	if res.Verdict != VerdictCensored || res.Mechanism != MechPoison {
+		t.Fatalf("res = %v/%q", res.Verdict, res.Mechanism)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (poison is final)", res.Attempts)
+	}
+}
+
+// TestRetrySingleShotKeepsLegacyVerdict: MaxAttempts=1 must not rewrite the
+// timeout verdict, so ablation campaigns can still reproduce the old scoring.
+func TestRetrySingleShotKeepsLegacyVerdict(t *testing.T) {
+	sc, _ := lab.ScenarioByName("blackhole")
+	cfg := lab.Config{Censor: sc.NewCensor(), Seed: 5}
+	res := runRetry(t, cfg, &OvertTCP{}, Target{Addr: lab.SensitiveAddr, Port: 80}, SingleShot())
+	if res.Verdict != VerdictCensored || res.Mechanism != MechTimeout || res.Attempts != 1 {
+		t.Fatalf("res = %v/%q attempts=%d", res.Verdict, res.Mechanism, res.Attempts)
+	}
+}
+
+// TestRetryTelemetry: the retry counter and attempts histogram register the
+// per-attempt accounting.
+func TestRetryTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc, _ := lab.ScenarioByName("blackhole")
+	cfg := lab.Config{Censor: sc.NewCensor(), Seed: 5, PopulationSize: 8, Telemetry: reg}
+	l, err := lab.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	RunWithRetry(l, &OvertTCP{}, Target{Addr: lab.SensitiveAddr, Port: 80}, DefaultRetryPolicy(),
+		func(r *Result) { res = r })
+	l.Run()
+	if res == nil {
+		t.Fatal("never completed")
+	}
+	retries := reg.Counter(telemetry.Labels("core_retries_total", "technique", "overt-tcp"))
+	if got := retries.Value(); got != int64(DefaultMaxAttempts-1) {
+		t.Fatalf("core_retries_total = %d, want %d", got, DefaultMaxAttempts-1)
+	}
+	hist := reg.HistogramBuckets(telemetry.Labels("core_attempts", "technique", "overt-tcp"), 1, 2, 6)
+	if hist.Count() != 1 || hist.Sum() != float64(DefaultMaxAttempts) {
+		t.Fatalf("core_attempts count=%d sum=%v", hist.Count(), hist.Sum())
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		res  *Result
+		want bool
+	}{
+		{nil, false},
+		{&Result{Verdict: VerdictInconclusive}, true},
+		{&Result{Verdict: VerdictCensored, Mechanism: MechTimeout}, true},
+		{&Result{Verdict: VerdictCensored, Mechanism: MechRST}, false},
+		{&Result{Verdict: VerdictCensored, Mechanism: MechPoison}, false},
+		{&Result{Verdict: VerdictAccessible}, false},
+	}
+	for i, tc := range cases {
+		if got := Retryable(tc.res); got != tc.want {
+			t.Errorf("case %d: Retryable = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond,
+		MaxDelay: 400 * time.Millisecond, JitterFrac: -1}.normalized()
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i, w := range want {
+		if got := p.backoff(i+1, rng); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Jitter stays inside [0, delay*frac).
+	pj := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+		JitterFrac: 0.5, MaxAttempts: 4}
+	for i := 0; i < 50; i++ {
+		d := pj.backoff(1, rng)
+		if d < 100*time.Millisecond || d >= 150*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [100ms,150ms)", d)
+		}
+	}
+}
+
+// TestImpairmentPresetsComplete pins the sweep axis the campaign planner
+// exposes; a renamed preset would silently invalidate stored records.
+func TestImpairmentPresetsComplete(t *testing.T) {
+	want := []string{"none", "lossy5", "lossy20", "reorder", "dup", "corrupt"}
+	got := lab.ImpairmentNames()
+	if len(got) != len(want) {
+		t.Fatalf("presets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("presets = %v, want %v", got, want)
+		}
+	}
+	if p, ok := lab.ImpairmentByName(""); !ok || p.Name != lab.ImpairmentNone ||
+		p.Impair != (netsim.Impairment{}) {
+		t.Fatalf("empty name must resolve to the pristine preset, got %+v ok=%v", p, ok)
+	}
+	if _, ok := lab.ImpairmentByName("bogus"); ok {
+		t.Fatal("bogus preset resolved")
+	}
+}

@@ -1,0 +1,83 @@
+package lab
+
+import (
+	"time"
+
+	"safemeasure/internal/netsim"
+)
+
+// ImpairmentPreset is a named link-degradation profile applied to the lab's
+// WAN uplink (the edge↔border link every probe and every reply crosses).
+// Presets are the campaign planner's impairment sweep axis: the same
+// technique × scenario cell is re-run under each profile, which is how the
+// E11 matrix grows its impairment dimension. All impairment randomness is
+// drawn from the lab's seeded simulator RNG, so impaired runs stay
+// byte-reproducible for a fixed seed.
+type ImpairmentPreset struct {
+	Name    string
+	Summary string
+	Impair  netsim.Impairment
+}
+
+// ImpairmentNone is the name of the unimpaired preset.
+const ImpairmentNone = "none"
+
+// Impairments returns every preset, in stable order. "none" is first, so
+// default campaigns stay identical to an impairment-unaware sweep.
+func Impairments() []ImpairmentPreset {
+	return []ImpairmentPreset{
+		{
+			Name:    ImpairmentNone,
+			Summary: "pristine WAN link (control)",
+		},
+		{
+			Name:    "lossy5",
+			Summary: "5% uplink packet loss — a mediocre residential path",
+			Impair:  netsim.Impairment{Loss: 0.05},
+		},
+		{
+			Name:    "lossy20",
+			Summary: "20% uplink packet loss — a badly congested or throttled path",
+			Impair:  netsim.Impairment{Loss: 0.20},
+		},
+		{
+			Name:    "reorder",
+			Summary: "25% reordering with 4ms displacement plus 1ms jitter",
+			Impair: netsim.Impairment{Reorder: 0.25, ReorderDelay: 4 * time.Millisecond,
+				Jitter: time.Millisecond},
+		},
+		{
+			Name:    "dup",
+			Summary: "15% packet duplication — aggressive link-layer retransmit",
+			Impair:  netsim.Impairment{Duplicate: 0.15},
+		},
+		{
+			Name:    "corrupt",
+			Summary: "10% single-byte corruption — failing hardware or hostile noise",
+			Impair:  netsim.Impairment{Corrupt: 0.10},
+		},
+	}
+}
+
+// ImpairmentByName looks a preset up by name.
+func ImpairmentByName(name string) (ImpairmentPreset, bool) {
+	if name == "" {
+		name = ImpairmentNone
+	}
+	for _, p := range Impairments() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ImpairmentPreset{}, false
+}
+
+// ImpairmentNames lists every preset name in Impairments() order.
+func ImpairmentNames() []string {
+	all := Impairments()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -66,6 +66,11 @@ type Config struct {
 	// [0, LinkJitter) to every link — deterministic timing noise that
 	// exercises retransmission and reordering paths.
 	LinkJitter time.Duration
+	// Impair degrades the WAN uplink (the edge↔border link every probe
+	// crosses) with the given loss/reorder/duplicate/corrupt profile. All
+	// impairment randomness comes from the lab's seeded RNG. See
+	// Impairments() for the named presets campaigns sweep.
+	Impair netsim.Impairment
 	// Censor configures the censorship middlebox. Zero value gives the
 	// default GFC-style setup (keywords + poisoned domains).
 	Censor censor.Config
@@ -220,8 +225,13 @@ func New(cfg Config) (*Lab, error) {
 	// Edge uplink to border. Client-AS destinations without a host route
 	// are null-routed at the edge (port -1) so replies to spoofed,
 	// unassigned cover addresses die there instead of looping.
+	// The uplink carries every probe and reply, so it is where the WAN
+	// impairment profile lives; per-link jitter still applies when larger.
 	uplink := netsim.ConnectRouters(l.Sim, l.Edge, nHosts, l.Border, 0, lat)
-	uplink.Jitter = cfg.LinkJitter
+	uplink.ApplyImpairment(cfg.Impair)
+	if cfg.LinkJitter > uplink.Jitter {
+		uplink.Jitter = cfg.LinkJitter
+	}
 	l.Edge.AddRoute(ClientASPrefix, -1)
 	l.Edge.SetDefaultRoute(nHosts)
 	l.Border.AddRoute(ClientASPrefix, 0)

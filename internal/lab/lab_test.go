@@ -242,13 +242,21 @@ func TestBackgroundScannerNoise(t *testing.T) {
 		t.Fatal("background scanner idle")
 	}
 	// The scanner is outside the home network: it gets no dossier, and its
-	// probes must not flag anyone.
+	// probes must not produce alerts against anyone else. Population members
+	// may still be flagged for their own censored-domain visits (the
+	// Syrian-log effect), so assert attribution, not absence of flags.
 	if l.Surveil.Analyst().IsFlagged(ScannerAddr) {
 		t.Fatal("external scanner got a dossier flag")
 	}
 	for _, u := range l.Population {
-		if l.Surveil.Analyst().IsFlagged(u.Host.Addr) {
-			t.Fatalf("population member %v flagged by scan noise", u.Host.Addr)
+		d := l.Surveil.Analyst().Dossier(u.Host.Addr)
+		if d == nil {
+			continue
+		}
+		for _, alert := range d.Alerts {
+			if alert.Flow.Src == ScannerAddr || alert.Flow.Dst == ScannerAddr {
+				t.Fatalf("population member %v alerted on scan noise: %s", u.Host.Addr, alert)
+			}
 		}
 	}
 }

@@ -477,3 +477,157 @@ func TestRouterParseFailedCounts(t *testing.T) {
 		t.Fatalf("ParseFailed = %d", tp.r1.ParseFailed)
 	}
 }
+
+func TestEchoRequestTTLExpiryElicitsTimeExceeded(t *testing.T) {
+	// RFC 1122 §3.2.2: only ICMP *errors* suppress further ICMP errors. An
+	// echo request whose TTL expires must still elicit Time Exceeded — the
+	// primitive ICMP traceroute depends on.
+	tp := newTopo(t, 0)
+	var gotType uint8
+	var gotFrom netip.Addr
+	tp.client.HandleICMP(func(h *Host, src netip.Addr, msg *packet.ICMP) {
+		if msg.Type == packet.ICMPTimeExceeded {
+			gotType = msg.Type
+			gotFrom = src
+		}
+	})
+	msg := &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 9, Seq: 1}
+	raw, _ := packet.BuildICMP(clientAddr, serverAddr, 2, msg) // dies at r2
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if gotType != packet.ICMPTimeExceeded {
+		t.Fatal("echo request TTL expiry elicited no Time Exceeded")
+	}
+	if gotFrom != r2Addr {
+		t.Fatalf("Time Exceeded from %v, want %v", gotFrom, r2Addr)
+	}
+}
+
+func TestICMPErrorTTLExpiryStaysSilent(t *testing.T) {
+	// An ICMP error (Time Exceeded) whose own TTL expires must NOT trigger
+	// another ICMP error — no error-about-error storms.
+	tp := newTopo(t, 0)
+	var errors int
+	tp.client.HandleICMP(func(h *Host, src netip.Addr, msg *packet.ICMP) {
+		if msg.Type == packet.ICMPTimeExceeded || msg.Type == packet.ICMPDestUnreach {
+			errors++
+		}
+	})
+	msg := &packet.ICMP{Type: packet.ICMPTimeExceeded, Code: packet.ICMPCodeTTLExpired,
+		Payload: []byte("quoted-header")}
+	raw, _ := packet.BuildICMP(clientAddr, serverAddr, 2, msg) // dies at r2
+	tp.client.SendIP(raw)
+	tp.sim.Run()
+	if errors != 0 {
+		t.Fatalf("ICMP error about an ICMP error (%d received)", errors)
+	}
+	if tp.r2.TTLExpired != 1 {
+		t.Fatalf("r2.TTLExpired = %d, want 1", tp.r2.TTLExpired)
+	}
+}
+
+// impairedPair builds two hosts joined by one link carrying the impairment.
+func impairedPair(seed int64, lat time.Duration, im Impairment) (*Sim, *Host, *Host, *Link) {
+	sim := NewSim(seed)
+	a := NewHost(sim, "a", clientAddr)
+	b := NewHost(sim, "b", serverAddr)
+	l := Connect(sim, a, 0, b, 0, lat)
+	l.ApplyImpairment(im)
+	a.AttachPort(l.PortA())
+	b.AttachPort(l.PortB())
+	return sim, a, b, l
+}
+
+func TestLinkDuplicate(t *testing.T) {
+	sim, a, b, l := impairedPair(7, time.Millisecond, Impairment{Duplicate: 0.5})
+	got := 0
+	b.BindUDP(7, func(*Host, netip.Addr, uint16, []byte) { got++ })
+	const n = 500
+	for i := 0; i < n; i++ {
+		a.SendUDP(1, serverAddr, 7, []byte("x"))
+	}
+	sim.Run()
+	if l.Duplicated == 0 {
+		t.Fatal("no duplications at 50% probability")
+	}
+	if got != n+l.Duplicated {
+		t.Fatalf("delivered %d, want %d originals + %d dups", got, n, l.Duplicated)
+	}
+}
+
+func TestLinkReorder(t *testing.T) {
+	sim, a, b, l := impairedPair(11, time.Millisecond, Impairment{Reorder: 0.3})
+	var order []byte
+	b.BindUDP(7, func(_ *Host, _ netip.Addr, _ uint16, payload []byte) {
+		order = append(order, payload[0])
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		a.SendUDP(1, serverAddr, 7, []byte{byte(i)})
+	}
+	sim.Run()
+	if l.Reordered == 0 {
+		t.Fatal("no reordering at 30% probability")
+	}
+	if len(order) != n {
+		t.Fatalf("delivered %d/%d", len(order), n)
+	}
+	inverted := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("reordered packets still arrived in send order")
+	}
+}
+
+func TestLinkCorrupt(t *testing.T) {
+	// Corrupted datagrams must not be delivered intact: either the IP layer
+	// rejects them (host Received stays flat) or the payload differs.
+	sim, a, b, l := impairedPair(13, time.Millisecond, Impairment{Corrupt: 1.0})
+	intact := 0
+	b.BindUDP(7, func(_ *Host, _ netip.Addr, _ uint16, payload []byte) {
+		if string(payload) == "precious-payload" {
+			intact++
+		}
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		a.SendUDP(1, serverAddr, 7, []byte("precious-payload"))
+	}
+	sim.Run()
+	if l.Corrupted != n {
+		t.Fatalf("Corrupted = %d, want %d", l.Corrupted, n)
+	}
+	if intact == n {
+		t.Fatal("every corrupted datagram arrived intact")
+	}
+}
+
+func TestImpairmentDeterminism(t *testing.T) {
+	im := Impairment{Loss: 0.2, Reorder: 0.2, Duplicate: 0.2, Corrupt: 0.1,
+		Jitter: 2 * time.Millisecond}
+	run := func() []int64 {
+		sim, a, b, _ := impairedPair(1234, time.Millisecond, im)
+		var times []int64
+		b.BindUDP(7, func(*Host, netip.Addr, uint16, []byte) {
+			times = append(times, int64(sim.Now()))
+		})
+		for i := 0; i < 200; i++ {
+			a.SendUDP(1, serverAddr, 7, []byte{byte(i)})
+		}
+		sim.Run()
+		return times
+	}
+	x, y := run(), run()
+	if len(x) == 0 || len(x) != len(y) {
+		t.Fatalf("deliveries: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("impaired run diverged at delivery %d", i)
+		}
+	}
+}

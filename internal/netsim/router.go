@@ -194,8 +194,8 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 // sendTimeExceeded emits ICMP Time Exceeded to the datagram's source,
 // embedding the IP header + 8 payload bytes per RFC 792.
 func (r *Router) sendTimeExceeded(ip *packet.IPv4, raw []byte) {
-	if !r.Addr.IsValid() || ip.Protocol == packet.ProtoICMP {
-		return // avoid ICMP-about-ICMP storms
+	if !r.Addr.IsValid() || isICMPError(ip, raw) {
+		return // never ICMP-error about an ICMP error (RFC 1122 §3.2.2)
 	}
 	quote := raw
 	maxQuote := ip.HeaderLen() + 8
@@ -209,4 +209,26 @@ func (r *Router) sendTimeExceeded(ip *packet.IPv4, raw []byte) {
 		return
 	}
 	r.Inject(out)
+}
+
+// isICMPError reports whether the datagram carries an ICMP *error* message
+// (Destination Unreachable, Source Quench, Redirect, Time Exceeded,
+// Parameter Problem). Per RFC 1122 §3.2.2 only those suppress further ICMP
+// errors; informational messages like echo request/reply still elicit Time
+// Exceeded, which is what lets traceroute run over ICMP. An unparsable ICMP
+// datagram is treated as an error, erring on the side of suppression.
+func isICMPError(ip *packet.IPv4, raw []byte) bool {
+	if ip.Protocol != packet.ProtoICMP {
+		return false
+	}
+	hdr := ip.HeaderLen()
+	if len(raw) <= hdr {
+		return true
+	}
+	switch raw[hdr] { // ICMP type is the first byte of the ICMP header
+	case packet.ICMPDestUnreach, 4 /* source quench */, 5, /* redirect */
+		packet.ICMPTimeExceeded, 12 /* parameter problem */ :
+		return true
+	}
+	return false
 }

@@ -62,12 +62,23 @@ type User struct {
 	DNS   *dnssim.Client
 }
 
+// Site popularity follows a Zipf-Mandelbrot law: rank r is visited with
+// probability proportional to 1/(zipfV+r)^zipfS. Web request popularity is
+// famously Zipf-like (Breslau et al., INFOCOM '99, measured exponents of
+// 0.64–0.83); Go's rand.Zipf requires s > 1, so the catalog uses the
+// smallest head-heavy exponent above that bound rather than an ad-hoc skew.
+const (
+	zipfS = 1.2
+	zipfV = 1.0
+)
+
 // Generator schedules population activity.
 type Generator struct {
-	sim   *netsim.Sim
-	cfg   Config
-	rng   *rand.Rand
-	users []User
+	sim      *netsim.Sim
+	cfg      Config
+	rng      *rand.Rand
+	siteZipf *rand.Zipf
+	users    []User
 
 	// Stats.
 	WebVisits      int
@@ -80,7 +91,11 @@ type Generator struct {
 
 // New creates a generator.
 func New(sim *netsim.Sim, cfg Config) *Generator {
-	return &Generator{sim: sim, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g := &Generator{sim: sim, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if len(cfg.Sites) > 0 {
+		g.siteZipf = rand.NewZipf(g.rng, zipfS, zipfV, uint64(len(cfg.Sites)-1))
+	}
+	return g
 }
 
 // AddUser registers a population member.
@@ -122,15 +137,11 @@ func (g *Generator) pickSite() (string, bool) {
 	if len(g.cfg.CensoredSites) > 0 && g.rng.Float64() < g.cfg.CensoredVisitProb {
 		return g.cfg.CensoredSites[g.rng.Intn(len(g.cfg.CensoredSites))], true
 	}
-	if len(g.cfg.Sites) == 0 {
+	if g.siteZipf == nil {
 		return "default.test", false
 	}
-	// Zipf-ish: favor the head of the catalog.
-	idx := int(float64(len(g.cfg.Sites)) * g.rng.Float64() * g.rng.Float64())
-	if idx >= len(g.cfg.Sites) {
-		idx = len(g.cfg.Sites) - 1
-	}
-	return g.cfg.Sites[idx], false
+	// Catalog order is popularity rank: rank 0 is the most-visited site.
+	return g.cfg.Sites[g.siteZipf.Uint64()], false
 }
 
 func (g *Generator) browse(u User) {

@@ -180,6 +180,71 @@ func TestP2PPacketsLookLikeP2P(t *testing.T) {
 	_ = packet.ProtoUDP
 }
 
+// TestSiteSamplingZipfShape pins the catalog sampler to its documented
+// Zipf-Mandelbrot law: p(rank k) ∝ 1/(zipfV+k)^zipfS. The old ad-hoc
+// float64·float64 skew both overweighted the head and could never select
+// the last catalog entry with its nominal probability; these assertions
+// hold for the declared distribution and fail for that hack.
+func TestSiteSamplingZipfShape(t *testing.T) {
+	var sites []string
+	for i := 0; i < 20; i++ {
+		sites = append(sites, fmt.Sprintf("site%d.test", i))
+	}
+	g := New(netsim.NewSim(1), Config{Sites: sites, Seed: 42})
+	const n = 20000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		site, censored := g.pickSite()
+		if censored {
+			t.Fatal("censored pick without censored catalog")
+		}
+		counts[site]++
+	}
+	frac := func(rank int) float64 {
+		return float64(counts[fmt.Sprintf("site%d.test", rank)]) / n
+	}
+	// With s=1.2, v=1, 20 sites: p(0)≈0.35, top-4≈0.66, ranks 10–19≈0.14.
+	if frac(0) < 0.25 {
+		t.Fatalf("head rank frequency %.3f, want > 0.25", frac(0))
+	}
+	if frac(0) < 3*frac(4) {
+		t.Fatalf("head not dominant: rank0 %.3f vs rank4 %.3f", frac(0), frac(4))
+	}
+	if top4 := frac(0) + frac(1) + frac(2) + frac(3); top4 < 0.55 {
+		t.Fatalf("top-4 mass %.3f, want > 0.55", top4)
+	}
+	var tail float64
+	for r := 10; r < 20; r++ {
+		tail += frac(r)
+	}
+	if tail > 0.25 {
+		t.Fatalf("tail mass %.3f, want < 0.25", tail)
+	}
+	// Every rank — including the last — is reachable with its nominal
+	// probability (~1%% of 20000 draws for rank 19).
+	for r := 0; r < 20; r++ {
+		if counts[fmt.Sprintf("site%d.test", r)] == 0 {
+			t.Fatalf("rank %d never sampled in %d draws", r, n)
+		}
+	}
+	// Same seed, same sequence.
+	seq := func() []string {
+		g := New(netsim.NewSim(1), Config{Sites: sites, Seed: 7})
+		var out []string
+		for i := 0; i < 100; i++ {
+			s, _ := g.pickSite()
+			out = append(out, s)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
 func TestBackgroundScannerEmitsSYNs(t *testing.T) {
 	e := newEnv(t, 2, Rates{})
 	scanner := netsim.NewHost(e.sim, "scanner", netip.MustParseAddr("198.51.100.66"))

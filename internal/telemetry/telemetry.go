@@ -287,6 +287,82 @@ func (r *Registry) HistogramBuckets(name string, lo, factor float64, n int) *His
 	return h
 }
 
+// Merge folds every metric of src into r by addition: counter values add,
+// gauge values add as deltas, histograms add per-bucket counts and their
+// integer micro-unit sums. Because every combination is integer addition,
+// merging per-run staging registries into a shared one yields the same
+// totals as writing to the shared registry directly, in any order — which
+// is what lets the campaign pool stage an isolated run's metrics and commit
+// them only if the run was not abandoned at its wall-clock timeout.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]*Counter, len(src.counters))
+	for k, v := range src.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(src.gauges))
+	for k, v := range src.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for k, v := range src.hists {
+		hists[k] = v
+	}
+	src.mu.Unlock()
+
+	for name, c := range counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range gauges {
+		r.Gauge(name).Add(g.Value())
+	}
+	for name, h := range hists {
+		r.histogramWithBounds(name, h.bounds).merge(h)
+	}
+}
+
+// histogramWithBounds returns the named histogram, creating it with the
+// given bucket bounds when absent (the shape of an existing histogram is
+// never changed).
+func (r *Registry) histogramWithBounds(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name, bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// merge adds src's buckets, count, and raw integer sum into h. Buckets are
+// matched by index; a shape mismatch (possible only if two callers created
+// the same name with different bounds) folds the excess into overflow.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	last := len(h.counts) - 1
+	for i := range src.counts {
+		j := i
+		if j > last {
+			j = last
+		}
+		if n := src.counts[i].Load(); n != 0 {
+			h.counts[j].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+}
+
 // Labels renders a metric name with labels in canonical (key-sorted) form:
 // Labels("x_total", "family", "overt") == `x_total{family="overt"}`.
 // The registry treats the full string as the metric identity, so equal

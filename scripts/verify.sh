@@ -1,12 +1,17 @@
 #!/bin/sh
 # Repo verification: tier-1 (build + tests) plus vet and a race pass over
-# the concurrency-heavy packages (campaign pool, telemetry registry/tracer,
-# and the simulator whose counters every worker's lab increments).
+# the concurrency-heavy packages (campaign pool with its abandoned-run claim
+# gate, telemetry registry/tracer, the simulator whose counters every
+# worker's lab increments, the retry layer, and the population generator).
+# The examples are built and vetted explicitly: they have no tests, so only
+# an explicit pass catches bit-rot there.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go build ./examples/...
+go vet ./examples/...
 go test ./...
-go test -race ./internal/campaign ./internal/telemetry ./internal/netsim
+go test -race ./internal/campaign ./internal/telemetry ./internal/netsim ./internal/core ./internal/population
