@@ -24,16 +24,25 @@
 // Every run seed derives from -seed and the run's coordinates, so repeating
 // a campaign with a different -workers value yields identical records (the
 // JSONL line order is completion order; sort to compare).
+//
+// Interruption is a first-class outcome, not a crash: the first SIGINT or
+// SIGTERM stops dispatching, drains in-flight runs within -grace, flushes
+// both sinks, prints the partial summary, and exits 130 with a -resume
+// hint; a second signal flushes best-effort and exits immediately.
+// -sync-every N bounds what a hard kill can lose to N records per sink.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"safemeasure/internal/campaign"
@@ -41,6 +50,11 @@ import (
 	"safemeasure/internal/lab"
 	"safemeasure/internal/telemetry"
 )
+
+// exitInterrupted is the exit code of a drained, resumable interrupt — the
+// conventional 128+SIGINT, kept fixed for both signals so scripts can test
+// for "partial but valid output" with one code.
+const exitInterrupted = 130
 
 func main() {
 	techniques := flag.String("techniques", "all", "comma-separated technique names, or all")
@@ -52,6 +66,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign master seed")
 	out := flag.String("out", "", "JSONL output path (- for stdout; empty writes no file)")
 	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock budget per run")
+	grace := flag.Duration("grace", 10*time.Second, "drain budget for in-flight runs after an interrupt (negative waits forever)")
+	syncEvery := flag.Int("sync-every", 64, "flush+fsync sinks every N lines so a hard crash loses at most N (0 buffers until exit)")
 	resume := flag.Bool("resume", false, "skip runs already recorded in -out and append")
 	list := flag.Bool("list", false, "list scenarios and techniques, then exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /progress on this address (e.g. :9090)")
@@ -108,7 +124,7 @@ func main() {
 
 	retry := core.DefaultRetryPolicy()
 	retry.MaxAttempts = *retries
-	opts := campaign.Options{Workers: *workers, Timeout: *timeout, Retry: retry}
+	opts := campaign.Options{Workers: *workers, Timeout: *timeout, Grace: *grace, Retry: retry}
 	var sink *campaign.JSONLSink
 	switch {
 	case *out == "-":
@@ -127,9 +143,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		plan = plan.Filter(func(s campaign.RunSpec) bool {
-			return !done[[4]any{s.Technique, s.Scenario, canonImpairment(s.Impairment), s.Trial}]
-		})
+		plan = plan.Remaining(done)
 		if len(plan.Specs) == 0 {
 			fmt.Fprintf(os.Stderr, "campaign: all %d planned runs already in %s\n", planned, *out)
 			return
@@ -156,27 +170,47 @@ func main() {
 	// totals reflect what this invocation will actually run.
 	var reg *telemetry.Registry
 	var prog *campaign.Progress
+	shutdownMetrics := func() {}
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		prog = campaign.NewProgress(plan)
-		srv := &http.Server{
-			Addr:    *metricsAddr,
-			Handler: telemetry.Handler(reg, func() any { return prog.Snapshot() }),
+		srv, addr, err := telemetry.Serve(*metricsAddr, reg, func() any { return prog.Snapshot() },
+			func(err error) { fmt.Fprintln(os.Stderr, "campaign: metrics server:", err) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: metrics server:", err)
+			os.Exit(1)
 		}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "campaign: metrics server:", err)
+		fmt.Fprintf(os.Stderr, "campaign: serving /metrics and /progress on %s\n", addr)
+		// Shut the server down when the campaign ends (or is interrupted):
+		// the port releases deterministically and in-flight scrapes finish
+		// instead of dying mid-body with the process.
+		shutdownMetrics = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: metrics server shutdown:", err)
 			}
-		}()
-		fmt.Fprintf(os.Stderr, "campaign: serving /metrics and /progress on %s\n", *metricsAddr)
+		}
 	}
 	opts.Metrics = reg
+	if sink != nil {
+		sink.SyncEvery(*syncEvery)
+		sink.Instrument(reg, "records")
+	}
 
 	var traceSink *campaign.TraceSink
 	if *tracePath != "" {
 		var tw io.Writer = os.Stdout
 		if *tracePath != "-" {
-			f, err := os.Create(*tracePath)
+			// Under -resume the trace file is appended like the records
+			// file; truncating it would throw away the interrupted run's
+			// events, which are still valid (the resumed runs were never
+			// traced — their coordinates are absent, not duplicated).
+			mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+			if *resume {
+				mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+			}
+			f, err := os.OpenFile(*tracePath, mode, 0o644)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -185,6 +219,8 @@ func main() {
 			tw = f
 		}
 		traceSink = campaign.NewTraceSink(tw)
+		traceSink.SyncEvery(*syncEvery)
+		traceSink.Instrument(reg, "traces")
 		opts.OnTrace = traceSink.Write
 	}
 
@@ -203,9 +239,56 @@ func main() {
 		}
 	}
 
+	// Signal lifecycle: the first SIGINT/SIGTERM cancels the campaign
+	// context — dispatch stops, in-flight runs drain within -grace, sinks
+	// flush, and main prints the partial summary with a -resume hint. A
+	// second signal flushes best-effort and exits immediately; the JSONL
+	// file then relies on whole-line writes (plus -sync-every durability)
+	// and the tolerant trailing-line repair on resume.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr,
+			"\ncampaign: %v: draining in-flight runs (up to %v); signal again to exit immediately\n",
+			sig, *grace)
+		if *out != "" && *out != "-" {
+			fmt.Fprintf(os.Stderr, "campaign: finish later with: campaign -resume -out %s [same matrix flags]\n", *out)
+		}
+		cancel()
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "campaign: second signal: flushing and exiting now")
+		if sink != nil {
+			_ = sink.Flush()
+		}
+		if traceSink != nil {
+			_ = traceSink.Flush()
+		}
+		os.Exit(exitInterrupted)
+	}()
+
 	start := time.Now()
-	recs, err := campaign.Run(plan, opts)
-	if err != nil {
+	recs, err := campaign.RunContext(ctx, plan, opts)
+	signal.Stop(sigc)
+	close(sigc)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		// A callback panic (sink bug) or an empty plan: the campaign state
+		// is suspect, but flush whatever the sinks still hold first.
+		if sink != nil {
+			_ = sink.Flush()
+		}
+		if traceSink != nil {
+			_ = traceSink.Flush()
+		}
+		shutdownMetrics()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -225,6 +308,7 @@ func main() {
 			fmt.Printf("%d trace events written to %s\n", traceSink.Count(), *tracePath)
 		}
 	}
+	shutdownMetrics()
 
 	sum := campaign.Aggregate(recs)
 	fmt.Println(sum.Render())
@@ -233,6 +317,14 @@ func main() {
 		float64(len(recs))/elapsed.Seconds())
 	if *out != "" && *out != "-" {
 		fmt.Printf("records appended to %s\n", *out)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "campaign: interrupted after %d/%d runs; sinks flushed", len(recs), len(plan.Specs))
+		if *out != "" && *out != "-" {
+			fmt.Fprintf(os.Stderr, "; resume with: campaign -resume -out %s [same matrix flags]", *out)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(exitInterrupted)
 	}
 	if sum.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "campaign: %d runs failed\n", sum.Errors)
@@ -251,24 +343,13 @@ func splitCSV(s string) []string {
 	return out
 }
 
-// canonImpairment maps the planner's "none" and the record form "" onto one
-// resume key, so files written before the impairment axis existed resume
-// cleanly.
-func canonImpairment(name string) string {
-	if name == lab.ImpairmentNone {
-		return ""
-	}
-	return name
-}
-
 // readDone loads the coordinates of error-free runs already in a JSONL
 // file. truncateAt, when >= 0, is the offset of a corrupt trailing line
 // the caller must truncate away before appending.
-func readDone(path string) (map[[4]any]bool, int64, error) {
-	done := map[[4]any]bool{}
+func readDone(path string) (map[campaign.DoneKey]bool, int64, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return done, -1, nil
+		return map[campaign.DoneKey]bool{}, -1, nil
 	}
 	if err != nil {
 		return nil, -1, err
@@ -281,10 +362,5 @@ func readDone(path string) (map[[4]any]bool, int64, error) {
 	if err != nil {
 		return nil, -1, fmt.Errorf("campaign: -resume: %w", err)
 	}
-	for _, r := range recs {
-		if r.Error == "" {
-			done[[4]any{r.Technique, r.Scenario, canonImpairment(r.Impairment), r.Trial}] = true
-		}
-	}
-	return done, truncateAt, nil
+	return campaign.DoneSet(recs), truncateAt, nil
 }

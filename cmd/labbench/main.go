@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"safemeasure/internal/experiments"
@@ -73,6 +76,7 @@ func main() {
 		text    string
 		elapsed time.Duration
 		err     error
+		skipped bool
 	}
 	var selectedJobs []job
 	for _, j := range jobs {
@@ -90,8 +94,30 @@ func main() {
 	// single slow experiment would hide behind.
 	latency := telemetry.NewRegistry().HistogramBuckets("labbench_experiment_seconds", 1e-3, 2, 24)
 
+	// The first SIGINT/SIGTERM stops launching experiments — the ones
+	// already running finish and their tables still print. Restoring the
+	// default disposition right after means a second signal kills the
+	// process the ordinary way.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "labbench: interrupt: finishing running experiments; signal again to exit now")
+		signal.Stop(sigc)
+		cancel()
+	}()
+
 	results := make([]outcome, len(selectedJobs))
 	runOne := func(i int) {
+		if ctx.Err() != nil {
+			results[i] = outcome{id: selectedJobs[i].id, skipped: true}
+			return
+		}
 		start := time.Now()
 		res, err := selectedJobs[i].run()
 		elapsed := time.Since(start)
@@ -128,7 +154,12 @@ func main() {
 		}
 	}
 
+	var skipped []string
 	for _, r := range results {
+		if r.skipped {
+			skipped = append(skipped, r.id)
+			continue
+		}
 		if r.err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, r.err)
 			os.Exit(1)
@@ -141,4 +172,9 @@ func main() {
 	fmt.Printf("experiment latency: n=%d mean=%.3fs p50=%.3fs p90=%.3fs p99=%.3fs\n",
 		latency.Count(), latency.Mean(),
 		latency.Quantile(0.50), latency.Quantile(0.90), latency.Quantile(0.99))
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "labbench: interrupted; skipped %s (rerun with -only %s)\n",
+			strings.Join(skipped, ","), strings.Join(skipped, ","))
+		os.Exit(130)
+	}
 }

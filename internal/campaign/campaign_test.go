@@ -146,7 +146,7 @@ func TestRunRecoversPanics(t *testing.T) {
 	boom := p.Specs[2]
 	recs, err := Run(p, Options{
 		Workers: 2,
-		execute: func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord {
+		Execute: func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord {
 			if spec.Index == boom.Index {
 				panic("lab exploded")
 			}
@@ -177,7 +177,7 @@ func TestRunTimesOutWedgedRuns(t *testing.T) {
 	recs, err := Run(p, Options{
 		Workers: 2,
 		Timeout: 20 * time.Millisecond,
-		execute: func(spec RunSpec, _ time.Duration, claim func() bool) RunRecord {
+		Execute: func(spec RunSpec, _ time.Duration, claim func() bool) RunRecord {
 			if spec.Index == 0 {
 				time.Sleep(5 * time.Second) // a wedged simulator
 			}
@@ -221,7 +221,7 @@ func TestAbandonedRunPublishesNothing(t *testing.T) {
 			Workers: workers,
 			Timeout: 20 * time.Millisecond,
 			Metrics: reg,
-			execute: func(spec RunSpec, _ time.Duration, claim func() bool) RunRecord {
+			Execute: func(spec RunSpec, _ time.Duration, claim func() bool) RunRecord {
 				if spec.Index == wedged.Index {
 					time.Sleep(wedge)
 				}

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +13,17 @@ import (
 	"safemeasure/internal/telemetry"
 )
 
+// DefaultGrace is how long RunContext lets in-flight runs keep going after
+// the context is canceled before abandoning them, when Options.Grace is 0.
+const DefaultGrace = 10 * time.Second
+
+// Executor produces the record for one spec. The claim callback reports
+// whether the run still owns its slot: it returns true exactly once, and
+// false forever after the pool has abandoned the run (wall-clock timeout or
+// drain-grace expiry), in which case the executor must not publish any side
+// effects (traces, shared metrics).
+type Executor func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord
+
 // Options parameterizes Run.
 type Options struct {
 	// Workers bounds concurrency; 0 means runtime.GOMAXPROCS(0).
@@ -19,6 +32,10 @@ type Options struct {
 	// an error record instead of stalling the campaign. 0 means 60s;
 	// negative disables the timeout.
 	Timeout time.Duration
+	// Grace bounds how long an in-flight run may keep executing after the
+	// context is canceled before the pool abandons it with an error record.
+	// 0 means DefaultGrace; negative drains fully, however long runs take.
+	Grace time.Duration
 	// Horizon is the population cover-traffic horizon per run; 0 means
 	// DefaultHorizon.
 	Horizon time.Duration
@@ -28,7 +45,9 @@ type Options struct {
 	Retry core.RetryPolicy
 	// OnRecord, when set, receives every record as its run completes —
 	// typically a JSONL sink's Write. It may be called from multiple
-	// workers at once; sinks in this package are safe for that.
+	// workers at once; sinks in this package are safe for that. A panic in
+	// the callback is recovered and retained as the campaign's error — it
+	// never kills the worker (which would strand the spec feed).
 	OnRecord func(RunRecord)
 	// Metrics, when set, receives pool-level metrics (queue depth, run
 	// latency, per-family success counters) and the per-run hot-path
@@ -40,17 +59,14 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// OnTrace, when set, enables per-run packet-path tracing and receives
 	// each run's event stream as it completes. Like OnRecord it may be
-	// called from multiple workers at once.
+	// called from multiple workers at once and is panic-guarded.
 	OnTrace func(RunTrace)
 	// TraceCap bounds each run's trace ring; 0 means DefaultTraceCap.
 	TraceCap int
-	// execute overrides the per-spec executor (tests exercise the pool's
-	// recovery paths with it); nil means the instrumented Execute. The
-	// claim callback reports whether the run still owns its slot: it
-	// returns true exactly once, and false forever after the pool has
-	// abandoned the run, in which case the executor must not publish any
-	// side effects (traces, shared metrics).
-	execute func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord
+	// Execute overrides the per-spec executor — chaos wrappers and tests
+	// exercise the pool's recovery paths with it; nil means the
+	// instrumented default (see Executor for the claim contract).
+	Execute Executor
 }
 
 // familyOf groups techniques into the paper's families for the labeled
@@ -66,12 +82,57 @@ func familyOf(technique string) string {
 	}
 }
 
+// defaultExecutor builds the instrumented executor Run uses when
+// Options.Execute is nil: per-run staged metrics, optional tracing, and the
+// claim gate before any shared-state publication.
+func (opts Options) defaultExecutor(guard func(kind string, f func())) Executor {
+	return func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord {
+		// Hot-path metrics stage in a registry private to this run and
+		// merge into the shared one only if the run still owns its slot:
+		// a goroutine the pool abandoned at the timeout must not keep
+		// bumping campaign-wide counters from the past.
+		var staged *telemetry.Registry
+		if opts.Metrics != nil {
+			staged = telemetry.NewRegistry()
+		}
+		rec, events := ExecuteInstrumented(spec, ExecConfig{
+			Horizon:  horizon,
+			Metrics:  staged,
+			Trace:    opts.OnTrace != nil,
+			TraceCap: opts.TraceCap,
+			Retry:    opts.Retry,
+		})
+		if !claim() {
+			return rec // abandoned: the timeout record already went out
+		}
+		opts.Metrics.Merge(staged)
+		if opts.OnTrace != nil {
+			guard("OnTrace", func() {
+				opts.OnTrace(RunTrace{
+					Scenario: spec.Scenario, Impairment: recordImpairment(spec.Impairment),
+					Technique: spec.Technique, Trial: spec.Trial, Events: events,
+				})
+			})
+		}
+		return rec
+	}
+}
+
 // Run shards the plan across a bounded worker pool and returns every record
-// in plan order. Each run is isolated in its own lab, guarded by panic
-// recovery and the wall-clock timeout; a failed run becomes an error record,
-// never a lost slot. The returned slice is ordered by RunSpec.Index, so its
-// contents are independent of worker count and scheduling.
+// in plan order; it is RunContext without cancellation.
 func Run(plan *Plan, opts Options) ([]RunRecord, error) {
+	return RunContext(context.Background(), plan, opts)
+}
+
+// RunContext is Run with a lifecycle: when ctx is canceled the pool stops
+// dispatching, lets in-flight runs drain within Options.Grace (then abandons
+// them with error records, behind the same claim gate as the timeout path),
+// and returns the records of every run that was dispatched — still in plan
+// order — together with ctx.Err(). Undispatched specs simply produce no
+// record, which is exactly the shape -resume needs to finish the campaign
+// later. A panic in OnRecord/OnTrace is recovered, counted, and retained as
+// the returned error; the campaign keeps draining either way.
+func RunContext(ctx context.Context, plan *Plan, opts Options) ([]RunRecord, error) {
 	if plan == nil || len(plan.Specs) == 0 {
 		return nil, fmt.Errorf("campaign: empty plan")
 	}
@@ -86,36 +147,34 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 	if timeout == 0 {
 		timeout = 60 * time.Second
 	}
-	execute := opts.execute
+	grace := opts.Grace
+	if grace == 0 {
+		grace = DefaultGrace
+	}
+
+	// Callback panics are recovered where the callback is invoked, counted,
+	// and the first one is retained as the campaign error: a failing sink
+	// must degrade to a reported error, never to a dead worker silently
+	// stranding the unbuffered spec feed.
+	var cbMu sync.Mutex
+	var cbErr error
+	cbPanics := opts.Metrics.Counter("campaign_callback_panics_total")
+	guard := func(kind string, f func()) {
+		defer func() {
+			if p := recover(); p != nil {
+				cbPanics.Inc()
+				cbMu.Lock()
+				if cbErr == nil {
+					cbErr = fmt.Errorf("campaign: %s callback panicked: %v", kind, p)
+				}
+				cbMu.Unlock()
+			}
+		}()
+		f()
+	}
+	execute := opts.Execute
 	if execute == nil {
-		execute = func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord {
-			// Hot-path metrics stage in a registry private to this run and
-			// merge into the shared one only if the run still owns its slot:
-			// a goroutine the pool abandoned at the timeout must not keep
-			// bumping campaign-wide counters from the past.
-			var staged *telemetry.Registry
-			if opts.Metrics != nil {
-				staged = telemetry.NewRegistry()
-			}
-			rec, events := ExecuteInstrumented(spec, ExecConfig{
-				Horizon:  horizon,
-				Metrics:  staged,
-				Trace:    opts.OnTrace != nil,
-				TraceCap: opts.TraceCap,
-				Retry:    opts.Retry,
-			})
-			if !claim() {
-				return rec // abandoned: the timeout record already went out
-			}
-			opts.Metrics.Merge(staged)
-			if opts.OnTrace != nil {
-				opts.OnTrace(RunTrace{
-					Scenario: spec.Scenario, Impairment: recordImpairment(spec.Impairment),
-					Technique: spec.Technique, Trial: spec.Trial, Events: events,
-				})
-			}
-			return rec
-		}
+		execute = opts.defaultExecutor(guard)
 	}
 
 	// Pool-level metrics. Every handle is nil-safe, so a nil registry costs
@@ -141,7 +200,7 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 				queued.Add(-1)
 				inflight.Add(1)
 				start := time.Now()
-				rec := runGuarded(spec, execute, opts.Horizon, timeout)
+				rec := runGuarded(ctx, spec, execute, opts.Horizon, timeout, grace)
 				wallHist.Observe(time.Since(start).Seconds())
 				inflight.Add(-1)
 				if m := opts.Metrics; m != nil {
@@ -161,28 +220,65 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 				}
 				records[spec.Index] = rec
 				if opts.OnRecord != nil {
-					opts.OnRecord(rec)
+					guard("OnRecord", func() { opts.OnRecord(rec) })
 				}
 			}
 		}()
 	}
+	// Dispatch until the plan is exhausted or the context cancels; specs
+	// already handed to a worker always produce a record (dispatched is
+	// written only here, before close, and read only after wg.Wait).
+	dispatched := make([]bool, len(plan.Specs))
+	ndispatched := 0
+dispatch:
 	for _, spec := range plan.Specs {
-		specs <- spec
+		// The explicit Err check first: a select with a ready worker AND a
+		// canceled context picks randomly, which would leak specs into a
+		// campaign that already asked to stop.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case specs <- spec:
+			dispatched[spec.Index] = true
+			ndispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(specs)
 	wg.Wait()
-	return records, nil
+
+	cbMu.Lock()
+	err := cbErr
+	cbMu.Unlock()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		if m := opts.Metrics; m != nil {
+			m.Counter("campaign_cancel_total").Inc()
+			m.Counter("campaign_canceled_specs_total").Add(int64(len(plan.Specs) - ndispatched))
+		}
+		queued.Set(0) // undispatched specs are no longer pending
+		partial := make([]RunRecord, 0, ndispatched)
+		for i, rec := range records {
+			if dispatched[i] {
+				partial = append(partial, rec)
+			}
+		}
+		return partial, errors.Join(ctxErr, err)
+	}
+	return records, err
 }
 
-// runGuarded executes one spec with panic recovery and a wall-clock
-// timeout. The run proceeds in a fresh goroutine so a wedged simulator
-// cannot occupy a worker forever; on timeout the goroutine is abandoned.
+// runGuarded executes one spec with panic recovery, a wall-clock timeout,
+// and cancellation-with-grace. The run proceeds in a fresh goroutine so a
+// wedged simulator cannot occupy a worker forever; on timeout — or on
+// context cancel once the drain grace expires — the goroutine is abandoned.
 // The claim token decides which side owns the outcome: exactly one of the
 // run (just before publishing its traces and staged metrics) and the
-// timeout path wins the CompareAndSwap, so an abandoned run can never leak
+// abandon path wins the CompareAndSwap, so an abandoned run can never leak
 // side effects into the campaign after its error record was emitted.
-func runGuarded(spec RunSpec, execute func(RunSpec, time.Duration, func() bool) RunRecord,
-	horizon, timeout time.Duration) RunRecord {
+func runGuarded(ctx context.Context, spec RunSpec, execute Executor,
+	horizon, timeout, grace time.Duration) RunRecord {
 	var claimed atomic.Bool
 	claim := func() bool { return claimed.CompareAndSwap(false, true) }
 	done := make(chan RunRecord, 1)
@@ -197,20 +293,40 @@ func runGuarded(spec RunSpec, execute func(RunSpec, time.Duration, func() bool) 
 		}()
 		done <- execute(spec, horizon, claim)
 	}()
-	if timeout < 0 {
-		return <-done
+	var timeoutC <-chan time.Time
+	if timeout >= 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case rec := <-done:
-		return rec
-	case <-timer.C:
-		if claim() {
-			return errorRecord(spec, fmt.Errorf("run exceeded %v wall-clock timeout", timeout))
+	ctxDone := ctx.Done()
+	var graceC <-chan time.Time
+	for {
+		select {
+		case rec := <-done:
+			return rec
+		case <-timeoutC:
+			if claim() {
+				return errorRecord(spec, fmt.Errorf("run exceeded %v wall-clock timeout", timeout))
+			}
+			// The run claimed completion between the timer firing and our
+			// claim attempt; its side effects are published, take its record.
+			return <-done
+		case <-ctxDone:
+			// Canceled: give the run the drain grace, then abandon it. A
+			// negative grace drains fully (no deadline beyond the timeout).
+			ctxDone = nil
+			if grace >= 0 {
+				graceTimer := time.NewTimer(grace)
+				defer graceTimer.Stop()
+				graceC = graceTimer.C
+			}
+		case <-graceC:
+			if claim() {
+				return errorRecord(spec, fmt.Errorf(
+					"campaign canceled: run abandoned after %v drain grace", grace))
+			}
+			return <-done
 		}
-		// The run claimed completion between the timer firing and our
-		// claim attempt; its side effects are published, take its record.
-		return <-done
 	}
 }

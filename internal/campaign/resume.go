@@ -1,0 +1,44 @@
+package campaign
+
+// DoneKey is the resume identity of a run: its plan coordinates with the
+// impairment name canonicalized (the pristine link is "", matching the
+// omitempty JSONL form), so files written before the impairment axis
+// existed resume cleanly.
+type DoneKey struct {
+	Technique  string
+	Scenario   string
+	Impairment string
+	Trial      int
+}
+
+// Key returns the spec's resume identity.
+func (s RunSpec) Key() DoneKey {
+	return DoneKey{s.Technique, s.Scenario, recordImpairment(s.Impairment), s.Trial}
+}
+
+// Key returns the record's resume identity.
+func (r RunRecord) Key() DoneKey {
+	return DoneKey{r.Technique, r.Scenario, recordImpairment(r.Impairment), r.Trial}
+}
+
+// DoneSet collects the coordinates of error-free records — the runs a
+// resumed campaign must not repeat. Error records are deliberately left
+// out: a run that timed out, panicked, or was abandoned at the drain grace
+// gets a fresh chance on resume.
+func DoneSet(recs []RunRecord) map[DoneKey]bool {
+	done := make(map[DoneKey]bool, len(recs))
+	for _, r := range recs {
+		if r.Error == "" {
+			done[r.Key()] = true
+		}
+	}
+	return done
+}
+
+// Remaining filters the plan down to the specs not in done — the plan of a
+// resumed campaign. Seeds are untouched (they derive from coordinates, not
+// plan position), so resumed runs reproduce exactly what an uninterrupted
+// campaign would have produced.
+func (p *Plan) Remaining(done map[DoneKey]bool) *Plan {
+	return p.Filter(func(s RunSpec) bool { return !done[s.Key()] })
+}

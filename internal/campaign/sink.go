@@ -7,23 +7,102 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"safemeasure/internal/telemetry"
 )
+
+// syncer is the optional durability hook of a sink's underlying writer —
+// *os.File satisfies it; in-memory buffers simply skip the sync step.
+type syncer interface{ Sync() error }
+
+// sinkState is the durability machinery shared by JSONLSink and TraceSink:
+// a locked bufio writer with an every-N-lines flush (plus Sync when the
+// underlying writer supports it) and optional flush/sync counters.
+type sinkState struct {
+	mu         sync.Mutex
+	w          *bufio.Writer
+	raw        io.Writer
+	count      int
+	err        error
+	syncEvery  int
+	sinceFlush int
+	flushes    *telemetry.Counter
+	syncs      *telemetry.Counter
+}
+
+// wroteLocked accounts one written line and applies the SyncEvery policy.
+func (s *sinkState) wroteLocked() {
+	s.count++
+	s.sinceFlush++
+	if s.syncEvery > 0 && s.sinceFlush >= s.syncEvery {
+		s.flushLocked(true)
+	}
+}
+
+// flushLocked drains the bufio layer and, when sync is set, pushes the
+// bytes to stable storage if the underlying writer can. The first error is
+// retained, poisoning later writes exactly like a write error.
+func (s *sinkState) flushLocked(sync bool) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+		return err
+	}
+	s.flushes.Inc()
+	s.sinceFlush = 0
+	if sync {
+		if f, ok := s.raw.(syncer); ok {
+			if err := f.Sync(); err != nil {
+				s.err = err
+				return err
+			}
+			s.syncs.Inc()
+		}
+	}
+	return nil
+}
+
+// setSyncEvery installs the durability knob.
+func (s *sinkState) setSyncEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncEvery = n
+}
+
+// instrument exposes flush/sync activity as labeled campaign counters.
+func (s *sinkState) instrument(reg *telemetry.Registry, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushes = reg.Counter(telemetry.Labels("campaign_sink_flush_total", "sink", name))
+	s.syncs = reg.Counter(telemetry.Labels("campaign_sink_sync_total", "sink", name))
+}
 
 // JSONLSink streams run records to a writer, one JSON object per line, as
 // they complete. Write is safe to call from multiple workers; lines are
 // written whole, so a campaign interrupted mid-flight leaves a valid prefix
 // that a later -resume can read back.
 type JSONLSink struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	count int
-	err   error
+	sinkState
 }
 
 // NewJSONLSink wraps a writer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{w: bufio.NewWriter(w)}
+	s := &JSONLSink{}
+	s.w, s.raw = bufio.NewWriter(w), w
+	return s
 }
+
+// SyncEvery bounds how much a hard crash can lose: every n records the sink
+// flushes its bufio layer and, when the underlying writer is a file, syncs
+// it to stable storage — so at most n records ride in volatile buffers at
+// any moment. n <= 0 restores the default (buffer until Flush).
+func (s *JSONLSink) SyncEvery(n int) { s.setSyncEvery(n) }
+
+// Instrument publishes the sink's flush/sync activity to reg as
+// campaign_sink_flush_total{sink=name} and campaign_sink_sync_total{sink=name}.
+func (s *JSONLSink) Instrument(reg *telemetry.Registry, name string) { s.instrument(reg, name) }
 
 // Write emits one record. The first encoding or I/O error is retained and
 // reported by Flush; later writes after an error are dropped.
@@ -43,7 +122,7 @@ func (s *JSONLSink) Write(rec RunRecord) {
 		s.err = err
 		return
 	}
-	s.count++
+	s.wroteLocked()
 }
 
 // Count returns how many records were written so far.
@@ -53,14 +132,12 @@ func (s *JSONLSink) Count() int {
 	return s.count
 }
 
-// Flush drains buffers and returns the first error the sink hit.
+// Flush drains buffers (syncing to stable storage when SyncEvery is
+// active) and returns the first error the sink hit.
 func (s *JSONLSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
-	}
-	return s.w.Flush()
+	return s.flushLocked(s.syncEvery > 0)
 }
 
 // ReadJSONL parses records back from a JSONL stream — the aggregation and

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"safemeasure/internal/telemetry"
 )
 
 func fakeRecord(scenario, technique string, trial int) RunRecord {
@@ -181,5 +183,93 @@ func TestReadJSONLResumeCleanFile(t *testing.T) {
 	}
 	if !reflect.DeepEqual(recs, want) {
 		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", recs, want)
+	}
+}
+
+// syncWriter records flush visibility and Sync calls — a stand-in for
+// *os.File in durability tests.
+type syncWriter struct {
+	buf   bytes.Buffer
+	syncs int
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *syncWriter) Sync() error                 { w.syncs++; return nil }
+
+func TestJSONLSinkSyncEveryBoundsLoss(t *testing.T) {
+	w := &syncWriter{}
+	sink := NewJSONLSink(w)
+	sink.SyncEvery(2)
+	reg := telemetry.NewRegistry()
+	sink.Instrument(reg, "records")
+
+	for i := 0; i < 5; i++ {
+		sink.Write(fakeRecord("open", "spam", i))
+	}
+	// Without calling Flush, 4 of the 5 records (two SyncEvery batches)
+	// must already be durable: visible in the writer AND synced.
+	recs, err := ReadJSONL(bytes.NewReader(w.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("pre-Flush durable records = %d, want 4 (SyncEvery 2 after 5 writes)", len(recs))
+	}
+	if w.syncs != 2 {
+		t.Fatalf("syncs = %d, want 2", w.syncs)
+	}
+	if got := reg.Counter(telemetry.Labels("campaign_sink_sync_total", "sink", "records")).Value(); got != 2 {
+		t.Fatalf("campaign_sink_sync_total = %d, want 2", got)
+	}
+	// Final Flush drains the straggler and syncs once more.
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadJSONL(bytes.NewReader(w.buf.Bytes()))
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("post-Flush records = %d (%v), want 5", len(recs), err)
+	}
+	if w.syncs != 3 {
+		t.Fatalf("syncs after Flush = %d, want 3", w.syncs)
+	}
+	if got := reg.Counter(telemetry.Labels("campaign_sink_flush_total", "sink", "records")).Value(); got != 3 {
+		t.Fatalf("campaign_sink_flush_total = %d, want 3", got)
+	}
+}
+
+func TestJSONLSinkSyncEveryDisabledBuffers(t *testing.T) {
+	w := &syncWriter{}
+	sink := NewJSONLSink(w)
+	sink.Write(fakeRecord("open", "spam", 0))
+	if w.buf.Len() != 0 {
+		t.Fatal("record escaped the bufio layer without SyncEvery or Flush")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs != 0 {
+		t.Fatalf("plain Flush synced %d times; sync is the SyncEvery contract", w.syncs)
+	}
+}
+
+func TestTraceSinkSyncEvery(t *testing.T) {
+	w := &syncWriter{}
+	sink := NewTraceSink(w)
+	sink.SyncEvery(3)
+	events := []telemetry.Event{{T: 1, Kind: "probe"}, {T: 2, Kind: "alert"}}
+	sink.Write(RunTrace{Scenario: "open", Technique: "spam", Trial: 0, Events: events})
+	if w.buf.Len() != 0 {
+		t.Fatalf("2 event lines flushed before the 3-line threshold")
+	}
+	sink.Write(RunTrace{Scenario: "open", Technique: "spam", Trial: 1, Events: events})
+	// The threshold fires mid-Write at the 3rd line; the 4th stays buffered.
+	if lines := strings.Count(w.buf.String(), "\n"); lines != 3 || w.syncs != 1 {
+		t.Fatalf("after 4 events: %d durable lines, %d syncs; want 3 lines, 1 sync", lines, w.syncs)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() != 4 {
+		t.Fatalf("count = %d, want 4", sink.Count())
 	}
 }

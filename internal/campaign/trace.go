@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
-	"sync"
 
 	"safemeasure/internal/telemetry"
 )
@@ -43,16 +42,24 @@ type TraceLine struct {
 // Write is safe to call from multiple workers; a run's events are written
 // contiguously under the lock.
 type TraceSink struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	count int
-	err   error
+	sinkState
 }
 
 // NewTraceSink wraps a writer.
 func NewTraceSink(w io.Writer) *TraceSink {
-	return &TraceSink{w: bufio.NewWriter(w)}
+	s := &TraceSink{}
+	s.w, s.raw = bufio.NewWriter(w), w
+	return s
 }
+
+// SyncEvery makes the sink flush (and, on files, sync) once at least n
+// event lines accumulated since the last flush, bounding what a hard crash
+// can lose. n <= 0 restores the default (buffer until Flush).
+func (s *TraceSink) SyncEvery(n int) { s.setSyncEvery(n) }
+
+// Instrument publishes the sink's flush/sync activity to reg as
+// campaign_sink_flush_total{sink=name} and campaign_sink_sync_total{sink=name}.
+func (s *TraceSink) Instrument(reg *telemetry.Registry, name string) { s.instrument(reg, name) }
 
 // Write emits one run's events. The first encoding or I/O error is retained
 // and reported by Flush; later writes after an error are dropped.
@@ -78,7 +85,7 @@ func (s *TraceSink) Write(rt RunTrace) {
 			s.err = err
 			return
 		}
-		s.count++
+		s.wroteLocked()
 	}
 }
 
@@ -89,12 +96,10 @@ func (s *TraceSink) Count() int {
 	return s.count
 }
 
-// Flush drains buffers and returns the first error the sink hit.
+// Flush drains buffers (syncing to stable storage when SyncEvery is
+// active) and returns the first error the sink hit.
 func (s *TraceSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
-	}
-	return s.w.Flush()
+	return s.flushLocked(s.syncEvery > 0)
 }

@@ -1,0 +1,278 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"safemeasure/internal/campaign"
+)
+
+// invariantPlan is the matrix every interrupt scenario replays: one
+// censoring scenario, its three applicable techniques, two trials — small
+// enough to interrupt dozens of times, rich enough that the aggregate has
+// real per-cell content to diverge on.
+func invariantPlan(t *testing.T) *campaign.Plan {
+	t.Helper()
+	p, err := campaign.NewPlan(campaign.PlanConfig{
+		Scenarios: []string{"dns-poison"}, Trials: 2, Seed: 1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func keyLess(a, b campaign.DoneKey) bool {
+	if a.Scenario != b.Scenario {
+		return a.Scenario < b.Scenario
+	}
+	if a.Impairment != b.Impairment {
+		return a.Impairment < b.Impairment
+	}
+	if a.Technique != b.Technique {
+		return a.Technique < b.Technique
+	}
+	return a.Trial < b.Trial
+}
+
+// canonicalize reduces a record set to its scheduling-independent form:
+// error-free records only (error records are resume fodder, not results),
+// no duplicate coordinates allowed, sorted by coordinate, rendered as JSONL
+// plus the aggregate tables built from exactly that order.
+func canonicalize(t *testing.T, recs []campaign.RunRecord) (jsonl, agg string) {
+	t.Helper()
+	var ok []campaign.RunRecord
+	seen := map[campaign.DoneKey]int{}
+	for _, r := range recs {
+		if r.Error != "" {
+			continue
+		}
+		seen[r.Key()]++
+		ok = append(ok, r)
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("duplicate run coordinate %+v: %d error-free records", k, n)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return keyLess(ok[i].Key(), ok[j].Key()) })
+	lines := make([]string, len(ok))
+	for i, r := range ok {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[i] = string(raw)
+	}
+	return strings.Join(lines, "\n"), campaign.Aggregate(ok).Render()
+}
+
+// resumeAndCheck finishes an interrupted campaign the way cmd/campaign
+// -resume does — tolerant read, torn-tail truncation, Remaining plan,
+// append — then asserts the three invariants: nothing lost, nothing
+// duplicated, and the final records and aggregate byte-identical to the
+// uninterrupted baseline.
+func resumeAndCheck(t *testing.T, plan *campaign.Plan, workers int, buf *bytes.Buffer,
+	wantJSONL, wantAgg string) {
+	t.Helper()
+	recs, truncateAt, err := campaign.ReadJSONLResume(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("tolerant resume read: %v", err)
+	}
+	if truncateAt >= 0 {
+		buf.Truncate(int(truncateAt))
+	}
+	rest := plan.Remaining(campaign.DoneSet(recs))
+	if len(rest.Specs) > 0 {
+		sink := campaign.NewJSONLSink(buf)
+		if _, err := campaign.Run(rest, campaign.Options{Workers: workers, OnRecord: sink.Write}); err != nil {
+			t.Fatalf("resume run: %v", err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatalf("resume sink: %v", err)
+		}
+	}
+	final, err := campaign.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("final file unreadable: %v", err)
+	}
+	gotJSONL, gotAgg := canonicalize(t, final)
+	if done := campaign.DoneSet(final); len(done) != len(plan.Specs) {
+		t.Fatalf("lost runs: %d of %d coordinates completed", len(done), len(plan.Specs))
+	}
+	if gotJSONL != wantJSONL {
+		t.Fatalf("resumed records diverge from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+			gotJSONL, wantJSONL)
+	}
+	if gotAgg != wantAgg {
+		t.Fatalf("resumed aggregate diverges from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+			gotAgg, wantAgg)
+	}
+}
+
+// TestInterruptResumeInvariant interrupts a campaign at ≥20 seeded points —
+// context cancel mid-stream, sink write errors and torn short writes at
+// seeded byte offsets, executor panics and hangs on seeded schedules — then
+// resumes each wreck and requires the final output to be byte-identical to
+// an uninterrupted run, at workers 1 and 8. Run it under -race: the drain,
+// claim-gate, and callback-guard paths are all concurrent.
+func TestInterruptResumeInvariant(t *testing.T) {
+	plan := invariantPlan(t)
+	nspecs := len(plan.Specs)
+
+	// The baseline is computed once at workers=1; every (mode, workers,
+	// seed) cell must reproduce it, which also re-proves worker-count
+	// determinism along the way.
+	var base bytes.Buffer
+	baseSink := campaign.NewJSONLSink(&base)
+	baseRecs, err := campaign.Run(plan, campaign.Options{Workers: 1, OnRecord: baseSink.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baseSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantJSONL, wantAgg := canonicalize(t, baseRecs)
+	fileSize := int64(base.Len())
+
+	points := 0
+	for _, workers := range []int{1, 8} {
+		workers := workers
+
+		// Mode 1: context cancel after a seeded number of records, full
+		// drain (negative grace), resume the undispatched tail.
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			cut := 1 + rng.Intn(nspecs)
+			points++
+			t.Run(fmt.Sprintf("cancel/workers=%d/cut=%d", workers, cut), func(t *testing.T) {
+				var buf bytes.Buffer
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				sink := campaign.NewJSONLSink(&buf)
+				hook := CancelAfter(cut, cancel)
+				_, err := campaign.RunContext(ctx, plan, campaign.Options{
+					Workers: workers,
+					Grace:   -1,
+					OnRecord: func(rec campaign.RunRecord) {
+						hook(rec)
+						sink.Write(rec)
+					},
+				})
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Fatal(err)
+				}
+				if err := sink.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				resumeAndCheck(t, plan, workers, &buf, wantJSONL, wantAgg)
+			})
+		}
+
+		// Mode 2: the sink's stream dies at a seeded byte offset — hard
+		// error and torn short write. The campaign itself completes; the
+		// file loses its tail; resume must regenerate exactly the lost runs.
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(2000 + seed))
+			failAfter := rng.Int63n(fileSize)
+			short := seed%2 == 1
+			points++
+			t.Run(fmt.Sprintf("sinkfail/workers=%d/at=%d/short=%v", workers, failAfter, short),
+				func(t *testing.T) {
+					var buf bytes.Buffer
+					fw := &FlakyWriter{W: &buf, FailAfter: failAfter, Short: short}
+					sink := campaign.NewJSONLSink(fw)
+					sink.SyncEvery(1) // every record hits the flaky stream immediately
+					if _, err := campaign.Run(plan, campaign.Options{
+						Workers: workers, OnRecord: sink.Write,
+					}); err != nil {
+						t.Fatal(err)
+					}
+					if err := sink.Flush(); err == nil && fw.Failed() {
+						t.Fatal("sink swallowed the injected failure")
+					}
+					resumeAndCheck(t, plan, workers, &buf, wantJSONL, wantAgg)
+				})
+		}
+
+		// Mode 3: the executor panics on a seeded schedule; panicked runs
+		// become error records that resume must re-execute.
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(3000 + seed))
+			every := 1 + rng.Intn(4)
+			points++
+			t.Run(fmt.Sprintf("panic/workers=%d/every=%d", workers, every), func(t *testing.T) {
+				var buf bytes.Buffer
+				sink := campaign.NewJSONLSink(&buf)
+				if _, err := campaign.Run(plan, campaign.Options{
+					Workers: workers, OnRecord: sink.Write,
+					Execute: PanicEvery(every, nil),
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := sink.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				resumeAndCheck(t, plan, workers, &buf, wantJSONL, wantAgg)
+			})
+		}
+
+		// Mode 4: the executor wedges past the pool timeout on a seeded
+		// schedule; abandoned runs become timeout error records (publishing
+		// nothing, by the claim gate) that resume re-executes.
+		for seed := int64(0); seed < 2; seed++ {
+			rng := rand.New(rand.NewSource(4000 + seed))
+			every := 2 + rng.Intn(3)
+			points++
+			t.Run(fmt.Sprintf("hang/workers=%d/every=%d", workers, every), func(t *testing.T) {
+				var buf bytes.Buffer
+				sink := campaign.NewJSONLSink(&buf)
+				if _, err := campaign.Run(plan, campaign.Options{
+					Workers: workers, OnRecord: sink.Write,
+					Timeout: 30 * time.Millisecond,
+					Execute: HangEvery(every, 200*time.Millisecond, nil),
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := sink.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				resumeAndCheck(t, plan, workers, &buf, wantJSONL, wantAgg)
+			})
+		}
+	}
+	if points < 20 {
+		t.Fatalf("only %d seeded interrupt points exercised, want >= 20", points)
+	}
+}
+
+// TestCancelBeforeDispatchRunsNothing pins the degenerate interrupt point:
+// a context canceled before RunContext is even called dispatches nothing,
+// and the resume plan is the entire campaign.
+func TestCancelBeforeDispatchRunsNothing(t *testing.T) {
+	plan := invariantPlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	recs, err := campaign.RunContext(ctx, plan, campaign.Options{
+		Workers: 4,
+		Execute: stubExec,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("pre-canceled campaign ran %d specs, want 0", len(recs))
+	}
+	rest := plan.Remaining(campaign.DoneSet(recs))
+	if len(rest.Specs) != len(plan.Specs) {
+		t.Fatalf("resume plan %d specs, want the full %d", len(rest.Specs), len(plan.Specs))
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 )
 
@@ -29,4 +30,27 @@ func Handler(reg *Registry, progress func() any) http.Handler {
 		_ = enc.Encode(progress())
 	})
 	return mux
+}
+
+// Serve binds addr, serves Handler(reg, progress) in a background
+// goroutine, and returns the server plus the bound address (useful with
+// ":0"). The caller owns the lifecycle: call srv.Shutdown to stop accepting
+// scrapes, let in-flight ones finish, and release the port
+// deterministically — leaking the listener past the campaign keeps the port
+// busy until process exit and can truncate a scrape mid-body. onErr, when
+// non-nil, receives any serve-loop error other than http.ErrServerClosed.
+func Serve(addr string, reg *Registry, progress func() any, onErr func(error)) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Addr: addr, Handler: Handler(reg, progress)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			if onErr != nil {
+				onErr(err)
+			}
+		}
+	}()
+	return srv, ln.Addr(), nil
 }

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeAndShutdownReleasesPort(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("campaign_cancel_total").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", reg, func() any {
+		return map[string]int{"done": 3}
+	}, func(err error) { t.Errorf("serve error: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "campaign_cancel_total 1") {
+		t.Fatalf("/metrics = %q", body)
+	}
+	if body := get("/progress"); !strings.Contains(body, `"done": 3`) {
+		t.Fatalf("/progress = %q", body)
+	}
+
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port must be rebindable immediately — the deterministic-release
+	// guarantee the campaign CLI relies on between an interrupted run and
+	// its -resume invocation.
+	ln, err := net.Listen("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("port not released after Shutdown: %v", err)
+	}
+	ln.Close()
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Benchmark harness: runs the repo-root campaign benchmarks (worker-pool
+# scaling plus telemetry overhead) once each and emits machine-readable
+# results to BENCH_campaign.json so perf regressions show up as a diff,
+# not a memory. Pass extra `go test` args through, e.g.:
+#
+#   scripts/bench.sh              # one iteration per benchmark (smoke)
+#   scripts/bench.sh -benchtime 5x
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_campaign.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkCampaign|BenchmarkTelemetryOverhead' \
+  -benchtime "${1:-1x}" . | tee "$raw"
+
+# Parse `BenchmarkName-8  N  123456 ns/op  42 runs/s` lines into JSON.
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2; nsop = ""; extra = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i + 1) == "ns/op") nsop = $i
+    else if ($(i + 1) ~ /runs\/s/) extra = sprintf(", \"runs_per_s\": %s", $i)
+  }
+  if (nsop == "") next
+  if (!first) printf ",\n"
+  first = 0
+  printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, nsop, extra
+}
+END { printf "\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repo verification: tier-1 (build + tests) plus vet and a race pass over
 # the concurrency-heavy packages (campaign pool with its abandoned-run claim
-# gate, telemetry registry/tracer, the simulator whose counters every
-# worker's lab increments, the retry layer, and the population generator).
+# gate and drain path, the chaos fault-injection harness, telemetry
+# registry/tracer, the simulator whose counters every worker's lab
+# increments, the retry layer, and the population generator).
 # The examples are built and vetted explicitly: they have no tests, so only
 # an explicit pass catches bit-rot there.
 set -eux
@@ -15,3 +16,25 @@ go build ./examples/...
 go vet ./examples/...
 go test ./...
 go test -race ./internal/campaign ./internal/telemetry ./internal/netsim ./internal/core ./internal/population
+go test -race ./internal/chaos
+
+# Interrupt-then-resume smoke test: a real SIGINT against the built binary
+# must exit 130 with a valid partial file, and -resume must finish the
+# campaign to exactly the planned record count. This exercises the signal
+# handler and CLI resume path that the in-process chaos tests cannot.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/campaign" ./cmd/campaign
+"$tmp/campaign" -scenarios dns-poison -trials 500 -workers 2 \
+  -out "$tmp/smoke.jsonl" -sync-every 1 &
+pid=$!
+sleep 1
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+test "$rc" -eq 130
+test -s "$tmp/smoke.jsonl"
+"$tmp/campaign" -resume -scenarios dns-poison -trials 500 -workers 2 \
+  -out "$tmp/smoke.jsonl"
+# 1 scenario x 3 techniques x 500 trials = 1500 records, every line valid JSON
+test "$(wc -l < "$tmp/smoke.jsonl")" -eq 1500
