@@ -30,6 +30,17 @@
 // both sinks, prints the partial summary, and exits 130 with a -resume
 // hint; a second signal flushes best-effort and exits immediately.
 // -sync-every N bounds what a hard kill can lose to N records per sink.
+//
+// Supervision: -breaker N trips a per-cell circuit breaker after N
+// consecutive failed runs (skipped runs are explicit records a later
+// -resume re-runs); -fail-budget F aborts the whole campaign once more than
+// fraction F of completed runs are errors, flushing the sinks and exiting 3
+// with a -resume hint; -hedge launches a second attempt for straggling runs
+// (a duration, or pNN to derive the delay from live run latency). A stall
+// watchdog dumps goroutines to stderr if no run completes for 3x -timeout.
+//
+// Exit codes: 0 success, 1 run errors or internal failure, 2 usage,
+// 3 failure-budget abort (resumable), 130 interrupted (resumable).
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +68,12 @@ import (
 // for "partial but valid output" with one code.
 const exitInterrupted = 130
 
+// exitBudgetAbort is the exit code of a failure-budget abort: like 130 the
+// output file is a valid, resumable partial — but the cause is the campaign
+// itself being too sick to continue, not an operator signal, so scripts can
+// tell the two apart.
+const exitBudgetAbort = 3
+
 func main() {
 	techniques := flag.String("techniques", "all", "comma-separated technique names, or all")
 	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or all")
@@ -68,6 +86,9 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock budget per run")
 	grace := flag.Duration("grace", 10*time.Second, "drain budget for in-flight runs after an interrupt (negative waits forever)")
 	syncEvery := flag.Int("sync-every", 64, "flush+fsync sinks every N lines so a hard crash loses at most N (0 buffers until exit)")
+	breakerN := flag.Int("breaker", 0, "per-cell circuit breaker: open after N consecutive failed runs, skip during cooldown, half-open probe (0 disables)")
+	failBudget := flag.Float64("fail-budget", -1, "abort the campaign when more than this fraction of completed runs are errors (negative disables)")
+	hedgeSpec := flag.String("hedge", "", "hedge straggling runs: a duration (e.g. 500ms) or pNN (e.g. p95) derived from live run latency (empty disables)")
 	resume := flag.Bool("resume", false, "skip runs already recorded in -out and append")
 	list := flag.Bool("list", false, "list scenarios and techniques, then exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /progress on this address (e.g. :9090)")
@@ -124,7 +145,24 @@ func main() {
 
 	retry := core.DefaultRetryPolicy()
 	retry.MaxAttempts = *retries
-	opts := campaign.Options{Workers: *workers, Timeout: *timeout, Grace: *grace, Retry: retry}
+	opts := campaign.Options{Workers: *workers, Timeout: *timeout, Grace: *grace, Retry: retry,
+		StallDump: os.Stderr}
+	var breakers *campaign.BreakerSet
+	if *breakerN > 0 {
+		breakers = campaign.NewBreakerSet(campaign.BreakerConfig{Consecutive: *breakerN})
+		opts.Breakers = breakers
+	}
+	if *failBudget >= 0 {
+		opts.Budget = &campaign.FailureBudget{Fraction: *failBudget}
+	}
+	if *hedgeSpec != "" {
+		hedge, err := parseHedge(*hedgeSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Hedge = hedge
+	}
 	var sink *campaign.JSONLSink
 	switch {
 	case *out == "-":
@@ -174,6 +212,7 @@ func main() {
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		prog = campaign.NewProgress(plan)
+		prog.Breakers(breakers)
 		srv, addr, err := telemetry.Serve(*metricsAddr, reg, func() any { return prog.Snapshot() },
 			func(err error) { fmt.Fprintln(os.Stderr, "campaign: metrics server:", err) })
 		if err != nil {
@@ -279,7 +318,8 @@ func main() {
 	signal.Stop(sigc)
 	close(sigc)
 	interrupted := errors.Is(err, context.Canceled)
-	if err != nil && !interrupted {
+	budgetAbort := errors.Is(err, campaign.ErrBudgetExceeded)
+	if err != nil && !interrupted && !budgetAbort {
 		// A callback panic (sink bug) or an empty plan: the campaign state
 		// is suspect, but flush whatever the sinks still hold first.
 		if sink != nil {
@@ -326,10 +366,37 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(exitInterrupted)
 	}
+	if budgetAbort {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "campaign: failure budget exceeded after %d/%d runs; sinks flushed", len(recs), len(plan.Specs))
+		if *out != "" && *out != "-" {
+			fmt.Fprintf(os.Stderr, "; resume with: campaign -resume -out %s [same matrix flags]", *out)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(exitBudgetAbort)
+	}
 	if sum.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "campaign: %d runs failed\n", sum.Errors)
 		os.Exit(1)
 	}
+}
+
+// parseHedge turns the -hedge flag into a HedgeConfig: "p95"-style values
+// derive the delay from the live run-latency histogram; anything else must
+// be a fixed duration.
+func parseHedge(spec string) (campaign.HedgeConfig, error) {
+	if strings.HasPrefix(spec, "p") {
+		pct, err := strconv.Atoi(spec[1:])
+		if err != nil || pct < 1 || pct > 99 {
+			return campaign.HedgeConfig{}, fmt.Errorf("campaign: -hedge %q: want p1..p99 or a duration", spec)
+		}
+		return campaign.HedgeConfig{Quantile: float64(pct) / 100}, nil
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil || d <= 0 {
+		return campaign.HedgeConfig{}, fmt.Errorf("campaign: -hedge %q: want p1..p99 or a positive duration", spec)
+	}
+	return campaign.HedgeConfig{Delay: d}, nil
 }
 
 // splitCSV turns "a,b , c" into {"a","b","c"}.

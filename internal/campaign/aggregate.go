@@ -19,7 +19,8 @@ type Cell struct {
 	Stealth    bool
 
 	Runs         int // completed runs (errors excluded)
-	Errors       int
+	Errors       int // failed runs, including breaker skips
+	Skipped      int // runs an open circuit breaker shed (subset of Errors)
 	Correct      int // verdict matched the scenario's ground truth
 	Inconclusive int // tri-state middle: refused to call loss vs blocking
 	Flagged      int // analyst flagged the measurer
@@ -34,6 +35,11 @@ type Cell struct {
 
 // Accuracy is the fraction of completed runs with a correct verdict.
 func (c *Cell) Accuracy() float64 { return frac(c.Correct, c.Runs) }
+
+// AccuracyCI is the Wilson 95% confidence interval on Accuracy — the
+// verdict-confidence band a future adaptive planner can use to decide which
+// cells still need trials and which are already resolved.
+func (c *Cell) AccuracyCI() (lo, hi float64) { return stats.Wilson95(c.Correct, c.Runs) }
 
 // InconclusiveRate is the fraction of completed runs the retry policy left
 // unresolved rather than guessing.
@@ -85,6 +91,7 @@ type Summary struct {
 	Impairments    []ImpairmentTotals // sorted by name, pristine first
 	Overt, Stealth KindTotals
 	Runs, Errors   int
+	Skipped        int // breaker-skipped runs (subset of Errors)
 }
 
 // Aggregate folds run records into per-cell, per-impairment, and per-family
@@ -108,6 +115,10 @@ func Aggregate(recs []RunRecord) *Summary {
 		}
 		sum.Runs++
 		if r.Error != "" {
+			if IsBreakerSkip(r) {
+				c.Skipped++
+				sum.Skipped++
+			}
 			c.Errors++
 			im.Errors++
 			sum.Errors++
@@ -185,9 +196,13 @@ func impairLabel(name string) string {
 // Render prints the campaign matrix and the overt-vs-stealth headline.
 func (s *Summary) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "campaign summary — %d runs (%d errors)\n\n", s.Runs, s.Errors)
+	fmt.Fprintf(&b, "campaign summary — %d runs (%d errors", s.Runs, s.Errors)
+	if s.Skipped > 0 {
+		fmt.Fprintf(&b, ", %d breaker-skipped", s.Skipped)
+	}
+	b.WriteString(")\n\n")
 	t := stats.NewTable("scenario", "impair", "technique", "kind", "runs", "accuracy",
-		"inconcl", "mvr-evasion", "flag-rate", "mean-score", "attempts", "virt-ms")
+		"acc-95ci", "inconcl", "mvr-evasion", "flag-rate", "mean-score", "attempts", "virt-ms")
 	for _, c := range s.Cells {
 		kind := "overt"
 		if c.Stealth {
@@ -197,8 +212,10 @@ func (s *Summary) Render() string {
 		if c.Errors > 0 {
 			runs = fmt.Sprintf("%d(+%derr)", c.Runs, c.Errors)
 		}
+		lo, hi := c.AccuracyCI()
 		t.AddRow(c.Scenario, impairLabel(c.Impairment), c.Technique, kind, runs,
-			c.Accuracy(), c.InconclusiveRate(), c.EvasionRate(), c.FlagRate(),
+			c.Accuracy(), fmt.Sprintf("%.2f-%.2f", lo, hi),
+			c.InconclusiveRate(), c.EvasionRate(), c.FlagRate(),
 			c.Score.Mean(), c.Attempts.Mean(), c.ElapsedMS.Mean())
 	}
 	b.WriteString(t.String())

@@ -1,0 +1,276 @@
+package campaign
+
+import (
+	"errors"
+	"sync"
+
+	"safemeasure/internal/telemetry"
+)
+
+// BreakerOpenError is the exact Error string of a run the circuit breaker
+// skipped. Skipped runs still emit RunRecords — the sink, aggregates, and
+// resume all see them — but they executed nothing: DoneSet treats them like
+// any other error record, so a later -resume re-runs exactly the skipped
+// coordinates.
+const BreakerOpenError = "skipped: breaker open"
+
+// errBreakerOpen backs the skip records the pool emits without executing.
+var errBreakerOpen = errors.New(BreakerOpenError)
+
+// IsBreakerSkip reports whether a record is a breaker skip rather than a run
+// that executed and failed. The failure budget excludes skips: a breaker
+// declining to re-probe a sick cell is the budget being *protected*, not
+// spent.
+func IsBreakerSkip(rec RunRecord) bool { return rec.Error == BreakerOpenError }
+
+// BreakerState is the classic three-state circuit-breaker lifecycle.
+type BreakerState int
+
+const (
+	// BreakerClosed passes runs through and watches their outcomes.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen skips runs for the cooldown, emitting skip records.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe run through; its outcome
+	// decides between closing again and another open cooldown.
+	BreakerHalfOpen
+)
+
+// String renders the state for /progress and the per-cell state gauge.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker tuning defaults.
+const (
+	// DefaultBreakerWindow is the per-cell completed-run window the error
+	// rate is computed over.
+	DefaultBreakerWindow = 16
+	// DefaultBreakerCooldown is how many scheduled runs an open breaker
+	// skips before going half-open. Counting scheduled runs, not wall or
+	// virtual time, keeps the cooldown meaningful at any campaign speed and
+	// deterministic for a fixed completion order.
+	DefaultBreakerCooldown = 4
+)
+
+// BreakerConfig parameterizes a BreakerSet. Either trigger may be used
+// alone; both active means whichever fires first opens the breaker.
+type BreakerConfig struct {
+	// Consecutive opens the breaker after this many consecutive failed runs
+	// in a cell; <= 0 disables the consecutive trigger.
+	Consecutive int
+	// Rate opens the breaker when the failure fraction over the last Window
+	// completed runs of a cell reaches this value (only once the window is
+	// full, so a single early failure cannot trip it); <= 0 disables.
+	Rate float64
+	// Window is the completed-run window Rate is computed over; 0 means
+	// DefaultBreakerWindow.
+	Window int
+	// Cooldown is how many scheduled runs an open breaker skips before
+	// allowing a half-open probe; 0 means DefaultBreakerCooldown.
+	Cooldown int
+}
+
+// cellBreaker is one cell's breaker state. All fields are guarded by the
+// owning BreakerSet's mutex.
+type cellBreaker struct {
+	state        BreakerState
+	consec       int    // current consecutive-failure streak
+	window       []bool // ring of recent outcomes, true = failure
+	wi, wn       int    // ring write index and fill
+	fails        int    // failures currently in the ring
+	cooldownLeft int    // skips remaining before half-open
+	probing      bool   // a half-open probe is in flight
+	gauge        *telemetry.Gauge
+}
+
+// BreakerSet holds one circuit breaker per campaign cell (scenario ×
+// impairment × technique). The zero value is not useful; use NewBreakerSet.
+// A nil *BreakerSet is valid everywhere and allows everything, so the pool
+// has a single code path whether breakers are configured or not.
+//
+// One BreakerSet may be shared between Options.Breakers and a Progress (for
+// the /progress breaker column); all methods are safe for concurrent use.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	cells map[[3]string]*cellBreaker
+	reg   *telemetry.Registry
+	opens *telemetry.Counter
+	skips *telemetry.Counter
+}
+
+// NewBreakerSet builds a breaker per cell on demand with cfg, applying the
+// Window/Cooldown defaults. A config with neither trigger active still
+// yields a working set that simply never opens.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultBreakerWindow
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	return &BreakerSet{cfg: cfg, cells: make(map[[3]string]*cellBreaker)}
+}
+
+// instrument binds the set to a registry: transition counters plus one
+// labeled state gauge per cell (0 closed, 1 open, 2 half-open). Called by
+// RunContext; reg may be nil (every handle is nil-safe).
+func (b *BreakerSet) instrument(reg *telemetry.Registry) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reg = reg
+	b.opens = reg.Counter("campaign_breaker_open_total")
+	b.skips = reg.Counter("campaign_breaker_skipped_total")
+	for key, c := range b.cells {
+		c.gauge = b.stateGauge(key)
+		c.gauge.Set(int64(c.state))
+	}
+}
+
+// stateGauge resolves the labeled per-cell state gauge (nil without a
+// registry). Callers hold b.mu.
+func (b *BreakerSet) stateGauge(key [3]string) *telemetry.Gauge {
+	if b.reg == nil {
+		return nil
+	}
+	return b.reg.Gauge(telemetry.Labels("campaign_breaker_state",
+		"scenario", key[0], "impairment", key[1], "technique", key[2]))
+}
+
+// cellLocked returns the cell's breaker, creating it closed. Callers hold
+// b.mu.
+func (b *BreakerSet) cellLocked(key [3]string) *cellBreaker {
+	c, ok := b.cells[key]
+	if !ok {
+		c = &cellBreaker{window: make([]bool, b.cfg.Window), gauge: b.stateGauge(key)}
+		b.cells[key] = c
+	}
+	return c
+}
+
+// cellKey maps a spec to its breaker cell, canonicalizing the pristine
+// impairment the same way records and progress do.
+func cellKey(spec RunSpec) [3]string {
+	return [3]string{spec.Scenario, recordImpairment(spec.Impairment), spec.Technique}
+}
+
+// Allow decides whether a scheduled run of spec's cell may execute. probe is
+// true when the run is the cell's half-open probe — thread it back into
+// Record so the probe's outcome (and only the probe's) drives the half-open
+// transition. A false allow means the pool must emit a BreakerOpenError skip
+// record instead of executing.
+func (b *BreakerSet) Allow(spec RunSpec) (allow, probe bool) {
+	if b == nil {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cellLocked(cellKey(spec))
+	switch c.state {
+	case BreakerOpen:
+		c.cooldownLeft--
+		if c.cooldownLeft <= 0 {
+			c.setState(BreakerHalfOpen)
+		}
+		b.skips.Inc()
+		return false, false
+	case BreakerHalfOpen:
+		if !c.probing {
+			c.probing = true
+			return true, true
+		}
+		b.skips.Inc()
+		return false, false
+	default:
+		return true, false
+	}
+}
+
+// Record feeds one executed run's outcome back into its cell. probe must be
+// the value Allow returned for that run. Outcomes of runs that were already
+// in flight when the breaker opened still update the streak and window but
+// never transition an open or half-open breaker — only the probe does.
+func (b *BreakerSet) Record(spec RunSpec, failure, probe bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cellLocked(cellKey(spec))
+	if probe {
+		c.probing = false
+		if failure {
+			b.tripLocked(c)
+		} else {
+			c.consec, c.fails, c.wn, c.wi = 0, 0, 0, 0
+			c.setState(BreakerClosed)
+		}
+		return
+	}
+	if failure {
+		c.consec++
+	} else {
+		c.consec = 0
+	}
+	if c.wn == len(c.window) { // ring full: evict the oldest outcome
+		if c.window[c.wi] {
+			c.fails--
+		}
+	} else {
+		c.wn++
+	}
+	c.window[c.wi] = failure
+	if failure {
+		c.fails++
+	}
+	c.wi = (c.wi + 1) % len(c.window)
+	if c.state != BreakerClosed {
+		return
+	}
+	tripConsec := b.cfg.Consecutive > 0 && c.consec >= b.cfg.Consecutive
+	tripRate := b.cfg.Rate > 0 && c.wn == len(c.window) &&
+		float64(c.fails)/float64(c.wn) >= b.cfg.Rate
+	if tripConsec || tripRate {
+		b.tripLocked(c)
+	}
+}
+
+// tripLocked opens a breaker and arms its cooldown. Callers hold b.mu.
+func (b *BreakerSet) tripLocked(c *cellBreaker) {
+	c.cooldownLeft = b.cfg.Cooldown
+	c.setState(BreakerOpen)
+	b.opens.Inc()
+}
+
+// setState moves the cell and mirrors the transition into its gauge.
+func (c *cellBreaker) setState(s BreakerState) {
+	c.state = s
+	c.gauge.Set(int64(s))
+}
+
+// State reports a cell's current breaker state (closed for cells that never
+// saw a run, and always closed on a nil set).
+func (b *BreakerSet) State(scenario, impairment, technique string) BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.cells[[3]string{scenario, recordImpairment(impairment), technique}]
+	if !ok {
+		return BreakerClosed
+	}
+	return c.state
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,9 +21,115 @@ const DefaultGrace = 10 * time.Second
 // Executor produces the record for one spec. The claim callback reports
 // whether the run still owns its slot: it returns true exactly once, and
 // false forever after the pool has abandoned the run (wall-clock timeout or
-// drain-grace expiry), in which case the executor must not publish any side
-// effects (traces, shared metrics).
+// drain-grace expiry) or a hedged sibling attempt completed first, in which
+// case the executor must not publish any side effects (traces, shared
+// metrics).
 type Executor func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord
+
+// ErrBudgetExceeded is wrapped into RunContext's returned error when the
+// campaign aborted because its failure budget was spent. The partial records
+// are still returned plan-ordered, so the caller can flush them and print a
+// -resume hint; test with errors.Is.
+var ErrBudgetExceeded = errors.New("campaign: failure budget exceeded")
+
+// DefaultBudgetMinRuns is how many runs must complete before the failure
+// budget is enforced when FailureBudget.MinRuns is 0 — early enough to stop
+// a campaign that is failing wholesale, late enough that one unlucky first
+// run cannot abort everything.
+const DefaultBudgetMinRuns = 8
+
+// FailureBudget aborts a campaign whose error fraction exceeds what the
+// operator budgeted for. The paper's scaling argument cuts both ways: a
+// campaign grinding through a dead vantage or a tarpitting censor is pure
+// exposure with no measurement value, so past the budget the right move is
+// to stop, flush, and leave a resumable file.
+type FailureBudget struct {
+	// Fraction is the error fraction of completed runs allowed before the
+	// campaign aborts. Breaker skips count toward neither side: a skipped
+	// run spent no budget and took no risk.
+	Fraction float64
+	// MinRuns is how many runs must complete (skips excluded) before the
+	// budget is enforced; 0 means DefaultBudgetMinRuns.
+	MinRuns int
+}
+
+// budgetState tracks completed/errored runs and trips at most once.
+type budgetState struct {
+	mu        sync.Mutex
+	budget    FailureBudget
+	completed int
+	errors    int
+	tripped   bool
+}
+
+// observe folds one executed run in and reports whether this observation
+// tripped the budget (true exactly once).
+func (b *budgetState) observe(failed bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.completed++
+	if failed {
+		b.errors++
+	}
+	minRuns := b.budget.MinRuns
+	if minRuns <= 0 {
+		minRuns = DefaultBudgetMinRuns
+	}
+	if b.tripped || b.completed < minRuns {
+		return false
+	}
+	if float64(b.errors)/float64(b.completed) > b.budget.Fraction {
+		b.tripped = true
+		return true
+	}
+	return false
+}
+
+// snapshot returns the counts at (or after) the trip for the error message.
+func (b *budgetState) snapshot() (completed, errs int, tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.completed, b.errors, b.tripped
+}
+
+// DefaultHedgeMinSamples is how many wall-clock latency samples a
+// quantile-derived hedge delay needs before it arms, when
+// HedgeConfig.MinSamples is 0.
+const DefaultHedgeMinSamples = 16
+
+// HedgeConfig enables hedged execution for stragglers: when a run has been
+// in flight longer than the hedge delay, a second attempt of the same spec
+// launches and the first completion wins through the pool's claim gate. The
+// loser's staged telemetry is discarded by the same gate that protects
+// abandoned runs, and because runs are seed-deterministic the two attempts
+// compute identical records — hedging changes tail latency, never results.
+// The zero value disables hedging entirely.
+type HedgeConfig struct {
+	// Delay is a fixed hedge delay; takes precedence over Quantile.
+	Delay time.Duration
+	// Quantile, when Delay is 0, derives the delay from the campaign's live
+	// wall-clock run-latency histogram (e.g. 0.95 hedges past the p95).
+	// Until MinSamples runs have completed there is nothing to derive from
+	// and runs are not hedged.
+	Quantile float64
+	// MinSamples gates the quantile mode; 0 means DefaultHedgeMinSamples.
+	MinSamples int
+}
+
+// enabled reports whether any hedging mode is configured.
+func (h HedgeConfig) enabled() bool { return h.Delay > 0 || h.Quantile > 0 }
+
+// hedgeRuntime is the pool's per-campaign hedging state: a delay oracle and
+// the two counters.
+type hedgeRuntime struct {
+	delay    func() time.Duration // 0 means "do not hedge this run"
+	launched *telemetry.Counter
+	wins     *telemetry.Counter
+}
+
+// DefaultStallFactor sets the stall watchdog threshold to this multiple of
+// the per-run timeout when Options.StallAfter is 0.
+const DefaultStallFactor = 3
 
 // Options parameterizes Run.
 type Options struct {
@@ -33,8 +140,9 @@ type Options struct {
 	// negative disables the timeout.
 	Timeout time.Duration
 	// Grace bounds how long an in-flight run may keep executing after the
-	// context is canceled before the pool abandons it with an error record.
-	// 0 means DefaultGrace; negative drains fully, however long runs take.
+	// context is canceled — or the failure budget aborts the campaign —
+	// before the pool abandons it with an error record. 0 means
+	// DefaultGrace; negative drains fully, however long runs take.
 	Grace time.Duration
 	// Horizon is the population cover-traffic horizon per run; 0 means
 	// DefaultHorizon.
@@ -43,6 +151,28 @@ type Options struct {
 	// value means core.DefaultRetryPolicy(). core.SingleShot() reproduces
 	// the pre-resilience scoring.
 	Retry core.RetryPolicy
+	// Breakers, when set, gates every run through a per-cell circuit
+	// breaker: a cell whose runs keep failing is skipped (explicit
+	// BreakerOpenError records, so resume and aggregates stay exact) until
+	// a half-open probe succeeds. nil runs everything.
+	Breakers *BreakerSet
+	// Budget, when set, aborts the campaign once the error fraction of
+	// completed runs exceeds Budget.Fraction: dispatch stops, in-flight
+	// runs drain within Grace, and RunContext returns the plan-ordered
+	// partial records with ErrBudgetExceeded. nil never aborts.
+	Budget *FailureBudget
+	// Hedge enables hedged execution for stragglers; the zero value is off
+	// and byte-identical to the unhedged pool.
+	Hedge HedgeConfig
+	// StallAfter arms the stall watchdog: if no run completes for this
+	// long while the campaign is mid-flight, campaign_watchdog_stalls_total
+	// increments and a goroutine dump is written to StallDump for
+	// diagnosis. 0 derives DefaultStallFactor× the run timeout (when the
+	// timeout is active); negative disables the watchdog.
+	StallAfter time.Duration
+	// StallDump receives the watchdog's goroutine dump; nil keeps just the
+	// counter.
+	StallDump io.Writer
 	// OnRecord, when set, receives every record as its run completes —
 	// typically a JSONL sink's Write. It may be called from multiple
 	// workers at once; sinks in this package are safe for that. A panic in
@@ -89,8 +219,9 @@ func (opts Options) defaultExecutor(guard func(kind string, f func())) Executor 
 	return func(spec RunSpec, horizon time.Duration, claim func() bool) RunRecord {
 		// Hot-path metrics stage in a registry private to this run and
 		// merge into the shared one only if the run still owns its slot:
-		// a goroutine the pool abandoned at the timeout must not keep
-		// bumping campaign-wide counters from the past.
+		// a goroutine the pool abandoned at the timeout — or a hedged
+		// attempt that lost the race — must not keep bumping campaign-wide
+		// counters from the past.
 		var staged *telemetry.Registry
 		if opts.Metrics != nil {
 			staged = telemetry.NewRegistry()
@@ -103,7 +234,7 @@ func (opts Options) defaultExecutor(guard func(kind string, f func())) Executor 
 			Retry:    opts.Retry,
 		})
 		if !claim() {
-			return rec // abandoned: the timeout record already went out
+			return rec // abandoned or out-hedged: another record went out
 		}
 		opts.Metrics.Merge(staged)
 		if opts.OnTrace != nil {
@@ -128,10 +259,12 @@ func Run(plan *Plan, opts Options) ([]RunRecord, error) {
 // dispatching, lets in-flight runs drain within Options.Grace (then abandons
 // them with error records, behind the same claim gate as the timeout path),
 // and returns the records of every run that was dispatched — still in plan
-// order — together with ctx.Err(). Undispatched specs simply produce no
-// record, which is exactly the shape -resume needs to finish the campaign
-// later. A panic in OnRecord/OnTrace is recovered, counted, and retained as
-// the returned error; the campaign keeps draining either way.
+// order — together with ctx.Err(). A tripped failure budget takes the same
+// drain path but returns ErrBudgetExceeded instead. Undispatched specs
+// simply produce no record, which is exactly the shape -resume needs to
+// finish the campaign later. A panic in OnRecord/OnTrace is recovered,
+// counted, and retained as the returned error; the campaign keeps draining
+// either way.
 func RunContext(ctx context.Context, plan *Plan, opts Options) ([]RunRecord, error) {
 	if plan == nil || len(plan.Specs) == 0 {
 		return nil, fmt.Errorf("campaign: empty plan")
@@ -176,6 +309,7 @@ func RunContext(ctx context.Context, plan *Plan, opts Options) ([]RunRecord, err
 	if execute == nil {
 		execute = opts.defaultExecutor(guard)
 	}
+	opts.Breakers.instrument(opts.Metrics)
 
 	// Pool-level metrics. Every handle is nil-safe, so a nil registry costs
 	// one comparison per use. The wall-clock histogram is the only
@@ -189,6 +323,102 @@ func RunContext(ctx context.Context, plan *Plan, opts Options) ([]RunRecord, err
 	}
 	queued.Set(int64(len(plan.Specs)))
 
+	// Hedging: a quantile-derived delay needs the wall histogram even when
+	// the campaign publishes no metrics, so give it a private one.
+	var hedge *hedgeRuntime
+	if opts.Hedge.enabled() {
+		cfg := opts.Hedge
+		if cfg.Delay <= 0 && wallHist == nil {
+			wallHist = telemetry.NewRegistry().HistogramBuckets("campaign_run_wall_seconds", 1e-3, 2, 24)
+		}
+		minSamples := cfg.MinSamples
+		if minSamples <= 0 {
+			minSamples = DefaultHedgeMinSamples
+		}
+		hist := wallHist
+		hedge = &hedgeRuntime{
+			launched: opts.Metrics.Counter("campaign_hedged_runs_total"),
+			wins:     opts.Metrics.Counter("campaign_hedge_wins_total"),
+			delay: func() time.Duration {
+				if cfg.Delay > 0 {
+					return cfg.Delay
+				}
+				if hist.Count() < int64(minSamples) {
+					return 0
+				}
+				d := time.Duration(hist.Quantile(cfg.Quantile) * float64(time.Second))
+				if d < time.Millisecond {
+					d = time.Millisecond
+				}
+				return d
+			},
+		}
+	}
+
+	// The failure budget aborts through a context derived from the caller's:
+	// dispatch and the drain-grace machinery see one cancellation signal
+	// whether the user interrupted or the budget tripped; the two cases are
+	// told apart after the pool drains.
+	runCtx, abort := context.WithCancel(ctx)
+	defer abort()
+	var budget *budgetState
+	budgetTrips := opts.Metrics.Counter("campaign_budget_aborts_total")
+	if opts.Budget != nil {
+		budget = &budgetState{budget: *opts.Budget}
+	}
+
+	// Stall watchdog: fires when no record has completed for stallAfter
+	// while the campaign is still mid-flight — the signature of every worker
+	// wedged at once (or a deadlock this layer introduced), which per-run
+	// timeouts alone cannot distinguish from slow progress.
+	stallAfter := opts.StallAfter
+	if stallAfter == 0 && timeout > 0 {
+		stallAfter = DefaultStallFactor * timeout
+	}
+	var lastDone atomic.Int64
+	lastDone.Store(time.Now().UnixNano())
+	if stallAfter > 0 {
+		stalls := opts.Metrics.Counter("campaign_watchdog_stalls_total")
+		stop := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			period := stallAfter / 8
+			if period < 5*time.Millisecond {
+				period = 5 * time.Millisecond
+			}
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			fired := false
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				idle := time.Since(time.Unix(0, lastDone.Load()))
+				if idle < stallAfter {
+					fired = false // progress resumed: re-arm for the next episode
+					continue
+				}
+				if fired {
+					continue // one report per stall episode
+				}
+				fired = true
+				stalls.Inc()
+				if opts.StallDump != nil {
+					fmt.Fprintf(opts.StallDump,
+						"campaign: watchdog: no run completed for %v (threshold %v); goroutine dump:\n",
+						idle.Round(time.Millisecond), stallAfter)
+					_, _ = telemetry.GoroutineDump(opts.StallDump)
+				}
+			}
+		}()
+		// The watchdog must be fully stopped before RunContext returns so a
+		// caller-owned StallDump writer is never written to after return.
+		defer func() { close(stop); <-watchDone }()
+	}
+
 	records := make([]RunRecord, len(plan.Specs))
 	specs := make(chan RunSpec)
 	var wg sync.WaitGroup
@@ -198,11 +428,26 @@ func RunContext(ctx context.Context, plan *Plan, opts Options) ([]RunRecord, err
 			defer wg.Done()
 			for spec := range specs {
 				queued.Add(-1)
-				inflight.Add(1)
-				start := time.Now()
-				rec := runGuarded(ctx, spec, execute, opts.Horizon, timeout, grace)
-				wallHist.Observe(time.Since(start).Seconds())
-				inflight.Add(-1)
+				var rec RunRecord
+				allow, probe := opts.Breakers.Allow(spec)
+				if !allow {
+					// Skipped by an open breaker: an explicit error record
+					// with no execution, so the sink, aggregates, and a
+					// later -resume all see exactly which runs were shed.
+					rec = errorRecord(spec, errBreakerOpen)
+				} else {
+					inflight.Add(1)
+					start := time.Now()
+					rec = runGuarded(runCtx, spec, execute, opts.Horizon, timeout, grace, hedge)
+					wallHist.Observe(time.Since(start).Seconds())
+					inflight.Add(-1)
+					opts.Breakers.Record(spec, rec.Error != "", probe)
+					if budget != nil && budget.observe(rec.Error != "") {
+						budgetTrips.Inc()
+						abort()
+					}
+				}
+				lastDone.Store(time.Now().UnixNano())
 				if m := opts.Metrics; m != nil {
 					fam := familyOf(spec.Technique)
 					m.Counter(telemetry.Labels("campaign_runs_total", "family", fam)).Inc()
@@ -225,9 +470,10 @@ func RunContext(ctx context.Context, plan *Plan, opts Options) ([]RunRecord, err
 			}
 		}()
 	}
-	// Dispatch until the plan is exhausted or the context cancels; specs
-	// already handed to a worker always produce a record (dispatched is
-	// written only here, before close, and read only after wg.Wait).
+	// Dispatch until the plan is exhausted or the run context cancels
+	// (caller interrupt or budget abort); specs already handed to a worker
+	// always produce a record (dispatched is written only here, before
+	// close, and read only after wg.Wait).
 	dispatched := make([]bool, len(plan.Specs))
 	ndispatched := 0
 dispatch:
@@ -235,14 +481,14 @@ dispatch:
 		// The explicit Err check first: a select with a ready worker AND a
 		// canceled context picks randomly, which would leak specs into a
 		// campaign that already asked to stop.
-		if ctx.Err() != nil {
+		if runCtx.Err() != nil {
 			break
 		}
 		select {
 		case specs <- spec:
 			dispatched[spec.Index] = true
 			ndispatched++
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break dispatch
 		}
 	}
@@ -252,11 +498,7 @@ dispatch:
 	cbMu.Lock()
 	err := cbErr
 	cbMu.Unlock()
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		if m := opts.Metrics; m != nil {
-			m.Counter("campaign_cancel_total").Inc()
-			m.Counter("campaign_canceled_specs_total").Add(int64(len(plan.Specs) - ndispatched))
-		}
+	partialOf := func() []RunRecord {
 		queued.Set(0) // undispatched specs are no longer pending
 		partial := make([]RunRecord, 0, ndispatched)
 		for i, rec := range records {
@@ -264,54 +506,140 @@ dispatch:
 				partial = append(partial, rec)
 			}
 		}
-		return partial, errors.Join(ctxErr, err)
+		return partial
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		if m := opts.Metrics; m != nil {
+			m.Counter("campaign_cancel_total").Inc()
+			m.Counter("campaign_canceled_specs_total").Add(int64(len(plan.Specs) - ndispatched))
+		}
+		return partialOf(), errors.Join(ctxErr, err)
+	}
+	if budget != nil {
+		if completed, errs, tripped := budget.snapshot(); tripped {
+			return partialOf(), errors.Join(fmt.Errorf(
+				"%w: %d of %d completed runs errored (budget %.3f); undispatched runs left for -resume",
+				ErrBudgetExceeded, errs, completed, opts.Budget.Fraction), err)
+		}
 	}
 	return records, err
 }
 
+// attemptOut is one execution attempt's result, tagged with the attempt id
+// so runGuarded can tell a hedge winner from a loser.
+type attemptOut struct {
+	rec RunRecord
+	id  int32
+}
+
+// poolAttempt is the claim id runGuarded uses when IT claims a run — at the
+// timeout or the drain-grace expiry — rather than any executing attempt.
+const poolAttempt int32 = -1
+
 // runGuarded executes one spec with panic recovery, a wall-clock timeout,
-// and cancellation-with-grace. The run proceeds in a fresh goroutine so a
-// wedged simulator cannot occupy a worker forever; on timeout — or on
-// context cancel once the drain grace expires — the goroutine is abandoned.
-// The claim token decides which side owns the outcome: exactly one of the
-// run (just before publishing its traces and staged metrics) and the
-// abandon path wins the CompareAndSwap, so an abandoned run can never leak
-// side effects into the campaign after its error record was emitted.
+// cancellation-with-grace, and optional hedging. Each attempt proceeds in a
+// fresh goroutine so a wedged simulator cannot occupy a worker forever; on
+// timeout — or on context cancel once the drain grace expires — the
+// goroutines are abandoned. When a hedge is armed and the first attempt is
+// still in flight past the hedge delay, a second attempt of the same spec
+// launches; all attempts and the abandon path share one claim token, so
+// exactly one side owns the outcome: the claiming attempt's record is
+// returned and every loser's staged telemetry is discarded by the gate it
+// failed. The wall-clock timeout spans the whole run, hedged or not.
 func runGuarded(ctx context.Context, spec RunSpec, execute Executor,
-	horizon, timeout, grace time.Duration) RunRecord {
+	horizon, timeout, grace time.Duration, hedge *hedgeRuntime) RunRecord {
 	var claimed atomic.Bool
-	claim := func() bool { return claimed.CompareAndSwap(false, true) }
-	done := make(chan RunRecord, 1)
-	go func() {
-		defer func() {
-			if p := recover(); p != nil {
-				// The buffered send cannot block: a panic means the normal
-				// send never happened. If the timeout already claimed the
-				// run, nobody reads this record and it is simply dropped.
-				done <- errorRecord(spec, fmt.Errorf("panic: %v", p))
+	var winner atomic.Int32
+	claimFor := func(id int32) func() bool {
+		return func() bool {
+			if claimed.CompareAndSwap(false, true) {
+				winner.Store(id)
+				return true
 			}
+			return false
+		}
+	}
+	done := make(chan attemptOut, 2) // buffered: losers send and exit, never leak
+	launch := func(id int32) {
+		claim := claimFor(id)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					// The buffered send cannot block: a panic means the
+					// normal send never happened. A panicking attempt does
+					// not claim, mirroring the unhedged pool: if nobody else
+					// owns the run, its error record is what gets returned.
+					done <- attemptOut{errorRecord(spec, fmt.Errorf("panic: %v", p)), id}
+				}
+			}()
+			done <- attemptOut{execute(spec, horizon, claim), id}
 		}()
-		done <- execute(spec, horizon, claim)
-	}()
+	}
+	launch(0)
+	pending := 1
+	poolClaim := claimFor(poolAttempt)
+
+	// awaitWinner drains attempt results until the claiming attempt's
+	// record arrives — the pool lost the claim race, so some attempt owns
+	// the outcome and its send is guaranteed (claim happens inside the
+	// attempt before it returns or panics).
+	awaitWinner := func() RunRecord {
+		for {
+			out := <-done
+			if out.id == winner.Load() {
+				return out.rec
+			}
+		}
+	}
+
 	var timeoutC <-chan time.Time
 	if timeout >= 0 {
 		timer := time.NewTimer(timeout)
 		defer timer.Stop()
 		timeoutC = timer.C
 	}
+	var hedgeC <-chan time.Time
+	if hedge != nil {
+		if d := hedge.delay(); d > 0 {
+			hedgeTimer := time.NewTimer(d)
+			defer hedgeTimer.Stop()
+			hedgeC = hedgeTimer.C
+		}
+	}
 	ctxDone := ctx.Done()
 	var graceC <-chan time.Time
 	for {
 		select {
-		case rec := <-done:
-			return rec
+		case out := <-done:
+			pending--
+			if claimed.Load() {
+				if out.id != winner.Load() {
+					continue // a loser finished first; the winner's send is coming
+				}
+				if out.id > 0 {
+					hedge.wins.Inc()
+				}
+				return out.rec
+			}
+			// Nobody claimed (the attempt panicked before claiming, or the
+			// executor never called claim). With another attempt still in
+			// flight, wait for it; otherwise this record is the outcome,
+			// exactly as in the unhedged pool.
+			if pending == 0 {
+				return out.rec
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedge.launched.Inc()
+			launch(1)
+			pending++
 		case <-timeoutC:
-			if claim() {
+			if poolClaim() {
 				return errorRecord(spec, fmt.Errorf("run exceeded %v wall-clock timeout", timeout))
 			}
-			// The run claimed completion between the timer firing and our
+			// An attempt claimed completion between the timer firing and our
 			// claim attempt; its side effects are published, take its record.
-			return <-done
+			return awaitWinner()
 		case <-ctxDone:
 			// Canceled: give the run the drain grace, then abandon it. A
 			// negative grace drains fully (no deadline beyond the timeout).
@@ -322,11 +650,11 @@ func runGuarded(ctx context.Context, spec RunSpec, execute Executor,
 				graceC = graceTimer.C
 			}
 		case <-graceC:
-			if claim() {
+			if poolClaim() {
 				return errorRecord(spec, fmt.Errorf(
 					"campaign canceled: run abandoned after %v drain grace", grace))
 			}
-			return <-done
+			return awaitWinner()
 		}
 	}
 }

@@ -187,8 +187,11 @@ func (e *encoder) name(name string) error {
 		if len(e.buf) < 0x3fff {
 			e.names[name] = len(e.buf)
 		}
-		label, rest, _ := strings.Cut(name, ".")
-		if label == "" {
+		label, rest, cut := strings.Cut(name, ".")
+		if label == "" || (cut && rest == "") {
+			// Empty labels, including a trailing dot that survived
+			// canonicalization ("a.."), must error rather than silently
+			// encode as a shorter name.
 			return ErrBadName
 		}
 		if len(label) > 63 {

@@ -103,14 +103,16 @@ func (r *Reassembler) Pending() int { return len(r.bufs) }
 
 // Add ingests one datagram. For a non-fragment it is returned unchanged.
 // For a fragment, Add returns the fully reassembled datagram once every
-// piece has arrived, or nil while pieces are missing.
+// piece has arrived, or nil while pieces are missing. Input that does not
+// parse at the IP layer yields nil: the reassembler never emits bytes a
+// downstream decoder would choke on.
 func (r *Reassembler) Add(now int64, raw []byte) []byte {
-	if !IsFragment(raw) {
-		return raw
-	}
 	var ip IPv4
 	if err := ip.DecodeFromBytes(raw); err != nil {
 		return nil
+	}
+	if ip.Flags&IPFlagMoreFragment == 0 && ip.FragOff == 0 {
+		return raw // a whole datagram, passed through
 	}
 	key := fragKey{ip.Src, ip.Dst, ip.ID, ip.Protocol}
 	buf, ok := r.bufs[key]

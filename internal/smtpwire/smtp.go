@@ -196,6 +196,9 @@ func ParseMessage(data []byte) (*Message, int, error) {
 	}
 	var lines []string
 	for _, line := range strings.Split(body, "\r\n") {
+		// Stray bare CRs (from "\r\r\n" on the wire) are normalized away,
+		// mirroring Marshal, so parse/marshal round trips are stable.
+		line = strings.TrimRight(line, "\r")
 		lines = append(lines, strings.TrimPrefix(line, "."))
 	}
 	m.Body = strings.Join(lines, "\n")

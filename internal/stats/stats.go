@@ -221,6 +221,40 @@ func (s *Summary) Max() float64 {
 	return s.MaxV
 }
 
+// Z95 is the two-sided 95% normal critical value, the conventional z for
+// Wilson confidence intervals.
+const Z95 = 1.959963984540054
+
+// Wilson returns the Wilson score interval for a binomial proportion:
+// successes out of n trials at critical value z. Unlike the naive normal
+// approximation it stays inside [0, 1] and behaves sanely at the extremes
+// (0/n and n/n give intervals that still exclude nothing prematurely),
+// which is exactly what small per-cell campaign counts need. With n <= 0
+// there is no information and the interval is the whole [0, 1].
+func Wilson(successes, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(successes) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 || successes <= 0 {
+		lo = 0 // exactly 0 at p=0; the formula only wobbles by rounding
+	}
+	if hi > 1 || successes >= n {
+		hi = 1 // exactly 1 at p=1, same reason
+	}
+	return lo, hi
+}
+
+// Wilson95 is Wilson at the conventional 95% confidence level.
+func Wilson95(successes, n int) (lo, hi float64) { return Wilson(successes, n, Z95) }
+
 // Ratio formats a/b as both a fraction and a percentage, guarding b == 0.
 func Ratio(a, b int) string {
 	if b == 0 {

@@ -208,3 +208,72 @@ func TestSummary(t *testing.T) {
 		t.Fatalf("mean = %v, want 1.875", s.Mean())
 	}
 }
+
+func TestWilsonKnownValues(t *testing.T) {
+	// 5/10 at z=1.96 is the textbook example: (0.2366, 0.7634) to 4 places.
+	lo, hi := Wilson(5, 10, 1.96)
+	if math.Abs(lo-0.2366) > 5e-4 || math.Abs(hi-0.7634) > 5e-4 {
+		t.Fatalf("Wilson(5,10,1.96) = (%.4f, %.4f), want (0.2366, 0.7634)", lo, hi)
+	}
+	// A perfect score still leaves a lower bound well below 1: small n
+	// cannot certify perfection, which is the whole point of reporting the
+	// interval next to the accuracy column.
+	lo, hi = Wilson95(10, 10)
+	if hi != 1 {
+		t.Fatalf("hi = %v for 10/10, want exactly 1", hi)
+	}
+	if lo >= 1 || lo < 0.6 || lo > 0.8 {
+		t.Fatalf("lo = %v for 10/10, want ~0.72", lo)
+	}
+	// Zero successes mirror: lo clamps to 0.
+	lo, hi = Wilson95(0, 10)
+	if lo != 0 || hi <= 0 || hi >= 0.4 {
+		t.Fatalf("Wilson95(0,10) = (%v, %v)", lo, hi)
+	}
+}
+
+func TestWilsonNoData(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if lo, hi := Wilson95(0, n); lo != 0 || hi != 1 {
+			t.Fatalf("Wilson95(0,%d) = (%v, %v), want the whole [0,1]", n, lo, hi)
+		}
+	}
+}
+
+func TestQuickWilsonBounds(t *testing.T) {
+	// For any counts the interval stays inside [0,1], is ordered, and
+	// contains the point estimate.
+	f := func(successes, n uint8) bool {
+		s, nn := int(successes), int(n)
+		if s > nn {
+			s, nn = nn, s
+		}
+		lo, hi := Wilson95(s, nn)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		if nn > 0 {
+			p := float64(s) / float64(nn)
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWilsonNarrowsWithN(t *testing.T) {
+	// At a fixed proportion, more trials must never widen the interval.
+	f := func(k uint8) bool {
+		n := int(k)%500 + 2
+		lo1, hi1 := Wilson95(n/2, n)
+		lo2, hi2 := Wilson95(n*5, n*10)
+		return (hi2 - lo2) <= (hi1 - lo1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"io"
+	"runtime"
+)
+
+// goroutineDumpMax caps the dump buffer: a campaign wedged with thousands of
+// goroutines still produces a useful (if truncated) dump instead of an
+// unbounded allocation inside an already-sick process.
+const goroutineDumpMax = 64 << 20
+
+// GoroutineDump writes the stack trace of every live goroutine to w — the
+// diagnostic payload of the campaign stall watchdog. The buffer grows until
+// the full dump fits (or the 64 MiB cap is hit, truncating), and the whole
+// dump is written with a single Write so concurrent writers to the same
+// stream interleave at dump granularity, not line granularity.
+func GoroutineDump(w io.Writer) (int, error) {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) || len(buf) >= goroutineDumpMax {
+			return w.Write(buf[:n])
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGoroutineDump(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := GoroutineDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	out := buf.String()
+	// The dump must cover all goroutines: at minimum this test's own frame
+	// and the scheduler's header lines.
+	if !strings.HasPrefix(out, "goroutine ") {
+		t.Fatalf("dump does not start with a goroutine header:\n%.200s", out)
+	}
+	if !strings.Contains(out, "TestGoroutineDump") {
+		t.Fatalf("dump missing the calling goroutine:\n%.500s", out)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errShort }
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func TestGoroutineDumpPropagatesWriteError(t *testing.T) {
+	if _, err := GoroutineDump(failWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

@@ -18,6 +18,24 @@ go test ./...
 go test -race ./internal/campaign ./internal/telemetry ./internal/netsim ./internal/core ./internal/population
 go test -race ./internal/chaos
 
+# Fuzz smoke pass over every wire decoder. The seed corpora always run as
+# plain tests (they are part of `go test ./...` above); the bounded
+# coverage-guided pass is opt-in because it costs ~5s per target.
+if [ "${VERIFY_FUZZ:-0}" = "1" ]; then
+  for target in FuzzParseMessage FuzzNameRoundTrip; do
+    go test -fuzz="^${target}\$" -fuzztime=5s ./internal/dnswire
+  done
+  for target in FuzzParse FuzzReassembler; do
+    go test -fuzz="^${target}\$" -fuzztime=5s ./internal/packet
+  done
+  for target in FuzzParseRequest FuzzParseResponse; do
+    go test -fuzz="^${target}\$" -fuzztime=5s ./internal/httpwire
+  done
+  for target in FuzzParseCommand FuzzParseReply FuzzParseMessage; do
+    go test -fuzz="^${target}\$" -fuzztime=5s ./internal/smtpwire
+  done
+fi
+
 # Interrupt-then-resume smoke test: a real SIGINT against the built binary
 # must exit 130 with a valid partial file, and -resume must finish the
 # campaign to exactly the planned record count. This exercises the signal
