@@ -54,6 +54,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -73,6 +74,10 @@ const exitInterrupted = 130
 // itself being too sick to continue, not an operator signal, so scripts can
 // tell the two apart.
 const exitBudgetAbort = 3
+
+// poolRunning backs /readyz when -metrics-addr is set: true exactly while
+// the campaign pool is dispatching runs.
+var poolRunning atomic.Bool
 
 func main() {
 	techniques := flag.String("techniques", "all", "comma-separated technique names, or all")
@@ -213,7 +218,16 @@ func main() {
 		reg = telemetry.NewRegistry()
 		prog = campaign.NewProgress(plan)
 		prog.Breakers(breakers)
+		// /readyz mirrors the pool lifecycle: ready while the campaign is
+		// dispatching runs, not before the pool starts nor once it drains —
+		// the same contract safemeasured serves, so probes work on both.
 		srv, addr, err := telemetry.Serve(*metricsAddr, reg, func() any { return prog.Snapshot() },
+			func() error {
+				if !poolRunning.Load() {
+					return errors.New("campaign pool not running")
+				}
+				return nil
+			},
 			func(err error) { fmt.Fprintln(os.Stderr, "campaign: metrics server:", err) })
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign: metrics server:", err)
@@ -314,7 +328,9 @@ func main() {
 	}()
 
 	start := time.Now()
+	poolRunning.Store(true)
 	recs, err := campaign.RunContext(ctx, plan, opts)
+	poolRunning.Store(false)
 	signal.Stop(sigc)
 	close(sigc)
 	interrupted := errors.Is(err, context.Canceled)
@@ -411,23 +427,12 @@ func splitCSV(s string) []string {
 }
 
 // readDone loads the coordinates of error-free runs already in a JSONL
-// file. truncateAt, when >= 0, is the offset of a corrupt trailing line
-// the caller must truncate away before appending.
+// file via the shared campaign.ReadDoneFile identity helper. truncateAt,
+// when >= 0, is the offset of a corrupt trailing line the caller must
+// truncate away before appending.
 func readDone(path string) (map[campaign.DoneKey]bool, int64, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return map[campaign.DoneKey]bool{}, -1, nil
-	}
-	if err != nil {
-		return nil, -1, err
-	}
-	defer f.Close()
-	recs, truncateAt, err := campaign.ReadJSONLResume(f, func(line int, err error) {
+	return campaign.ReadDoneFile(path, func(line int, err error) {
 		fmt.Fprintf(os.Stderr, "campaign: -resume: skipping corrupt trailing line %d of %s: %v\n",
 			line, path, err)
 	})
-	if err != nil {
-		return nil, -1, fmt.Errorf("campaign: -resume: %w", err)
-	}
-	return campaign.DoneSet(recs), truncateAt, nil
 }

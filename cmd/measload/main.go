@@ -1,0 +1,259 @@
+// Command measload drives a safemeasured service with N concurrent
+// simulated clients and reports throughput, latency quantiles, and the
+// service's cache hit rate — the harness worker-scaling work is measured
+// against.
+//
+// Each client issues -requests sequential requests drawn from a built-in
+// mix of applicable (technique, scenario) cells; -dup-every k makes every
+// k-th request repeat the client's first cell, guaranteeing duplicate
+// requests that must be served from the result cache. Because responses
+// are deterministic for a given cell identity, measload also byte-compares
+// every repeated request against the first response for that identity —
+// any divergence (a cache returning different bytes than a fresh run) is a
+// hard failure.
+//
+// Usage:
+//
+//	measload -addr http://127.0.0.1:8080 -clients 50 -requests 4
+//	measload -clients 200 -requests 10 -trials 3 -dup-every 2
+//	measload -addr http://$(cat /tmp/addr) -min-cache-hits 1
+//
+// Exit codes: 0 all requests succeeded (and -min-cache-hits was met, and
+// all duplicate responses were byte-identical), 1 otherwise, 2 usage.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// mixCells is the request mix: applicable (technique, scenario) pairs from
+// the E11 matrix, spanning overt, mimicry, and spoofed families.
+var mixCells = []struct{ technique, scenario string }{
+	{"overt-dns", "dns-poison"},
+	{"overt-http", "keyword-rst"},
+	{"overt-tcp", "blackhole"},
+	{"spam", "dns-poison"},
+	{"syn-scan", "port-block"},
+	{"spoofed-dns", "dns-poison"},
+	{"ddos", "keyword-rst"},
+	{"stateful-spoof", "keyword-rst"},
+}
+
+// result is one request's outcome.
+type result struct {
+	latency time.Duration
+	runs    int
+	err     error
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "safemeasured base URL")
+	clients := flag.Int("clients", 50, "concurrent simulated clients")
+	requests := flag.Int("requests", 4, "sequential requests per client")
+	trials := flag.Int("trials", 2, "trials per request")
+	seed := flag.Int64("seed", 1, "master seed sent with every request")
+	dupEvery := flag.Int("dup-every", 2, "every k-th request per client repeats its first cell (0 disables)")
+	minCacheHits := flag.Int("min-cache-hits", 0, "fail unless the service's measured_cache_hits_total grew by at least this much")
+	reqTimeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	flag.Parse()
+	if *clients < 1 || *requests < 1 || *trials < 1 {
+		fmt.Fprintln(os.Stderr, "measload: -clients, -requests, and -trials must be >= 1")
+		os.Exit(2)
+	}
+
+	httpc := &http.Client{Timeout: *reqTimeout}
+	before, err := scrapeMetrics(httpc, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measload: initial /metrics scrape:", err)
+		os.Exit(1)
+	}
+
+	// bodies maps a request identity to the sha256 of its first response;
+	// every later response for the same identity must match byte for byte.
+	var bodiesMu sync.Mutex
+	bodies := map[string][32]byte{}
+	mismatches := 0
+
+	results := make([]result, *clients**requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			clientID := fmt.Sprintf("loadclient-%03d", c)
+			for r := 0; r < *requests; r++ {
+				// Cell choice: stride through the mix so clients overlap
+				// (cross-client cache hits); every k-th request repeats the
+				// client's first cell (guaranteed same-client duplicate).
+				idx := (c*7 + r) % len(mixCells)
+				if *dupEvery > 0 && r > 0 && r%*dupEvery == 0 {
+					idx = (c * 7) % len(mixCells)
+				}
+				cell := mixCells[idx]
+				url := fmt.Sprintf("%s/measure?technique=%s&scenario=%s&trials=%d&seed=%d&client=%s",
+					*addr, cell.technique, cell.scenario, *trials, *seed, clientID)
+				identity := fmt.Sprintf("%s|%s|%d|%d", cell.technique, cell.scenario, *trials, *seed)
+
+				t0 := time.Now()
+				body, runs, err := fetch(httpc, url)
+				res := result{latency: time.Since(t0), runs: runs, err: err}
+				if err == nil {
+					sum := sha256.Sum256(body)
+					bodiesMu.Lock()
+					if prev, ok := bodies[identity]; ok && prev != sum {
+						mismatches++
+					} else if !ok {
+						bodies[identity] = sum
+					}
+					bodiesMu.Unlock()
+				}
+				results[c**requests+r] = res
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeMetrics(httpc, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measload: final /metrics scrape:", err)
+		os.Exit(1)
+	}
+
+	var latencies []float64
+	var errs, totalRuns int
+	for _, res := range results {
+		if res.err != nil {
+			errs++
+			fmt.Fprintln(os.Stderr, "measload:", res.err)
+			continue
+		}
+		totalRuns += res.runs
+		latencies = append(latencies, res.latency.Seconds()*1000)
+	}
+	sort.Float64s(latencies)
+
+	hits := after["measured_cache_hits_total"] - before["measured_cache_hits_total"]
+	misses := after["measured_cache_misses_total"] - before["measured_cache_misses_total"]
+	joins := after["measured_dedup_joins_total"] - before["measured_dedup_joins_total"]
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = hits / (hits + misses)
+	}
+
+	n := len(results)
+	fmt.Printf("measload: %d clients x %d requests (%d trials each) in %v\n",
+		*clients, *requests, *trials, elapsed.Round(time.Millisecond))
+	fmt.Printf("  requests: %d ok, %d errors (%.1f req/s)\n",
+		n-errs, errs, float64(n-errs)/elapsed.Seconds())
+	fmt.Printf("  runs:     %d streamed (%.1f runs/s)\n",
+		totalRuns, float64(totalRuns)/elapsed.Seconds())
+	if len(latencies) > 0 {
+		fmt.Printf("  latency:  p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
+			quantile(latencies, 0.50), quantile(latencies, 0.90),
+			quantile(latencies, 0.99), latencies[len(latencies)-1])
+	}
+	fmt.Printf("  cache:    %.0f hits, %.0f misses, %.0f dedup joins (%.0f%% hit rate)\n",
+		hits, misses, joins, hitRate*100)
+	fmt.Printf("  identity: %d distinct request identities, %d byte mismatches\n",
+		len(bodies), mismatches)
+
+	fail := false
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "measload: %d requests failed\n", errs)
+		fail = true
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "measload: %d duplicate responses were NOT byte-identical\n", mismatches)
+		fail = true
+	}
+	if hits < float64(*minCacheHits) {
+		fmt.Fprintf(os.Stderr, "measload: measured_cache_hits_total grew by %.0f, want >= %d\n",
+			hits, *minCacheHits)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// fetch performs one /measure request and returns the full response body
+// and how many run records it carried. It validates the NDJSON shape: at
+// least one record line plus the terminal aggregate frame.
+func fetch(httpc *http.Client, url string) (body []byte, runs int, err error) {
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) < 2 {
+		return nil, 0, fmt.Errorf("%s: want >= 2 NDJSON lines, got %d", url, len(lines))
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"aggregate"`) {
+		return nil, 0, fmt.Errorf("%s: response not terminated by an aggregate frame", url)
+	}
+	return body, len(lines) - 1, nil
+}
+
+// scrapeMetrics fetches /metrics and parses `name value` lines into a map
+// (labeled series keep their label string in the name).
+func scrapeMetrics(httpc *http.Client, addr string) (map[string]float64, error) {
+	resp, err := httpc.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out, nil
+}
+
+// quantile returns the q-th quantile of sorted samples (nearest rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.999999)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}

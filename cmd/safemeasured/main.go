@@ -1,0 +1,158 @@
+// Command safemeasured serves measurements as a long-running service: a
+// persistent campaign worker pool shared by every client, fronted by a
+// bounded admission queue with per-client token-bucket rate limits and
+// round-robin fairness, and a result cache keyed by the deterministic
+// (technique, scenario, impairment, trial, seed) cell identity — a cache
+// hit returns bytes identical to a fresh run.
+//
+// Usage:
+//
+//	safemeasured -addr 127.0.0.1:8080 -workers 8
+//	safemeasured -addr 127.0.0.1:0 -addr-file /tmp/addr   # ephemeral port
+//	safemeasured -rate 100 -burst 200 -queue 4096 -cache-max 100000
+//	safemeasured -breaker 5 -fail-budget 0.5              # supervision
+//
+// Endpoints:
+//
+//	POST/GET /measure — submit a request, stream NDJSON records + aggregate
+//	GET /metrics      — Prometheus text (measured_* and campaign_* series)
+//	GET /healthz      — liveness (200 while the process serves)
+//	GET /readyz       — readiness (503 while draining or degraded)
+//
+// Shutdown: the first SIGINT/SIGTERM starts a graceful drain — /readyz
+// goes 503, new requests are rejected, admitted runs and open streams
+// complete within -drain-grace, then the pool stops and the process exits
+// 0. A drain that cannot finish in time abandons the stragglers through
+// the campaign claim gate and exits 1; a second signal exits 1 immediately.
+//
+// Exit codes: 0 clean drain, 1 unclean shutdown or serve error, 2 usage.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"safemeasure/internal/campaign"
+	"safemeasure/internal/core"
+	"safemeasure/internal/measured"
+	"safemeasure/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "persistent pool size")
+	timeout := flag.Duration("timeout", 60*time.Second, "wall-clock budget per run")
+	retries := flag.Int("retries", core.DefaultMaxAttempts, "max probe attempts per run")
+	queueMax := flag.Int("queue", measured.DefaultQueueMax, "max admitted-but-unscheduled runs across all clients")
+	rate := flag.Float64("rate", measured.DefaultRatePerSec, "per-client request rate limit (requests/s; negative disables)")
+	burst := flag.Int("burst", measured.DefaultBurst, "per-client rate-limit burst")
+	cacheMax := flag.Int("cache-max", measured.DefaultCacheMax, "result cache capacity (records)")
+	maxRuns := flag.Int("max-runs", measured.DefaultMaxRunsPerRequest, "max runs one request may expand into")
+	breakerN := flag.Int("breaker", 0, "per-cell circuit breaker: open after N consecutive failed runs (0 disables)")
+	failBudget := flag.Float64("fail-budget", -1, "degrade the service when more than this fraction of completed runs are errors (negative disables)")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a shutdown lets admitted runs and open streams finish")
+	flag.Parse()
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *retries < 1 {
+		fmt.Fprintf(os.Stderr, "safemeasured: -retries must be >= 1 (got %d)\n", *retries)
+		os.Exit(2)
+	}
+	retry := core.DefaultRetryPolicy()
+	retry.MaxAttempts = *retries
+
+	reg := telemetry.NewRegistry()
+	cfg := measured.Config{
+		Workers:           *workers,
+		Timeout:           *timeout,
+		Retry:             retry,
+		QueueMax:          *queueMax,
+		RatePerSec:        *rate,
+		Burst:             *burst,
+		CacheMax:          *cacheMax,
+		MaxRunsPerRequest: *maxRuns,
+		Metrics:           reg,
+	}
+	if *breakerN > 0 {
+		cfg.Breaker = campaign.BreakerConfig{Consecutive: *breakerN}
+	}
+	if *failBudget >= 0 {
+		cfg.Budget = &campaign.FailureBudget{Fraction: *failBudget}
+	}
+	svc := measured.New(cfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/measure", svc.Handler())
+	mux.Handle("/", telemetry.Handler(reg, nil, svc.Ready))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safemeasured:", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "safemeasured:", err)
+			os.Exit(1)
+		}
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "safemeasured: serving /measure, /metrics, /healthz, /readyz on %s (%d workers)\n",
+		ln.Addr(), *workers)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "safemeasured:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "safemeasured: %v: draining (up to %v); signal again to exit immediately\n",
+			sig, *drainGrace)
+	}
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "safemeasured: second signal: exiting now")
+		os.Exit(1)
+	}()
+
+	// Drain order matters: mark not-ready first so load balancers stop
+	// sending, let open request streams finish (srv.Shutdown waits for
+	// handlers, which wait for their runs), then drain whatever is still
+	// queued (disconnected clients' flights) and stop the pool.
+	svc.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	clean := true
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "safemeasured: http shutdown:", err)
+		srv.Close()
+		clean = false
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "safemeasured:", err)
+		clean = false
+	}
+	if !clean {
+		fmt.Fprintln(os.Stderr, "safemeasured: unclean shutdown: in-flight work was abandoned")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "safemeasured: drained cleanly")
+}

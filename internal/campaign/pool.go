@@ -448,21 +448,7 @@ func RunContext(ctx context.Context, plan *Plan, opts Options) ([]RunRecord, err
 					}
 				}
 				lastDone.Store(time.Now().UnixNano())
-				if m := opts.Metrics; m != nil {
-					fam := familyOf(spec.Technique)
-					m.Counter(telemetry.Labels("campaign_runs_total", "family", fam)).Inc()
-					if rec.Error != "" {
-						m.Counter("campaign_errors_total").Inc()
-					} else {
-						virtHist.Observe(rec.ElapsedMS)
-						if rec.Correct {
-							m.Counter(telemetry.Labels("campaign_correct_total", "family", fam)).Inc()
-						}
-						if rec.Verdict == "inconclusive" {
-							m.Counter(telemetry.Labels("campaign_inconclusive_total", "family", fam)).Inc()
-						}
-					}
-				}
+				accountRun(opts.Metrics, spec, rec, virtHist)
 				records[spec.Index] = rec
 				if opts.OnRecord != nil {
 					guard("OnRecord", func() { opts.OnRecord(rec) })

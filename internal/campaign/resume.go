@@ -1,5 +1,10 @@
 package campaign
 
+import (
+	"fmt"
+	"os"
+)
+
 // DoneKey is the resume identity of a run: its plan coordinates with the
 // impairment name canonicalized (the pristine link is "", matching the
 // omitempty JSONL form), so files written before the impairment axis
@@ -10,6 +15,23 @@ type DoneKey struct {
 	Impairment string
 	Trial      int
 }
+
+// CellKey is the deterministic result identity of a run: its resume
+// coordinates plus the lab seed the run executed with. Two runs with equal
+// CellKeys compute byte-identical records (seed-determinism is the repo's
+// core invariant), which is what makes CellKey usable as a result-cache key:
+// the measured service dedupes requests on it, and cmd/campaign's resume
+// logic is the same identity with the seed implied by the campaign seed.
+type CellKey struct {
+	DoneKey
+	Seed int64
+}
+
+// CellKey returns the spec's result identity.
+func (s RunSpec) CellKey() CellKey { return CellKey{s.Key(), s.Seed} }
+
+// CellKey returns the record's result identity.
+func (r RunRecord) CellKey() CellKey { return CellKey{r.Key(), r.Seed} }
 
 // Key returns the spec's resume identity.
 func (s RunSpec) Key() DoneKey {
@@ -41,4 +63,27 @@ func DoneSet(recs []RunRecord) map[DoneKey]bool {
 // campaign would have produced.
 func (p *Plan) Remaining(done map[DoneKey]bool) *Plan {
 	return p.Filter(func(s RunSpec) bool { return !done[s.Key()] })
+}
+
+// ReadDoneFile loads the resume identities of the error-free runs recorded
+// in a JSONL file — the shared entry point of every consumer that resumes
+// or dedupes against a records file (cmd/campaign -resume, cache warming).
+// A missing file is an empty done set, not an error. truncateAt, when >= 0,
+// is the byte offset of a corrupt trailing line (the wreckage of a campaign
+// killed mid-write) that a caller intending to append must truncate away
+// first; warn, when non-nil, is told about the skipped line.
+func ReadDoneFile(path string, warn func(line int, err error)) (map[DoneKey]bool, int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[DoneKey]bool{}, -1, nil
+	}
+	if err != nil {
+		return nil, -1, err
+	}
+	defer f.Close()
+	recs, truncateAt, err := ReadJSONLResume(f, warn)
+	if err != nil {
+		return nil, -1, fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	return DoneSet(recs), truncateAt, nil
 }

@@ -1,0 +1,100 @@
+package measured
+
+import (
+	"container/list"
+	"context"
+
+	"safemeasure/internal/campaign"
+)
+
+// flight is one run the service owns end to end: created at admission for a
+// cache miss, queued on its client, dispatched to the pool, completed
+// exactly once. Concurrent identical requests join the same flight instead
+// of spawning duplicate runs; done closes after line/rec are set.
+type flight struct {
+	spec  campaign.RunSpec
+	owner string // the client whose admission created the flight
+	done  chan struct{}
+	line  []byte // the NDJSON line, set before done closes
+	rec   campaign.RunRecord
+}
+
+// pending is a request's handle on one upcoming response line: either a
+// cache hit resolved at admission, or a flight to wait on.
+type pending struct {
+	line []byte
+	rec  campaign.RunRecord
+	fl   *flight
+}
+
+// wait blocks until the line is available or ctx is canceled. A canceled
+// ctx abandons only the wait — the underlying run continues and its result
+// is cached for the next asker.
+func (p *pending) wait(ctx context.Context) ([]byte, campaign.RunRecord, error) {
+	if p.fl == nil {
+		return p.line, p.rec, nil
+	}
+	select {
+	case <-p.fl.done:
+		return p.fl.line, p.fl.rec, nil
+	case <-ctx.Done():
+		return nil, campaign.RunRecord{}, ctx.Err()
+	}
+}
+
+// cacheEntry is one cached run result: the exact NDJSON line a fresh run
+// would stream, plus the decoded record for aggregate frames.
+type cacheEntry struct {
+	key  campaign.CellKey
+	line []byte
+	rec  campaign.RunRecord
+}
+
+// resultCache is a bounded LRU over run results keyed by the deterministic
+// campaign.CellKey. It is NOT internally locked: every method runs under
+// the owning Service's mutex, which also covers the dedupe (in-flight) map
+// so a lookup-miss → flight-create sequence is atomic.
+type resultCache struct {
+	max     int
+	entries map[campaign.CellKey]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// newResultCache builds a cache bounded to max entries.
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		entries: make(map[campaign.CellKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the entry for key and refreshes its recency.
+func (c *resultCache) get(key campaign.CellKey) (*cacheEntry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts (or refreshes) the result for key, evicting the least
+// recently used entries past the bound.
+func (c *resultCache) put(key campaign.CellKey, line []byte, rec campaign.RunRecord) {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.line, e.rec = line, rec
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, line: line, rec: rec})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int { return c.lru.Len() }

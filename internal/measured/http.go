@@ -1,0 +1,155 @@
+package measured
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"safemeasure/internal/campaign"
+	"safemeasure/internal/telemetry"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /measure — JSON Request body
+//	GET  /measure — the same fields as query parameters
+//
+// Both stream the response as application/x-ndjson: one campaign.RunRecord
+// JSON line per run in trial order (byte-identical to the lines cmd/campaign
+// writes for the same seed), terminated by a single aggregate frame
+// {"aggregate": <campaign summary>}. Rejections are JSON error objects:
+// 400 invalid request, 429 rate-limited, 503 queue full / draining /
+// degraded — each counted in measured_rejected_total{reason=...}.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/measure", s.handleMeasure)
+	return mux
+}
+
+// handleMeasure runs one request through admission → dedupe → schedule →
+// stream.
+func (s *Service) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(w, r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "invalid", err)
+		return
+	}
+	client := req.Client
+	if client == "" {
+		client = r.Header.Get("X-Measured-Client")
+	}
+	if client == "" {
+		if host, _, splitErr := net.SplitHostPort(r.RemoteAddr); splitErr == nil {
+			client = host
+		} else {
+			client = r.RemoteAddr
+		}
+	}
+	plan, err := s.Plan(req)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "invalid", err)
+		return
+	}
+	pendings, err := s.Admit(client, plan.Specs)
+	if err != nil {
+		status, reason := http.StatusServiceUnavailable, "unavailable"
+		switch {
+		case errors.Is(err, ErrRateLimited):
+			status, reason = http.StatusTooManyRequests, "rate_limited"
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrQueueFull):
+			reason = "queue_full"
+		case errors.Is(err, ErrDraining):
+			reason = "draining"
+		case errors.Is(err, ErrDegraded):
+			reason = "degraded"
+		}
+		s.reject(w, status, reason, err)
+		return
+	}
+	defer s.Release(client)
+	s.requests.Inc()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Measured-Runs", strconv.Itoa(len(pendings)))
+	flusher, _ := w.(http.Flusher)
+	recs := make([]campaign.RunRecord, 0, len(pendings))
+	for _, p := range pendings {
+		line, rec, err := p.wait(r.Context())
+		if err != nil {
+			// Client gone mid-stream; the runs continue and land in the
+			// cache for the next asker.
+			return
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		recs = append(recs, rec)
+	}
+	frame := struct {
+		Aggregate *campaign.Summary `json:"aggregate"`
+	}{campaign.Aggregate(recs)}
+	b, err := json.Marshal(frame)
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// parseRequest decodes a Request from a POST body or GET query parameters.
+func parseRequest(w http.ResponseWriter, r *http.Request) (Request, error) {
+	var req Request
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return Request{}, fmt.Errorf("measured: bad request body: %w", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req = Request{
+			Technique:  q.Get("technique"),
+			Scenario:   q.Get("scenario"),
+			Impairment: q.Get("impairment"),
+			Client:     q.Get("client"),
+		}
+		if v := q.Get("trials"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Request{}, fmt.Errorf("measured: bad trials %q", v)
+			}
+			req.Trials = n
+		}
+		if v := q.Get("seed"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Request{}, fmt.Errorf("measured: bad seed %q", v)
+			}
+			req.Seed = n
+		}
+	default:
+		return Request{}, fmt.Errorf("measured: method %s not allowed", r.Method)
+	}
+	return req, nil
+}
+
+// reject writes a JSON error response and counts it.
+func (s *Service) reject(w http.ResponseWriter, status int, reason string, err error) {
+	s.reg.Counter(telemetry.Labels("measured_rejected_total", "reason", reason)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error":  err.Error(),
+		"reason": reason,
+	})
+}

@@ -10,10 +10,17 @@ import (
 //
 //	GET /metrics  — Prometheus text exposition of the registry
 //	GET /progress — JSON from the progress func (404 when progress is nil)
+//	GET /healthz  — 200 while the process is serving at all (liveness)
+//	GET /readyz   — 200 when ready() returns nil, 503 with the error text
+//	                otherwise; a nil ready func is always ready
 //
 // The handler snapshots on every request, so it can be scraped while a
-// campaign is mid-flight; atomics make the reads race-free.
-func Handler(reg *Registry, progress func() any) http.Handler {
+// campaign is mid-flight; atomics make the reads race-free. Liveness and
+// readiness are split the usual way: /healthz answers "is the process up",
+// /readyz answers "should a load balancer send it work" — a draining
+// safemeasured or a campaign that has not started its pool yet is alive but
+// not ready.
+func Handler(reg *Registry, progress func() any, ready func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -29,22 +36,37 @@ func Handler(reg *Registry, progress func() any) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(progress())
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_, _ = w.Write([]byte(err.Error() + "\n"))
+				return
+			}
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	return mux
 }
 
-// Serve binds addr, serves Handler(reg, progress) in a background
+// Serve binds addr, serves Handler(reg, progress, ready) in a background
 // goroutine, and returns the server plus the bound address (useful with
 // ":0"). The caller owns the lifecycle: call srv.Shutdown to stop accepting
 // scrapes, let in-flight ones finish, and release the port
 // deterministically — leaking the listener past the campaign keeps the port
 // busy until process exit and can truncate a scrape mid-body. onErr, when
 // non-nil, receives any serve-loop error other than http.ErrServerClosed.
-func Serve(addr string, reg *Registry, progress func() any, onErr func(error)) (*http.Server, net.Addr, error) {
+func Serve(addr string, reg *Registry, progress func() any, ready func() error, onErr func(error)) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Addr: addr, Handler: Handler(reg, progress)}
+	srv := &http.Server{Addr: addr, Handler: Handler(reg, progress, ready)}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			if onErr != nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -14,14 +15,20 @@ import (
 func TestServeAndShutdownReleasesPort(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("campaign_cancel_total").Inc()
+	var notReady atomic.Bool
 	srv, addr, err := Serve("127.0.0.1:0", reg, func() any {
 		return map[string]int{"done": 3}
+	}, func() error {
+		if notReady.Load() {
+			return fmt.Errorf("pool draining")
+		}
+		return nil
 	}, func(err error) { t.Errorf("serve error: %v", err) })
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	get := func(path string) string {
+	get := func(path string) (int, string) {
 		t.Helper()
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
 		if err != nil {
@@ -32,13 +39,27 @@ func TestServeAndShutdownReleasesPort(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return string(body)
+		return resp.StatusCode, string(body)
 	}
-	if body := get("/metrics"); !strings.Contains(body, "campaign_cancel_total 1") {
+	if _, body := get("/metrics"); !strings.Contains(body, "campaign_cancel_total 1") {
 		t.Fatalf("/metrics = %q", body)
 	}
-	if body := get("/progress"); !strings.Contains(body, `"done": 3`) {
+	if _, body := get("/progress"); !strings.Contains(body, `"done": 3`) {
 		t.Fatalf("/progress = %q", body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+	notReady.Store(true)
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "pool draining") {
+		t.Fatalf("/readyz while not ready = %d %q", code, body)
+	}
+	// Liveness is independent of readiness: a draining process is still up.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while not ready = %d", code)
 	}
 
 	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)

@@ -270,7 +270,7 @@ func TestTracerEmitsThroughRing(t *testing.T) {
 func TestHTTPHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hits_total").Add(9)
-	h := Handler(r, func() any { return map[string]int{"done": 4, "planned": 10} })
+	h := Handler(r, func() any { return map[string]int{"done": 4, "planned": 10} }, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -297,7 +297,7 @@ func TestHTTPHandler(t *testing.T) {
 	}
 
 	// No progress func: 404.
-	srv2 := httptest.NewServer(Handler(r, nil))
+	srv2 := httptest.NewServer(Handler(r, nil, nil))
 	defer srv2.Close()
 	resp, err = srv2.Client().Get(srv2.URL + "/progress")
 	if err != nil {

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo verification: tier-1 (build + tests) plus vet and a race pass over
 # the concurrency-heavy packages (campaign pool with its abandoned-run claim
-# gate and drain path, the chaos fault-injection harness, telemetry
+# gate and drain path, the measured service with its shared cache and
+# admission queue, the chaos fault-injection harness, telemetry
 # registry/tracer, the simulator whose counters every worker's lab
 # increments, the retry layer, and the population generator).
 # The examples are built and vetted explicitly: they have no tests, so only
@@ -15,7 +16,7 @@ go vet ./...
 go build ./examples/...
 go vet ./examples/...
 go test ./...
-go test -race ./internal/campaign ./internal/telemetry ./internal/netsim ./internal/core ./internal/population
+go test -race ./internal/campaign ./internal/measured ./internal/telemetry ./internal/netsim ./internal/core ./internal/population
 go test -race ./internal/chaos
 
 # Fuzz smoke pass over every wire decoder. The seed corpora always run as
@@ -56,3 +57,26 @@ test -s "$tmp/smoke.jsonl"
   -out "$tmp/smoke.jsonl"
 # 1 scenario x 3 techniques x 500 trials = 1500 records, every line valid JSON
 test "$(wc -l < "$tmp/smoke.jsonl")" -eq 1500
+
+# Service smoke test: start safemeasured on an ephemeral port, drive it with
+# measload (50 concurrent clients; every client's third request repeats its
+# first, so measload's -min-cache-hits and byte-identity checks prove the
+# result cache serves duplicates byte-for-byte), then SIGTERM and assert a
+# clean drain (exit 0 means nothing was abandoned).
+go build -o "$tmp/safemeasured" ./cmd/safemeasured
+go build -o "$tmp/measload" ./cmd/measload
+"$tmp/safemeasured" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -workers 4 &
+svcpid=$!
+trap 'kill "$svcpid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+i=0
+while [ ! -s "$tmp/addr" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -s "$tmp/addr"
+"$tmp/measload" -addr "http://$(cat "$tmp/addr")" -clients 50 -requests 3 \
+  -trials 2 -dup-every 2 -min-cache-hits 1
+kill -TERM "$svcpid"
+rc=0
+wait "$svcpid" || rc=$?
+test "$rc" -eq 0
