@@ -20,6 +20,10 @@
 // run's packet-path events (probe sent, censor alert, MVR log/discard, TTL
 // expiry, RST injection) as JSONL with virtual-time timestamps; sorting the
 // file's lines yields a byte-identical stream for any -workers value.
+// -archive streams the same runs as flat archival observations — one
+// self-describing row per sub-measurement, analyzable with measanalyze —
+// in JSONL, or in the compact binary encoding when the path ends in .bin
+// or .smoa.
 //
 // Every run seed derives from -seed and the run's coordinates, so repeating
 // a campaign with a different -workers value yields identical records (the
@@ -58,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"safemeasure/internal/archival"
 	"safemeasure/internal/campaign"
 	"safemeasure/internal/core"
 	"safemeasure/internal/lab"
@@ -98,6 +103,7 @@ func main() {
 	list := flag.Bool("list", false, "list scenarios and techniques, then exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /progress on this address (e.g. :9090)")
 	tracePath := flag.String("trace", "", "stream packet-path trace events to this JSONL file (- for stdout)")
+	archivePath := flag.String("archive", "", "stream flat observation rows (records and traces) to this file; a .bin/.smoa extension selects the compact binary encoding")
 	flag.Parse()
 
 	if *list {
@@ -277,12 +283,36 @@ func main() {
 		opts.OnTrace = traceSink.Write
 	}
 
+	var obsSink *campaign.ObservationSink
+	if *archivePath != "" {
+		w, err := openArchive(*archivePath, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: -archive:", err)
+			os.Exit(1)
+		}
+		obsSink = campaign.NewObservationSink(w)
+		obsSink.SyncEvery(*syncEvery)
+		obsSink.Instrument(reg, "archive")
+	}
+
 	var onRecord []func(campaign.RunRecord)
 	if sink != nil {
 		onRecord = append(onRecord, sink.Write)
 	}
 	if prog != nil {
 		onRecord = append(onRecord, prog.Record)
+	}
+	if obsSink != nil {
+		onRecord = append(onRecord, obsSink.Record)
+		if traceSink != nil {
+			// Both trace consumers: the JSONL trace file and the archive.
+			// Without -trace, tracing stays off and the archive holds record
+			// rows only.
+			opts.OnTrace = func(rt campaign.RunTrace) {
+				traceSink.Write(rt)
+				obsSink.Trace(rt)
+			}
+		}
 	}
 	if len(onRecord) > 0 {
 		opts.OnRecord = func(rec campaign.RunRecord) {
@@ -324,6 +354,9 @@ func main() {
 		if traceSink != nil {
 			_ = traceSink.Flush()
 		}
+		if obsSink != nil {
+			_ = obsSink.Flush()
+		}
 		os.Exit(exitInterrupted)
 	}()
 
@@ -344,6 +377,9 @@ func main() {
 		if traceSink != nil {
 			_ = traceSink.Flush()
 		}
+		if obsSink != nil {
+			_ = obsSink.Flush()
+		}
 		shutdownMetrics()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -363,6 +399,13 @@ func main() {
 		if *tracePath != "-" {
 			fmt.Printf("%d trace events written to %s\n", traceSink.Count(), *tracePath)
 		}
+	}
+	if obsSink != nil {
+		if err := obsSink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: archive sink:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d observation rows written to %s\n", obsSink.Count(), *archivePath)
 	}
 	shutdownMetrics()
 
@@ -424,6 +467,42 @@ func splitCSV(s string) []string {
 		}
 	}
 	return out
+}
+
+// openArchive opens the -archive observation writer: the path's extension
+// picks the encoding, and under -resume the file is repaired (a torn
+// trailing record from the interrupt is cut) and appended rather than
+// truncated.
+func openArchive(path string, resume bool) (archival.Writer, error) {
+	format := archival.FormatForPath(path)
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return archival.NewWriter(f, format), nil
+	}
+	if truncated, err := archival.Repair(path); err != nil {
+		return nil, err
+	} else if truncated {
+		fmt.Fprintf(os.Stderr, "campaign: -archive: cut a torn trailing record off %s before appending\n", path)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if format != archival.FormatBinary {
+		return archival.NewJSONLWriter(f), nil
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return archival.NewBinaryWriter(f), nil // fresh file still needs the magic
+	}
+	return archival.NewBinaryAppender(f), nil
 }
 
 // readDone loads the coordinates of error-free runs already in a JSONL

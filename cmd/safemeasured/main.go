@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"safemeasure/internal/archival"
 	"safemeasure/internal/campaign"
 	"safemeasure/internal/core"
 	"safemeasure/internal/measured"
@@ -60,6 +61,7 @@ func main() {
 	breakerN := flag.Int("breaker", 0, "per-cell circuit breaker: open after N consecutive failed runs (0 disables)")
 	failBudget := flag.Float64("fail-budget", -1, "degrade the service when more than this fraction of completed runs are errors (negative disables)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a shutdown lets admitted runs and open streams finish")
+	archivePath := flag.String("archive", "", "append every executed run as flat observation rows to this file (.bin/.smoa for binary); cache hits are not re-archived")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -89,6 +91,37 @@ func main() {
 	}
 	if *failBudget >= 0 {
 		cfg.Budget = &campaign.FailureBudget{Fraction: *failBudget}
+	}
+	var obsSink *campaign.ObservationSink
+	if *archivePath != "" {
+		// The service always appends: it is restarted, not re-run, and each
+		// executed flight is one more batch of rows. Repair first cuts any
+		// torn record a crash left behind.
+		if truncated, err := archival.Repair(*archivePath); err != nil {
+			fmt.Fprintln(os.Stderr, "safemeasured: -archive:", err)
+			os.Exit(1)
+		} else if truncated {
+			fmt.Fprintf(os.Stderr, "safemeasured: -archive: cut a torn trailing record off %s\n", *archivePath)
+		}
+		f, err := os.OpenFile(*archivePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "safemeasured: -archive:", err)
+			os.Exit(1)
+		}
+		var w archival.Writer
+		if archival.FormatForPath(*archivePath) == archival.FormatBinary {
+			if st, err := f.Stat(); err == nil && st.Size() > 0 {
+				w = archival.NewBinaryAppender(f)
+			} else {
+				w = archival.NewBinaryWriter(f)
+			}
+		} else {
+			w = archival.NewJSONLWriter(f)
+		}
+		obsSink = campaign.NewObservationSink(w)
+		obsSink.SyncEvery(64)
+		obsSink.Instrument(reg, "archive")
+		cfg.OnRecord = obsSink.Record
 	}
 	svc := measured.New(cfg)
 
@@ -149,6 +182,15 @@ func main() {
 	if err := svc.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "safemeasured:", err)
 		clean = false
+	}
+	if obsSink != nil {
+		if err := obsSink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "safemeasured: archive sink:", err)
+			clean = false
+		} else {
+			fmt.Fprintf(os.Stderr, "safemeasured: %d observation rows archived to %s\n",
+				obsSink.Count(), *archivePath)
+		}
 	}
 	if !clean {
 		fmt.Fprintln(os.Stderr, "safemeasured: unclean shutdown: in-flight work was abandoned")

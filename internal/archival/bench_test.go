@@ -1,0 +1,99 @@
+package archival
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// benchObservations builds a realistic mixed workload: the row shapes a
+// flattened campaign file actually contains.
+func benchObservations(n int) []Observation {
+	rng := rand.New(rand.NewSource(1))
+	techniques := []string{"direct", "vpn-relay", "spoofed-dns"}
+	obs := make([]Observation, 0, n)
+	for len(obs) < n {
+		tech := techniques[rng.Intn(len(techniques))]
+		run := RunID(tech, "keyword-rst", "lossy20", len(obs), int64(rng.Uint64()))
+		rows := []Observation{
+			{Run: run, Type: TypeVerdict, Name: "censored", Detail: "tcp-rst",
+				Dst: "198.51.100.7:80", Value: 12.25, Flag: true},
+			{Run: run, Type: TypeTruth, Flag: true},
+			{Run: run, Type: TypeAttempt, Count: 2},
+			{Run: run, Type: TypeProbe, Count: 5},
+			{Run: run, Type: TypeRisk, Value: 3.5, Count: 2, Flag: true},
+			{Run: run, Type: TypeTrace, Seq: 0, T: 1000, Name: "probe-sent",
+				Src: "10.0.0.1", Dst: "198.51.100.7", Detail: "GET /"},
+		}
+		for i := range rows {
+			rows[i].Technique = tech
+			rows[i].Scenario = "keyword-rst"
+			rows[i].Impairment = "lossy20"
+			rows[i].Trial = len(obs)
+			rows[i].Seed = int64(rng.Uint64() >> 1)
+			rows[i].SetID()
+			obs = append(obs, rows[i])
+			if len(obs) == n {
+				break
+			}
+		}
+	}
+	return obs
+}
+
+func encodeAll(b *testing.B, f Format, obs []Observation) *bytes.Buffer {
+	b.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, f)
+	w.WriteObservations(obs)
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return &buf
+}
+
+func benchEncode(b *testing.B, f Format) {
+	obs := benchObservations(1000)
+	encoded := encodeAll(b, f, obs)
+	b.SetBytes(int64(encoded.Len()))
+	b.ReportMetric(float64(encoded.Len())/float64(len(obs)), "B/obs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard, f)
+		w.WriteObservations(obs)
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode(b *testing.B, f Format) {
+	obs := benchObservations(1000)
+	encoded := encodeAll(b, f, obs)
+	b.SetBytes(int64(encoded.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(encoded.Bytes()), TailStrict, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(obs) {
+			b.Fatalf("decoded %d, want %d", n, len(obs))
+		}
+	}
+}
+
+func BenchmarkEncodeJSONL(b *testing.B)  { benchEncode(b, FormatJSONL) }
+func BenchmarkEncodeBinary(b *testing.B) { benchEncode(b, FormatBinary) }
+func BenchmarkDecodeJSONL(b *testing.B)  { benchDecode(b, FormatJSONL) }
+func BenchmarkDecodeBinary(b *testing.B) { benchDecode(b, FormatBinary) }

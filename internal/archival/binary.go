@@ -1,0 +1,304 @@
+package archival
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic opens every binary observation file. The trailing newline makes an
+// accidental `cat` of a binary file visibly non-JSONL from the first line.
+const Magic = "SMOA1\n"
+
+// MaxBinaryRecord bounds one encoded observation, so a corrupt length
+// prefix cannot make a reader allocate unboundedly.
+const MaxBinaryRecord = 1 << 20
+
+// ErrBadBinary reports a structurally invalid binary observation.
+var ErrBadBinary = errors.New("archival: malformed binary observation")
+
+// Field-presence bits of the binary payload, in encoding order. A zero
+// field is absent from the wire; Flag is presence-only (the bit IS the
+// value).
+const (
+	bitID = 1 << iota
+	bitRun
+	bitType
+	bitTechnique
+	bitScenario
+	bitImpairment
+	bitTrial
+	bitSeed
+	bitSeq
+	bitT
+	bitName
+	bitSrc
+	bitDst
+	bitDetail
+	bitValue
+	bitCount
+	bitFlag
+
+	bitsKnown = 1<<17 - 1
+)
+
+// AppendObservation appends o's binary frame (uvarint payload length +
+// payload) to dst and returns the extended slice. The payload is a uvarint
+// field-presence bitmap followed by the present fields in bit order:
+// varints for integers (zigzag where signed), length-prefixed bytes for
+// strings, 8 little-endian bytes for the float value.
+func AppendObservation(dst []byte, o *Observation) []byte {
+	var bitmap uint64
+	set := func(bit uint64, present bool) {
+		if present {
+			bitmap |= bit
+		}
+	}
+	set(bitID, o.ID != 0)
+	set(bitRun, o.Run != 0)
+	set(bitType, o.Type != "")
+	set(bitTechnique, o.Technique != "")
+	set(bitScenario, o.Scenario != "")
+	set(bitImpairment, o.Impairment != "")
+	set(bitTrial, o.Trial != 0)
+	set(bitSeed, o.Seed != 0)
+	set(bitSeq, o.Seq != 0)
+	set(bitT, o.T != 0)
+	set(bitName, o.Name != "")
+	set(bitSrc, o.Src != "")
+	set(bitDst, o.Dst != "")
+	set(bitDetail, o.Detail != "")
+	set(bitValue, o.Value != 0)
+	set(bitCount, o.Count != 0)
+	set(bitFlag, o.Flag)
+
+	payload := make([]byte, 0, 64)
+	payload = binary.AppendUvarint(payload, bitmap)
+	str := func(s string) {
+		payload = binary.AppendUvarint(payload, uint64(len(s)))
+		payload = append(payload, s...)
+	}
+	if bitmap&bitID != 0 {
+		payload = binary.AppendUvarint(payload, o.ID)
+	}
+	if bitmap&bitRun != 0 {
+		payload = binary.AppendUvarint(payload, o.Run)
+	}
+	if bitmap&bitType != 0 {
+		str(o.Type)
+	}
+	if bitmap&bitTechnique != 0 {
+		str(o.Technique)
+	}
+	if bitmap&bitScenario != 0 {
+		str(o.Scenario)
+	}
+	if bitmap&bitImpairment != 0 {
+		str(o.Impairment)
+	}
+	if bitmap&bitTrial != 0 {
+		payload = binary.AppendUvarint(payload, uint64(o.Trial))
+	}
+	if bitmap&bitSeed != 0 {
+		payload = binary.AppendVarint(payload, o.Seed)
+	}
+	if bitmap&bitSeq != 0 {
+		payload = binary.AppendUvarint(payload, uint64(o.Seq))
+	}
+	if bitmap&bitT != 0 {
+		payload = binary.AppendVarint(payload, o.T)
+	}
+	if bitmap&bitName != 0 {
+		str(o.Name)
+	}
+	if bitmap&bitSrc != 0 {
+		str(o.Src)
+	}
+	if bitmap&bitDst != 0 {
+		str(o.Dst)
+	}
+	if bitmap&bitDetail != 0 {
+		str(o.Detail)
+	}
+	if bitmap&bitValue != 0 {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(o.Value))
+	}
+	if bitmap&bitCount != 0 {
+		payload = binary.AppendVarint(payload, o.Count)
+	}
+	// bitFlag carries its value in the bitmap itself.
+
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeObservation decodes one binary payload (the bytes after the length
+// prefix). The whole payload must be consumed; unknown bitmap bits and
+// trailing bytes are errors, so encoder and decoder can never drift
+// silently.
+func DecodeObservation(payload []byte) (Observation, error) {
+	var o Observation
+	bitmap, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return o, fmt.Errorf("%w: bad bitmap", ErrBadBinary)
+	}
+	if bitmap&^uint64(bitsKnown) != 0 {
+		return o, fmt.Errorf("%w: unknown field bits %#x", ErrBadBinary, bitmap)
+	}
+	rest := payload[n:]
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated uvarint", ErrBadBinary)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	varint := func() (int64, error) {
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrBadBinary)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	str := func() (string, error) {
+		l, err := uvarint()
+		if err != nil {
+			return "", err
+		}
+		if l > uint64(len(rest)) {
+			return "", fmt.Errorf("%w: string length %d exceeds payload", ErrBadBinary, l)
+		}
+		s := string(rest[:l])
+		rest = rest[l:]
+		return s, nil
+	}
+	var err error
+	if bitmap&bitID != 0 {
+		if o.ID, err = uvarint(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitRun != 0 {
+		if o.Run, err = uvarint(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitType != 0 {
+		if o.Type, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitTechnique != 0 {
+		if o.Technique, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitScenario != 0 {
+		if o.Scenario, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitImpairment != 0 {
+		if o.Impairment, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitTrial != 0 {
+		v, err := uvarint()
+		if err != nil {
+			return o, err
+		}
+		if v > math.MaxInt {
+			return o, fmt.Errorf("%w: trial overflows int", ErrBadBinary)
+		}
+		o.Trial = int(v)
+	}
+	if bitmap&bitSeed != 0 {
+		if o.Seed, err = varint(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitSeq != 0 {
+		v, err := uvarint()
+		if err != nil {
+			return o, err
+		}
+		if v > math.MaxInt {
+			return o, fmt.Errorf("%w: seq overflows int", ErrBadBinary)
+		}
+		o.Seq = int(v)
+	}
+	if bitmap&bitT != 0 {
+		if o.T, err = varint(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitName != 0 {
+		if o.Name, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitSrc != 0 {
+		if o.Src, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitDst != 0 {
+		if o.Dst, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitDetail != 0 {
+		if o.Detail, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitValue != 0 {
+		if len(rest) < 8 {
+			return o, fmt.Errorf("%w: truncated float", ErrBadBinary)
+		}
+		o.Value = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+	}
+	if bitmap&bitCount != 0 {
+		if o.Count, err = varint(); err != nil {
+			return o, err
+		}
+	}
+	o.Flag = bitmap&bitFlag != 0
+	if len(rest) != 0 {
+		return o, fmt.Errorf("%w: %d trailing bytes", ErrBadBinary, len(rest))
+	}
+	return o, nil
+}
+
+// readBinary reads the next length-prefixed observation from br. io.EOF
+// cleanly at a record boundary; io.ErrUnexpectedEOF when the stream ends
+// mid-record (a torn tail).
+func readBinary(br *bufio.Reader) (Observation, error) {
+	length, err := binary.ReadUvarint(br)
+	if err != nil {
+		switch err {
+		case io.EOF:
+			return Observation{}, io.EOF
+		case io.ErrUnexpectedEOF:
+			return Observation{}, io.ErrUnexpectedEOF
+		default: // varint overflow: framing corruption, not a torn tail
+			return Observation{}, fmt.Errorf("%w: bad record length: %v", ErrBadBinary, err)
+		}
+	}
+	if length > MaxBinaryRecord {
+		return Observation{}, fmt.Errorf("%w: record length %d exceeds %d",
+			ErrBadBinary, length, MaxBinaryRecord)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return Observation{}, io.ErrUnexpectedEOF
+	}
+	return DecodeObservation(payload)
+}

@@ -72,7 +72,7 @@ func (k KindTotals) FlagRate() float64 { return frac(k.Flagged, k.Runs) }
 // marginal of the matrix along its new axis, answering "how much accuracy
 // does a lossy link cost, and how much does the retry policy buy back".
 type ImpairmentTotals struct {
-	Impairment string // "" means the pristine link
+	Impairment                                   string // "" means the pristine link
 	Runs, Errors, Correct, Inconclusive, Alerted int
 }
 
@@ -87,7 +87,7 @@ func (i ImpairmentTotals) EvasionRate() float64 { return frac(i.Runs-i.Alerted, 
 
 // Summary is a whole campaign reduced to its reportable statistics.
 type Summary struct {
-	Cells          []Cell // sorted by (scenario, impairment, technique)
+	Cells          []Cell             // sorted by (scenario, impairment, technique)
 	Impairments    []ImpairmentTotals // sorted by name, pristine first
 	Overt, Stealth KindTotals
 	Runs, Errors   int

@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"safemeasure/internal/archival"
+	"safemeasure/internal/telemetry"
+)
+
+// archiveRunID derives the archival parent-run ID from a record's cell
+// identity — the same coordinates as CellKey, so two runs with equal cell
+// keys flatten to rows with equal run IDs.
+func archiveRunID(technique, scenario, impairment string, trial int, seed int64) uint64 {
+	return archival.RunID(technique, scenario, impairment, trial, seed)
+}
+
+// obsBase stamps the shared identity columns of one run's rows.
+func obsBase(technique, scenario, impairment string, trial int, seed int64) archival.Observation {
+	return archival.Observation{
+		Run:        archiveRunID(technique, scenario, impairment, trial, seed),
+		Technique:  technique,
+		Scenario:   scenario,
+		Impairment: impairment,
+		Trial:      trial,
+		Seed:       seed,
+	}
+}
+
+// FlattenRecord decomposes one run record into flat archival observations —
+// one self-describing row per sub-measurement, every row carrying the run's
+// full cell identity and a content-derived unique ID. Zero-valued
+// sub-measurements emit no row (an absent row reconstructs as the zero
+// value), so error records flatten to just their identity and error rows.
+// The inverse is UnflattenRecord; the round trip is exact.
+func FlattenRecord(rec RunRecord) []archival.Observation {
+	base := obsBase(rec.Technique, rec.Scenario, rec.Impairment, rec.Trial, rec.Seed)
+	obs := make([]archival.Observation, 0, 8+len(rec.CoverAddresses)+len(rec.Evidence))
+	add := func(o archival.Observation) {
+		o.SetID()
+		obs = append(obs, o)
+	}
+	row := func(typ string) archival.Observation {
+		o := base
+		o.Type = typ
+		return o
+	}
+	if rec.Verdict != "" || rec.Mechanism != "" || rec.Target != "" ||
+		rec.ElapsedMS != 0 || rec.Correct {
+		o := row(archival.TypeVerdict)
+		o.Name = rec.Verdict
+		o.Detail = rec.Mechanism
+		o.Dst = rec.Target
+		o.Value = rec.ElapsedMS
+		o.Flag = rec.Correct
+		add(o)
+	}
+	if rec.GroundTruth {
+		o := row(archival.TypeTruth)
+		o.Flag = true
+		add(o)
+	}
+	if rec.Stealth {
+		o := row(archival.TypeStealth)
+		o.Flag = true
+		add(o)
+	}
+	if rec.Attempts != 0 {
+		o := row(archival.TypeAttempt)
+		o.Count = int64(rec.Attempts)
+		add(o)
+	}
+	if rec.Probes != 0 {
+		o := row(archival.TypeProbe)
+		o.Count = int64(rec.Probes)
+		add(o)
+	}
+	if rec.Cover != 0 {
+		o := row(archival.TypeCover)
+		o.Count = int64(rec.Cover)
+		add(o)
+	}
+	for i, addr := range rec.CoverAddresses {
+		o := row(archival.TypeCoverAddr)
+		o.Seq = i
+		o.Name = addr
+		add(o)
+	}
+	for i, ev := range rec.Evidence {
+		o := row(archival.TypeEvidence)
+		o.Seq = i
+		o.Detail = ev
+		add(o)
+	}
+	if rec.Score != 0 || rec.Alerts != 0 || rec.Flagged {
+		o := row(archival.TypeRisk)
+		o.Value = rec.Score
+		o.Count = int64(rec.Alerts)
+		o.Flag = rec.Flagged
+		add(o)
+	}
+	if rec.Entropy != 0 || rec.Implicated != 0 || rec.Retained {
+		o := row(archival.TypeAttribution)
+		o.Value = rec.Entropy
+		o.Count = int64(rec.Implicated)
+		o.Flag = rec.Retained
+		add(o)
+	}
+	if rec.Error != "" {
+		o := row(archival.TypeError)
+		o.Detail = rec.Error
+		add(o)
+	}
+	return obs
+}
+
+// FlattenTrace decomposes one run's packet-path trace into observation rows
+// (one per event, ordered by Seq), sharing the run ID of the record rows so
+// traces join records by cell identity.
+func FlattenTrace(rt RunTrace) []archival.Observation {
+	base := obsBase(rt.Technique, rt.Scenario, rt.Impairment, rt.Trial, rt.Seed)
+	obs := make([]archival.Observation, 0, len(rt.Events))
+	for i, ev := range rt.Events {
+		o := base
+		o.Type = archival.TypeTrace
+		o.Seq = i
+		o.T = ev.T
+		o.Name = ev.Kind
+		o.Src = ev.Src
+		o.Dst = ev.Dst
+		o.Detail = ev.Detail
+		o.SetID()
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+// UnflattenRecord folds one run's observation rows (any order, trace rows
+// ignored) back into the run record FlattenRecord decomposed. All rows must
+// share one run identity; a row from another run is an error.
+func UnflattenRecord(obs []archival.Observation) (RunRecord, error) {
+	if len(obs) == 0 {
+		return RunRecord{}, fmt.Errorf("campaign: unflatten: no observations")
+	}
+	var rec RunRecord
+	first := obs[0]
+	rec.Technique = first.Technique
+	rec.Scenario = first.Scenario
+	rec.Impairment = first.Impairment
+	rec.Trial = first.Trial
+	rec.Seed = first.Seed
+	coverAddrs := map[int]string{}
+	evidence := map[int]string{}
+	for _, o := range obs {
+		if o.Run != first.Run {
+			return RunRecord{}, fmt.Errorf("campaign: unflatten: rows from different runs (%d vs %d)",
+				o.Run, first.Run)
+		}
+		switch o.Type {
+		case archival.TypeVerdict:
+			rec.Verdict = o.Name
+			rec.Mechanism = o.Detail
+			rec.Target = o.Dst
+			rec.ElapsedMS = o.Value
+			rec.Correct = o.Flag
+		case archival.TypeTruth:
+			rec.GroundTruth = o.Flag
+		case archival.TypeStealth:
+			rec.Stealth = o.Flag
+		case archival.TypeAttempt:
+			rec.Attempts = int(o.Count)
+		case archival.TypeProbe:
+			rec.Probes = int(o.Count)
+		case archival.TypeCover:
+			rec.Cover = int(o.Count)
+		case archival.TypeCoverAddr:
+			coverAddrs[o.Seq] = o.Name
+		case archival.TypeEvidence:
+			evidence[o.Seq] = o.Detail
+		case archival.TypeRisk:
+			rec.Score = o.Value
+			rec.Alerts = int(o.Count)
+			rec.Flagged = o.Flag
+		case archival.TypeAttribution:
+			rec.Entropy = o.Value
+			rec.Implicated = int(o.Count)
+			rec.Retained = o.Flag
+		case archival.TypeError:
+			rec.Error = o.Detail
+		case archival.TypeTrace, archival.TypePacket:
+			// Trace and packet rows ride alongside record rows in archives;
+			// they reconstruct through their own paths, not the record.
+		default:
+			return RunRecord{}, fmt.Errorf("campaign: unflatten: unknown observation type %q", o.Type)
+		}
+	}
+	rec.CoverAddresses = seqSlice(coverAddrs)
+	rec.Evidence = seqSlice(evidence)
+	return rec, nil
+}
+
+// seqSlice orders Seq-keyed strings back into a slice (nil when empty).
+func seqSlice(m map[int]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// ObservationSink adapts an archival writer to the campaign callbacks: each
+// completed run's record (and, when tracing is on, its trace) is flattened
+// into observation rows and written as one contiguous batch, so archives
+// stay run-contiguous — the property the streaming analyzers group by.
+// Record and Trace are safe to call from multiple workers (the underlying
+// archival.Sink serializes batches).
+type ObservationSink struct {
+	w archival.Writer
+}
+
+// NewObservationSink wraps an archival writer.
+func NewObservationSink(w archival.Writer) *ObservationSink {
+	return &ObservationSink{w: w}
+}
+
+// Record flattens and archives one run record (an Options.OnRecord hook).
+func (s *ObservationSink) Record(rec RunRecord) {
+	s.w.WriteObservations(FlattenRecord(rec))
+}
+
+// Trace flattens and archives one run's trace (an Options.OnTrace hook).
+func (s *ObservationSink) Trace(rt RunTrace) {
+	s.w.WriteObservations(FlattenTrace(rt))
+}
+
+// Count reports how many observation rows were written.
+func (s *ObservationSink) Count() int { return s.w.Count() }
+
+// Flush drains the underlying writer.
+func (s *ObservationSink) Flush() error { return s.w.Flush() }
+
+// SyncEvery forwards the durability knob to the underlying writer.
+func (s *ObservationSink) SyncEvery(n int) { s.w.SetSyncEvery(n) }
+
+// Instrument publishes the underlying sink's flush/sync activity when the
+// writer supports it (both archival writers do).
+func (s *ObservationSink) Instrument(reg *telemetry.Registry, name string) {
+	type instrumenter interface {
+		InstrumentSink(reg *telemetry.Registry, flushMetric, syncMetric, name string)
+	}
+	if in, ok := s.w.(instrumenter); ok {
+		in.InstrumentSink(reg, "campaign_sink_flush_total", "campaign_sink_sync_total", name)
+	}
+}

@@ -241,7 +241,8 @@ func (opts Options) defaultExecutor(guard func(kind string, f func())) Executor 
 			guard("OnTrace", func() {
 				opts.OnTrace(RunTrace{
 					Scenario: spec.Scenario, Impairment: recordImpairment(spec.Impairment),
-					Technique: spec.Technique, Trial: spec.Trial, Events: events,
+					Technique: spec.Technique, Trial: spec.Trial, Seed: spec.Seed,
+					Events: events,
 				})
 			})
 		}

@@ -1,96 +1,26 @@
 package campaign
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
-	"sync"
 
+	"safemeasure/internal/archival"
 	"safemeasure/internal/telemetry"
 )
-
-// syncer is the optional durability hook of a sink's underlying writer —
-// *os.File satisfies it; in-memory buffers simply skip the sync step.
-type syncer interface{ Sync() error }
-
-// sinkState is the durability machinery shared by JSONLSink and TraceSink:
-// a locked bufio writer with an every-N-lines flush (plus Sync when the
-// underlying writer supports it) and optional flush/sync counters.
-type sinkState struct {
-	mu         sync.Mutex
-	w          *bufio.Writer
-	raw        io.Writer
-	count      int
-	err        error
-	syncEvery  int
-	sinceFlush int
-	flushes    *telemetry.Counter
-	syncs      *telemetry.Counter
-}
-
-// wroteLocked accounts one written line and applies the SyncEvery policy.
-func (s *sinkState) wroteLocked() {
-	s.count++
-	s.sinceFlush++
-	if s.syncEvery > 0 && s.sinceFlush >= s.syncEvery {
-		s.flushLocked(true)
-	}
-}
-
-// flushLocked drains the bufio layer and, when sync is set, pushes the
-// bytes to stable storage if the underlying writer can. The first error is
-// retained, poisoning later writes exactly like a write error.
-func (s *sinkState) flushLocked(sync bool) error {
-	if s.err != nil {
-		return s.err
-	}
-	if err := s.w.Flush(); err != nil {
-		s.err = err
-		return err
-	}
-	s.flushes.Inc()
-	s.sinceFlush = 0
-	if sync {
-		if f, ok := s.raw.(syncer); ok {
-			if err := f.Sync(); err != nil {
-				s.err = err
-				return err
-			}
-			s.syncs.Inc()
-		}
-	}
-	return nil
-}
-
-// setSyncEvery installs the durability knob.
-func (s *sinkState) setSyncEvery(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.syncEvery = n
-}
-
-// instrument exposes flush/sync activity as labeled campaign counters.
-func (s *sinkState) instrument(reg *telemetry.Registry, name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.flushes = reg.Counter(telemetry.Labels("campaign_sink_flush_total", "sink", name))
-	s.syncs = reg.Counter(telemetry.Labels("campaign_sink_sync_total", "sink", name))
-}
 
 // JSONLSink streams run records to a writer, one JSON object per line, as
 // they complete. Write is safe to call from multiple workers; lines are
 // written whole, so a campaign interrupted mid-flight leaves a valid prefix
-// that a later -resume can read back.
+// that a later -resume can read back. The buffering, durability, and
+// torn-tail story all come from the shared archival.Sink.
 type JSONLSink struct {
-	sinkState
+	archival.Sink
 }
 
 // NewJSONLSink wraps a writer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	s := &JSONLSink{}
-	s.w, s.raw = bufio.NewWriter(w), w
+	s.Reset(w)
 	return s
 }
 
@@ -98,70 +28,26 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 // flushes its bufio layer and, when the underlying writer is a file, syncs
 // it to stable storage — so at most n records ride in volatile buffers at
 // any moment. n <= 0 restores the default (buffer until Flush).
-func (s *JSONLSink) SyncEvery(n int) { s.setSyncEvery(n) }
+func (s *JSONLSink) SyncEvery(n int) { s.SetSyncEvery(n) }
 
 // Instrument publishes the sink's flush/sync activity to reg as
 // campaign_sink_flush_total{sink=name} and campaign_sink_sync_total{sink=name}.
-func (s *JSONLSink) Instrument(reg *telemetry.Registry, name string) { s.instrument(reg, name) }
+func (s *JSONLSink) Instrument(reg *telemetry.Registry, name string) {
+	s.InstrumentSink(reg, "campaign_sink_flush_total", "campaign_sink_sync_total", name)
+}
 
 // Write emits one record. The first encoding or I/O error is retained and
 // reported by Flush; later writes after an error are dropped.
-func (s *JSONLSink) Write(rec RunRecord) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return
-	}
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		s.err = err
-		return
-	}
-	raw = append(raw, '\n')
-	if _, err := s.w.Write(raw); err != nil {
-		s.err = err
-		return
-	}
-	s.wroteLocked()
-}
-
-// Count returns how many records were written so far.
-func (s *JSONLSink) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.count
-}
-
-// Flush drains buffers (syncing to stable storage when SyncEvery is
-// active) and returns the first error the sink hit.
-func (s *JSONLSink) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked(s.syncEvery > 0)
-}
+func (s *JSONLSink) Write(rec RunRecord) { s.EncodeLines(rec) }
 
 // ReadJSONL parses records back from a JSONL stream — the aggregation and
 // resume path for campaigns written earlier.
 func ReadJSONL(r io.Reader) ([]RunRecord, error) {
-	var out []RunRecord
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var rec RunRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("campaign: jsonl line %d: %w", line, err)
-		}
-		out = append(out, rec)
+	recs, _, err := archival.ReadAllJSONL[RunRecord](r, archival.TailStrict, nil)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return recs, nil
 }
 
 // ReadJSONLResume parses records like ReadJSONL, but tolerates a truncated
@@ -177,39 +63,9 @@ func ReadJSONL(r io.Reader) ([]RunRecord, error) {
 // glued onto the partial line. Offsets assume LF line endings — what
 // JSONLSink writes.
 func ReadJSONLResume(r io.Reader, warn func(line int, err error)) (recs []RunRecord, truncateAt int64, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	badLine := 0
-	var off, badStart int64
-	var badErr error
-	for sc.Scan() {
-		line++
-		lineStart := off
-		off += int64(len(sc.Bytes())) + 1
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
-			continue
-		}
-		if badErr != nil {
-			// The bad line has non-empty data after it, so it was not a
-			// trailing partial write.
-			return nil, -1, fmt.Errorf("campaign: jsonl line %d: %w", badLine, badErr)
-		}
-		var rec RunRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			badLine, badErr, badStart = line, err, lineStart
-			continue
-		}
-		recs = append(recs, rec)
+	recs, truncateAt, err = archival.ReadAllJSONL[RunRecord](r, archival.TailTolerate, warn)
+	if err != nil {
+		return nil, -1, fmt.Errorf("campaign: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, -1, err
-	}
-	if badErr != nil {
-		if warn != nil {
-			warn(badLine, badErr)
-		}
-		return recs, badStart, nil
-	}
-	return recs, -1, nil
+	return recs, truncateAt, nil
 }

@@ -1,22 +1,22 @@
 package campaign
 
 import (
-	"bufio"
-	"encoding/json"
 	"io"
 
+	"safemeasure/internal/archival"
 	"safemeasure/internal/telemetry"
 )
 
 // RunTrace is one run's packet-path event stream plus the plan coordinates
-// that identify it. Events are in emission order and carry virtual-time
-// timestamps, so a run's trace depends only on its seed — never on worker
-// count or scheduling.
+// (and lab seed) that identify it. Events are in emission order and carry
+// virtual-time timestamps, so a run's trace depends only on its seed —
+// never on worker count or scheduling.
 type RunTrace struct {
 	Scenario   string
 	Impairment string // "" means the pristine link
 	Technique  string
 	Trial      int
+	Seed       int64
 	Events     []telemetry.Event
 }
 
@@ -24,12 +24,14 @@ type RunTrace struct {
 // event's sequence number within the run, and the event itself. Because
 // (scenario, impairment, technique, trial, seq) uniquely orders every line
 // and each run's events are deterministic, sorting a trace file's lines
-// yields a byte-identical stream for any worker count.
+// yields a byte-identical stream for any worker count. Seed makes the line
+// joinable against records and archival observations by cell identity.
 type TraceLine struct {
 	Scenario   string `json:"scenario"`
 	Impairment string `json:"impairment,omitempty"`
 	Technique  string `json:"technique"`
 	Trial      int    `json:"trial"`
+	Seed       int64  `json:"seed,omitempty"`
 	Seq        int    `json:"seq"`
 	T          int64  `json:"t"`
 	Kind       string `json:"kind"`
@@ -40,66 +42,39 @@ type TraceLine struct {
 
 // TraceSink streams run traces to a writer as JSONL, one line per event.
 // Write is safe to call from multiple workers; a run's events are written
-// contiguously under the lock.
+// contiguously under the shared archival.Sink lock.
 type TraceSink struct {
-	sinkState
+	archival.Sink
 }
 
 // NewTraceSink wraps a writer.
 func NewTraceSink(w io.Writer) *TraceSink {
 	s := &TraceSink{}
-	s.w, s.raw = bufio.NewWriter(w), w
+	s.Reset(w)
 	return s
 }
 
 // SyncEvery makes the sink flush (and, on files, sync) once at least n
 // event lines accumulated since the last flush, bounding what a hard crash
 // can lose. n <= 0 restores the default (buffer until Flush).
-func (s *TraceSink) SyncEvery(n int) { s.setSyncEvery(n) }
+func (s *TraceSink) SyncEvery(n int) { s.SetSyncEvery(n) }
 
 // Instrument publishes the sink's flush/sync activity to reg as
 // campaign_sink_flush_total{sink=name} and campaign_sink_sync_total{sink=name}.
-func (s *TraceSink) Instrument(reg *telemetry.Registry, name string) { s.instrument(reg, name) }
+func (s *TraceSink) Instrument(reg *telemetry.Registry, name string) {
+	s.InstrumentSink(reg, "campaign_sink_flush_total", "campaign_sink_sync_total", name)
+}
 
 // Write emits one run's events. The first encoding or I/O error is retained
 // and reported by Flush; later writes after an error are dropped.
 func (s *TraceSink) Write(rt RunTrace) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return
-	}
+	vals := make([]any, len(rt.Events))
 	for i, ev := range rt.Events {
-		line := TraceLine{
+		vals[i] = TraceLine{
 			Scenario: rt.Scenario, Impairment: rt.Impairment,
-			Technique: rt.Technique, Trial: rt.Trial,
+			Technique: rt.Technique, Trial: rt.Trial, Seed: rt.Seed,
 			Seq: i, T: ev.T, Kind: ev.Kind, Src: ev.Src, Dst: ev.Dst, Detail: ev.Detail,
 		}
-		raw, err := json.Marshal(line)
-		if err != nil {
-			s.err = err
-			return
-		}
-		raw = append(raw, '\n')
-		if _, err := s.w.Write(raw); err != nil {
-			s.err = err
-			return
-		}
-		s.wroteLocked()
 	}
-}
-
-// Count returns how many event lines were written so far.
-func (s *TraceSink) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.count
-}
-
-// Flush drains buffers (syncing to stable storage when SyncEvery is
-// active) and returns the first error the sink hit.
-func (s *TraceSink) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked(s.syncEvery > 0)
+	s.EncodeLines(vals...)
 }

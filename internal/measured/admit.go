@@ -2,10 +2,10 @@ package measured
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"time"
 
+	"safemeasure/internal/archival"
 	"safemeasure/internal/campaign"
 )
 
@@ -237,17 +237,18 @@ func (s *Service) execFlight(fl *flight) {
 	s.complete(fl, rec)
 }
 
-// complete publishes a flight's result: marshal the NDJSON line, cache it
-// (error records are never cached — a transient failure must not poison
-// the cell), fold it into the service failure budget, and release waiters.
+// complete publishes a flight's result: marshal the NDJSON line (the shared
+// archival line encoding, so service streams and campaign sinks stay
+// byte-compatible), cache it (error records are never cached — a transient
+// failure must not poison the cell), fold it into the service failure
+// budget, archive it, and release waiters.
 func (s *Service) complete(fl *flight, rec campaign.RunRecord) {
-	line, err := json.Marshal(rec)
+	line, err := archival.MarshalLine(rec)
 	if err != nil {
 		// Unreachable for RunRecord, but never strand waiters on a
 		// marshal bug.
-		line = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		line = []byte(fmt.Sprintf(`{"error":%q}`+"\n", err.Error()))
 	}
-	line = append(line, '\n')
 	s.mu.Lock()
 	delete(s.inflight, fl.spec.CellKey())
 	if rec.Error == "" {
@@ -276,4 +277,7 @@ func (s *Service) complete(fl *flight, rec campaign.RunRecord) {
 	fl.line = line
 	fl.rec = rec
 	close(fl.done)
+	if s.cfg.OnRecord != nil {
+		s.cfg.OnRecord(rec)
+	}
 }

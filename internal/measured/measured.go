@@ -100,6 +100,12 @@ type Config struct {
 	// Metrics receives the measured_* service metrics and the pool's
 	// campaign_* metrics; nil disables telemetry.
 	Metrics *telemetry.Registry
+	// OnRecord, when set, receives every run the service actually executed
+	// (cache hits and dedupe joins excluded — they re-serve an already
+	// delivered result). The service-side archival stream hangs off this
+	// hook: safemeasured -archive flattens each record into observations.
+	// Called outside the service mutex, after the result is published.
+	OnRecord func(campaign.RunRecord)
 	// Execute overrides the pool's per-spec executor (tests only).
 	Execute campaign.Executor
 }

@@ -255,6 +255,58 @@ func Wilson(successes, n int, z float64) (lo, hi float64) {
 // Wilson95 is Wilson at the conventional 95% confidence level.
 func Wilson95(successes, n int) (lo, hi float64) { return Wilson(successes, n, Z95) }
 
+// Comparison verdicts for PropDelta: whether B's proportion is credibly
+// above, below, or indistinguishable from A's at the chosen confidence.
+const (
+	VerdictBetter       = "better"
+	VerdictWorse        = "worse"
+	VerdictInconclusive = "inconclusive"
+)
+
+// PropDelta compares two binomial proportions (A the baseline, B the
+// candidate) through their Wilson intervals.
+type PropDelta struct {
+	PA, PB   float64 // point estimates
+	Delta    float64 // PB - PA
+	LoA, HiA float64 // Wilson interval on A
+	LoB, HiB float64 // Wilson interval on B
+	NA, NB   int
+	// Verdict is the regression call: VerdictBetter when B's interval lies
+	// entirely above A's, VerdictWorse when entirely below, and
+	// VerdictInconclusive when the intervals overlap (or either side has no
+	// trials — no information, no call).
+	Verdict string
+}
+
+// CompareProportions runs the Wilson-CI comparison at critical value z.
+// Disjoint intervals are the decision rule: it is conservative (stricter
+// than a two-proportion z-test), which is the right default for flagging
+// regressions between campaign files — an inconclusive cell means "collect
+// more trials", not "ship it".
+func CompareProportions(successA, nA, successB, nB int, z float64) PropDelta {
+	d := PropDelta{NA: nA, NB: nB}
+	if nA > 0 {
+		d.PA = float64(successA) / float64(nA)
+	}
+	if nB > 0 {
+		d.PB = float64(successB) / float64(nB)
+	}
+	d.Delta = d.PB - d.PA
+	d.LoA, d.HiA = Wilson(successA, nA, z)
+	d.LoB, d.HiB = Wilson(successB, nB, z)
+	switch {
+	case nA <= 0 || nB <= 0:
+		d.Verdict = VerdictInconclusive
+	case d.LoB > d.HiA:
+		d.Verdict = VerdictBetter
+	case d.HiB < d.LoA:
+		d.Verdict = VerdictWorse
+	default:
+		d.Verdict = VerdictInconclusive
+	}
+	return d
+}
+
 // Ratio formats a/b as both a fraction and a percentage, guarding b == 0.
 func Ratio(a, b int) string {
 	if b == 0 {

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"safemeasure/internal/archival"
+	"safemeasure/internal/netsim"
+)
+
+// Observations flattens a netsim capture into flat archival packet rows —
+// the pcap layer's entry into the unified observation format. Each captured
+// datagram becomes one TypePacket row: Seq preserves capture order, T the
+// virtual timestamp, Src/Dst the IPv4 addresses when the datagram parsed,
+// Name the transport protocol, and Count the raw datagram length. The cell
+// identity stamps every row so packet-level evidence joins records and
+// traces from the same run.
+func Observations(c *netsim.Capture, technique, scenario, impairment string, trial int, seed int64) []archival.Observation {
+	if c == nil {
+		return nil
+	}
+	run := archival.RunID(technique, scenario, impairment, trial, seed)
+	obs := make([]archival.Observation, 0, len(c.Packets))
+	for i, tp := range c.Packets {
+		o := archival.Observation{
+			Run:        run,
+			Type:       archival.TypePacket,
+			Technique:  technique,
+			Scenario:   scenario,
+			Impairment: impairment,
+			Trial:      trial,
+			Seed:       seed,
+			Seq:        i,
+			T:          tp.Time,
+			Count:      int64(len(tp.Raw)),
+		}
+		if tp.Pkt != nil && tp.Pkt.IP != nil {
+			o.Src = tp.Pkt.IP.Src.String()
+			o.Dst = tp.Pkt.IP.Dst.String()
+			o.Name = tp.Pkt.IP.Protocol.String()
+		}
+		o.SetID()
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+// WriteObservations flattens a capture and appends it to an archival writer
+// as one contiguous batch.
+func WriteObservations(w archival.Writer, c *netsim.Capture, technique, scenario, impairment string, trial int, seed int64) int {
+	obs := Observations(c, technique, scenario, impairment, trial, seed)
+	w.WriteObservations(obs)
+	return len(obs)
+}

@@ -11,6 +11,15 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting gate: gofmt is not a style suggestion here, it is what keeps
+# diffs reviewable; any unformatted file fails the run by name.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
 go build ./...
 go vet ./...
 go build ./examples/...
@@ -35,6 +44,50 @@ if [ "${VERIFY_FUZZ:-0}" = "1" ]; then
   for target in FuzzParseCommand FuzzParseReply FuzzParseMessage; do
     go test -fuzz="^${target}\$" -fuzztime=5s ./internal/smtpwire
   done
+  for target in FuzzDecodeObservation FuzzReaderBinary FuzzReaderJSONL; do
+    go test -fuzz="^${target}\$" -fuzztime=5s ./internal/archival
+  done
+fi
+
+# Bench-regression gate: rerun the campaign throughput benchmark and compare
+# best-of-3 against the committed BENCH_campaign.json baseline. A fresh
+# ns/op more than 25% above baseline (>20% throughput loss) fails the run.
+# Opt out with VERIFY_BENCH=0 on noisy or shared machines.
+if [ "${VERIFY_BENCH:-1}" = "1" ] && [ -f BENCH_campaign.json ]; then
+  benchraw=$(mktemp)
+  go test -run '^$' -bench 'BenchmarkCampaign' -benchtime 1s -count 3 . | tee "$benchraw"
+  awk '
+    NR == FNR {
+      # Parse baseline JSON lines: "Name": {..., "ns_per_op": N, ...}
+      if (match($0, /"Benchmark[^"]+"/)) {
+        name = substr($0, RSTART + 1, RLENGTH - 2)
+        if (match($0, /"ns_per_op": [0-9.]+/)) {
+          split(substr($0, RSTART, RLENGTH), kv, ": ")
+          base[name] = kv[2]
+        }
+      }
+      next
+    }
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      for (i = 3; i < NF; i++) if ($(i + 1) == "ns/op") nsop = $i
+      if (!(name in fresh) || nsop + 0 < fresh[name] + 0) fresh[name] = nsop
+    }
+    END {
+      bad = 0
+      for (name in fresh) {
+        if (!(name in base)) continue
+        ratio = fresh[name] / base[name]
+        printf "%s: %.0f ns/op vs baseline %.0f (x%.2f)\n", name, fresh[name], base[name], ratio
+        if (ratio > 1.25) {
+          printf "REGRESSION: %s is %.0f%% slower than baseline\n", name, (ratio - 1) * 100
+          bad = 1
+        }
+      }
+      exit bad
+    }
+  ' BENCH_campaign.json "$benchraw"
+  rm -f "$benchraw"
 fi
 
 # Interrupt-then-resume smoke test: a real SIGINT against the built binary
@@ -57,6 +110,27 @@ test -s "$tmp/smoke.jsonl"
   -out "$tmp/smoke.jsonl"
 # 1 scenario x 3 techniques x 500 trials = 1500 records, every line valid JSON
 test "$(wc -l < "$tmp/smoke.jsonl")" -eq 1500
+
+# Analysis-pipeline smoke: a second seeded campaign gives compare two real
+# 1500-run inputs; its per-cell Wilson-CI delta table must be deterministic
+# (two invocations, byte-identical output), and convert must round-trip
+# observations JSONL -> binary -> JSONL byte-identically.
+go build -o "$tmp/measanalyze" ./cmd/measanalyze
+"$tmp/campaign" -scenarios dns-poison -trials 500 -workers 2 -seed 2 \
+  -out "$tmp/smoke2.jsonl" > /dev/null
+"$tmp/measanalyze" compare "$tmp/smoke.jsonl" "$tmp/smoke2.jsonl" > "$tmp/cmp1.txt"
+"$tmp/measanalyze" compare "$tmp/smoke.jsonl" "$tmp/smoke2.jsonl" > "$tmp/cmp2.txt"
+diff "$tmp/cmp1.txt" "$tmp/cmp2.txt"
+grep -q "verdict" "$tmp/cmp1.txt"
+"$tmp/measanalyze" convert -o "$tmp/smoke.obs.jsonl" "$tmp/smoke.jsonl"
+"$tmp/measanalyze" convert -o "$tmp/smoke.obs.bin" "$tmp/smoke.obs.jsonl"
+"$tmp/measanalyze" convert -o "$tmp/smoke.obs2.jsonl" "$tmp/smoke.obs.bin"
+cmp "$tmp/smoke.obs.jsonl" "$tmp/smoke.obs2.jsonl"
+ls -l "$tmp/smoke.obs.jsonl" "$tmp/smoke.obs.bin"
+# Torn-tail tolerance: summarize must stream a live-append-shaped file
+# (valid prefix + half a record) without erroring.
+head -c "$(( $(wc -c < "$tmp/smoke.jsonl") - 40 ))" "$tmp/smoke.jsonl" > "$tmp/torn.jsonl"
+"$tmp/measanalyze" summarize "$tmp/torn.jsonl" > /dev/null
 
 # Service smoke test: start safemeasured on an ephemeral port, drive it with
 # measload (50 concurrent clients; every client's third request repeats its
