@@ -101,7 +101,8 @@ func main() {
 	hedgeSpec := flag.String("hedge", "", "hedge straggling runs: a duration (e.g. 500ms) or pNN (e.g. p95) derived from live run latency (empty disables)")
 	resume := flag.Bool("resume", false, "skip runs already recorded in -out and append")
 	list := flag.Bool("list", false, "list scenarios and techniques, then exit")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /progress on this address (e.g. :9090)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /progress, and /debug/pprof on this address (e.g. :9090)")
+	profContention := flag.Bool("pprof-contention", false, "record mutex and block profiles (served under -metrics-addr's /debug/pprof; costs a little on every contended lock)")
 	tracePath := flag.String("trace", "", "stream packet-path trace events to this JSONL file (- for stdout)")
 	archivePath := flag.String("archive", "", "stream flat observation rows (records and traces) to this file; a .bin/.smoa extension selects the compact binary encoding")
 	flag.Parse()
@@ -224,6 +225,11 @@ func main() {
 		reg = telemetry.NewRegistry()
 		prog = campaign.NewProgress(plan)
 		prog.Breakers(breakers)
+		if *profContention {
+			// 1-in-5 mutex events, blocking >= 100µs: cheap enough to leave
+			// on for a whole campaign, detailed enough to rank hot locks.
+			telemetry.EnableContentionProfiling(5, 100_000)
+		}
 		// /readyz mirrors the pool lifecycle: ready while the campaign is
 		// dispatching runs, not before the pool starts nor once it drains —
 		// the same contract safemeasured serves, so probes work on both.

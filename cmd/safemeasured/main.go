@@ -56,16 +56,20 @@ func main() {
 	queueMax := flag.Int("queue", measured.DefaultQueueMax, "max admitted-but-unscheduled runs across all clients")
 	rate := flag.Float64("rate", measured.DefaultRatePerSec, "per-client request rate limit (requests/s; negative disables)")
 	burst := flag.Int("burst", measured.DefaultBurst, "per-client rate-limit burst")
-	cacheMax := flag.Int("cache-max", measured.DefaultCacheMax, "result cache capacity (records)")
+	cacheMax := flag.Int("cache-max", measured.DefaultCacheMax, "result cache capacity (records); negative disables caching")
 	maxRuns := flag.Int("max-runs", measured.DefaultMaxRunsPerRequest, "max runs one request may expand into")
 	breakerN := flag.Int("breaker", 0, "per-cell circuit breaker: open after N consecutive failed runs (0 disables)")
 	failBudget := flag.Float64("fail-budget", -1, "degrade the service when more than this fraction of completed runs are errors (negative disables)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a shutdown lets admitted runs and open streams finish")
 	archivePath := flag.String("archive", "", "append every executed run as flat observation rows to this file (.bin/.smoa for binary); cache hits are not re-archived")
+	profContention := flag.Bool("pprof-contention", false, "record mutex and block profiles (served on /debug/pprof; costs a little on every contended lock)")
 	flag.Parse()
 
 	if *workers < 1 {
 		*workers = 1
+	}
+	if *profContention {
+		telemetry.EnableContentionProfiling(5, 100_000)
 	}
 	if *retries < 1 {
 		fmt.Fprintf(os.Stderr, "safemeasured: -retries must be >= 1 (got %d)\n", *retries)

@@ -97,6 +97,52 @@ func (s *Sink) WriteRecords(raws ...[]byte) {
 	}
 }
 
+// WriteBatch appends one pre-encoded batch of n records (framing included)
+// with a single write under one lock acquisition. Encoding a whole run's
+// rows before taking the lock keeps concurrent workers' serialization work
+// parallel; only the copy into the bufio layer is serialized. The batch
+// lands contiguously (same torn-tail guarantee as WriteRecords) and each of
+// the n records counts toward the SetSyncEvery policy.
+func (s *Sink) WriteBatch(raw []byte, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(raw); err != nil {
+		s.err = err
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.wroteLocked()
+	}
+}
+
+// Fail retains an error produced outside the lock (batch encoding); the
+// first error wins, exactly like a write error.
+func (s *Sink) Fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// batchBufs pools the scratch buffers batch writers encode into before
+// handing the Sink one contiguous WriteBatch.
+var batchBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// GetBatchBuf returns an empty pooled buffer for staging one batch ahead of
+// a WriteBatch call; pair it with PutBatchBuf once the batch is written.
+func GetBatchBuf() *bytes.Buffer {
+	b := batchBufs.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBatchBuf returns a staging buffer to the pool.
+func PutBatchBuf(b *bytes.Buffer) { batchBufs.Put(b) }
+
 // EncodeLines marshals each value as one JSONL line and appends the batch
 // atomically. The first encoding or I/O error is retained; later writes are
 // dropped.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Format names an observation encoding.
@@ -58,13 +59,24 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return jw
 }
 
-// WriteObservations implements Writer.
+// WriteObservations implements Writer. A campaign emits one batch per run,
+// so the rows are encoded into pooled scratch and handed to the Sink as a
+// single contiguous write, removing the per-row allocations that otherwise
+// dominate the archive path under concurrent workers.
 func (jw *JSONLWriter) WriteObservations(obs []Observation) {
-	vals := make([]any, len(obs))
+	b := GetBatchBuf()
+	enc := json.NewEncoder(b)
 	for i := range obs {
-		vals[i] = &obs[i]
+		// Encoder.Encode emits json.Marshal's bytes plus '\n' — the same
+		// framing as MarshalLine — without an intermediate allocation.
+		if err := enc.Encode(&obs[i]); err != nil {
+			jw.Fail(err)
+			PutBatchBuf(b)
+			return
+		}
 	}
-	jw.EncodeLines(vals...)
+	jw.WriteBatch(b.Bytes(), len(obs))
+	PutBatchBuf(b)
 }
 
 // BinaryWriter streams observations in the binary encoding through the
@@ -99,13 +111,19 @@ func (bw *BinaryWriter) writeMagic() {
 	}
 }
 
+// rawBufs pools the byte slices the binary batch path appends into.
+var rawBufs = sync.Pool{New: func() any { return new([]byte) }}
+
 // WriteObservations implements Writer.
 func (bw *BinaryWriter) WriteObservations(obs []Observation) {
-	raws := make([][]byte, len(obs))
+	p := rawBufs.Get().(*[]byte)
+	buf := (*p)[:0]
 	for i := range obs {
-		raws[i] = AppendObservation(nil, &obs[i])
+		buf = AppendObservation(buf, &obs[i])
 	}
-	bw.WriteRecords(raws...)
+	bw.WriteBatch(buf, len(obs))
+	*p = buf
+	rawBufs.Put(p)
 }
 
 // NewWriter builds the writer for an explicit format choice.

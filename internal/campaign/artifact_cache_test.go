@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"safemeasure/internal/archival"
+	"safemeasure/internal/censor"
+	"safemeasure/internal/lab"
+)
+
+// TestArtifactCacheSharesAcrossRuns: artifactsFor returns one *lab.Artifacts
+// per scenario — concurrent lookups (the worker-pool access pattern) all see
+// the same pointer, so a campaign compiles each scenario's rulesets once.
+func TestArtifactCacheSharesAcrossRuns(t *testing.T) {
+	sc, ok := lab.ScenarioByName("keyword-rst")
+	if !ok {
+		t.Fatal("keyword-rst scenario missing")
+	}
+	first, err := artifactsFor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*lab.Artifacts, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], _ = artifactsFor(sc)
+		}(i)
+	}
+	wg.Wait()
+	for i, art := range got {
+		if art != first {
+			t.Fatalf("lookup %d returned a different Artifacts pointer", i)
+		}
+	}
+}
+
+// TestArtifactCacheByteIdenticalAcrossWorkers is the cache's determinism
+// contract: with the cache warm, the same plan executed by a 1-worker and an
+// 8-worker pool yields byte-identical record streams — sharing compiled
+// artifacts across concurrent runs leaks no per-run state. Run under -race
+// by scripts/verify.sh, which is what would catch an unsynchronized write
+// into the shared structures.
+func TestArtifactCacheByteIdenticalAcrossWorkers(t *testing.T) {
+	plan, err := NewPlan(PlanConfig{
+		Scenarios: []string{"keyword-rst", "dns-poison", "blackhole"},
+		Trials:    2,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodies [][]byte
+	for _, workers := range []int{1, 8} {
+		recs, err := Run(plan, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, rec := range recs {
+			if rec.Error != "" {
+				t.Fatalf("workers=%d %s/%s: %s", workers, rec.Technique, rec.Scenario, rec.Error)
+			}
+			line, err := archival.MarshalLine(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(line)
+		}
+		bodies = append(bodies, buf.Bytes())
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("record stream differs between workers=1 and workers=8 with a warm artifact cache")
+	}
+}
+
+// TestArtifactCacheMutatedConfigRejected: the cache keys by scenario name,
+// so a scenario whose config was mutated after warming the cache maps to
+// stale artifacts — and the lab must refuse them loudly (Artifacts carries
+// its compile inputs for exactly this validation) instead of silently
+// simulating another cell's censor.
+func TestArtifactCacheMutatedConfigRejected(t *testing.T) {
+	sc, ok := lab.ScenarioByName("keyword-rst")
+	if !ok {
+		t.Fatal("keyword-rst scenario missing")
+	}
+	if _, err := artifactsFor(sc); err != nil {
+		t.Fatal(err)
+	}
+
+	mutated := sc
+	mutated.NewCensor = func() censor.Config {
+		cfg := sc.NewCensor()
+		cfg.Keywords = append(append([]string(nil), cfg.Keywords...), "mutated-keyword")
+		return cfg
+	}
+	stale, err := artifactsFor(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	labCfg := mutated.Config(1)
+	labCfg.Artifacts = stale
+	if _, err := lab.New(labCfg); err == nil {
+		t.Fatal("lab.New accepted artifacts compiled for a different censor config")
+	} else if !strings.Contains(err.Error(), "different censor config") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}

@@ -2,12 +2,37 @@ package campaign
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"safemeasure/internal/core"
 	"safemeasure/internal/lab"
 	"safemeasure/internal/telemetry"
 )
+
+// artifactCache shares compiled lab artifacts (IDS rulesets, DNS zone, site
+// catalog) across every run of a campaign — and across campaigns in the
+// same process, which is what lets the measured service's persistent pool
+// benefit too. Keyed by scenario name: a scenario fixes every
+// compile-relevant config field, and an impairment only shapes the WAN
+// uplink, never the compiled artifacts; lab.New still validates the
+// artifacts against each run's exact config, so a mismatch surfaces as a
+// descriptive per-run error instead of a silently wrong simulation.
+var artifactCache sync.Map // scenario name -> *lab.Artifacts
+
+func artifactsFor(sc lab.Scenario) (*lab.Artifacts, error) {
+	if v, ok := artifactCache.Load(sc.Name); ok {
+		return v.(*lab.Artifacts), nil
+	}
+	art, err := lab.NewArtifacts(sc.Config(0))
+	if err != nil {
+		return nil, err
+	}
+	// Two workers may race the first compile; LoadOrStore keeps exactly one
+	// winner so every later run shares the same immutable value.
+	v, _ := artifactCache.LoadOrStore(sc.Name, art)
+	return v.(*lab.Artifacts), nil
+}
 
 // DefaultHorizon is how long population cover traffic runs alongside each
 // measurement — the E11 evaluation value.
@@ -107,6 +132,9 @@ func ExecuteInstrumented(spec RunSpec, cfg ExecConfig) (RunRecord, []telemetry.E
 	labCfg := sc.Config(spec.Seed)
 	labCfg.Impair = imp.Impair
 	labCfg.Telemetry = cfg.Metrics
+	if art, err := artifactsFor(sc); err == nil {
+		labCfg.Artifacts = art
+	} // on error, lab.New recompiles and reports the same failure per run
 	var ring *telemetry.Ring
 	if cfg.Trace {
 		capacity := cfg.TraceCap

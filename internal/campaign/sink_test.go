@@ -262,9 +262,12 @@ func TestTraceSinkSyncEvery(t *testing.T) {
 		t.Fatalf("2 event lines flushed before the 3-line threshold")
 	}
 	sink.Write(RunTrace{Scenario: "open", Technique: "spam", Trial: 1, Events: events})
-	// The threshold fires mid-Write at the 3rd line; the 4th stays buffered.
-	if lines := strings.Count(w.buf.String(), "\n"); lines != 3 || w.syncs != 1 {
-		t.Fatalf("after 4 events: %d durable lines, %d syncs; want 3 lines, 1 sync", lines, w.syncs)
+	// The run is written as one batch, so when the 3-line threshold fires the
+	// whole batch is already in the bufio layer and all 4 lines become
+	// durable — the flush can only land at or past the threshold, never short
+	// of it.
+	if lines := strings.Count(w.buf.String(), "\n"); lines != 4 || w.syncs != 1 {
+		t.Fatalf("after 4 events: %d durable lines, %d syncs; want 4 lines, 1 sync", lines, w.syncs)
 	}
 	if err := sink.Flush(); err != nil {
 		t.Fatal(err)

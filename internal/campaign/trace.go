@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"io"
 
 	"safemeasure/internal/archival"
@@ -65,16 +66,30 @@ func (s *TraceSink) Instrument(reg *telemetry.Registry, name string) {
 	s.InstrumentSink(reg, "campaign_sink_flush_total", "campaign_sink_sync_total", name)
 }
 
-// Write emits one run's events. The first encoding or I/O error is retained
-// and reported by Flush; later writes after an error are dropped.
+// Write emits one run's events. The lines are encoded into pooled scratch
+// outside the sink lock and land as one contiguous write, so concurrent
+// workers serialize only on the final copy, not on marshaling. The first
+// encoding or I/O error is retained and reported by Flush; later writes
+// after an error are dropped.
 func (s *TraceSink) Write(rt RunTrace) {
-	vals := make([]any, len(rt.Events))
+	if len(rt.Events) == 0 {
+		return
+	}
+	b := archival.GetBatchBuf()
+	enc := json.NewEncoder(b)
+	line := TraceLine{
+		Scenario: rt.Scenario, Impairment: rt.Impairment,
+		Technique: rt.Technique, Trial: rt.Trial, Seed: rt.Seed,
+	}
 	for i, ev := range rt.Events {
-		vals[i] = TraceLine{
-			Scenario: rt.Scenario, Impairment: rt.Impairment,
-			Technique: rt.Technique, Trial: rt.Trial, Seed: rt.Seed,
-			Seq: i, T: ev.T, Kind: ev.Kind, Src: ev.Src, Dst: ev.Dst, Detail: ev.Detail,
+		line.Seq, line.T, line.Kind = i, ev.T, ev.Kind
+		line.Src, line.Dst, line.Detail = ev.Src, ev.Dst, ev.Detail
+		if err := enc.Encode(&line); err != nil {
+			s.Fail(err)
+			archival.PutBatchBuf(b)
+			return
 		}
 	}
-	s.EncodeLines(vals...)
+	s.WriteBatch(b.Bytes(), len(rt.Events))
+	archival.PutBatchBuf(b)
 }

@@ -130,10 +130,17 @@ func (c *Censor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		reg.Counter("censor_ids_alerts_total"))
 }
 
-// New builds a censor from cfg. The keyword and host rules are compiled
-// through the Snort-like rule engine — the censor is an IDS configuration,
-// per the paper's framing.
-func New(cfg Config) (*Censor, error) {
+// Compiled is the immutable, compile-once half of a censor: the validated
+// config and its ruleset compiled through the Snort-like rule engine — the
+// censor is an IDS configuration, per the paper's framing. One Compiled may
+// back any number of concurrent Censors (see New on Compiled).
+type Compiled struct {
+	cfg   Config
+	rules *ids.CompiledRules
+}
+
+// Compile validates cfg and compiles its keyword and host rules.
+func Compile(cfg Config) (*Compiled, error) {
 	var rules strings.Builder
 	sid := 9000
 	for _, kw := range cfg.Keywords {
@@ -141,8 +148,8 @@ func New(cfg Config) (*Censor, error) {
 		sid++
 	}
 	for _, dom := range cfg.BlockedDomains {
-		// Host-header form; DNS is handled natively below because forging
-		// a response requires parsing the query, not just matching it.
+		// Host-header form; DNS is handled natively in the censor because
+		// forging a response requires parsing the query, not just matching.
 		fmt.Fprintf(&rules, "alert tcp any any -> any 80 (msg:\"censor host %s\"; content:\"Host: %s\"; nocase; sid:%d; classtype:censor-host;)\n", dom, dom, sid)
 		sid++
 	}
@@ -153,11 +160,31 @@ func New(cfg Config) (*Censor, error) {
 	if len(cfg.BlockedDomains) > 0 && !cfg.PoisonAddr.IsValid() {
 		return nil, fmt.Errorf("censor: BlockedDomains set but no PoisonAddr")
 	}
-	c := &Censor{cfg: cfg, engine: ids.NewEngine(parsed), residual: make(map[addrPair]int64)}
-	if !cfg.DisableReassembly {
+	return &Compiled{cfg: cfg, rules: ids.Compile(parsed)}, nil
+}
+
+// Config returns the config the ruleset was compiled from.
+func (cc *Compiled) Config() Config { return cc.cfg }
+
+// New builds a fresh censor over the compiled ruleset. All mutable state
+// (IDS engine, reassembler, residual table, stats) is per-censor; the
+// receiver is only read, so concurrent News are safe.
+func (cc *Compiled) New() *Censor {
+	c := &Censor{cfg: cc.cfg, engine: cc.rules.NewEngine(), residual: make(map[addrPair]int64)}
+	if !cc.cfg.DisableReassembly {
 		c.reasm = packet.NewReassembler()
 	}
-	return c, nil
+	return c
+}
+
+// New builds a censor from cfg, compiling its ruleset. Callers constructing
+// many censors from one config should Compile once and call New on that.
+func New(cfg Config) (*Censor, error) {
+	cc, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cc.New(), nil
 }
 
 // Engine exposes the underlying IDS engine (stats, flow table size).

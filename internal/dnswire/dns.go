@@ -161,8 +161,27 @@ func CanonicalName(name string) string {
 
 type encoder struct {
 	buf []byte
-	// offsets of names already written, for compression pointers
-	names map[string]int
+	// Offsets of names already written, for compression pointers. A short
+	// linear list instead of a map: a message rarely holds more than a
+	// handful of distinct suffixes, and the map allocation dominated the
+	// cost of marshaling on the simulator's hot path.
+	names   []nameOffset
+	nameArr [8]nameOffset
+}
+
+type nameOffset struct {
+	name string
+	off  int
+}
+
+// lookupName returns the offset name was first written at, or -1.
+func (e *encoder) lookupName(name string) int {
+	for i := range e.names {
+		if e.names[i].name == name {
+			return e.names[i].off
+		}
+	}
+	return -1
 }
 
 func (e *encoder) uint16(v uint16) {
@@ -180,12 +199,12 @@ func (e *encoder) name(name string) error {
 		return ErrNameTooLong
 	}
 	for name != "" {
-		if off, ok := e.names[name]; ok && off < 0x3fff {
+		if off := e.lookupName(name); off >= 0 {
 			e.uint16(0xc000 | uint16(off))
 			return nil
 		}
 		if len(e.buf) < 0x3fff {
-			e.names[name] = len(e.buf)
+			e.names = append(e.names, nameOffset{name, len(e.buf)})
 		}
 		label, rest, cut := strings.Cut(name, ".")
 		if label == "" || (cut && rest == "") {
@@ -263,7 +282,8 @@ func (e *encoder) rr(r RR) error {
 
 // Marshal serializes the message to wire format.
 func (m *Message) Marshal() ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 512), names: make(map[string]int)}
+	e := &encoder{buf: make([]byte, 0, 512)}
+	e.names = e.nameArr[:0]
 	e.uint16(m.ID)
 	var flags uint16
 	if m.Response {

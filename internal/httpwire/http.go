@@ -6,6 +6,7 @@
 package httpwire
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -127,23 +128,33 @@ func statusText(code int) string {
 // (startLine, headers, body, consumed) or ErrIncomplete if the full message
 // has not arrived yet.
 func splitMessage(data []byte) (string, map[string]string, []byte, int, error) {
-	s := string(data)
-	end := strings.Index(s, "\r\n\r\n")
+	// Work on the byte slice directly: this runs on every TCP data arrival
+	// while a message accumulates, and converting the whole (growing)
+	// buffer to a string each attempt dominated the codec's allocations.
+	end := bytes.Index(data, []byte("\r\n\r\n"))
 	if end < 0 {
 		return "", nil, nil, 0, ErrIncomplete
 	}
-	head := s[:end]
-	lines := strings.Split(head, "\r\n")
-	if len(lines) == 0 {
-		return "", nil, nil, 0, ErrMalformed
-	}
-	headers := make(map[string]string, len(lines)-1)
-	for _, ln := range lines[1:] {
-		k, v, ok := strings.Cut(ln, ":")
+	head := data[:end]
+	var startLine string
+	var headers map[string]string
+	for first := true; first || len(head) > 0; first = false {
+		line := head
+		if j := bytes.Index(head, []byte("\r\n")); j >= 0 {
+			line, head = head[:j], head[j+2:]
+		} else {
+			head = nil
+		}
+		if first {
+			startLine = string(line)
+			headers = make(map[string]string)
+			continue
+		}
+		k, v, ok := bytes.Cut(line, []byte(":"))
 		if !ok {
 			return "", nil, nil, 0, ErrMalformed
 		}
-		headers[canonical(strings.TrimSpace(k))] = strings.TrimSpace(v)
+		headers[canonical(string(bytes.TrimSpace(k)))] = string(bytes.TrimSpace(v))
 	}
 	bodyStart := end + 4
 	n := 0
@@ -158,7 +169,7 @@ func splitMessage(data []byte) (string, map[string]string, []byte, int, error) {
 		return "", nil, nil, 0, ErrIncomplete
 	}
 	body := data[bodyStart : bodyStart+n]
-	return lines[0], headers, body, bodyStart + n, nil
+	return startLine, headers, body, bodyStart + n, nil
 }
 
 // ParseRequest decodes one request from data; consumed reports how many

@@ -6,16 +6,19 @@ package ids
 //
 // Patterns are indexed lowercased; case-sensitive patterns are verified
 // against the original bytes at each candidate match position.
-
-type acNode struct {
-	next map[byte]*acNode
-	fail *acNode
-	out  []int // pattern ids terminating here
-}
+//
+// The automaton is flattened into a dense state×256 transition table with
+// fail links resolved at build time, so scanning is one slice load per input
+// byte — no hashing, no pointer chasing. Uppercase input columns alias their
+// lowercase counterparts, which removes the per-byte lowering from the scan
+// loop. Build cost is paid once per compiled ruleset; Matcher is immutable
+// and safe for concurrent use, including resumable scans via ScanRange.
 
 // Matcher is an immutable compiled automaton.
 type Matcher struct {
-	root     *acNode
+	trans    []int32  // state*256 + byte -> next state (fail links resolved)
+	outStart []int32  // CSR row index into outList; len = states+1
+	outList  []int32  // pattern ids, fail-closure included
 	patterns [][]byte // lowercased
 	exact    [][]byte // original bytes for case-sensitive patterns, nil for nocase
 }
@@ -30,7 +33,16 @@ type Match struct {
 // NewMatcher compiles patterns. nocase[i] selects case-insensitive matching
 // for patterns[i].
 func NewMatcher(patterns [][]byte, nocase []bool) *Matcher {
-	m := &Matcher{root: &acNode{next: make(map[byte]*acNode)}}
+	m := &Matcher{}
+
+	// Trie construction over the lowercased patterns. next uses -1 for
+	// "no edge" so the BFS below can distinguish real children from the
+	// root self-loop when it resolves fail transitions in place.
+	next := make([][]int32, 1)
+	next[0] = newRow()
+	fail := []int32{0}
+	out := [][]int32{nil}
+
 	for i, p := range patterns {
 		lower := toLower(p)
 		m.patterns = append(m.patterns, lower)
@@ -39,72 +51,106 @@ func NewMatcher(patterns [][]byte, nocase []bool) *Matcher {
 		} else {
 			m.exact = append(m.exact, append([]byte(nil), p...))
 		}
-		node := m.root
+		s := int32(0)
 		for _, b := range lower {
-			nxt, ok := node.next[b]
-			if !ok {
-				nxt = &acNode{next: make(map[byte]*acNode)}
-				node.next[b] = nxt
+			if next[s][b] < 0 {
+				next = append(next, newRow())
+				fail = append(fail, 0)
+				out = append(out, nil)
+				next[s][b] = int32(len(next) - 1)
 			}
-			node = nxt
+			s = next[s][b]
 		}
-		node.out = append(node.out, i)
+		out[s] = append(out[s], int32(i))
 	}
-	m.buildFailLinks()
+
+	// Convert the goto function into a full DFA (BFS order guarantees a
+	// state's fail target is finalized before the state itself), folding
+	// each state's uppercase columns onto lowercase as it is finalized.
+	queue := make([]int32, 0, len(next))
+	for b := 0; b < 256; b++ {
+		if c := next[0][b]; c < 0 {
+			next[0][b] = 0
+		} else {
+			fail[c] = 0
+			queue = append(queue, c)
+		}
+	}
+	for b := 'A'; b <= 'Z'; b++ {
+		next[0][b] = next[0][b+32]
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		row, failRow := next[s], next[fail[s]]
+		for b := 0; b < 256; b++ {
+			if c := row[b]; c < 0 {
+				row[b] = failRow[b]
+			} else {
+				fail[c] = failRow[b]
+				out[c] = append(out[c], out[fail[c]]...)
+				queue = append(queue, c)
+			}
+		}
+		for b := 'A'; b <= 'Z'; b++ {
+			row[b] = row[b+32]
+		}
+	}
+
+	// Flatten to the dense table plus a CSR output index.
+	states := len(next)
+	m.trans = make([]int32, states*256)
+	m.outStart = make([]int32, states+1)
+	for s := 0; s < states; s++ {
+		copy(m.trans[s*256:(s+1)*256], next[s])
+		m.outStart[s+1] = m.outStart[s] + int32(len(out[s]))
+	}
+	m.outList = make([]int32, 0, m.outStart[states])
+	for s := 0; s < states; s++ {
+		m.outList = append(m.outList, out[s]...)
+	}
 	return m
 }
 
-func (m *Matcher) buildFailLinks() {
-	queue := make([]*acNode, 0, 64)
-	for _, child := range m.root.next {
-		child.fail = m.root
-		queue = append(queue, child)
+func newRow() []int32 {
+	row := make([]int32, 256)
+	for i := range row {
+		row[i] = -1
 	}
-	for len(queue) > 0 {
-		node := queue[0]
-		queue = queue[1:]
-		for b, child := range node.next {
-			f := node.fail
-			for f != nil {
-				if nxt, ok := f.next[b]; ok {
-					child.fail = nxt
-					break
-				}
-				f = f.fail
-			}
-			if child.fail == nil {
-				child.fail = m.root
-			}
-			child.out = append(child.out, child.fail.out...)
-			queue = append(queue, child)
-		}
-	}
+	return row
 }
 
 // Scan finds all pattern occurrences in data.
 func (m *Matcher) Scan(data []byte) []Match {
-	var out []Match
-	node := m.root
-	for i := 0; i < len(data); i++ {
-		b := lowerByte(data[i])
-		for node != m.root && node.next[b] == nil {
-			node = node.fail
+	_, out := m.ScanRange(0, data, 0, nil)
+	return out
+}
+
+// ScanRange resumes the automaton at state (0 is the start state), scans
+// data[from:], and appends matches to out. End offsets are absolute within
+// data, so a resumable caller that keeps earlier stream bytes in the same
+// buffer gets correct case-sensitive verification for matches spanning the
+// resume point. Returns the final automaton state for the next call.
+func (m *Matcher) ScanRange(state int32, data []byte, from int, out []Match) (int32, []Match) {
+	trans, outStart := m.trans, m.outStart
+	s := state
+	for i := from; i < len(data); i++ {
+		s = trans[int(s)<<8|int(data[i])]
+		if outStart[s] == outStart[s+1] {
+			continue
 		}
-		if nxt, ok := node.next[b]; ok {
-			node = nxt
-		}
-		for _, pid := range node.out {
-			end := i + 1
+		end := i + 1
+		for _, pid := range m.outList[outStart[s]:outStart[s+1]] {
 			if ex := m.exact[pid]; ex != nil {
 				start := end - len(ex)
 				if start < 0 || !bytesEqual(data[start:end], ex) {
 					continue
 				}
 			}
-			out = append(out, Match{Pattern: pid, End: end})
+			out = append(out, Match{Pattern: int(pid), End: end})
 		}
 	}
-	return out
+	return s, out
 }
 
 // NumPatterns returns how many patterns the automaton holds.

@@ -9,12 +9,14 @@ import (
 	"safemeasure/internal/telemetry"
 )
 
-// Alert is one rule firing.
+// Alert is one rule firing. It carries only values (no reference to the
+// triggering packet): alerts are retained long-term in analyst dossiers,
+// while the packets that trigger them live in router-owned scratch that is
+// reused on the next forward.
 type Alert struct {
 	Time int64 // virtual nanoseconds
 	Rule *Rule
 	Flow packet.Flow
-	Pkt  *packet.Packet
 }
 
 // String renders a Snort-style alert line.
@@ -26,7 +28,14 @@ func (a Alert) String() string {
 type patternRef struct {
 	rule    *Rule
 	content int
+	ruleID  int32 // index into CompiledRules.rules
 }
+
+// stream buffer direction indices.
+const (
+	dirC2S = 0 // client (SYN sender) → server
+	dirS2C = 1
+)
 
 // flowState tracks one TCP connection for flow options, stream reassembly
 // windows, and per-flow alert dedupe.
@@ -35,10 +44,20 @@ type flowState struct {
 	clientPort  uint16
 	synSeen     bool
 	established bool
-	bufC2S      []byte
-	bufS2C      []byte
+	buf         [2][]byte    // per-direction stream windows
+	acState     [2]int32     // resumable matcher state (simple-ruleset path)
+	scanned     [2]int       // buf offset already consumed by the automaton
+	pending     [2][]int32   // matched rules awaiting flow-option eligibility
 	fired       map[int]bool // SIDs already alerted on this flow
 	lastSeen    int64
+}
+
+// dirOf returns which stream buffer this packet's payload belongs to.
+func (fs *flowState) dirOf(pkt *packet.Packet) int {
+	if pkt.IP.Src == fs.client && pkt.TCP.SrcPort == fs.clientPort {
+		return dirC2S
+	}
+	return dirS2C
 }
 
 type thresholdKey struct {
@@ -52,14 +71,89 @@ type thresholdState struct {
 	firedInWin  bool
 }
 
-// Engine evaluates a ruleset against a packet stream.
-type Engine struct {
+// CompiledRules is the immutable, compile-once half of an IDS: the parsed
+// ruleset partition and the Aho-Corasick automaton over its content
+// patterns. It holds no per-stream state, so one CompiledRules may back any
+// number of Engines concurrently (the artifact cache shares one per
+// scenario across all campaign workers).
+type CompiledRules struct {
 	rules       []*Rule
 	passRules   []*Rule
 	plainRules  []*Rule // no content options: evaluated on header alone
 	matcher     *Matcher
 	refs        []patternRef // indexed by pattern id
 	contentRule map[*Rule]bool
+
+	// allSimple marks rulesets where every content rule has exactly one
+	// positive content and no offset/depth/within/negate constraints. Such
+	// rules fire iff their pattern occurs anywhere in the stream, which an
+	// incremental scan of only the new bytes decides exactly — the engine
+	// then skips the O(window) rescan per packet that general rules need.
+	allSimple bool
+}
+
+// Compile partitions rules and builds the shared content automaton.
+func Compile(rules []*Rule) *CompiledRules {
+	c := &CompiledRules{
+		rules:       rules,
+		contentRule: make(map[*Rule]bool),
+		allSimple:   true,
+	}
+	var patterns [][]byte
+	var nocase []bool
+	for ri, r := range rules {
+		if r.Action == ActionPass {
+			c.passRules = append(c.passRules, r)
+			continue
+		}
+		positive, negated := 0, false
+		for i, opt := range r.Contents {
+			if opt.Negate {
+				negated = true
+				continue
+			}
+			positive++
+			if opt.Offset != 0 || opt.Depth != 0 || opt.Within != 0 {
+				c.allSimple = false
+			}
+			patterns = append(patterns, opt.Pattern)
+			nocase = append(nocase, opt.Nocase)
+			c.refs = append(c.refs, patternRef{rule: r, content: i, ruleID: int32(ri)})
+		}
+		if positive == 0 {
+			c.plainRules = append(c.plainRules, r)
+		} else {
+			c.contentRule[r] = true
+			if positive > 1 || negated {
+				c.allSimple = false
+			}
+		}
+	}
+	c.matcher = NewMatcher(patterns, nocase)
+	return c
+}
+
+// Rules returns the compiled ruleset.
+func (c *CompiledRules) Rules() []*Rule { return c.rules }
+
+// NewEngine builds a fresh per-run engine over this compiled ruleset. The
+// engine owns all mutable state (flows, thresholds, stats); the receiver is
+// only read.
+func (c *CompiledRules) NewEngine() *Engine {
+	return &Engine{
+		c:            c,
+		flows:        make(map[packet.Flow]*flowState),
+		thresholds:   make(map[thresholdKey]*thresholdState),
+		HitsBySID:    make(map[int]int),
+		StreamWindow: 4096,
+		FlowTimeout:  int64(120e9),
+		mark:         make([]bool, len(c.rules)),
+	}
+}
+
+// Engine evaluates a ruleset against a packet stream.
+type Engine struct {
+	c *CompiledRules
 
 	flows      map[packet.Flow]*flowState
 	thresholds map[thresholdKey]*thresholdState
@@ -83,6 +177,21 @@ type Engine struct {
 	// and fired alerts into the owning system's telemetry registry (each
 	// middlebox names its own metrics). Nil-safe — leave unset to disable.
 	MPackets, MAlerts *telemetry.Counter
+
+	// Scan scratch, reused across packets to keep the hot path
+	// allocation-free.
+	scratch []Match
+	mark    []bool // per-rule dedupe for single-packet scans
+	marked  []int32
+
+	// Last-flow memo: consecutive packets usually belong to the same flow,
+	// and the memo skips hashing the (large) Flow key on those. Sweep
+	// invalidates it.
+	lastKey  packet.Flow
+	lastFlow *flowState
+
+	// alertBuf backs the slice Feed returns (valid until the next Feed).
+	alertBuf []Alert
 }
 
 // SetMetrics installs the telemetry counters the engine increments on its
@@ -93,47 +202,20 @@ func (e *Engine) SetMetrics(packets, alerts *telemetry.Counter) {
 
 // NewEngine compiles rules into an engine.
 func NewEngine(rules []*Rule) *Engine {
-	e := &Engine{
-		rules:        rules,
-		flows:        make(map[packet.Flow]*flowState),
-		thresholds:   make(map[thresholdKey]*thresholdState),
-		contentRule:  make(map[*Rule]bool),
-		HitsBySID:    make(map[int]int),
-		StreamWindow: 4096,
-		FlowTimeout:  int64(120e9),
-	}
-	var patterns [][]byte
-	var nocase []bool
-	for _, r := range rules {
-		if r.Action == ActionPass {
-			e.passRules = append(e.passRules, r)
-			continue
-		}
-		positive := 0
-		for i, c := range r.Contents {
-			if c.Negate {
-				continue
-			}
-			positive++
-			patterns = append(patterns, c.Pattern)
-			nocase = append(nocase, c.Nocase)
-			e.refs = append(e.refs, patternRef{rule: r, content: i})
-		}
-		if positive == 0 {
-			e.plainRules = append(e.plainRules, r)
-		} else {
-			e.contentRule[r] = true
-		}
-	}
-	e.matcher = NewMatcher(patterns, nocase)
-	return e
+	return Compile(rules).NewEngine()
 }
 
+// Compiled returns the immutable compiled half of the engine, shareable
+// with further engines.
+func (e *Engine) Compiled() *CompiledRules { return e.c }
+
 // Rules returns the compiled ruleset.
-func (e *Engine) Rules() []*Rule { return e.rules }
+func (e *Engine) Rules() []*Rule { return e.c.rules }
 
 // Feed evaluates one packet and returns any alerts (and drop-rule hits,
-// which carry Action=ActionDrop on their Rule).
+// which carry Action=ActionDrop on their Rule). The returned slice is
+// engine-owned scratch, valid until the next Feed call; callers keep Alert
+// values (they are plain values), not the slice.
 func (e *Engine) Feed(now int64, pkt *packet.Packet) []Alert {
 	if pkt == nil {
 		return nil
@@ -144,13 +226,13 @@ func (e *Engine) Feed(now int64, pkt *packet.Packet) []Alert {
 
 	fs := e.trackFlow(now, pkt)
 
-	for _, r := range e.passRules {
+	for _, r := range e.c.passRules {
 		if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) {
 			return nil
 		}
 	}
 
-	var alerts []Alert
+	alerts := e.alertBuf[:0]
 	emit := func(r *Rule) {
 		if fs != nil && pkt.TCP != nil {
 			if fs.fired[r.SID] {
@@ -164,22 +246,27 @@ func (e *Engine) Feed(now int64, pkt *packet.Packet) []Alert {
 		e.Fired++
 		e.HitsBySID[r.SID]++
 		e.MAlerts.Inc()
-		alerts = append(alerts, Alert{Time: now, Rule: r, Flow: packet.FlowOf(pkt), Pkt: pkt})
+		alerts = append(alerts, Alert{Time: now, Rule: r, Flow: packet.FlowOf(pkt)})
 	}
 
-	for _, r := range e.plainRules {
+	for _, r := range e.c.plainRules {
 		if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) && e.negContentsOK(r, pkt, fs) {
 			emit(r)
 		}
 	}
 
-	if e.matcher.NumPatterns() > 0 {
-		e.scanContents(pkt, fs, func(r *Rule) {
-			if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) {
-				emit(r)
-			}
-		})
+	if e.c.matcher.NumPatterns() > 0 {
+		if e.c.allSimple {
+			e.scanSimple(pkt, fs, emit)
+		} else {
+			e.scanContents(pkt, fs, func(r *Rule) {
+				if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) {
+					emit(r)
+				}
+			})
+		}
 	}
+	e.alertBuf = alerts
 	return alerts
 }
 
@@ -189,10 +276,15 @@ func (e *Engine) trackFlow(now int64, pkt *packet.Packet) *flowState {
 		return nil
 	}
 	key := packet.FlowOf(pkt).Canonical()
-	fs, ok := e.flows[key]
-	if !ok {
-		fs = &flowState{fired: make(map[int]bool)}
-		e.flows[key] = fs
+	fs := e.lastFlow
+	if fs == nil || e.lastKey != key {
+		var ok bool
+		fs, ok = e.flows[key]
+		if !ok {
+			fs = &flowState{fired: make(map[int]bool)}
+			e.flows[key] = fs
+		}
+		e.lastKey, e.lastFlow = key, fs
 	}
 	fs.lastSeen = now
 	t := pkt.TCP
@@ -205,14 +297,24 @@ func (e *Engine) trackFlow(now int64, pkt *packet.Packet) *flowState {
 		fs.established = true
 	}
 	if len(t.Payload) > 0 {
-		buf := &fs.bufS2C
-		if pkt.IP.Src == fs.client && t.SrcPort == fs.clientPort {
-			buf = &fs.bufC2S
+		d := fs.dirOf(pkt)
+		buf := append(fs.buf[d], t.Payload...)
+		if over := len(buf) - e.StreamWindow; over > 0 {
+			// Slide the window by copying down in place: re-slicing from the
+			// front would orphan the buffer's head and force a fresh
+			// allocation every ~StreamWindow bytes of stream.
+			n := copy(buf, buf[over:])
+			buf = buf[:n]
+			if fs.scanned[d] <= over {
+				// The window slid past bytes the incremental scan never
+				// consumed; restart the automaton on the surviving window,
+				// exactly what a fresh full-window scan would see.
+				fs.scanned[d], fs.acState[d] = 0, 0
+			} else {
+				fs.scanned[d] -= over
+			}
 		}
-		*buf = append(*buf, t.Payload...)
-		if len(*buf) > e.StreamWindow {
-			*buf = (*buf)[len(*buf)-e.StreamWindow:]
-		}
+		fs.buf[d] = buf
 	}
 	return fs
 }
@@ -239,10 +341,92 @@ func (e *Engine) flowOptOK(r *Rule, pkt *packet.Packet, fs *flowState) bool {
 	return true
 }
 
+// scanSimple is the incremental fast path for allSimple rulesets: the
+// automaton state is carried per flow direction, so each stream byte is
+// examined exactly once over the life of the connection instead of once per
+// packet that follows it. A simple rule fires iff its pattern occurs in the
+// stream, so match completion is the only nomination event; rules whose
+// flow options are not yet satisfiable (e.g. established before the
+// handshake completes) stay pending and are retried on later data packets,
+// mirroring the full-window rescan's behavior.
+func (e *Engine) scanSimple(pkt *packet.Packet, fs *flowState, emit func(*Rule)) {
+	c := e.c
+	if pkt.TCP != nil && fs != nil {
+		if len(pkt.TCP.Payload) == 0 {
+			return
+		}
+		d := fs.dirOf(pkt)
+		buf := fs.buf[d]
+		st, ms := c.matcher.ScanRange(fs.acState[d], buf, fs.scanned[d], e.scratch[:0])
+		fs.acState[d], fs.scanned[d], e.scratch = st, len(buf), ms
+		for _, m := range ms {
+			id := c.refs[m.Pattern].ruleID
+			if !containsID(fs.pending[d], id) {
+				fs.pending[d] = append(fs.pending[d], id)
+			}
+		}
+		if len(fs.pending[d]) == 0 {
+			return
+		}
+		live := fs.pending[d][:0]
+		for _, id := range fs.pending[d] {
+			r := c.rules[id]
+			if fs.fired[r.SID] {
+				continue
+			}
+			if !r.matchesHeader(pkt) {
+				// Header predicates are constant for a flow direction, so
+				// this rule can never fire here — drop it.
+				continue
+			}
+			if !e.flowOptOK(r, pkt, fs) {
+				live = append(live, id)
+				continue
+			}
+			emit(r)
+		}
+		fs.pending[d] = live
+		return
+	}
+	haystack := pkt.TransportPayload()
+	if len(haystack) == 0 {
+		return
+	}
+	_, ms := c.matcher.ScanRange(0, haystack, 0, e.scratch[:0])
+	e.scratch = ms
+	for _, m := range ms {
+		id := c.refs[m.Pattern].ruleID
+		if e.mark[id] {
+			continue
+		}
+		e.mark[id] = true
+		e.marked = append(e.marked, id)
+	}
+	for _, id := range e.marked {
+		e.mark[id] = false
+		r := c.rules[id]
+		if r.matchesHeader(pkt) && e.flowOptOK(r, pkt, fs) {
+			emit(r)
+		}
+	}
+	e.marked = e.marked[:0]
+}
+
+func containsID(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
 // scanContents runs the automaton over the right haystack (the TCP stream
 // window for TCP packets, the raw payload otherwise) and calls fire for
 // each rule whose positive contents are all present and negative contents
-// all absent.
+// all absent. This is the general path for rulesets with positional or
+// chained constraints; it rescans the full window per packet because a
+// sliding window shifts every match's offset.
 func (e *Engine) scanContents(pkt *packet.Packet, fs *flowState, fire func(*Rule)) {
 	var haystack []byte
 	switch {
@@ -250,18 +434,14 @@ func (e *Engine) scanContents(pkt *packet.Packet, fs *flowState, fire func(*Rule
 		if len(pkt.TCP.Payload) == 0 {
 			return
 		}
-		if pkt.IP.Src == fs.client && pkt.TCP.SrcPort == fs.clientPort {
-			haystack = fs.bufC2S
-		} else {
-			haystack = fs.bufS2C
-		}
+		haystack = fs.buf[fs.dirOf(pkt)]
 	default:
 		haystack = pkt.TransportPayload()
 	}
 	if len(haystack) == 0 {
 		return
 	}
-	matches := e.matcher.Scan(haystack)
+	matches := e.c.matcher.Scan(haystack)
 	if len(matches) == 0 {
 		return
 	}
@@ -269,7 +449,7 @@ func (e *Engine) scanContents(pkt *packet.Packet, fs *flowState, fire func(*Rule
 	// within-chain check can reason about ordering and proximity.
 	seen := make(map[*Rule]map[int][]int)
 	for _, m := range matches {
-		ref := e.refs[m.Pattern]
+		ref := e.c.refs[m.Pattern]
 		if !ref.rule.Contents[ref.content].positionOK(m.End) {
 			continue // offset/depth constraint failed at this position
 		}
@@ -342,11 +522,7 @@ func (e *Engine) negContentsOK(r *Rule, pkt *packet.Packet, fs *flowState) bool 
 	}
 	var haystack []byte
 	if pkt.TCP != nil && fs != nil {
-		if pkt.IP.Src == fs.client && pkt.TCP.SrcPort == fs.clientPort {
-			haystack = fs.bufC2S
-		} else {
-			haystack = fs.bufS2C
-		}
+		haystack = fs.buf[fs.dirOf(pkt)]
 	} else {
 		haystack = pkt.TransportPayload()
 	}
@@ -393,6 +569,7 @@ func (e *Engine) Sweep(now int64) int {
 			evicted++
 		}
 	}
+	e.lastFlow = nil // the memoized flow may have been evicted
 	return evicted
 }
 

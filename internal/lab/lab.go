@@ -25,7 +25,6 @@ import (
 
 	"safemeasure/internal/censor"
 	"safemeasure/internal/dnssim"
-	"safemeasure/internal/ids"
 	"safemeasure/internal/mailsim"
 	"safemeasure/internal/netsim"
 	"safemeasure/internal/population"
@@ -97,6 +96,14 @@ type Config struct {
 	SiteCount int
 	Seed      int64
 
+	// Artifacts, when set, supplies pre-compiled rulesets, the DNS zone,
+	// and the site catalog so New skips recompiling them. The artifacts
+	// must have been built (via NewArtifacts) from a config whose
+	// compile-relevant fields (Censor, SurveilRules, SiteCount) equal this
+	// one's — New fails with a descriptive error otherwise. Nil compiles
+	// everything fresh.
+	Artifacts *Artifacts
+
 	// Telemetry, when set, receives hot-path metrics from the simulator,
 	// routers, middleboxes, and techniques. Nil keeps the zero-overhead
 	// disabled path.
@@ -163,9 +170,10 @@ type Lab struct {
 	CensoredSites  []string
 }
 
-// New assembles a lab. Population hosts are split across the client's /24
-// and a sibling /24 so both spoofing scopes are exercised.
-func New(cfg Config) (*Lab, error) {
+// normalize applies Config defaults. New and NewArtifacts share it so
+// artifacts built from a bare scenario preset match the defaulted config
+// every lab actually runs with.
+func normalize(cfg Config) Config {
 	if cfg.PopulationSize <= 0 {
 		cfg.PopulationSize = 20
 	}
@@ -181,6 +189,45 @@ func New(cfg Config) (*Lab, error) {
 	}
 	if cfg.SiteCount <= 0 {
 		cfg.SiteCount = 30
+	}
+	return cfg
+}
+
+// popHostsPerSubnet is how many population hosts one /24 holds: final
+// octets 20..255 (below 20 is reserved for routers and the client).
+const popHostsPerSubnet = 236
+
+// popAddr returns population host i's address. Hosts split into two address
+// scopes so both spoofing regimes are exercised — the first half lives in
+// even third-octet /24s starting with the client's own 10.1.0.0/24, the
+// second half in odd /24s starting at 10.1.1.0/24 — and each scope spills
+// into further /24s once a subnet's 236-host range fills, instead of
+// silently wrapping the final octet onto already-assigned addresses.
+func popAddr(i, populationSize int) (netip.Addr, error) {
+	j, base := i, 0
+	if half := populationSize / 2; i >= half {
+		j, base = i-half, 1
+	}
+	subnet := base + 2*(j/popHostsPerSubnet)
+	if subnet > 255 {
+		return netip.Addr{}, fmt.Errorf("lab: population size %d does not fit the client AS %s (host %d would need subnet 10.1.%d.0/24)",
+			populationSize, ClientASPrefix, i, subnet)
+	}
+	return netip.AddrFrom4([4]byte{10, 1, byte(subnet), byte(20 + j%popHostsPerSubnet)}), nil
+}
+
+// New assembles a lab. Population hosts are split across the client's /24
+// and sibling /24s so both spoofing scopes are exercised.
+func New(cfg Config) (*Lab, error) {
+	cfg = normalize(cfg)
+	art := cfg.Artifacts
+	if art == nil {
+		var err error
+		if art, err = NewArtifacts(cfg); err != nil {
+			return nil, err
+		}
+	} else if err := art.matches(cfg); err != nil {
+		return nil, err
 	}
 
 	l := &Lab{Cfg: cfg, Sim: netsim.NewSim(cfg.Seed), hostPorts: make(map[int]netip.Addr)}
@@ -204,13 +251,11 @@ func New(cfg Config) (*Lab, error) {
 	}
 
 	// Population hosts on edge ports 1..n: first half shares the client's
-	// /24, second half sits in 10.1.1.0/24.
+	// /24 scope, second half the sibling-/24 scope (see popAddr).
 	for i := 0; i < cfg.PopulationSize; i++ {
-		var addr netip.Addr
-		if i < cfg.PopulationSize/2 {
-			addr = netip.AddrFrom4([4]byte{10, 1, 0, byte(20 + i)})
-		} else {
-			addr = netip.AddrFrom4([4]byte{10, 1, 1, byte(20 + i - cfg.PopulationSize/2)})
+		addr, err := popAddr(i, cfg.PopulationSize)
+		if err != nil {
+			return nil, err
 		}
 		h := netsim.NewHost(l.Sim, fmt.Sprintf("pop%d", i), addr)
 		l.attachClientHost(h, i+1, lat)
@@ -273,51 +318,27 @@ func New(cfg Config) (*Lab, error) {
 		return nil, err
 	}
 
-	// Site catalog and DNS zone: innocuous sites on the main web server,
-	// censored sites on the sensitive one; every domain gets an MX at the
-	// mail server.
-	zone := dnssim.NewZone()
-	for i := 0; i < cfg.SiteCount; i++ {
-		site := fmt.Sprintf("site%02d.test", i)
-		l.InnocuousSites = append(l.InnocuousSites, site)
-		zone.AddA(site, WebAddr)
-		zone.AddMX(site, 10, "mx."+site)
-		zone.AddA("mx."+site, MailAddr)
-	}
-	l.CensoredSites = append([]string(nil), cfg.Censor.BlockedDomains...)
-	for _, site := range l.CensoredSites {
-		zone.AddA(site, SensitiveAddr)
-		zone.AddA("www."+site, SensitiveAddr)
-		zone.AddMX(site, 10, "mx."+site)
-		zone.AddA("mx."+site, MailAddr)
-	}
-	zone.AddA("measure.test", MeasureAddr)
-	if l.DNS, err = dnssim.NewServer(dnsHost, zone); err != nil {
+	// Site catalog and DNS zone come from the compiled artifacts (the zone
+	// is read-only at serve time, the slices are never mutated).
+	l.InnocuousSites = art.innocuous
+	l.CensoredSites = art.censored
+	if l.DNS, err = dnssim.NewServer(dnsHost, art.zone); err != nil {
 		return nil, err
 	}
 
 	// Middleboxes on the border: surveillance observes first (a passive
 	// optical tap sees traffic whether or not the censor later drops it),
-	// then the inline censor.
-	ruleText := cfg.SurveilRules
-	if ruleText == "" {
-		ruleText = DefaultSurveilRules(cfg.Censor)
-	}
-	rules, err := ids.ParseRules(ruleText, map[string]netip.Prefix{"HOME_NET": ClientASPrefix})
-	if err != nil {
-		return nil, fmt.Errorf("lab: surveillance rules: %w", err)
-	}
+	// then the inline censor. Both engines are instantiated over the
+	// artifacts' compiled rulesets; all per-run state stays private.
 	mvrCfg := surveil.DefaultMVRConfig(ClientASPrefix)
 	if cfg.DisableMVRDiscard {
 		mvrCfg.DiscardClasses = nil
 	}
-	l.Surveil = surveil.New(mvrCfg, rules)
+	l.Surveil = surveil.NewFromCompiled(mvrCfg, art.surveil)
 	l.Surveil.Analyst().Population = cfg.PopulationSize + 1
 	l.Border.AddTap(l.Surveil)
 
-	if l.Censor, err = censor.New(cfg.Censor); err != nil {
-		return nil, err
-	}
+	l.Censor = art.censor.New()
 	l.Border.AddTap(l.Censor)
 
 	if cfg.Telemetry != nil || cfg.Trace != nil {

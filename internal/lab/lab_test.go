@@ -260,3 +260,70 @@ func TestBackgroundScannerNoise(t *testing.T) {
 		}
 	}
 }
+
+// TestPopulationAddressingSpillsAcrossSubnets is the regression test for the
+// silent final-octet wrap: once a /24's 236-host range filled, host i and
+// host i+236 used to collide on the same address. Addresses must now spill
+// into further /24s — every host distinct, inside the client AS, and clear
+// of the reserved low octets (routers, the client).
+func TestPopulationAddressingSpillsAcrossSubnets(t *testing.T) {
+	const size = 600 // > 2*236, so both halves spill into a second /24
+	seen := make(map[netip.Addr]int, size)
+	for i := 0; i < size; i++ {
+		addr, err := popAddr(i, size)
+		if err != nil {
+			t.Fatalf("popAddr(%d, %d): %v", i, size, err)
+		}
+		if prev, dup := seen[addr]; dup {
+			t.Fatalf("hosts %d and %d share address %s", prev, i, addr)
+		}
+		seen[addr] = i
+		if !ClientASPrefix.Contains(addr) {
+			t.Fatalf("host %d address %s outside client AS %s", i, addr, ClientASPrefix)
+		}
+		if addr.As4()[3] < 20 {
+			t.Fatalf("host %d address %s inside the reserved low range", i, addr)
+		}
+		if addr == ClientAddr || addr == EdgeAddr {
+			t.Fatalf("host %d collides with infrastructure address %s", i, addr)
+		}
+	}
+}
+
+// TestPopulationAddressingOverflowErrors: a population too large for the
+// client /16 is a descriptive error, not an address collision.
+func TestPopulationAddressingOverflowErrors(t *testing.T) {
+	// Each half owns 128 /24s of 236 hosts; one host past that overflows.
+	const size = 2 * 128 * 236 // 60416: last valid index per half is 30207
+	if _, err := popAddr(128*236, size+2); err == nil {
+		t.Fatal("overflowing population produced no error")
+	} else if !strings.Contains(err.Error(), "does not fit the client AS") {
+		t.Fatalf("unexpected overflow error: %v", err)
+	}
+}
+
+// TestPopulationLabBuildBeyondOneSubnet: the lab actually wires a spilled
+// population — hosts past the first /24 get routes and distinct addresses
+// end to end, not just in the allocator.
+func TestPopulationLabBuildBeyondOneSubnet(t *testing.T) {
+	l, err := New(Config{PopulationSize: 480, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := l.PopulationAddrs()
+	if len(addrs) != 480 {
+		t.Fatalf("population = %d, want 480", len(addrs))
+	}
+	seen := make(map[netip.Addr]bool, len(addrs))
+	subnets := make(map[byte]bool)
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate population address %s", a)
+		}
+		seen[a] = true
+		subnets[a.As4()[2]] = true
+	}
+	if len(subnets) < 3 {
+		t.Fatalf("480 hosts landed in only %d /24s; spill not exercised", len(subnets))
+	}
+}

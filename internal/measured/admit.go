@@ -104,10 +104,12 @@ func (s *Service) Admit(client string, specs []campaign.RunSpec) ([]*pending, er
 	var owned []*flight
 	for _, spec := range specs {
 		key := spec.CellKey()
-		if e, ok := s.cache.get(key); ok {
-			s.cacheHits.Inc()
-			pendings = append(pendings, &pending{line: e.line, rec: e.rec})
-			continue
+		if s.cache != nil {
+			if e, ok := s.cache.get(key); ok {
+				s.cacheHits.Inc()
+				pendings = append(pendings, &pending{line: e.line, rec: e.rec})
+				continue
+			}
 		}
 		if fl, ok := s.inflight[key]; ok {
 			// Same cell already admitted (by anyone): join it. The joiner
@@ -251,7 +253,7 @@ func (s *Service) complete(fl *flight, rec campaign.RunRecord) {
 	}
 	s.mu.Lock()
 	delete(s.inflight, fl.spec.CellKey())
-	if rec.Error == "" {
+	if rec.Error == "" && s.cache != nil {
 		s.cache.put(fl.spec.CellKey(), line, rec)
 		s.cacheSize.Set(int64(s.cache.len()))
 	}

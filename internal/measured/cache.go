@@ -60,8 +60,15 @@ type resultCache struct {
 	lru     *list.List // front = most recently used
 }
 
-// newResultCache builds a cache bounded to max entries.
+// newResultCache builds a cache bounded to max entries. The bound is
+// clamped to at least 1: a zero or negative max would make put evict every
+// entry immediately after inserting it — a cache that silently never hits.
+// Callers that want no caching at all should not construct one (the Service
+// leaves its cache nil when CacheMax is negative).
 func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
 	return &resultCache{
 		max:     max,
 		entries: make(map[campaign.CellKey]*list.Element),

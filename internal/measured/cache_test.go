@@ -127,3 +127,51 @@ func TestResultCacheLRUEviction(t *testing.T) {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
 }
+
+// TestResultCacheNonPositiveBoundClamped is the regression test for the
+// self-defeating cache: newResultCache(0) (or any negative bound) used to
+// build a cache whose eviction loop expelled every entry the moment put
+// inserted it, so get never hit. The bound now clamps to 1.
+func TestResultCacheNonPositiveBoundClamped(t *testing.T) {
+	for _, max := range []int{0, -1, -100} {
+		c := newResultCache(max)
+		s1 := trialSpec(1)
+		c.put(s1.CellKey(), []byte("1\n"), drainRecord(s1, ErrDraining))
+		if _, ok := c.get(s1.CellKey()); !ok {
+			t.Fatalf("newResultCache(%d): entry evicted on insert", max)
+		}
+		if c.len() != 1 {
+			t.Fatalf("newResultCache(%d): len = %d, want 1", max, c.len())
+		}
+		// The clamped bound still evicts: a second insert displaces the first.
+		s2 := trialSpec(2)
+		c.put(s2.CellKey(), []byte("2\n"), drainRecord(s2, ErrDraining))
+		if _, ok := c.get(s1.CellKey()); ok {
+			t.Fatalf("newResultCache(%d): bound not enforced after clamp", max)
+		}
+	}
+}
+
+// TestCacheDisabledByNegativeConfig: CacheMax < 0 is the explicit opt-out —
+// the service runs every request fresh and never counts a hit, while
+// in-flight dedupe still collapses concurrent identical requests.
+func TestCacheDisabledByNegativeConfig(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	svc := New(Config{Workers: 2, CacheMax: -1, Metrics: reg})
+	defer svc.Shutdown(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	const query = "technique=spam&scenario=dns-poison&trials=2&seed=3&client=nocache"
+	a := fetchBody(t, srv, query)
+	b := fetchBody(t, srv, query)
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated run not byte-identical with cache disabled")
+	}
+	if got := reg.Counter("measured_cache_hits_total").Value(); got != 0 {
+		t.Fatalf("cache hits with caching disabled = %d, want 0", got)
+	}
+	if got := reg.Counter("measured_cache_misses_total").Value(); got != 4 {
+		t.Fatalf("cache misses = %d, want 4 (both requests ran fresh)", got)
+	}
+}

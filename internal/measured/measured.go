@@ -83,7 +83,9 @@ type Config struct {
 	RatePerSec float64
 	// Burst is the bucket capacity; 0 means DefaultBurst.
 	Burst int
-	// CacheMax bounds the result cache (records); 0 means DefaultCacheMax.
+	// CacheMax bounds the result cache (records); 0 means DefaultCacheMax
+	// and a negative value disables result caching entirely (every request
+	// is a fresh run; in-flight dedupe still applies).
 	CacheMax int
 	// MaxRunsPerRequest bounds how many runs one request may expand into;
 	// 0 means DefaultMaxRunsPerRequest.
@@ -169,9 +171,17 @@ func New(cfg Config) *Service {
 	if burst <= 0 {
 		burst = DefaultBurst
 	}
+	// 0 is "use the default"; negative is an explicit opt-out that leaves
+	// the cache nil (admission and completion skip it). Before this split,
+	// a non-positive bound reached newResultCache, whose eviction loop then
+	// expelled every entry the moment it was inserted.
 	cacheMax := cfg.CacheMax
-	if cacheMax <= 0 {
+	if cacheMax == 0 {
 		cacheMax = DefaultCacheMax
+	}
+	var cache *resultCache
+	if cacheMax > 0 {
+		cache = newResultCache(cacheMax)
 	}
 	var breakers *campaign.BreakerSet
 	if cfg.Breaker != (campaign.BreakerConfig{}) {
@@ -195,7 +205,7 @@ func New(cfg Config) *Service {
 		burst:     float64(burst),
 		pool:      pool,
 		reg:       cfg.Metrics,
-		cache:     newResultCache(cacheMax),
+		cache:     cache,
 		inflight:  make(map[campaign.CellKey]*flight),
 		clients:   make(map[string]*clientState),
 		wake:      make(chan struct{}, 1),

@@ -19,10 +19,18 @@ type Capture struct {
 // NewCapture creates an empty capture.
 func NewCapture(name string) *Capture { return &Capture{Name: name} }
 
-// Observe implements Tap; it always passes.
+// Observe implements Tap; it always passes. The wire bytes are snapshotted
+// and re-parsed: routers patch TTL and checksum in place after taps run and
+// reuse tp.Pkt's storage on the next forward, so a capture must keep its own
+// copy of everything it records.
 func (c *Capture) Observe(tp *TapPacket, _ Injector) Verdict {
-	c.Packets = append(c.Packets, tp)
-	c.Bytes += len(tp.Raw)
+	cp := *tp
+	cp.Raw = append([]byte(nil), tp.Raw...)
+	if tp.Pkt != nil {
+		cp.Pkt, _ = packet.Parse(cp.Raw)
+	}
+	c.Packets = append(c.Packets, &cp)
+	c.Bytes += len(cp.Raw)
 	return Pass
 }
 

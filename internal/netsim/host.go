@@ -15,6 +15,8 @@ type ICMPHandler func(h *Host, src netip.Addr, msg *packet.ICMP)
 // Sniffer observes every datagram delivered to the host (before protocol
 // dispatch), like a raw socket. The scanner and the spoofed-probe
 // measurement techniques use this to see SYN/ACKs without a full TCP stack.
+// pkt points into host-owned scratch reused on the next delivery; a sniffer
+// that keeps anything must copy values (or raw, which is not reused).
 type Sniffer func(raw []byte, pkt *packet.Packet)
 
 // Host is an end system: one uplink port, one primary address, protocol
@@ -36,6 +38,7 @@ type Host struct {
 	icmpHandler ICMPHandler
 	sniffers    []Sniffer
 	reasm       *packet.Reassembler
+	dec         packet.Decoder // per-delivery scratch; see Sniffer
 
 	// Stats.
 	Received  int
@@ -107,8 +110,8 @@ func (h *Host) DeliverIP(_ int, raw []byte) {
 			return // incomplete
 		}
 	}
-	pkt, err := packet.Parse(raw)
-	if err != nil {
+	_, pkt := h.dec.Decode(raw, true)
+	if pkt == nil {
 		h.Discarded++
 		return
 	}

@@ -153,10 +153,8 @@ func (p *Port) Send(raw []byte) {
 	l.deliver(peer, raw, delay)
 }
 
-// deliver schedules one arrival at the peer after delay.
+// deliver schedules one arrival at the peer after delay. Deliveries are the
+// simulator's hottest event; they go through the closure-free fast path.
 func (l *Link) deliver(peer *Port, raw []byte, delay time.Duration) {
-	l.sim.Schedule(delay, func() {
-		l.Delivered++
-		peer.node.DeliverIP(peer.idx, raw)
-	})
+	l.sim.scheduleDelivery(delay, peer, raw)
 }

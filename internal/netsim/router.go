@@ -28,6 +28,11 @@ type TapPacket struct {
 
 // Tap observes datagrams traversing a router. The Injector lets a tap
 // originate packets of its own (the censor's forged RSTs and DNS replies).
+//
+// tp and tp.Pkt are router-owned scratch, valid only for the duration of
+// the Observe call: a tap that retains anything past its return must copy
+// tp.Raw and re-Parse it. All in-tree taps either consume tp synchronously
+// or copy what they keep.
 type Tap interface {
 	Observe(tp *TapPacket, inject Injector) Verdict
 }
@@ -44,10 +49,20 @@ type Injector interface {
 	Inject(raw []byte)
 }
 
-// route maps a destination prefix to an output port.
+// route maps a destination prefix to an output port. For IPv4 prefixes the
+// network and mask are precomputed as 32-bit words so lookup is two integer
+// ops per route instead of a netip.Prefix.Contains call.
 type route struct {
 	prefix netip.Prefix
+	net4   uint32
+	mask4  uint32
 	port   int
+}
+
+// addr4 packs a 4-byte address into a big-endian uint32.
+func addr4(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
 // Router forwards IPv4 datagrams between its ports using longest-prefix
@@ -73,6 +88,12 @@ type Router struct {
 	// Telemetry handles, resolved once from sim.Tel at construction;
 	// nil (telemetry disabled) costs one comparison per use.
 	mForwarded, mTTLExpired, mTapDropped, mNoRoute *telemetry.Counter
+
+	// dec and tp are per-router scratch reused across forwards, so the
+	// hot path decodes and observes without allocating. Taps only see tp
+	// during Observe; see the Tap contract.
+	dec packet.Decoder
+	tp  TapPacket
 }
 
 // NewRouter creates a router with the given number of ports.
@@ -90,7 +111,18 @@ func (r *Router) AttachPort(i int, p *Port) { r.ports[i] = p }
 
 // AddRoute installs prefix -> port. Longest prefix wins.
 func (r *Router) AddRoute(prefix netip.Prefix, port int) {
-	r.routes = append(r.routes, route{prefix, port})
+	rt := route{prefix: prefix, port: port}
+	if prefix.Addr().Is4() {
+		rt.net4 = addr4(prefix.Masked().Addr())
+		if bits := prefix.Bits(); bits > 0 {
+			rt.mask4 = ^uint32(0) << (32 - bits)
+		}
+	} else {
+		// Non-IPv4 prefixes never match the fast path (mask 0 with a
+		// nonzero network can't be satisfied); Contains handles them.
+		rt.net4, rt.mask4 = 1, 0
+	}
+	r.routes = append(r.routes, rt)
 	sort.SliceStable(r.routes, func(i, j int) bool {
 		return r.routes[i].prefix.Bits() > r.routes[j].prefix.Bits()
 	})
@@ -104,6 +136,15 @@ func (r *Router) AddTap(t Tap) { r.taps = append(r.taps, t) }
 
 // lookup returns the output port for dst, or -1.
 func (r *Router) lookup(dst netip.Addr) int {
+	if dst.Is4() {
+		d := addr4(dst)
+		for i := range r.routes {
+			if rt := &r.routes[i]; d&rt.mask4 == rt.net4 {
+				return rt.port
+			}
+		}
+		return r.defaultPort
+	}
 	for _, rt := range r.routes {
 		if rt.prefix.Contains(dst) {
 			return rt.port
@@ -136,17 +177,18 @@ func (r *Router) Inject(raw []byte) {
 }
 
 func (r *Router) forward(in int, raw []byte, runTaps bool) {
-	var ip packet.IPv4
-	if err := ip.DecodeFromBytes(raw); err != nil {
+	wantTaps := runTaps && len(r.taps) > 0
+	// One decode per hop, into router-owned scratch: the transport layer
+	// is only parsed when a tap will look at it.
+	ip, pkt := r.dec.Decode(raw, wantTaps)
+	if ip == nil {
 		r.ParseFailed++
 		return
 	}
 
-	if runTaps && len(r.taps) > 0 {
-		tp := &TapPacket{Time: int64(r.sim.Now()), Raw: raw, InPort: in}
-		if pkt, err := packet.Parse(raw); err == nil {
-			tp.Pkt = pkt
-		}
+	if wantTaps {
+		tp := &r.tp
+		tp.Time, tp.Raw, tp.Pkt, tp.InPort = int64(r.sim.Now()), raw, pkt, in
 		for _, t := range r.taps {
 			if t.Observe(tp, r) == Drop {
 				r.TapDropped++
@@ -167,7 +209,7 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 			tr.Emit(int64(r.sim.Now()), telemetry.EvTTLExpiry,
 				ip.Src.String(), ip.Dst.String(), r.Name)
 		}
-		r.sendTimeExceeded(&ip, raw)
+		r.sendTimeExceeded(ip, raw)
 		return
 	}
 
@@ -178,17 +220,17 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 		return
 	}
 
-	// Decrement TTL; the IP header checksum must be recomputed, so
-	// re-marshal the header in place.
-	ip.TTL--
-	fwd, err := ip.Marshal()
-	if err != nil {
+	// Decrement TTL and patch the header checksum in place: every frame in
+	// the simulator is a canonical self-built datagram owned by exactly one
+	// node at a time (Port.Send's no-reuse contract), so rewriting two
+	// header bytes replaces a per-hop re-marshal allocation.
+	if !packet.DecrementTTL(raw) {
 		r.ParseFailed++
 		return
 	}
 	r.Forwarded++
 	r.mForwarded.Inc()
-	r.ports[out].Send(fwd)
+	r.ports[out].Send(raw)
 }
 
 // sendTimeExceeded emits ICMP Time Exceeded to the datagram's source,

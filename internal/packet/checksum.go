@@ -1,6 +1,9 @@
 package packet
 
-import "net/netip"
+import (
+	"encoding/binary"
+	"net/netip"
+)
 
 // Checksum computes the Internet checksum (RFC 1071) over data.
 func Checksum(data []byte) uint16 {
@@ -8,15 +11,30 @@ func Checksum(data []byte) uint16 {
 }
 
 // sumBytes adds data to a running 32-bit ones'-complement accumulator.
+// It consumes eight bytes per step: ones'-complement addition is
+// associative over any word split, so summing big-endian 32-bit words and
+// folding carries gives the same value (mod 0xffff) as the byte-pair walk.
 func sumBytes(sum uint32, data []byte) uint32 {
-	n := len(data)
-	for i := 0; i+1 < n; i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	s := uint64(sum)
+	for len(data) >= 8 {
+		s += uint64(binary.BigEndian.Uint32(data)) + uint64(binary.BigEndian.Uint32(data[4:8]))
+		data = data[8:]
 	}
-	if n%2 == 1 {
-		sum += uint32(data[n-1]) << 8
+	if len(data) >= 4 {
+		s += uint64(binary.BigEndian.Uint32(data))
+		data = data[4:]
 	}
-	return sum
+	if len(data) >= 2 {
+		s += uint64(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		s += uint64(data[0]) << 8
+	}
+	for s>>32 != 0 {
+		s = s&0xffffffff + s>>32
+	}
+	return uint32(s)
 }
 
 func finishChecksum(sum uint32) uint16 {

@@ -48,13 +48,20 @@ func (ic *ICMP) DecodeFromBytes(data []byte) error {
 // Marshal serializes the message, computing the checksum.
 func (ic *ICMP) Marshal() ([]byte, error) {
 	buf := make([]byte, icmpHeaderLen+len(ic.Payload))
+	ic.marshalInto(buf)
+	return buf, nil
+}
+
+// marshalInto serializes the message into buf, which must be exactly
+// icmpHeaderLen+len(Payload) bytes (see TCP.marshalInto).
+func (ic *ICMP) marshalInto(buf []byte) {
 	buf[0] = ic.Type
 	buf[1] = ic.Code
+	buf[2], buf[3] = 0, 0
 	binary.BigEndian.PutUint16(buf[4:6], ic.ID)
 	binary.BigEndian.PutUint16(buf[6:8], ic.Seq)
 	copy(buf[icmpHeaderLen:], ic.Payload)
 	binary.BigEndian.PutUint16(buf[2:4], Checksum(buf))
-	return buf, nil
 }
 
 // String renders a one-line summary for logs and debugging.

@@ -156,6 +156,17 @@ func (ip *IPv4) Marshal() ([]byte, error) {
 		return nil, fmt.Errorf("packet: datagram too large (%d bytes)", total)
 	}
 	buf := make([]byte, total)
+	ip.writeHeader(buf, total)
+	copy(buf[hl:], ip.Payload)
+	return buf, nil
+}
+
+// writeHeader serializes the IP header into buf[:HeaderLen()], computing
+// the header checksum over whatever Options the datagram carries. total is
+// the datagram's full length (callers may be assembling the payload after
+// the header in the same buffer).
+func (ip *IPv4) writeHeader(buf []byte, total int) {
+	hl := ip.HeaderLen()
 	buf[0] = 4<<4 | uint8(hl/4)
 	buf[1] = ip.TOS
 	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
@@ -163,14 +174,33 @@ func (ip *IPv4) Marshal() ([]byte, error) {
 	binary.BigEndian.PutUint16(buf[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
 	buf[8] = ip.TTL
 	buf[9] = uint8(ip.Protocol)
+	buf[10], buf[11] = 0, 0
 	src := ip.Src.As4()
 	dst := ip.Dst.As4()
 	copy(buf[12:16], src[:])
 	copy(buf[16:20], dst[:])
 	copy(buf[ipv4HeaderLen:hl], ip.Options)
 	binary.BigEndian.PutUint16(buf[10:12], Checksum(buf[:hl]))
-	copy(buf[hl:], ip.Payload)
-	return buf, nil
+}
+
+// DecrementTTL decrements the TTL of a serialized IPv4 datagram in place
+// and patches the header checksum — the per-hop rewrite a router does,
+// without re-marshaling the datagram. It reports whether raw held a
+// well-formed header with nonzero TTL; on false, raw is unmodified. The
+// result is byte-identical to decoding, decrementing, and re-marshaling a
+// canonical (trailer-free) datagram.
+func DecrementTTL(raw []byte) bool {
+	if len(raw) < ipv4HeaderLen || raw[0]>>4 != 4 {
+		return false
+	}
+	ihl := int(raw[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || ihl > len(raw) || raw[8] == 0 {
+		return false
+	}
+	raw[8]--
+	raw[10], raw[11] = 0, 0
+	binary.BigEndian.PutUint16(raw[10:12], Checksum(raw[:ihl]))
+	return true
 }
 
 // String renders a one-line summary for logs and debugging.

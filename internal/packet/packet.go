@@ -16,35 +16,80 @@ type Packet struct {
 	ICMP *ICMP
 }
 
+// Decoder decodes datagrams into storage it owns and reuses, so a hot loop
+// (a router decoding every forwarded packet) pays zero allocations per
+// datagram. The *Packet returned by Decode is only valid until the next
+// Decode call on the same Decoder; callers that retain a packet must use
+// the allocating Parse instead (or re-Parse the raw bytes themselves).
+type Decoder struct {
+	pkt  Packet
+	ip   IPv4
+	tcp  TCP
+	udp  UDP
+	icmp ICMP
+}
+
+// Decode parses a serialized IPv4 datagram into the decoder's reusable
+// storage. It returns the IP header view (nil if the IP layer is malformed)
+// and the fully parsed packet (nil unless the transport layer, when asked
+// for, also parsed — fragments and corrupted segments route fine but carry
+// no transport view). Transport parsing is skipped when transport is false:
+// a plain forwarding hop needs only the IP header.
+func (d *Decoder) Decode(data []byte, transport bool) (*IPv4, *Packet) {
+	if err := d.ip.DecodeFromBytes(data); err != nil {
+		return nil, nil
+	}
+	if !transport {
+		return &d.ip, nil
+	}
+	d.pkt = Packet{IP: &d.ip}
+	switch d.ip.Protocol {
+	case ProtoTCP:
+		if err := d.tcp.DecodeFromBytes(d.ip.Payload, d.ip.Src, d.ip.Dst); err != nil {
+			return &d.ip, nil
+		}
+		d.pkt.TCP = &d.tcp
+	case ProtoUDP:
+		if err := d.udp.DecodeFromBytes(d.ip.Payload, d.ip.Src, d.ip.Dst); err != nil {
+			return &d.ip, nil
+		}
+		d.pkt.UDP = &d.udp
+	case ProtoICMP:
+		if err := d.icmp.DecodeFromBytes(d.ip.Payload); err != nil {
+			return &d.ip, nil
+		}
+		d.pkt.ICMP = &d.icmp
+	}
+	return &d.ip, &d.pkt
+}
+
 // Parse decodes a serialized IPv4 datagram and its transport layer.
-// Transport checksums are verified.
+// Transport checksums are verified. The result is freshly allocated and
+// safe to retain.
 func Parse(data []byte) (*Packet, error) {
-	ip := new(IPv4)
-	if err := ip.DecodeFromBytes(data); err != nil {
+	d := new(Decoder)
+	if err := d.ip.DecodeFromBytes(data); err != nil {
 		return nil, err
 	}
-	p := &Packet{IP: ip}
-	switch ip.Protocol {
+	d.pkt.IP = &d.ip
+	switch d.ip.Protocol {
 	case ProtoTCP:
-		t := new(TCP)
-		if err := t.DecodeFromBytes(ip.Payload, ip.Src, ip.Dst); err != nil {
+		if err := d.tcp.DecodeFromBytes(d.ip.Payload, d.ip.Src, d.ip.Dst); err != nil {
 			return nil, fmt.Errorf("tcp: %w", err)
 		}
-		p.TCP = t
+		d.pkt.TCP = &d.tcp
 	case ProtoUDP:
-		u := new(UDP)
-		if err := u.DecodeFromBytes(ip.Payload, ip.Src, ip.Dst); err != nil {
+		if err := d.udp.DecodeFromBytes(d.ip.Payload, d.ip.Src, d.ip.Dst); err != nil {
 			return nil, fmt.Errorf("udp: %w", err)
 		}
-		p.UDP = u
+		d.pkt.UDP = &d.udp
 	case ProtoICMP:
-		ic := new(ICMP)
-		if err := ic.DecodeFromBytes(ip.Payload); err != nil {
+		if err := d.icmp.DecodeFromBytes(d.ip.Payload); err != nil {
 			return nil, fmt.Errorf("icmp: %w", err)
 		}
-		p.ICMP = ic
+		d.pkt.ICMP = &d.icmp
 	}
-	return p, nil
+	return &d.pkt, nil
 }
 
 // TransportPayload returns the application payload of the packet, or nil for
@@ -79,35 +124,58 @@ func (p *Packet) String() string {
 	}
 }
 
+// checkBuild validates the endpoint addresses and total datagram size
+// shared by the Build* fast paths.
+func checkBuild(src, dst netip.Addr, total int) error {
+	if !src.Is4() || !dst.Is4() {
+		return fmt.Errorf("packet: IPv4 requires 4-byte addresses (src=%v dst=%v)", src, dst)
+	}
+	if total > 0xffff {
+		return fmt.Errorf("packet: datagram too large (%d bytes)", total)
+	}
+	return nil
+}
+
 // BuildTCP serializes a TCP segment inside an IPv4 datagram with the given
-// TTL and returns the wire bytes.
+// TTL and returns the wire bytes. The segment is marshaled directly into
+// the datagram buffer: one allocation per packet sent, the simulator's
+// hottest build path.
 func BuildTCP(src, dst netip.Addr, ttl uint8, seg *TCP) ([]byte, error) {
-	payload, err := seg.Marshal(src, dst)
-	if err != nil {
+	total := ipv4HeaderLen + seg.HeaderLen() + len(seg.Payload)
+	if err := checkBuild(src, dst, total); err != nil {
 		return nil, err
 	}
-	ip := &IPv4{TTL: ttl, Protocol: ProtoTCP, Src: src, Dst: dst, Payload: payload}
-	return ip.Marshal()
+	buf := make([]byte, total)
+	seg.marshalInto(buf[ipv4HeaderLen:], src, dst)
+	ip := IPv4{TTL: ttl, Protocol: ProtoTCP, Src: src, Dst: dst}
+	ip.writeHeader(buf, total)
+	return buf, nil
 }
 
 // BuildUDP serializes a UDP datagram inside an IPv4 datagram with the given
 // TTL and returns the wire bytes.
 func BuildUDP(src, dst netip.Addr, ttl uint8, dgram *UDP) ([]byte, error) {
-	payload, err := dgram.Marshal(src, dst)
-	if err != nil {
+	total := ipv4HeaderLen + udpHeaderLen + len(dgram.Payload)
+	if err := checkBuild(src, dst, total); err != nil {
 		return nil, err
 	}
-	ip := &IPv4{TTL: ttl, Protocol: ProtoUDP, Src: src, Dst: dst, Payload: payload}
-	return ip.Marshal()
+	buf := make([]byte, total)
+	dgram.marshalInto(buf[ipv4HeaderLen:], src, dst)
+	ip := IPv4{TTL: ttl, Protocol: ProtoUDP, Src: src, Dst: dst}
+	ip.writeHeader(buf, total)
+	return buf, nil
 }
 
 // BuildICMP serializes an ICMP message inside an IPv4 datagram with the
 // given TTL and returns the wire bytes.
 func BuildICMP(src, dst netip.Addr, ttl uint8, msg *ICMP) ([]byte, error) {
-	payload, err := msg.Marshal()
-	if err != nil {
+	total := ipv4HeaderLen + icmpHeaderLen + len(msg.Payload)
+	if err := checkBuild(src, dst, total); err != nil {
 		return nil, err
 	}
-	ip := &IPv4{TTL: ttl, Protocol: ProtoICMP, Src: src, Dst: dst, Payload: payload}
-	return ip.Marshal()
+	buf := make([]byte, total)
+	msg.marshalInto(buf[ipv4HeaderLen:])
+	ip := IPv4{TTL: ttl, Protocol: ProtoICMP, Src: src, Dst: dst}
+	ip.writeHeader(buf, total)
+	return buf, nil
 }

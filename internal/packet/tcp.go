@@ -90,8 +90,16 @@ func (t *TCP) DecodeFromBytes(data []byte, src, dst netip.Addr) error {
 // Marshal serializes the segment, computing the transport checksum from the
 // given IPv4 endpoints.
 func (t *TCP) Marshal(src, dst netip.Addr) ([]byte, error) {
+	buf := make([]byte, t.HeaderLen()+len(t.Payload))
+	t.marshalInto(buf, src, dst)
+	return buf, nil
+}
+
+// marshalInto serializes the segment into buf, which must be exactly
+// HeaderLen()+len(Payload) bytes (BuildTCP writes straight into the tail of
+// the IP datagram it is assembling, saving the intermediate allocation).
+func (t *TCP) marshalInto(buf []byte, src, dst netip.Addr) {
 	hl := t.HeaderLen()
-	buf := make([]byte, hl+len(t.Payload))
 	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
 	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
 	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
@@ -99,11 +107,11 @@ func (t *TCP) Marshal(src, dst netip.Addr) ([]byte, error) {
 	buf[12] = uint8(hl/4) << 4
 	buf[13] = t.Flags & 0x3f
 	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	buf[16], buf[17] = 0, 0
 	binary.BigEndian.PutUint16(buf[18:20], t.Urgent)
 	copy(buf[tcpHeaderLen:hl], t.Options)
 	copy(buf[hl:], t.Payload)
 	binary.BigEndian.PutUint16(buf[16:18], TransportChecksum(src, dst, ProtoTCP, buf))
-	return buf, nil
 }
 
 // String renders a one-line summary for logs and debugging.

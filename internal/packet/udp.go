@@ -44,16 +44,23 @@ func (u *UDP) Marshal(src, dst netip.Addr) ([]byte, error) {
 		return nil, fmt.Errorf("packet: UDP datagram too large (%d bytes)", total)
 	}
 	buf := make([]byte, total)
+	u.marshalInto(buf, src, dst)
+	return buf, nil
+}
+
+// marshalInto serializes the datagram into buf, which must be exactly
+// udpHeaderLen+len(Payload) bytes (see TCP.marshalInto).
+func (u *UDP) marshalInto(buf []byte, src, dst netip.Addr) {
 	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
 	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
-	binary.BigEndian.PutUint16(buf[4:6], uint16(total))
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(buf)))
+	buf[6], buf[7] = 0, 0
 	copy(buf[udpHeaderLen:], u.Payload)
 	cs := TransportChecksum(src, dst, ProtoUDP, buf)
 	if cs == 0 {
 		cs = 0xffff // RFC 768: transmitted all-ones when computed sum is zero
 	}
 	binary.BigEndian.PutUint16(buf[6:8], cs)
-	return buf, nil
 }
 
 // String renders a one-line summary for logs and debugging.

@@ -69,8 +69,23 @@ type System struct {
 
 	discard map[TrafficClass]bool
 
+	// Content is the live content store, oldest first. It is a view into
+	// contentBuf maintained by pushContent/evictContent; treat it as
+	// read-only outside those helpers.
 	Content  []StoredContent
 	Metadata map[packet.Flow]*FlowRecord
+
+	// contentBuf backs Content: Content == contentBuf[contentOff:]. The
+	// offset lets budget eviction drop the oldest record without orphaning
+	// the buffer's head — pushContent reclaims the evicted front in place
+	// instead of growing, so the steady-state store allocates nothing.
+	contentBuf []StoredContent
+	contentOff int
+
+	// Last-flow memo for the metadata map (see ids.Engine's equivalent);
+	// Expire invalidates it.
+	lastFlow packet.Flow
+	lastRec  *FlowRecord
 
 	// Stats.
 	PacketsSeen      int
@@ -100,12 +115,22 @@ func (s *System) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		reg.Counter("surveil_ids_alerts_total"))
 }
 
-// New builds a surveillance system with the given alert rules.
+// New builds a surveillance system with the given alert rules. Callers
+// constructing many systems over one ruleset should ids.Compile once and
+// use NewFromCompiled.
 func New(cfg MVRConfig, rules []*ids.Rule) *System {
+	return NewFromCompiled(cfg, ids.Compile(rules))
+}
+
+// NewFromCompiled builds a surveillance system over an already-compiled
+// ruleset. All mutable state (IDS engine, classifier, analyst, stores,
+// stats) is per-system; rules is only read, so concurrent calls sharing one
+// CompiledRules are safe.
+func NewFromCompiled(cfg MVRConfig, rules *ids.CompiledRules) *System {
 	s := &System{
 		cfg:              cfg,
 		classifier:       NewClassifier(),
-		engine:           ids.NewEngine(rules),
+		engine:           rules.NewEngine(),
 		analyst:          NewAnalyst(cfg.HomeNet),
 		discard:          make(map[TrafficClass]bool),
 		Metadata:         make(map[packet.Flow]*FlowRecord),
@@ -175,10 +200,15 @@ func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict
 
 	// Stage 1b: metadata always (cheap), content under budget.
 	flow := packet.FlowOf(pkt).Canonical()
-	rec, ok := s.Metadata[flow]
-	if !ok {
-		rec = &FlowRecord{Flow: flow, FirstSeen: tp.Time, Class: class}
-		s.Metadata[flow] = rec
+	rec := s.lastRec
+	if rec == nil || s.lastFlow != flow {
+		var ok bool
+		rec, ok = s.Metadata[flow]
+		if !ok {
+			rec = &FlowRecord{Flow: flow, FirstSeen: tp.Time, Class: class}
+			s.Metadata[flow] = rec
+		}
+		s.lastFlow, s.lastRec = flow, rec
 	}
 	rec.LastSeen = tp.Time
 	rec.Packets++
@@ -188,7 +218,7 @@ func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict
 	// always captured, and the oldest content is evicted once the store
 	// exceeds the budget (TEMPORA's rolling 3-day buffer behaves the same
 	// way: everything is written, little survives).
-	s.Content = append(s.Content, StoredContent{Time: tp.Time, Flow: flow, Bytes: len(tp.Raw), Class: class})
+	s.pushContent(StoredContent{Time: tp.Time, Flow: flow, Bytes: len(tp.Raw), Class: class})
 	s.BytesRetained += len(tp.Raw)
 	s.mLogged.Inc()
 	if tr := s.trace; tr != nil {
@@ -197,7 +227,7 @@ func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict
 	}
 	for len(s.Content) > 1 && float64(s.BytesRetained) > s.cfg.StorageFraction*float64(s.BytesSeen) {
 		s.BytesRetained -= s.Content[0].Bytes
-		s.Content = s.Content[1:]
+		s.evictContent()
 		s.BudgetRejected++
 		s.mBudgetEvicted.Inc()
 	}
@@ -210,9 +240,29 @@ func (s *System) Observe(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict
 	return netsim.Pass
 }
 
+// pushContent appends one record to the content store. When the backing
+// buffer is full and at least a quarter of it is evicted front space, the
+// live records are copied down to reclaim it — amortized O(1) per record
+// and allocation-free once the store reaches its budget-bounded size.
+func (s *System) pushContent(rec StoredContent) {
+	if len(s.contentBuf) == cap(s.contentBuf) && s.contentOff > cap(s.contentBuf)/4 {
+		n := copy(s.contentBuf, s.contentBuf[s.contentOff:])
+		s.contentBuf = s.contentBuf[:n]
+		s.contentOff = 0
+	}
+	s.contentBuf = append(s.contentBuf, rec)
+	s.Content = s.contentBuf[s.contentOff:]
+}
+
+// evictContent drops the oldest record (budget eviction).
+func (s *System) evictContent() {
+	s.contentOff++
+	s.Content = s.contentBuf[s.contentOff:]
+}
+
 // Expire drops content and metadata past their retention windows.
 func (s *System) Expire(now int64) (contentDropped, metadataDropped int) {
-	keep := s.Content[:0]
+	keep := s.contentBuf[:0]
 	for _, c := range s.Content {
 		if now-c.Time <= int64(s.cfg.ContentRetention) {
 			keep = append(keep, c)
@@ -221,6 +271,8 @@ func (s *System) Expire(now int64) (contentDropped, metadataDropped int) {
 			contentDropped++
 		}
 	}
+	s.contentBuf = keep
+	s.contentOff = 0
 	s.Content = keep
 	for f, rec := range s.Metadata {
 		if now-rec.LastSeen > int64(s.cfg.MetadataRetention) {
@@ -228,6 +280,7 @@ func (s *System) Expire(now int64) (contentDropped, metadataDropped int) {
 			metadataDropped++
 		}
 	}
+	s.lastRec = nil // the memoized record may have been dropped
 	return contentDropped, metadataDropped
 }
 

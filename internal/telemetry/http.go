@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 )
 
 // Handler serves the registry over HTTP:
@@ -13,6 +15,10 @@ import (
 //	GET /healthz  — 200 while the process is serving at all (liveness)
 //	GET /readyz   — 200 when ready() returns nil, 503 with the error text
 //	                otherwise; a nil ready func is always ready
+//	GET /debug/pprof/ — the standard net/http/pprof profile index (cpu via
+//	                /debug/pprof/profile, plus heap, goroutine, mutex,
+//	                block, allocs); mutex and block profiles are empty
+//	                until EnableContentionProfiling is called
 //
 // The handler snapshots on every request, so it can be scraped while a
 // campaign is mid-flight; atomics make the reads race-free. Liveness and
@@ -51,7 +57,25 @@ func Handler(reg *Registry, progress func() any, ready func() error) http.Handle
 		}
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	// net/http/pprof self-registers only on http.DefaultServeMux; mirror its
+	// routes here so profiles ride the same listener as /metrics and a live
+	// campaign or daemon can be profiled without a second port.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// EnableContentionProfiling turns on the runtime sampling that feeds the
+// /debug/pprof/mutex and /debug/pprof/block endpoints: 1-in-fraction mutex
+// contention events and every blocking event of at least blockRateNs
+// nanoseconds are recorded. Both profilers cost a little on every contended
+// lock, so this is opt-in (a CLI flag) rather than ambient.
+func EnableContentionProfiling(fraction, blockRateNs int) {
+	runtime.SetMutexProfileFraction(fraction)
+	runtime.SetBlockProfileRate(blockRateNs)
 }
 
 // Serve binds addr, serves Handler(reg, progress, ready) in a background

@@ -324,3 +324,27 @@ func TestExpBuckets(t *testing.T) {
 		t.Fatal("degenerate bucket shapes should return nil")
 	}
 }
+
+// TestHTTPHandlerServesPprof: the profiling endpoints ride the metrics
+// listener, so a live campaign can be profiled without a second port. The
+// index and a fast non-blocking profile must both answer 200.
+func TestHTTPHandlerServesPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil))
+	defer srv.Close()
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/mutex?debug=1",
+		"/debug/pprof/block?debug=1",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -9,6 +9,10 @@
 #
 #   scripts/bench.sh                          # -benchtime 2s -count 3
 #   scripts/bench.sh -benchtime 5x -count 1   # fast smoke
+#
+# BENCH_PROFILE=1 additionally captures CPU, allocation, mutex, and block
+# profiles (plus the test binary for `go tool pprof`) under profiles/ —
+# the starting point for any hot-path optimization work; see DESIGN.md §9.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +23,19 @@ trap 'rm -f "$raw"' EXIT
 
 if [ "$#" -eq 0 ]; then
   set -- -benchtime 2s -count 3
+fi
+
+if [ "${BENCH_PROFILE:-0}" = "1" ]; then
+  # -mutexprofile and -blockprofile switch the runtime samplers on by
+  # themselves; no flag beyond the output path is needed.
+  mkdir -p profiles
+  set -- "$@" \
+    -cpuprofile profiles/campaign.cpu.pprof \
+    -memprofile profiles/campaign.mem.pprof \
+    -mutexprofile profiles/campaign.mutex.pprof \
+    -blockprofile profiles/campaign.block.pprof \
+    -o profiles/campaign.test
+  echo "profiles will land in profiles/ (inspect: go tool pprof profiles/campaign.test profiles/campaign.cpu.pprof)"
 fi
 
 go test -run '^$' -bench 'BenchmarkCampaign|BenchmarkTelemetryOverhead' \
@@ -50,3 +67,8 @@ END {
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+if [ "${BENCH_PROFILE:-0}" = "1" ]; then
+  echo "captured profile artifacts:"
+  ls -l profiles/
+fi

@@ -55,7 +55,7 @@ fi
 # Opt out with VERIFY_BENCH=0 on noisy or shared machines.
 if [ "${VERIFY_BENCH:-1}" = "1" ] && [ -f BENCH_campaign.json ]; then
   benchraw=$(mktemp)
-  go test -run '^$' -bench 'BenchmarkCampaign' -benchtime 1s -count 3 . | tee "$benchraw"
+  go test -run '^$' -bench '^BenchmarkCampaign$' -benchtime 1s -count 3 . | tee "$benchraw"
   awk '
     NR == FNR {
       # Parse baseline JSON lines: "Name": {..., "ns_per_op": N, ...}
@@ -88,6 +88,39 @@ if [ "${VERIFY_BENCH:-1}" = "1" ] && [ -f BENCH_campaign.json ]; then
     }
   ' BENCH_campaign.json "$benchraw"
   rm -f "$benchraw"
+fi
+
+# Worker-scaling gate: on a host with at least 4 CPUs, the 8-worker pool
+# must clear at least 2x single-worker throughput on the wide benchmark
+# matrix — the shared artifact cache plus per-run hot-path work is what the
+# ratio measures. Hosts with fewer cores (1-CPU CI containers) cannot scale
+# by pooling workers, so there the ratio is printed but not asserted.
+# Opt out entirely with VERIFY_SCALING=0.
+if [ "${VERIFY_SCALING:-1}" = "1" ]; then
+  ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+  scaleraw=$(mktemp)
+  go test -run '^$' -bench '^BenchmarkCampaignScaling$/^workers=(1|8)$' \
+    -benchtime 1s -count 2 . | tee "$scaleraw"
+  awk -v ncpu="$ncpu" '
+    # GOMAXPROCS=1 hosts print the bare name; others append "-N".
+    /^BenchmarkCampaignScaling\/workers=1(-[0-9]+)?[ \t]/ {
+      for (i = 3; i < NF; i++) if ($(i + 1) ~ /runs\/s/ && $i + 0 > w1) w1 = $i
+    }
+    /^BenchmarkCampaignScaling\/workers=8(-[0-9]+)?[ \t]/ {
+      for (i = 3; i < NF; i++) if ($(i + 1) ~ /runs\/s/ && $i + 0 > w8) w8 = $i
+    }
+    END {
+      if (w1 + 0 == 0 || w8 + 0 == 0) { print "scaling gate: missing benchmark output"; exit 1 }
+      ratio = w8 / w1
+      printf "scaling: workers=8 %.0f runs/s vs workers=1 %.0f runs/s (x%.2f) on %d CPU(s)\n", w8, w1, ratio, ncpu
+      if (ncpu + 0 >= 4 && ratio < 2) {
+        printf "SCALING REGRESSION: 8-worker speedup x%.2f < x2 on a %d-CPU host\n", ratio, ncpu
+        exit 1
+      }
+      if (ncpu + 0 < 4) print "scaling: fewer than 4 CPUs, ratio is informational only"
+    }
+  ' "$scaleraw"
+  rm -f "$scaleraw"
 fi
 
 # Interrupt-then-resume smoke test: a real SIGINT against the built binary
