@@ -17,6 +17,12 @@
 //	measload -addr http://127.0.0.1:8080 -clients 50 -requests 4
 //	measload -clients 200 -requests 10 -trials 3 -dup-every 2
 //	measload -addr http://$(cat /tmp/addr) -min-cache-hits 1
+//	measload -max-retries 5                               # ride out 429/503
+//
+// Requests the service rejects with HTTP 429 (rate limited) or 503
+// (draining, degraded, storage fault) are retried up to -max-retries times
+// with seeded, jittered exponential backoff; retry counts appear in the
+// final report.
 //
 // Exit codes: 0 all requests succeeded (and -min-cache-hits was met, and
 // all duplicate responses were byte-identical), 1 otherwise, 2 usage.
@@ -27,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -52,6 +59,7 @@ var mixCells = []struct{ technique, scenario string }{
 type result struct {
 	latency time.Duration
 	runs    int
+	retries int
 	err     error
 }
 
@@ -64,6 +72,7 @@ func main() {
 	dupEvery := flag.Int("dup-every", 2, "every k-th request per client repeats its first cell (0 disables)")
 	minCacheHits := flag.Int("min-cache-hits", 0, "fail unless the service's measured_cache_hits_total grew by at least this much")
 	reqTimeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	maxRetries := flag.Int("max-retries", 3, "retry a request rejected with HTTP 429/503 up to this many times, with seeded jittered exponential backoff (0 disables)")
 	flag.Parse()
 	if *clients < 1 || *requests < 1 || *trials < 1 {
 		fmt.Fprintln(os.Stderr, "measload: -clients, -requests, and -trials must be >= 1")
@@ -91,6 +100,9 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			clientID := fmt.Sprintf("loadclient-%03d", c)
+			// Per-client seeded RNG: backoff jitter is reproducible for a
+			// given (-seed, client index), never shared across goroutines.
+			rng := rand.New(rand.NewSource(*seed + int64(c)*1_000_003))
 			for r := 0; r < *requests; r++ {
 				// Cell choice: stride through the mix so clients overlap
 				// (cross-client cache hits); every k-th request repeats the
@@ -105,8 +117,8 @@ func main() {
 				identity := fmt.Sprintf("%s|%s|%d|%d", cell.technique, cell.scenario, *trials, *seed)
 
 				t0 := time.Now()
-				body, runs, err := fetch(httpc, url)
-				res := result{latency: time.Since(t0), runs: runs, err: err}
+				body, runs, retried, err := fetch(httpc, url, *maxRetries, rng)
+				res := result{latency: time.Since(t0), runs: runs, retries: retried, err: err}
 				if err == nil {
 					sum := sha256.Sum256(body)
 					bodiesMu.Lock()
@@ -131,8 +143,12 @@ func main() {
 	}
 
 	var latencies []float64
-	var errs, totalRuns int
+	var errs, totalRuns, totalRetries, retriedReqs int
 	for _, res := range results {
+		totalRetries += res.retries
+		if res.retries > 0 {
+			retriedReqs++
+		}
 		if res.err != nil {
 			errs++
 			fmt.Fprintln(os.Stderr, "measload:", res.err)
@@ -165,6 +181,8 @@ func main() {
 	}
 	fmt.Printf("  cache:    %.0f hits, %.0f misses, %.0f dedup joins (%.0f%% hit rate)\n",
 		hits, misses, joins, hitRate*100)
+	fmt.Printf("  retries:  %d total across %d requests (429/503 backoff, max %d per request)\n",
+		totalRetries, retriedReqs, *maxRetries)
 	fmt.Printf("  identity: %d distinct request identities, %d byte mismatches\n",
 		len(bodies), mismatches)
 
@@ -187,31 +205,60 @@ func main() {
 	}
 }
 
-// fetch performs one /measure request and returns the full response body
-// and how many run records it carried. It validates the NDJSON shape: at
-// least one record line plus the terminal aggregate frame.
-func fetch(httpc *http.Client, url string) (body []byte, runs int, err error) {
+// retryBackoff is the wait before retry attempt (1-based): exponential from
+// 50ms, capped at 2s, jittered to [50%, 150%) by the caller's seeded RNG so
+// clients rejected together do not retry together.
+func retryBackoff(attempt int, rng *rand.Rand) time.Duration {
+	base := 50 * time.Millisecond << (attempt - 1)
+	if base > 2*time.Second {
+		base = 2 * time.Second
+	}
+	return base/2 + time.Duration(rng.Int63n(int64(base)))
+}
+
+// fetch performs one /measure request, retrying transient rejections —
+// HTTP 429 (rate limited) and 503 (draining, degraded, storage) are the
+// service's explicitly retryable statuses — up to maxRetries times with
+// jittered exponential backoff. It returns the final response body, how
+// many run records it carried, and how many retries were spent.
+func fetch(httpc *http.Client, url string, maxRetries int, rng *rand.Rand) (body []byte, runs, retried int, err error) {
+	for attempt := 0; ; attempt++ {
+		var status int
+		body, runs, status, err = fetchOnce(httpc, url)
+		retryable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if err == nil || !retryable || attempt >= maxRetries {
+			return body, runs, attempt, err
+		}
+		time.Sleep(retryBackoff(attempt+1, rng))
+	}
+}
+
+// fetchOnce performs one /measure request and returns the full response
+// body, how many run records it carried, and the HTTP status. It validates
+// the NDJSON shape: at least one record line plus the terminal aggregate
+// frame.
+func fetchOnce(httpc *http.Client, url string) (body []byte, runs, status int, err error) {
 	resp, err := httpc.Get(url)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, 0, resp.StatusCode, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
 	if len(lines) < 2 {
-		return nil, 0, fmt.Errorf("%s: want >= 2 NDJSON lines, got %d", url, len(lines))
+		return nil, 0, resp.StatusCode, fmt.Errorf("%s: want >= 2 NDJSON lines, got %d", url, len(lines))
 	}
 	last := lines[len(lines)-1]
 	if !strings.Contains(last, `"aggregate"`) {
-		return nil, 0, fmt.Errorf("%s: response not terminated by an aggregate frame", url)
+		return nil, 0, resp.StatusCode, fmt.Errorf("%s: response not terminated by an aggregate frame", url)
 	}
-	return body, len(lines) - 1, nil
+	return body, len(lines) - 1, resp.StatusCode, nil
 }
 
 // scrapeMetrics fetches /metrics and parses `name value` lines into a map

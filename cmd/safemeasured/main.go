@@ -11,6 +11,7 @@
 //	safemeasured -addr 127.0.0.1:0 -addr-file /tmp/addr   # ephemeral port
 //	safemeasured -rate 100 -burst 200 -queue 4096 -cache-max 100000
 //	safemeasured -breaker 5 -fail-budget 0.5              # supervision
+//	safemeasured -journal /var/lib/sm/wal -archive /var/lib/sm/obs.jsonl
 //
 // Endpoints:
 //
@@ -19,11 +20,23 @@
 //	GET /healthz      — liveness (200 while the process serves)
 //	GET /readyz       — readiness (503 while draining or degraded)
 //
+// Durability: -journal write-aheads every admitted run before it may
+// execute and -archive appends every executed run's observation rows; on
+// restart the archive warm-starts the result cache (previously answered
+// cells are byte-identical cache hits again) and the journal replays
+// whatever a crash left admitted but unfinished — kill -9 mid-campaign
+// resumes where it left off without executing any completed run twice. A
+// failing disk degrades instead of crashing: /readyz goes 503, new
+// admissions are rejected with reason "storage" (retryable), and the
+// service heals when writes succeed again.
+//
 // Shutdown: the first SIGINT/SIGTERM starts a graceful drain — /readyz
-// goes 503, new requests are rejected, admitted runs and open streams
-// complete within -drain-grace, then the pool stops and the process exits
-// 0. A drain that cannot finish in time abandons the stragglers through
-// the campaign claim gate and exits 1; a second signal exits 1 immediately.
+// goes 503 first and keeps answering for -lb-grace so load balancers
+// observe not-ready before the listener closes, then new requests are
+// rejected, admitted runs and open streams complete within -drain-grace,
+// the pool stops, and the process exits 0. A drain that cannot finish in
+// time abandons the stragglers through the campaign claim gate and exits
+// 1; a second signal exits 1 immediately.
 //
 // Exit codes: 0 clean drain, 1 unclean shutdown or serve error, 2 usage.
 package main
@@ -40,7 +53,6 @@ import (
 	"syscall"
 	"time"
 
-	"safemeasure/internal/archival"
 	"safemeasure/internal/campaign"
 	"safemeasure/internal/core"
 	"safemeasure/internal/measured"
@@ -61,7 +73,12 @@ func main() {
 	breakerN := flag.Int("breaker", 0, "per-cell circuit breaker: open after N consecutive failed runs (0 disables)")
 	failBudget := flag.Float64("fail-budget", -1, "degrade the service when more than this fraction of completed runs are errors (negative disables)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a shutdown lets admitted runs and open streams finish")
-	archivePath := flag.String("archive", "", "append every executed run as flat observation rows to this file (.bin/.smoa for binary); cache hits are not re-archived")
+	lbGrace := flag.Duration("lb-grace", 0, "after /readyz flips 503 on shutdown, keep serving this long so load balancers observe not-ready before the listener closes")
+	archivePath := flag.String("archive", "", "append every executed run as flat observation rows to this file (.bin/.smoa for binary); warm-starts the result cache on restart; cache hits are not re-archived")
+	journalPath := flag.String("journal", "", "write-ahead request journal: admitted runs are journaled (fsynced) before execution and replayed after a crash")
+	journalFsync := flag.Bool("journal-fsync", true, "fsync the journal after every admission (power-loss durability; process-crash safety holds either way)")
+	writeTimeout := flag.Duration("write-timeout", measured.DefaultWriteTimeout, "per-write deadline on response streams; a stalled reader is dropped once a write blocks past it (negative disables)")
+	streamBuf := flag.Int("stream-buf", measured.DefaultStreamBuf, "per-stream record buffer between run completion and the client write loop")
 	profContention := flag.Bool("pprof-contention", false, "record mutex and block profiles (served on /debug/pprof; costs a little on every contended lock)")
 	flag.Parse()
 
@@ -88,6 +105,8 @@ func main() {
 		Burst:             *burst,
 		CacheMax:          *cacheMax,
 		MaxRunsPerRequest: *maxRuns,
+		WriteTimeout:      *writeTimeout,
+		StreamBuf:         *streamBuf,
 		Metrics:           reg,
 	}
 	if *breakerN > 0 {
@@ -96,38 +115,37 @@ func main() {
 	if *failBudget >= 0 {
 		cfg.Budget = &campaign.FailureBudget{Fraction: *failBudget}
 	}
-	var obsSink *campaign.ObservationSink
-	if *archivePath != "" {
-		// The service always appends: it is restarted, not re-run, and each
-		// executed flight is one more batch of rows. Repair first cuts any
-		// torn record a crash left behind.
-		if truncated, err := archival.Repair(*archivePath); err != nil {
-			fmt.Fprintln(os.Stderr, "safemeasured: -archive:", err)
-			os.Exit(1)
-		} else if truncated {
-			fmt.Fprintf(os.Stderr, "safemeasured: -archive: cut a torn trailing record off %s\n", *archivePath)
-		}
-		f, err := os.OpenFile(*archivePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	var store *measured.Store
+	if *archivePath != "" || *journalPath != "" {
+		// The store owns both files end to end: it repairs torn tails from
+		// the last crash, compacts the journal to its pending admits, and
+		// truncates any archive tail group the journal never acknowledged.
+		st, err := measured.OpenStore(measured.StoreConfig{
+			Journal:     *journalPath,
+			Archive:     *archivePath,
+			FsyncAdmits: *journalFsync,
+			Metrics:     reg,
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "safemeasured: -archive:", err)
+			fmt.Fprintln(os.Stderr, "safemeasured:", err)
 			os.Exit(1)
 		}
-		var w archival.Writer
-		if archival.FormatForPath(*archivePath) == archival.FormatBinary {
-			if st, err := f.Stat(); err == nil && st.Size() > 0 {
-				w = archival.NewBinaryAppender(f)
-			} else {
-				w = archival.NewBinaryWriter(f)
-			}
-		} else {
-			w = archival.NewJSONLWriter(f)
-		}
-		obsSink = campaign.NewObservationSink(w)
-		obsSink.SyncEvery(64)
-		obsSink.Instrument(reg, "archive")
-		cfg.OnRecord = obsSink.Record
+		store = st
+		cfg.Store = st
 	}
 	svc := measured.New(cfg)
+	if store != nil {
+		warmed, err := svc.WarmStart()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "safemeasured: warm start:", err)
+			os.Exit(1)
+		}
+		replayed := svc.Replay()
+		if warmed > 0 || replayed > 0 {
+			fmt.Fprintf(os.Stderr, "safemeasured: recovered %d archived results into the cache, replaying %d unfinished runs\n",
+				warmed, replayed)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/measure", svc.Handler())
@@ -170,35 +188,72 @@ func main() {
 		os.Exit(1)
 	}()
 
-	// Drain order matters: mark not-ready first so load balancers stop
-	// sending, let open request streams finish (srv.Shutdown waits for
-	// handlers, which wait for their runs), then drain whatever is still
-	// queued (disconnected clients' flights) and stop the pool.
-	svc.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
-	clean := true
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "safemeasured: http shutdown:", err)
-		srv.Close()
-		clean = false
+	var storeClose func() error
+	if store != nil {
+		storeClose = store.Close
 	}
-	if err := svc.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "safemeasured:", err)
-		clean = false
-	}
-	if obsSink != nil {
-		if err := obsSink.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "safemeasured: archive sink:", err)
-			clean = false
-		} else {
-			fmt.Fprintf(os.Stderr, "safemeasured: %d observation rows archived to %s\n",
-				obsSink.Count(), *archivePath)
-		}
-	}
+	clean := drain(ctx, drainHooks{
+		beginDrain:   svc.BeginDrain,
+		lbGrace:      *lbGrace,
+		sleep:        time.Sleep,
+		httpShutdown: srv.Shutdown,
+		httpClose:    func() { srv.Close() },
+		svcShutdown:  svc.Shutdown,
+		storeClose:   storeClose,
+		logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "safemeasured: "+format+"\n", args...)
+		},
+	})
 	if !clean {
 		fmt.Fprintln(os.Stderr, "safemeasured: unclean shutdown: in-flight work was abandoned")
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "safemeasured: drained cleanly")
+}
+
+// drainHooks is the graceful-shutdown sequence with its effects injected, so
+// the ordering contract is testable without a process: readiness flips first
+// (so /readyz answers 503 and load balancers stop routing while the listener
+// is still serving), then — after lbGrace — the listener shuts down and waits
+// for open streams, then queued and in-flight runs drain, then the store
+// flushes and closes.
+type drainHooks struct {
+	beginDrain   func()                      // flip /readyz to 503; keep serving
+	lbGrace      time.Duration               // how long to serve not-ready first
+	sleep        func(time.Duration)         // time.Sleep, injectable
+	httpShutdown func(context.Context) error // stop the listener, wait for streams
+	httpClose    func()                      // hard-stop fallback after a failed shutdown
+	svcShutdown  func(context.Context) error // drain queued and in-flight runs
+	storeClose   func() error                // flush and close the store; nil when none
+	logf         func(format string, args ...any)
+}
+
+// drain runs the shutdown sequence in its load-balancer-safe order and
+// reports whether everything finished cleanly. BeginDrain strictly precedes
+// the HTTP shutdown: a listener that closes before readiness flips sends
+// traffic to a refused port instead of a 503 the balancer understands.
+func drain(ctx context.Context, h drainHooks) bool {
+	clean := true
+	h.beginDrain()
+	if h.lbGrace > 0 {
+		h.sleep(h.lbGrace)
+	}
+	if err := h.httpShutdown(ctx); err != nil {
+		h.logf("http shutdown: %v", err)
+		h.httpClose()
+		clean = false
+	}
+	if err := h.svcShutdown(ctx); err != nil {
+		h.logf("%v", err)
+		clean = false
+	}
+	if h.storeClose != nil {
+		if err := h.storeClose(); err != nil {
+			h.logf("store: %v", err)
+			clean = false
+		}
+	}
+	return clean
 }

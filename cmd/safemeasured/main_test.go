@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// recordedHooks builds drainHooks that append each step to calls.
+func recordedHooks(calls *[]string, httpErr, svcErr, storeErr error) drainHooks {
+	return drainHooks{
+		beginDrain: func() { *calls = append(*calls, "begin-drain") },
+		lbGrace:    250 * time.Millisecond,
+		sleep: func(d time.Duration) {
+			*calls = append(*calls, fmt.Sprintf("lb-grace=%v", d))
+		},
+		httpShutdown: func(context.Context) error {
+			*calls = append(*calls, "http-shutdown")
+			return httpErr
+		},
+		httpClose: func() { *calls = append(*calls, "http-close") },
+		svcShutdown: func(context.Context) error {
+			*calls = append(*calls, "svc-shutdown")
+			return svcErr
+		},
+		storeClose: func() error {
+			*calls = append(*calls, "store-close")
+			return storeErr
+		},
+		logf: func(string, ...any) {},
+	}
+}
+
+// TestDrainOrderReadinessBeforeListener is the drain-ordering regression
+// test: /readyz must flip to 503 (BeginDrain) and the lb-grace window must
+// elapse strictly before the HTTP listener stops serving — otherwise load
+// balancers see refused connections instead of a not-ready signal.
+func TestDrainOrderReadinessBeforeListener(t *testing.T) {
+	var calls []string
+	if !drain(context.Background(), recordedHooks(&calls, nil, nil, nil)) {
+		t.Fatal("clean drain reported unclean")
+	}
+	want := []string{"begin-drain", "lb-grace=250ms", "http-shutdown", "svc-shutdown", "store-close"}
+	if len(calls) != len(want) {
+		t.Fatalf("drain steps = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("drain step %d = %q, want %q (full order %v)", i, calls[i], want[i], calls)
+		}
+	}
+}
+
+func TestDrainSkipsGraceAndStoreWhenUnset(t *testing.T) {
+	var calls []string
+	h := recordedHooks(&calls, nil, nil, nil)
+	h.lbGrace = 0
+	h.storeClose = nil
+	if !drain(context.Background(), h) {
+		t.Fatal("clean drain reported unclean")
+	}
+	want := []string{"begin-drain", "http-shutdown", "svc-shutdown"}
+	if len(calls) != len(want) {
+		t.Fatalf("drain steps = %v, want %v", calls, want)
+	}
+}
+
+func TestDrainUncleanPaths(t *testing.T) {
+	boom := errors.New("boom")
+
+	var calls []string
+	if drain(context.Background(), recordedHooks(&calls, boom, nil, nil)) {
+		t.Fatal("failed http shutdown reported clean")
+	}
+	sawClose := false
+	for _, c := range calls {
+		if c == "http-close" {
+			sawClose = true
+		}
+	}
+	if !sawClose {
+		t.Fatalf("failed http shutdown did not hard-close the listener: %v", calls)
+	}
+	if calls[len(calls)-1] != "store-close" {
+		t.Fatalf("store must still close after a failed http shutdown: %v", calls)
+	}
+
+	calls = nil
+	if drain(context.Background(), recordedHooks(&calls, nil, boom, nil)) {
+		t.Fatal("failed service shutdown reported clean")
+	}
+	calls = nil
+	if drain(context.Background(), recordedHooks(&calls, nil, nil, boom)) {
+		t.Fatal("failed store close reported clean")
+	}
+}

@@ -114,6 +114,22 @@ func FlattenRecord(rec RunRecord) []archival.Observation {
 	return obs
 }
 
+// ObservationSpec reconstructs the run spec identity an observation row
+// carries — every row repeats its run's full cell identity, so any single
+// row is enough. The returned spec has no plan Index; its CellKey (and
+// therefore its derived run ID) matches the row's Run column. This is the
+// shared inverse the measured service's journal replay and archive warm
+// start both lean on instead of re-deriving identities ad hoc.
+func ObservationSpec(o archival.Observation) RunSpec {
+	return RunSpec{
+		Technique:  o.Technique,
+		Scenario:   o.Scenario,
+		Impairment: o.Impairment,
+		Trial:      o.Trial,
+		Seed:       o.Seed,
+	}
+}
+
 // FlattenTrace decomposes one run's packet-path trace into observation rows
 // (one per event, ordered by Seq), sharing the run ID of the record rows so
 // traces join records by cell identity.

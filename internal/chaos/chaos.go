@@ -95,6 +95,76 @@ func (f *FlakyWriter) injectedErr() error {
 	return ErrInjected
 }
 
+// FaultyWriter is FlakyWriter's recoverable cousin: writes pass through to
+// W until SetFailing(true), then every write fails — a short write of a
+// seeded prefix length when Short is set (the torn-frame wreckage a crash
+// leaves mid-record), otherwise Err (ErrInjected when nil) with nothing
+// written — until SetFailing(false) heals it. Where FlakyWriter models a
+// disk gone permanently read-only, FaultyWriter models the transient faults
+// a degrade-and-recover storage layer must survive: full disks that empty,
+// network filesystems that flap. Safe for concurrent use.
+type FaultyWriter struct {
+	W     io.Writer
+	Err   error
+	Short bool
+
+	mu      sync.Mutex
+	failing bool
+	faults  int64
+	written int64
+}
+
+// Write implements io.Writer with the togglable fault.
+func (f *FaultyWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.failing {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	f.faults++
+	if f.Short && len(p) > 1 {
+		// Deterministic partial prefix: the fault count picks how much of
+		// the record lands, so repeated faults tear at different offsets.
+		n, err := f.W.Write(p[:1+int(f.faults)%(len(p)-1)])
+		f.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return 0, f.injectedErr()
+}
+
+// SetFailing flips the fault on or off; writes recover as soon as it is off.
+func (f *FaultyWriter) SetFailing(failing bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failing = failing
+}
+
+// Faults reports how many writes the fault has rejected (or torn).
+func (f *FaultyWriter) Faults() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
+}
+
+// Written reports how many bytes reached the underlying writer.
+func (f *FaultyWriter) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+func (f *FaultyWriter) injectedErr() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
 // passthrough is the executor used when a wrapper is given a nil inner: a
 // plain uninstrumented campaign run, claimed just before publication.
 func passthrough(spec campaign.RunSpec, horizon time.Duration, claim func() bool) campaign.RunRecord {

@@ -52,6 +52,51 @@ func TestFlakyWriterCustomError(t *testing.T) {
 	}
 }
 
+func TestFaultyWriterTogglesAndRecovers(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FaultyWriter{W: &buf}
+	if n, err := fw.Write([]byte("ok1")); n != 3 || err != nil {
+		t.Fatalf("healthy write: n=%d err=%v", n, err)
+	}
+	fw.SetFailing(true)
+	if n, err := fw.Write([]byte("lost")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("failing write: n=%d err=%v, want 0, ErrInjected", n, err)
+	}
+	if _, err := fw.Write([]byte("lost2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second failing write: err=%v, want ErrInjected", err)
+	}
+	fw.SetFailing(false)
+	if n, err := fw.Write([]byte("ok2")); n != 3 || err != nil {
+		t.Fatalf("recovered write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "ok1ok2" {
+		t.Fatalf("buf=%q, want the failed writes fully absent", buf.String())
+	}
+	if fw.Faults() != 2 || fw.Written() != 6 {
+		t.Fatalf("faults=%d written=%d, want 2 and 6", fw.Faults(), fw.Written())
+	}
+}
+
+func TestFaultyWriterShortTearsPartialPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FaultyWriter{W: &buf, Short: true}
+	fw.SetFailing(true)
+	n, err := fw.Write([]byte("abcdefgh"))
+	if err != io.ErrShortWrite {
+		t.Fatalf("short-mode write: err=%v, want io.ErrShortWrite", err)
+	}
+	if n < 1 || n >= 8 || buf.Len() != n {
+		t.Fatalf("short-mode write: n=%d buf=%d bytes, want a proper partial prefix", n, buf.Len())
+	}
+	fw.SetFailing(false)
+	if _, err := fw.Write([]byte("tail")); err != nil {
+		t.Fatalf("recovered write after tear: %v", err)
+	}
+	if !strings.HasSuffix(buf.String(), "tail") {
+		t.Fatalf("buf=%q, want recovered suffix after the torn prefix", buf.String())
+	}
+}
+
 // stubExec returns a deterministic record without touching a lab.
 func stubExec(spec campaign.RunSpec, _ time.Duration, claim func() bool) campaign.RunRecord {
 	rec := campaign.RunRecord{Scenario: spec.Scenario, Trial: spec.Trial}

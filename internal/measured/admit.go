@@ -129,6 +129,23 @@ func (s *Service) Admit(client string, specs []campaign.RunSpec) ([]*pending, er
 		}
 		return nil, ErrQueueFull
 	}
+	if len(owned) > 0 && s.store != nil {
+		// Write-ahead: the admit frames must be in the journal before any
+		// of these runs may schedule. A failing sink rejects the whole
+		// request (rollback, ErrStorage) — requests resolved purely from
+		// the cache and in-flight joins still serve while degraded. This
+		// is also the probe that heals a recovered sink.
+		specs := make([]campaign.RunSpec, len(owned))
+		for i, fl := range owned {
+			specs[i] = fl.spec
+		}
+		if err := s.store.JournalAdmit(c.id, specs); err != nil {
+			for _, fl := range owned {
+				delete(s.inflight, fl.spec.CellKey())
+			}
+			return nil, err
+		}
+	}
 	s.cacheMisses.Add(int64(len(owned)))
 	c.queue = append(c.queue, owned...)
 	s.queued += len(owned)
@@ -279,6 +296,13 @@ func (s *Service) complete(fl *flight, rec campaign.RunRecord) {
 	fl.line = line
 	fl.rec = rec
 	close(fl.done)
+	if s.store != nil {
+		// Archive row(s) first, done marker second — the write ordering the
+		// crash contract rests on. Failures degrade the store (surfaced via
+		// Ready and the next admission), never this completion: waiters
+		// were already released above.
+		_ = s.store.Complete(rec)
+	}
 	if s.cfg.OnRecord != nil {
 		s.cfg.OnRecord(rec)
 	}

@@ -1,12 +1,15 @@
 package measured
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
+	"time"
 
 	"safemeasure/internal/campaign"
 	"safemeasure/internal/telemetry"
@@ -22,7 +25,7 @@ import (
 // writes for the same seed), terminated by a single aggregate frame
 // {"aggregate": <campaign summary>}. Rejections are JSON error objects:
 // 400 invalid request, 429 rate-limited, 503 queue full / draining /
-// degraded — each counted in measured_rejected_total{reason=...}.
+// degraded / storage — each counted in measured_rejected_total{reason=...}.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/measure", s.handleMeasure)
@@ -66,6 +69,9 @@ func (s *Service) handleMeasure(w http.ResponseWriter, r *http.Request) {
 			reason = "draining"
 		case errors.Is(err, ErrDegraded):
 			reason = "degraded"
+		case errors.Is(err, ErrStorage):
+			reason = "storage"
+			w.Header().Set("Retry-After", "1")
 		}
 		s.reject(w, status, reason, err)
 		return
@@ -75,22 +81,54 @@ func (s *Service) handleMeasure(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Measured-Runs", strconv.Itoa(len(pendings)))
-	flusher, _ := w.(http.Flusher)
+	s.streamResponse(w, r, pendings)
+}
+
+// streamFrame is one ready response line in flight from the collector to
+// the client write loop.
+type streamFrame struct {
+	line []byte
+	rec  campaign.RunRecord
+}
+
+// streamResponse pumps the request's results to the client through a
+// bounded buffer with per-write deadlines. A collector goroutine waits out
+// the pendings in order (run completion pace) while this goroutine writes
+// at the client's read pace; the bounded channel between them is the only
+// coupling. A client that stops reading blocks a Write until the deadline
+// expires, and is then dropped (measured_slow_client_drops_total) — the
+// pool never notices: runs publish to the cache through their flights
+// whether or not anyone is still reading.
+func (s *Service) streamResponse(w http.ResponseWriter, r *http.Request, pendings []*pending) {
+	rc := http.NewResponseController(w)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	frames := make(chan streamFrame, s.streamBuf)
+	go func() {
+		defer close(frames)
+		for _, p := range pendings {
+			line, rec, err := p.wait(ctx)
+			if err != nil {
+				// Stream abandoned; the runs continue and land in the
+				// cache for the next asker.
+				return
+			}
+			select {
+			case frames <- streamFrame{line, rec}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	recs := make([]campaign.RunRecord, 0, len(pendings))
-	for _, p := range pendings {
-		line, rec, err := p.wait(r.Context())
-		if err != nil {
-			// Client gone mid-stream; the runs continue and land in the
-			// cache for the next asker.
+	for fr := range frames {
+		if !s.writeFrame(rc, w, fr.line) {
 			return
 		}
-		if _, err := w.Write(line); err != nil {
-			return
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		recs = append(recs, rec)
+		recs = append(recs, fr.rec)
+	}
+	if len(recs) != len(pendings) {
+		return // collector bailed (client gone); no aggregate over a partial set
 	}
 	frame := struct {
 		Aggregate *campaign.Summary `json:"aggregate"`
@@ -99,10 +137,33 @@ func (s *Service) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return
 	}
-	_, _ = w.Write(append(b, '\n'))
-	if flusher != nil {
-		flusher.Flush()
+	s.writeFrame(rc, w, append(b, '\n'))
+}
+
+// writeFrame writes one NDJSON line under the per-write deadline and
+// flushes it. A deadline overrun means a stalled reader: count the drop and
+// abandon the stream (the expired deadline poisons the connection anyway).
+func (s *Service) writeFrame(rc *http.ResponseController, w http.ResponseWriter, line []byte) bool {
+	if s.writeTimeout > 0 {
+		// Best-effort: ResponseController errors here mean the underlying
+		// writer cannot set deadlines (custom test recorders); the write
+		// itself still proceeds.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 	}
+	_, err := w.Write(line)
+	if err == nil {
+		err = rc.Flush()
+		if errors.Is(err, http.ErrNotSupported) {
+			err = nil
+		}
+	}
+	if err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.slowDrops.Inc()
+		}
+		return false
+	}
+	return true
 }
 
 // parseRequest decodes a Request from a POST body or GET query parameters.

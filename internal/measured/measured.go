@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"safemeasure/internal/archival"
 	"safemeasure/internal/campaign"
 	"safemeasure/internal/core"
 	"safemeasure/internal/lab"
@@ -48,6 +49,8 @@ const (
 	DefaultBurst             = 128
 	DefaultCacheMax          = 65536
 	DefaultMaxRunsPerRequest = 512
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultStreamBuf         = 64
 )
 
 // maxClients bounds the client-state table; past it, idle clients (no open
@@ -60,6 +63,7 @@ var (
 	ErrDegraded    = errors.New("measured: service degraded: failure budget exceeded")
 	ErrRateLimited = errors.New("measured: client rate limit exceeded")
 	ErrQueueFull   = errors.New("measured: admission queue full")
+	ErrStorage     = errors.New("measured: storage degraded")
 )
 
 // Config parameterizes New.
@@ -99,6 +103,22 @@ type Config struct {
 	// are rejected — until an operator restarts it. Per service, not per
 	// request: one sick backend should stop admitting everyone's traffic.
 	Budget *campaign.FailureBudget
+	// Store, when set, makes the service crash-durable: every admitted run
+	// is journaled (write-ahead) before it may execute, every completed run
+	// is archived and then marked done, and sink failures degrade admission
+	// (ErrStorage) instead of losing work. Open it with OpenStore before
+	// New; call WarmStart and Replay after New, before serving; Close it
+	// after Shutdown (the service does not own it).
+	Store *Store
+	// WriteTimeout bounds each response write to a client; a stalled NDJSON
+	// reader whose socket stops accepting bytes is disconnected once a
+	// write blocks past it (counted in measured_slow_client_drops_total),
+	// without ever blocking a pool worker. 0 means DefaultWriteTimeout,
+	// negative disables the deadline.
+	WriteTimeout time.Duration
+	// StreamBuf bounds the per-stream record buffer between run completion
+	// and the client write loop. 0 means DefaultStreamBuf.
+	StreamBuf int
 	// Metrics receives the measured_* service metrics and the pool's
 	// campaign_* metrics; nil disables telemetry.
 	Metrics *telemetry.Registry
@@ -116,13 +136,16 @@ type Config struct {
 // one result cache, one admission queue. Create with New, mount Handler
 // on an HTTP server, and stop with Shutdown.
 type Service struct {
-	cfg      Config
-	queueMax int
-	maxRuns  int
-	rate     float64
-	burst    float64
-	pool     *campaign.Pool
-	reg      *telemetry.Registry
+	cfg          Config
+	queueMax     int
+	maxRuns      int
+	rate         float64
+	burst        float64
+	writeTimeout time.Duration
+	streamBuf    int
+	pool         *campaign.Pool
+	store        *Store
+	reg          *telemetry.Registry
 
 	mu       sync.Mutex
 	cache    *resultCache
@@ -151,6 +174,9 @@ type Service struct {
 	cacheSize     *telemetry.Gauge
 	degradedG     *telemetry.Gauge
 	budgetTrips   *telemetry.Counter
+	slowDrops     *telemetry.Counter
+	warmedC       *telemetry.Counter
+	replayedC     *telemetry.Counter
 }
 
 // New builds the service and starts its pool and scheduler.
@@ -183,6 +209,14 @@ func New(cfg Config) *Service {
 	if cacheMax > 0 {
 		cache = newResultCache(cacheMax)
 	}
+	writeTimeout := cfg.WriteTimeout
+	if writeTimeout == 0 {
+		writeTimeout = DefaultWriteTimeout
+	}
+	streamBuf := cfg.StreamBuf
+	if streamBuf <= 0 {
+		streamBuf = DefaultStreamBuf
+	}
 	var breakers *campaign.BreakerSet
 	if cfg.Breaker != (campaign.BreakerConfig{}) {
 		breakers = campaign.NewBreakerSet(cfg.Breaker)
@@ -198,20 +232,23 @@ func New(cfg Config) *Service {
 		Execute:  cfg.Execute,
 	})
 	s := &Service{
-		cfg:       cfg,
-		queueMax:  queueMax,
-		maxRuns:   maxRuns,
-		rate:      rate,
-		burst:     float64(burst),
-		pool:      pool,
-		reg:       cfg.Metrics,
-		cache:     cache,
-		inflight:  make(map[campaign.CellKey]*flight),
-		clients:   make(map[string]*clientState),
-		wake:      make(chan struct{}, 1),
-		stop:      make(chan struct{}),
-		schedDone: make(chan struct{}),
-		sem:       make(chan struct{}, pool.Workers()),
+		cfg:          cfg,
+		queueMax:     queueMax,
+		maxRuns:      maxRuns,
+		rate:         rate,
+		burst:        float64(burst),
+		writeTimeout: writeTimeout,
+		streamBuf:    streamBuf,
+		pool:         pool,
+		store:        cfg.Store,
+		reg:          cfg.Metrics,
+		cache:        cache,
+		inflight:     make(map[campaign.CellKey]*flight),
+		clients:      make(map[string]*clientState),
+		wake:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		schedDone:    make(chan struct{}),
+		sem:          make(chan struct{}, pool.Workers()),
 
 		// The ISSUE-named service metrics, resolved eagerly so they are
 		// visible on /metrics from the first scrape, not the first event.
@@ -224,6 +261,9 @@ func New(cfg Config) *Service {
 		cacheSize:     cfg.Metrics.Gauge("measured_cache_size"),
 		degradedG:     cfg.Metrics.Gauge("measured_degraded"),
 		budgetTrips:   cfg.Metrics.Counter("measured_budget_trips_total"),
+		slowDrops:     cfg.Metrics.Counter("measured_slow_client_drops_total"),
+		warmedC:       cfg.Metrics.Counter("measured_cache_warmed_total"),
+		replayedC:     cfg.Metrics.Counter("measured_replayed_total"),
 	}
 	go s.schedule()
 	return s
@@ -290,7 +330,8 @@ func (s *Service) Plan(req Request) (*campaign.Plan, error) {
 }
 
 // Ready implements the /readyz contract: nil while the pool is started and
-// the admission queue is accepting; an error once draining or degraded.
+// the admission queue is accepting; an error once draining, degraded by the
+// failure budget, or degraded by a failing storage sink.
 func (s *Service) Ready() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -300,7 +341,93 @@ func (s *Service) Ready() error {
 	if s.degraded {
 		return ErrDegraded
 	}
+	if s.store != nil {
+		if err := s.store.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// WarmStart rebuilds the result cache from the store's archive, so a cell
+// the previous process answered is a cache hit again — byte-identical, the
+// cached line being re-marshaled from the exactly-round-tripping flat rows.
+// It also reconciles the journal: a pending admit whose error-free result
+// already sits in the archive (the crash hit between the archive write and
+// the done marker) gets its missing done marker instead of a replay. Call
+// after New and before Replay or serving traffic. Returns how many records
+// were loaded.
+func (s *Service) WarmStart() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	warmed := 0
+	_, err := s.store.LoadArchive(func(rec campaign.RunRecord) {
+		if rec.Error != "" {
+			return // never cache failures; their admits stay pending
+		}
+		key := rec.CellKey()
+		line, mErr := archival.MarshalLine(rec)
+		if mErr != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.cache != nil {
+			s.cache.put(key, line, rec)
+			s.cacheSize.Set(int64(s.cache.len()))
+		}
+		s.mu.Unlock()
+		warmed++
+		s.store.Reconcile(key)
+	})
+	s.warmedC.Add(int64(warmed))
+	return warmed, err
+}
+
+// Replay re-admits the journal's pending runs — the requests a crash left
+// admitted but unfinished — under their original clients, bypassing rate
+// limits, the queue bound, and re-journaling (their admit frames survived
+// the crash; that is the point). Cells whose results warm start already
+// recovered are closed out without executing; everything else schedules
+// and completes through the normal pipeline, so replayed runs archive,
+// cache, and dedupe exactly like fresh ones. Returns how many runs were
+// re-queued.
+func (s *Service) Replay() int {
+	if s.store == nil {
+		return 0
+	}
+	entries := s.store.Pending()
+	now := time.Now()
+	n := 0
+	s.mu.Lock()
+	for _, e := range entries {
+		key := e.Spec.CellKey()
+		if s.cache != nil {
+			if _, ok := s.cache.get(key); ok {
+				s.store.Reconcile(key)
+				continue
+			}
+		}
+		if _, ok := s.inflight[key]; ok {
+			continue // duplicate admit frames collapse onto one flight
+		}
+		fl := &flight{spec: e.Spec, owner: e.Client, done: make(chan struct{})}
+		s.inflight[key] = fl
+		c := s.clientLocked(e.Client, now)
+		c.queue = append(c.queue, fl)
+		s.queued++
+		n++
+	}
+	if n > 0 {
+		s.queueDepth.Set(int64(s.queued))
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+	s.replayedC.Add(int64(n))
+	return n
 }
 
 // BeginDrain flips the service to draining: /readyz goes 503 and new

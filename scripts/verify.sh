@@ -174,7 +174,7 @@ go build -o "$tmp/safemeasured" ./cmd/safemeasured
 go build -o "$tmp/measload" ./cmd/measload
 "$tmp/safemeasured" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -workers 4 &
 svcpid=$!
-trap 'kill "$svcpid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+trap 'for p in "$svcpid" "${basepid:-}" "${crashpid:-}" "${recpid:-}"; do if [ -n "$p" ]; then kill "$p" 2>/dev/null || true; fi; done; rm -rf "$tmp"' EXIT
 i=0
 while [ ! -s "$tmp/addr" ] && [ "$i" -lt 100 ]; do
   sleep 0.1
@@ -187,3 +187,70 @@ kill -TERM "$svcpid"
 rc=0
 wait "$svcpid" || rc=$?
 test "$rc" -eq 0
+
+# Crash-recovery smoke test: a journaled service killed with SIGKILL
+# mid-campaign must, after a restart on the same files and a re-run of the
+# same workload, end with an archive byte-identical to an uninterrupted
+# baseline — every admitted run recovered, no run archived twice. This is
+# the end-to-end (real process, real kill -9) counterpart of the in-process
+# crash matrix in internal/measured.
+wait_addr() {
+  i=0
+  while [ ! -s "$1" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  test -s "$1"
+}
+
+# Baseline: the same workload, uninterrupted.
+"$tmp/safemeasured" -addr 127.0.0.1:0 -addr-file "$tmp/addr.base" -workers 4 \
+  -journal "$tmp/base.wal" -archive "$tmp/base.obs.jsonl" &
+basepid=$!
+wait_addr "$tmp/addr.base"
+"$tmp/measload" -addr "http://$(cat "$tmp/addr.base")" -clients 20 -requests 3 \
+  -trials 120 -seed 9 -dup-every 2 -min-cache-hits 1
+kill -TERM "$basepid"
+rc=0
+wait "$basepid" || rc=$?
+test "$rc" -eq 0
+
+# Crashed run: kill -9 as soon as results start landing in the archive.
+"$tmp/safemeasured" -addr 127.0.0.1:0 -addr-file "$tmp/addr.crash" -workers 4 \
+  -journal "$tmp/crash.wal" -archive "$tmp/crash.obs.jsonl" &
+crashpid=$!
+wait_addr "$tmp/addr.crash"
+"$tmp/measload" -addr "http://$(cat "$tmp/addr.crash")" -clients 20 -requests 3 \
+  -trials 120 -seed 9 -dup-every 2 &
+loadpid=$!
+i=0
+while [ ! -s "$tmp/crash.obs.jsonl" ] && [ "$i" -lt 200 ]; do
+  sleep 0.05
+  i=$((i + 1))
+done
+test -s "$tmp/crash.obs.jsonl"
+kill -9 "$crashpid"
+wait "$loadpid" || true # the killed service fails measload's in-flight requests
+
+# Restart on the wreckage and re-drive the identical workload: warm-started
+# cells are cache hits, journaled-but-unfinished runs replay, the remainder
+# re-admits — with 429/503 retries riding out any storage-recovery window.
+"$tmp/safemeasured" -addr 127.0.0.1:0 -addr-file "$tmp/addr.rec" -workers 4 \
+  -journal "$tmp/crash.wal" -archive "$tmp/crash.obs.jsonl" &
+recpid=$!
+wait_addr "$tmp/addr.rec"
+"$tmp/measload" -addr "http://$(cat "$tmp/addr.rec")" -clients 20 -requests 3 \
+  -trials 120 -seed 9 -dup-every 2 -min-cache-hits 1 -max-retries 5
+kill -TERM "$recpid"
+rc=0
+wait "$recpid" || rc=$?
+test "$rc" -eq 0 # a clean drain: every replayed run finished
+
+# Byte-identical recovery: the archives hold the same rows (completion order
+# differs across runs, so compare sorted) ...
+LC_ALL=C sort "$tmp/base.obs.jsonl" > "$tmp/base.sorted"
+LC_ALL=C sort "$tmp/crash.obs.jsonl" > "$tmp/crash.sorted"
+cmp "$tmp/base.sorted" "$tmp/crash.sorted"
+# ... and zero duplicate execution: no run's verdict row appears twice.
+dups=$(grep '"type":"verdict"' "$tmp/crash.obs.jsonl" | grep -o '"run":"[0-9]*"' | LC_ALL=C sort | uniq -d)
+test -z "$dups"
