@@ -11,6 +11,8 @@
 //	campaign -techniques spam,spoofed-dns -scenarios dns-poison -trials 50
 //	campaign -impairments all -trials 10    # sweep every link impairment
 //	campaign -impairments lossy20 -retries 1  # single-shot scoring ablation
+//	campaign -censor-behavior all -trials 10  # sweep every adversarial censor
+//	campaign -censor-behavior intermittent -corroborate 5  # k-of-n hardening
 //	campaign -resume -out results.jsonl     # finish an interrupted campaign
 //	campaign -trials 5 -metrics-addr :9090 -trace trace.jsonl
 //	campaign -list
@@ -88,7 +90,9 @@ func main() {
 	techniques := flag.String("techniques", "all", "comma-separated technique names, or all")
 	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or all")
 	impairments := flag.String("impairments", "none", "comma-separated link-impairment presets, or all")
+	behaviors := flag.String("censor-behavior", "none", "comma-separated adversarial censor-behavior presets, or all")
 	retries := flag.Int("retries", core.DefaultMaxAttempts, "max probe attempts per run (1 = single-shot legacy scoring)")
+	corroborate := flag.Int("corroborate", 0, "cross-trial corroboration: run each probe N times and require k-of-n verdict agreement (0 disables; >= 2 enables)")
 	trials := flag.Int("trials", 1, "trials per technique x scenario x impairment cell")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 	seed := flag.Int64("seed", 1, "campaign master seed")
@@ -128,6 +132,10 @@ func main() {
 		for _, p := range lab.Impairments() {
 			fmt.Printf("  %-12s %s\n", p.Name, p.Summary)
 		}
+		fmt.Println("censor behaviors:")
+		for _, p := range lab.Behaviors() {
+			fmt.Printf("  %-17s %s\n", p.Name, p.Summary)
+		}
 		return
 	}
 
@@ -146,6 +154,7 @@ func main() {
 		Techniques:  splitCSV(*techniques),
 		Scenarios:   splitCSV(*scenarios),
 		Impairments: splitCSV(*impairments),
+		Behaviors:   splitCSV(*behaviors),
 		Trials:      *trials,
 		Seed:        *seed,
 	})
@@ -155,8 +164,13 @@ func main() {
 	}
 	planned := len(plan.Specs)
 
+	if *corroborate == 1 || *corroborate < 0 {
+		fmt.Fprintf(os.Stderr, "campaign: -corroborate must be 0 (off) or >= 2 (got %d)\n", *corroborate)
+		os.Exit(2)
+	}
 	retry := core.DefaultRetryPolicy()
 	retry.MaxAttempts = *retries
+	retry.Corroborate = *corroborate
 	opts := campaign.Options{Workers: *workers, Timeout: *timeout, Grace: *grace, Retry: retry,
 		StallDump: os.Stderr}
 	var breakers *campaign.BreakerSet

@@ -19,11 +19,14 @@
 // rather than treated as an error; -strict makes it fatal.
 //
 // compare reads two campaign files, folds each into per-cell (scenario,
-// impairment, technique) verdict-accuracy counts, and calls each cell
-// better/worse/inconclusive by the Wilson confidence intervals: a verdict
-// is only issued when the intervals are disjoint, so small cells say
-// "inconclusive", not "regression". Output is deterministically sorted;
-// -fail-worse exits 3 when any cell regressed, for CI gates.
+// impairment, behavior, technique) verdict-accuracy counts, and calls each
+// cell better/worse/inconclusive by the Wilson confidence intervals: a
+// verdict is only issued when the intervals are disjoint, so small cells say
+// "inconclusive", not "regression". The two files must carry the same set of
+// censor-behavior values — comparing a behavior-swept file against a
+// faithful-censor one is refused as a column mismatch. Output is
+// deterministically sorted; -fail-worse exits 3 when any cell regressed,
+// for CI gates.
 //
 // Exit codes: 0 success, 1 I/O or parse failure, 2 usage, 3 regression
 // found (compare -fail-worse only).
@@ -246,7 +249,7 @@ func forEachRecord(in *input, tail archival.TailPolicy, fn func(campaign.RunReco
 
 // cellKey orders cells the same way campaign summaries do.
 type cellKey struct {
-	Scenario, Impairment, Technique string
+	Scenario, Impairment, Behavior, Technique string
 }
 
 func (k cellKey) less(o cellKey) bool {
@@ -256,11 +259,22 @@ func (k cellKey) less(o cellKey) bool {
 	if k.Impairment != o.Impairment {
 		return k.Impairment < o.Impairment
 	}
+	if k.Behavior != o.Behavior {
+		return k.Behavior < o.Behavior
+	}
 	return k.Technique < o.Technique
 }
 
 // impairLabel renders the pristine link's empty name readably.
 func impairLabel(name string) string {
+	if name == "" {
+		return "-"
+	}
+	return name
+}
+
+// behaviorLabel renders the faithful censor's empty name readably.
+func behaviorLabel(name string) string {
 	if name == "" {
 		return "-"
 	}
@@ -332,6 +346,7 @@ func cmdSummarize(argv []string) error {
 	byScenario := map[string]*axisCounts{}
 	byTechnique := map[string]*axisCounts{}
 	byImpair := map[string]*axisCounts{}
+	byBehavior := map[string]*axisCounts{}
 	var total axisCounts
 	get := func(m map[string]*axisCounts, k string) *axisCounts {
 		c := m[k]
@@ -342,7 +357,7 @@ func cmdSummarize(argv []string) error {
 		return c
 	}
 	err = forEachRecord(in, tailFlag(*strict), func(rec campaign.RunRecord) error {
-		key := cellKey{rec.Scenario, rec.Impairment, rec.Technique}
+		key := cellKey{rec.Scenario, rec.Impairment, rec.Behavior, rec.Technique}
 		c := byCell[key]
 		if c == nil {
 			c = &axisCounts{}
@@ -352,6 +367,7 @@ func cmdSummarize(argv []string) error {
 		get(byScenario, rec.Scenario).add(rec)
 		get(byTechnique, rec.Technique).add(rec)
 		get(byImpair, rec.Impairment).add(rec)
+		get(byBehavior, rec.Behavior).add(rec)
 		total.add(rec)
 		return nil
 	})
@@ -365,17 +381,18 @@ func cmdSummarize(argv []string) error {
 	fmt.Println(marginTable("per-scenario", "scenario", byScenario, ident))
 	fmt.Println(marginTable("per-technique", "technique", byTechnique, ident))
 	fmt.Println(marginTable("per-impairment", "impairment", byImpair, impairLabel))
+	fmt.Println(marginTable("per-behavior", "behavior", byBehavior, behaviorLabel))
 
 	keys := make([]cellKey, 0, len(byCell))
 	for k := range byCell {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
-	t := stats.NewTable("scenario", "impair", "technique", "runs", "errors", "accuracy", "acc-95ci", "inconcl", "flag-rate")
+	t := stats.NewTable("scenario", "impair", "behav", "technique", "runs", "errors", "accuracy", "acc-95ci", "inconcl", "flag-rate")
 	for _, k := range keys {
 		c := byCell[k]
 		lo, hi := stats.Wilson95(c.Correct, c.Runs)
-		t.AddRow(k.Scenario, impairLabel(k.Impairment), k.Technique, c.Runs, c.Errors,
+		t.AddRow(k.Scenario, impairLabel(k.Impairment), behaviorLabel(k.Behavior), k.Technique, c.Runs, c.Errors,
 			frac(c.Correct, c.Runs), fmt.Sprintf("%.2f-%.2f", lo, hi),
 			frac(c.Inconclusive, c.Runs), frac(c.Flagged, c.Runs))
 	}
@@ -383,28 +400,64 @@ func cmdSummarize(argv []string) error {
 	return nil
 }
 
-// foldCells streams one campaign file into per-cell accuracy counts.
-func foldCells(path string, tail archival.TailPolicy) (map[cellKey]*axisCounts, error) {
+// foldCells streams one campaign file into per-cell accuracy counts plus the
+// set of distinct censor-behavior values its records carry.
+func foldCells(path string, tail archival.TailPolicy) (map[cellKey]*axisCounts, map[string]bool, error) {
 	in, err := openInput(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer in.Close()
 	cells := map[cellKey]*axisCounts{}
+	behaviors := map[string]bool{}
 	err = forEachRecord(in, tail, func(rec campaign.RunRecord) error {
-		key := cellKey{rec.Scenario, rec.Impairment, rec.Technique}
+		key := cellKey{rec.Scenario, rec.Impairment, rec.Behavior, rec.Technique}
 		c := cells[key]
 		if c == nil {
 			c = &axisCounts{}
 			cells[key] = c
 		}
 		c.add(rec)
+		behaviors[rec.Behavior] = true
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return cells, nil
+	return cells, behaviors, nil
+}
+
+// behaviorSetsMatch reports whether two files swept the same censor-behavior
+// values. Comparing a behavior-swept candidate against a faithful-censor
+// baseline silently pairs cells that never ran in the other file, so compare
+// refuses the mismatch instead of issuing misleading verdicts.
+func behaviorSetsMatch(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// behaviorSetString renders a behavior set sorted, for error messages.
+func behaviorSetString(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, behaviorLabel(k))
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return "(no records)"
+	}
+	out := keys[0]
+	for _, k := range keys[1:] {
+		out += "," + k
+	}
+	return out
 }
 
 func cmdCompare(argv []string) error {
@@ -417,13 +470,17 @@ func cmdCompare(argv []string) error {
 		fmt.Fprintln(os.Stderr, "usage: measanalyze compare [-strict] [-fail-worse] [-z v] <baseline> <candidate>")
 		os.Exit(2)
 	}
-	cellsA, err := foldCells(fs.Arg(0), tailFlag(*strict))
+	cellsA, behaviorsA, err := foldCells(fs.Arg(0), tailFlag(*strict))
 	if err != nil {
 		return err
 	}
-	cellsB, err := foldCells(fs.Arg(1), tailFlag(*strict))
+	cellsB, behaviorsB, err := foldCells(fs.Arg(1), tailFlag(*strict))
 	if err != nil {
 		return err
+	}
+	if !behaviorSetsMatch(behaviorsA, behaviorsB) {
+		return fmt.Errorf("censor-behavior mismatch: %s carries behaviors {%s} but %s carries {%s}; filter both files to a common behavior set before comparing",
+			fs.Arg(0), behaviorSetString(behaviorsA), fs.Arg(1), behaviorSetString(behaviorsB))
 	}
 
 	union := map[cellKey]bool{}
@@ -440,7 +497,7 @@ func cmdCompare(argv []string) error {
 	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 
 	var better, worse, inconclusive int
-	t := stats.NewTable("scenario", "impair", "technique",
+	t := stats.NewTable("scenario", "impair", "behav", "technique",
 		"a-runs", "a-acc", "a-95ci", "b-runs", "b-acc", "b-95ci", "delta", "verdict")
 	for _, k := range keys {
 		var a, b axisCounts
@@ -459,7 +516,7 @@ func cmdCompare(argv []string) error {
 		default:
 			inconclusive++
 		}
-		t.AddRow(k.Scenario, impairLabel(k.Impairment), k.Technique,
+		t.AddRow(k.Scenario, impairLabel(k.Impairment), behaviorLabel(k.Behavior), k.Technique,
 			d.NA, d.PA, fmt.Sprintf("%.2f-%.2f", d.LoA, d.HiA),
 			d.NB, d.PB, fmt.Sprintf("%.2f-%.2f", d.LoB, d.HiB),
 			fmt.Sprintf("%+.3f", d.Delta), d.Verdict)
@@ -506,6 +563,7 @@ func cmdFilter(argv []string) error {
 	technique := fs.String("technique", "", "keep only rows of this technique")
 	scenario := fs.String("scenario", "", "keep only rows of this scenario")
 	impairment := fs.String("impairment", "", "keep only rows of this impairment ('-' for the pristine link)")
+	behavior := fs.String("behavior", "", "keep only rows of this censor behavior ('-' for the faithful censor)")
 	trial := fs.Int("trial", -1, "keep only rows of this trial (-1 keeps all)")
 	run := fs.String("run", "", "keep only rows of this run id")
 	limit := fs.Int("limit", 0, "stop after this many rows (0 = unlimited)")
@@ -528,12 +586,17 @@ func cmdFilter(argv []string) error {
 	if wantImpair == "-" {
 		wantImpair = ""
 	}
+	wantBehavior := *behavior
+	if wantBehavior == "-" {
+		wantBehavior = ""
+	}
 	keep := func(o archival.Observation) bool {
 		switch {
 		case *typ != "" && o.Type != *typ,
 			*technique != "" && o.Technique != *technique,
 			*scenario != "" && o.Scenario != *scenario,
 			*impairment != "" && o.Impairment != wantImpair,
+			*behavior != "" && o.Behavior != wantBehavior,
 			*trial >= 0 && o.Trial != *trial,
 			*run != "" && o.Run != runID:
 			return false
@@ -598,8 +661,9 @@ func cmdExport(argv []string) error {
 		dst = f
 	}
 	cw := csv.NewWriter(dst)
-	header := []string{"id", "run", "type", "technique", "scenario", "impairment",
-		"trial", "seed", "seq", "t", "name", "src", "dst", "detail", "value", "count", "flag"}
+	header := []string{"id", "run", "type", "technique", "scenario", "impairment", "behavior",
+		"trial", "seed", "seq", "t", "name", "src", "dst", "detail", "value", "count", "flag",
+		"confidence"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -608,11 +672,12 @@ func cmdExport(argv []string) error {
 		n++
 		return cw.Write([]string{
 			strconv.FormatUint(o.ID, 10), strconv.FormatUint(o.Run, 10), o.Type,
-			o.Technique, o.Scenario, o.Impairment,
+			o.Technique, o.Scenario, o.Impairment, o.Behavior,
 			strconv.Itoa(o.Trial), strconv.FormatInt(o.Seed, 10), strconv.Itoa(o.Seq),
 			strconv.FormatInt(o.T, 10), o.Name, o.Src, o.Dst, o.Detail,
 			strconv.FormatFloat(o.Value, 'g', -1, 64), strconv.FormatInt(o.Count, 10),
 			strconv.FormatBool(o.Flag),
+			strconv.FormatFloat(o.Confidence, 'g', -1, 64),
 		})
 	})
 	if err != nil {

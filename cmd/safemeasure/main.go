@@ -10,6 +10,7 @@
 //	safemeasure -technique spoofed-dns -domain youtube.com -sav /24
 //	safemeasure -technique overt-dns -domain site02.test -impair lossy20
 //	safemeasure -technique overt-dns -impair lossy20 -retries 1  # legacy scoring
+//	safemeasure -technique overt-http -censor-behavior intermittent -corroborate 5
 //	safemeasure -list
 package main
 
@@ -38,7 +39,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	pop := flag.Int("population", 20, "cover population size")
 	impair := flag.String("impair", "none", "link-impairment preset on the WAN uplink (see -list)")
+	behavior := flag.String("censor-behavior", "none", "adversarial censor-behavior preset (see -list)")
 	retries := flag.Int("retries", core.DefaultMaxAttempts, "max probe attempts (1 = single-shot legacy scoring)")
+	corroborate := flag.Int("corroborate", 0, "cross-trial corroboration: N backoff-spaced runs with k-of-n verdict agreement (0 disables; >= 2 enables)")
 	list := flag.Bool("list", false, "list techniques and impairments, then exit")
 	jsonOut := flag.Bool("json", false, "emit the result and risk report as JSON")
 	pcapPath := flag.String("pcap", "", "write the border-tap capture to this pcap file")
@@ -57,6 +60,10 @@ func main() {
 		for _, p := range lab.Impairments() {
 			fmt.Printf("  %-12s %s\n", p.Name, p.Summary)
 		}
+		fmt.Println("censor behaviors:")
+		for _, p := range lab.Behaviors() {
+			fmt.Printf("  %-17s %s\n", p.Name, p.Summary)
+		}
 		return
 	}
 
@@ -70,8 +77,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown impairment %q (try -list)\n", *impair)
 		os.Exit(2)
 	}
+	bhvPreset, ok := lab.BehaviorByName(*behavior)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown censor behavior %q (try -list)\n", *behavior)
+		os.Exit(2)
+	}
 	if *retries < 1 {
 		fmt.Fprintf(os.Stderr, "-retries must be >= 1 (got %d)\n", *retries)
+		os.Exit(2)
+	}
+	if *corroborate == 1 || *corroborate < 0 {
+		fmt.Fprintf(os.Stderr, "-corroborate must be 0 (off) or >= 2 (got %d)\n", *corroborate)
 		os.Exit(2)
 	}
 
@@ -101,6 +117,7 @@ func main() {
 		Censor:         censorCfg,
 		SpoofPolicy:    policy,
 		Impair:         preset.Impair,
+		Behavior:       bhvPreset.Behavior,
 		Seed:           *seed,
 	})
 	if err != nil {
@@ -117,6 +134,7 @@ func main() {
 	tgt := core.Target{Domain: *domain, Path: *path, Port: uint16(*port)}
 	retry := core.DefaultRetryPolicy()
 	retry.MaxAttempts = *retries
+	retry.Corroborate = *corroborate
 	var res *core.Result
 	core.RunWithRetry(l, tech, tgt, retry, func(r *core.Result) { res = r })
 	l.Run()
@@ -169,6 +187,9 @@ func main() {
 	fmt.Printf("probes    : %d (+%d cover)\n", res.ProbesSent, res.CoverSent)
 	if res.Attempts > 1 {
 		fmt.Printf("attempts  : %d\n", res.Attempts)
+	}
+	if res.Confidence > 0 {
+		fmt.Printf("confidence: %.2f\n", res.Confidence)
 	}
 	for _, e := range res.Evidence {
 		fmt.Printf("evidence  : %s\n", e)

@@ -98,8 +98,12 @@ type Observation struct {
 	Technique  string `json:"technique"`
 	Scenario   string `json:"scenario"`
 	Impairment string `json:"impairment,omitempty"`
-	Trial      int    `json:"trial"`
-	Seed       int64  `json:"seed"`
+	// Behavior names the adversarial censor-behavior preset the run's
+	// censor carried (omitted for the faithful censor, mirroring
+	// Impairment's omitted-pristine convention).
+	Behavior string `json:"behavior,omitempty"`
+	Trial    int    `json:"trial"`
+	Seed     int64  `json:"seed"`
 
 	// Payload columns; each type uses a subset.
 	Seq    int     `json:"seq,omitempty"`
@@ -111,13 +115,19 @@ type Observation struct {
 	Value  float64 `json:"value,omitempty"`
 	Count  int64   `json:"count,omitempty"`
 	Flag   bool    `json:"flag,omitempty"`
+	// Confidence is the corroboration agreement fraction on verdict rows
+	// (0 when the run was not corroborated).
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // RunID derives the parent-run identifier from a run's cell identity — the
 // same coordinates as campaign.CellKey, hashed with FNV-1a 64 over an
 // unambiguous rendering. Equal cells hash equal everywhere; the pristine
-// impairment must be canonicalized to "" by the caller (the record form).
-func RunID(technique, scenario, impairment string, trial int, seed int64) uint64 {
+// impairment and the faithful censor behavior must be canonicalized to ""
+// by the caller (the record form). The behavior field is appended at the
+// END of the hash and only when non-empty, so runs against the faithful
+// censor keep the run IDs they had before the behavior axis existed.
+func RunID(technique, scenario, impairment, behavior string, trial int, seed int64) uint64 {
 	h := fnv.New64a()
 	writeField := func(s string) {
 		h.Write([]byte(s))
@@ -128,6 +138,9 @@ func RunID(technique, scenario, impairment string, trial int, seed int64) uint64
 	writeField(impairment)
 	writeField(strconv.Itoa(trial))
 	writeField(strconv.FormatInt(seed, 10))
+	if behavior != "" {
+		writeField(behavior)
+	}
 	return h.Sum64()
 }
 

@@ -26,6 +26,7 @@ func randObservation(rng *rand.Rand) Observation {
 		Technique:  strOrEmpty("spoofed-dns"),
 		Scenario:   strOrEmpty("keyword-rst"),
 		Impairment: strOrEmpty("lossy20"),
+		Behavior:   strOrEmpty("intermittent"),
 		Trial:      rng.Intn(1000),
 		Seed:       rng.Int63() - rng.Int63(),
 		Seq:        rng.Intn(100),
@@ -37,6 +38,7 @@ func randObservation(rng *rand.Rand) Observation {
 		Value:      float64(rng.Intn(1000)) / 7,
 		Count:      int64(rng.Intn(1 << 20)),
 		Flag:       rng.Intn(2) == 0,
+		Confidence: float64(rng.Intn(5)) / 5,
 	}
 	o.SetID()
 	return o
@@ -353,16 +355,21 @@ func TestDecodeJSONLResumeSemantics(t *testing.T) {
 }
 
 func TestRunIDDeterministicAndDistinct(t *testing.T) {
-	a := RunID("spam", "open", "", 3, 42)
-	if a != RunID("spam", "open", "", 3, 42) {
+	a := RunID("spam", "open", "", "", 3, 42)
+	if a != RunID("spam", "open", "", "", 3, 42) {
 		t.Fatal("RunID not deterministic")
 	}
 	// The separator must keep adjacent fields from gluing together.
-	if RunID("spam", "open", "", 3, 42) == RunID("spamopen", "", "", 3, 42) {
+	if RunID("spam", "open", "", "", 3, 42) == RunID("spamopen", "", "", "", 3, 42) {
 		t.Fatal("RunID field boundary ambiguous")
 	}
-	if RunID("a", "b", "c", 1, 2) == RunID("a", "b", "c", 1, 3) {
+	if RunID("a", "b", "c", "", 1, 2) == RunID("a", "b", "c", "", 1, 3) {
 		t.Fatal("RunID ignores seed")
+	}
+	// The behavior column contributes only when non-empty, so faithful-censor
+	// runs keep the run IDs they had before the behavior axis existed.
+	if RunID("a", "b", "c", "intermittent", 1, 2) == RunID("a", "b", "c", "", 1, 2) {
+		t.Fatal("RunID ignores behavior")
 	}
 	if ObservationID(a, TypeVerdict, 0) == ObservationID(a, TypeVerdict, 1) {
 		t.Fatal("ObservationID ignores seq")

@@ -15,7 +15,7 @@ func benchObservations(n int) []Observation {
 	obs := make([]Observation, 0, n)
 	for len(obs) < n {
 		tech := techniques[rng.Intn(len(techniques))]
-		run := RunID(tech, "keyword-rst", "lossy20", len(obs), int64(rng.Uint64()))
+		run := RunID(tech, "keyword-rst", "lossy20", "", len(obs), int64(rng.Uint64()))
 		rows := []Observation{
 			{Run: run, Type: TypeVerdict, Name: "censored", Detail: "tcp-rst",
 				Dst: "198.51.100.7:80", Value: 12.25, Flag: true},

@@ -41,8 +41,10 @@ const (
 	bitValue
 	bitCount
 	bitFlag
+	bitBehavior
+	bitConfidence
 
-	bitsKnown = 1<<17 - 1
+	bitsKnown = 1<<19 - 1
 )
 
 // AppendObservation appends o's binary frame (uvarint payload length +
@@ -74,6 +76,8 @@ func AppendObservation(dst []byte, o *Observation) []byte {
 	set(bitValue, o.Value != 0)
 	set(bitCount, o.Count != 0)
 	set(bitFlag, o.Flag)
+	set(bitBehavior, o.Behavior != "")
+	set(bitConfidence, o.Confidence != 0)
 
 	payload := make([]byte, 0, 64)
 	payload = binary.AppendUvarint(payload, bitmap)
@@ -130,6 +134,12 @@ func AppendObservation(dst []byte, o *Observation) []byte {
 		payload = binary.AppendVarint(payload, o.Count)
 	}
 	// bitFlag carries its value in the bitmap itself.
+	if bitmap&bitBehavior != 0 {
+		str(o.Behavior)
+	}
+	if bitmap&bitConfidence != 0 {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(o.Confidence))
+	}
 
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
 	return append(dst, payload...)
@@ -271,6 +281,18 @@ func DecodeObservation(payload []byte) (Observation, error) {
 		}
 	}
 	o.Flag = bitmap&bitFlag != 0
+	if bitmap&bitBehavior != 0 {
+		if o.Behavior, err = str(); err != nil {
+			return o, err
+		}
+	}
+	if bitmap&bitConfidence != 0 {
+		if len(rest) < 8 {
+			return o, fmt.Errorf("%w: truncated float", ErrBadBinary)
+		}
+		o.Confidence = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+	}
 	if len(rest) != 0 {
 		return o, fmt.Errorf("%w: %d trailing bytes", ErrBadBinary, len(rest))
 	}

@@ -9,12 +9,14 @@ import (
 )
 
 // Cell aggregates every run of one technique against one scenario under one
-// link impairment. The impairment axis is what makes the E11 matrix
-// three-dimensional: the same (scenario, technique) pair appears once per
-// impairment preset swept.
+// link impairment and one censor behavior. The impairment axis made the E11
+// matrix three-dimensional; the behavior axis is its fourth dimension: the
+// same (scenario, impairment, technique) cell appears once per adversarial
+// censor preset swept.
 type Cell struct {
 	Scenario   string
 	Impairment string // "" means the pristine link
+	Behavior   string // "" means the faithful censor
 	Technique  string
 	Stealth    bool
 
@@ -85,10 +87,29 @@ func (i ImpairmentTotals) InconclusiveRate() float64 { return frac(i.Inconclusiv
 // EvasionRate is the per-impairment evasion fraction (see Cell.EvasionRate).
 func (i ImpairmentTotals) EvasionRate() float64 { return frac(i.Runs-i.Alerted, i.Runs) }
 
+// BehaviorTotals aggregates every run under one censor-behavior preset —
+// the marginal along the adversarial-censor axis, answering "how much does
+// a misbehaving censor corrupt verdicts, and how much does corroboration
+// buy back".
+type BehaviorTotals struct {
+	Behavior                                     string // "" means the faithful censor
+	Runs, Errors, Correct, Inconclusive, Alerted int
+}
+
+// Accuracy is the per-behavior correct fraction.
+func (b BehaviorTotals) Accuracy() float64 { return frac(b.Correct, b.Runs) }
+
+// InconclusiveRate is the per-behavior unresolved fraction.
+func (b BehaviorTotals) InconclusiveRate() float64 { return frac(b.Inconclusive, b.Runs) }
+
+// EvasionRate is the per-behavior evasion fraction (see Cell.EvasionRate).
+func (b BehaviorTotals) EvasionRate() float64 { return frac(b.Runs-b.Alerted, b.Runs) }
+
 // Summary is a whole campaign reduced to its reportable statistics.
 type Summary struct {
-	Cells          []Cell             // sorted by (scenario, impairment, technique)
+	Cells          []Cell             // sorted by (scenario, impairment, behavior, technique)
 	Impairments    []ImpairmentTotals // sorted by name, pristine first
+	Behaviors      []BehaviorTotals   // sorted by name, faithful first
 	Overt, Stealth KindTotals
 	Runs, Errors   int
 	Skipped        int // breaker-skipped runs (subset of Errors)
@@ -97,21 +118,27 @@ type Summary struct {
 // Aggregate folds run records into per-cell, per-impairment, and per-family
 // statistics.
 func Aggregate(recs []RunRecord) *Summary {
-	cells := map[[3]string]*Cell{}
+	cells := map[[4]string]*Cell{}
 	impairs := map[string]*ImpairmentTotals{}
+	behaviors := map[string]*BehaviorTotals{}
 	sum := &Summary{}
 	for _, r := range recs {
-		key := [3]string{r.Scenario, r.Impairment, r.Technique}
+		key := [4]string{r.Scenario, r.Impairment, r.Behavior, r.Technique}
 		c := cells[key]
 		if c == nil {
 			c = &Cell{Scenario: r.Scenario, Impairment: r.Impairment,
-				Technique: r.Technique, Stealth: r.Stealth}
+				Behavior: r.Behavior, Technique: r.Technique, Stealth: r.Stealth}
 			cells[key] = c
 		}
 		im := impairs[r.Impairment]
 		if im == nil {
 			im = &ImpairmentTotals{Impairment: r.Impairment}
 			impairs[r.Impairment] = im
+		}
+		bh := behaviors[r.Behavior]
+		if bh == nil {
+			bh = &BehaviorTotals{Behavior: r.Behavior}
+			behaviors[r.Behavior] = bh
 		}
 		sum.Runs++
 		if r.Error != "" {
@@ -121,6 +148,7 @@ func Aggregate(recs []RunRecord) *Summary {
 			}
 			c.Errors++
 			im.Errors++
+			bh.Errors++
 			sum.Errors++
 			continue
 		}
@@ -130,15 +158,18 @@ func Aggregate(recs []RunRecord) *Summary {
 		}
 		c.Runs++
 		im.Runs++
+		bh.Runs++
 		kind.Runs++
 		if r.Correct {
 			c.Correct++
 			im.Correct++
+			bh.Correct++
 			kind.Correct++
 		}
 		if r.Verdict == "inconclusive" {
 			c.Inconclusive++
 			im.Inconclusive++
+			bh.Inconclusive++
 		}
 		if r.Flagged {
 			c.Flagged++
@@ -147,6 +178,7 @@ func Aggregate(recs []RunRecord) *Summary {
 		if r.Alerts > 0 {
 			c.Alerted++
 			im.Alerted++
+			bh.Alerted++
 		}
 		if r.Retained {
 			c.Retained++
@@ -167,6 +199,9 @@ func Aggregate(recs []RunRecord) *Summary {
 		if a.Impairment != b.Impairment {
 			return a.Impairment < b.Impairment
 		}
+		if a.Behavior != b.Behavior {
+			return a.Behavior < b.Behavior
+		}
 		return a.Technique < b.Technique
 	})
 	for _, im := range impairs {
@@ -174,6 +209,12 @@ func Aggregate(recs []RunRecord) *Summary {
 	}
 	sort.Slice(sum.Impairments, func(i, j int) bool {
 		return sum.Impairments[i].Impairment < sum.Impairments[j].Impairment
+	})
+	for _, bh := range behaviors {
+		sum.Behaviors = append(sum.Behaviors, *bh)
+	}
+	sort.Slice(sum.Behaviors, func(i, j int) bool {
+		return sum.Behaviors[i].Behavior < sum.Behaviors[j].Behavior
 	})
 	return sum
 }
@@ -193,6 +234,14 @@ func impairLabel(name string) string {
 	return name
 }
 
+// behaviorLabel renders the faithful censor's empty name readably.
+func behaviorLabel(name string) string {
+	if name == "" {
+		return "-"
+	}
+	return name
+}
+
 // Render prints the campaign matrix and the overt-vs-stealth headline.
 func (s *Summary) Render() string {
 	var b strings.Builder
@@ -201,7 +250,7 @@ func (s *Summary) Render() string {
 		fmt.Fprintf(&b, ", %d breaker-skipped", s.Skipped)
 	}
 	b.WriteString(")\n\n")
-	t := stats.NewTable("scenario", "impair", "technique", "kind", "runs", "accuracy",
+	t := stats.NewTable("scenario", "impair", "behav", "technique", "kind", "runs", "accuracy",
 		"acc-95ci", "inconcl", "mvr-evasion", "flag-rate", "mean-score", "attempts", "virt-ms")
 	for _, c := range s.Cells {
 		kind := "overt"
@@ -213,7 +262,8 @@ func (s *Summary) Render() string {
 			runs = fmt.Sprintf("%d(+%derr)", c.Runs, c.Errors)
 		}
 		lo, hi := c.AccuracyCI()
-		t.AddRow(c.Scenario, impairLabel(c.Impairment), c.Technique, kind, runs,
+		t.AddRow(c.Scenario, impairLabel(c.Impairment), behaviorLabel(c.Behavior),
+			c.Technique, kind, runs,
 			c.Accuracy(), fmt.Sprintf("%.2f-%.2f", lo, hi),
 			c.InconclusiveRate(), c.EvasionRate(), c.FlagRate(),
 			c.Score.Mean(), c.Attempts.Mean(), c.ElapsedMS.Mean())
@@ -231,6 +281,19 @@ func (s *Summary) Render() string {
 		}
 		b.WriteString("\nper-impairment marginals:\n")
 		b.WriteString(it.String())
+	}
+	if len(s.Behaviors) > 1 {
+		bt := stats.NewTable("behavior", "runs", "accuracy", "inconcl", "mvr-evasion")
+		for _, bh := range s.Behaviors {
+			runs := fmt.Sprintf("%d", bh.Runs)
+			if bh.Errors > 0 {
+				runs = fmt.Sprintf("%d(+%derr)", bh.Runs, bh.Errors)
+			}
+			bt.AddRow(behaviorLabel(bh.Behavior), runs, bh.Accuracy(),
+				bh.InconclusiveRate(), bh.EvasionRate())
+		}
+		b.WriteString("\nper-behavior marginals:\n")
+		b.WriteString(bt.String())
 	}
 	fmt.Fprintf(&b, "\naccuracy:  overt %.2f vs stealth %.2f (must be comparable)\n",
 		s.Overt.Accuracy(), s.Stealth.Accuracy())

@@ -11,17 +11,18 @@ import (
 // archiveRunID derives the archival parent-run ID from a record's cell
 // identity — the same coordinates as CellKey, so two runs with equal cell
 // keys flatten to rows with equal run IDs.
-func archiveRunID(technique, scenario, impairment string, trial int, seed int64) uint64 {
-	return archival.RunID(technique, scenario, impairment, trial, seed)
+func archiveRunID(technique, scenario, impairment, behavior string, trial int, seed int64) uint64 {
+	return archival.RunID(technique, scenario, impairment, behavior, trial, seed)
 }
 
 // obsBase stamps the shared identity columns of one run's rows.
-func obsBase(technique, scenario, impairment string, trial int, seed int64) archival.Observation {
+func obsBase(technique, scenario, impairment, behavior string, trial int, seed int64) archival.Observation {
 	return archival.Observation{
-		Run:        archiveRunID(technique, scenario, impairment, trial, seed),
+		Run:        archiveRunID(technique, scenario, impairment, behavior, trial, seed),
 		Technique:  technique,
 		Scenario:   scenario,
 		Impairment: impairment,
+		Behavior:   behavior,
 		Trial:      trial,
 		Seed:       seed,
 	}
@@ -34,7 +35,7 @@ func obsBase(technique, scenario, impairment string, trial int, seed int64) arch
 // value), so error records flatten to just their identity and error rows.
 // The inverse is UnflattenRecord; the round trip is exact.
 func FlattenRecord(rec RunRecord) []archival.Observation {
-	base := obsBase(rec.Technique, rec.Scenario, rec.Impairment, rec.Trial, rec.Seed)
+	base := obsBase(rec.Technique, rec.Scenario, rec.Impairment, rec.Behavior, rec.Trial, rec.Seed)
 	obs := make([]archival.Observation, 0, 8+len(rec.CoverAddresses)+len(rec.Evidence))
 	add := func(o archival.Observation) {
 		o.SetID()
@@ -46,13 +47,14 @@ func FlattenRecord(rec RunRecord) []archival.Observation {
 		return o
 	}
 	if rec.Verdict != "" || rec.Mechanism != "" || rec.Target != "" ||
-		rec.ElapsedMS != 0 || rec.Correct {
+		rec.ElapsedMS != 0 || rec.Correct || rec.Confidence != 0 {
 		o := row(archival.TypeVerdict)
 		o.Name = rec.Verdict
 		o.Detail = rec.Mechanism
 		o.Dst = rec.Target
 		o.Value = rec.ElapsedMS
 		o.Flag = rec.Correct
+		o.Confidence = rec.Confidence
 		add(o)
 	}
 	if rec.GroundTruth {
@@ -125,6 +127,7 @@ func ObservationSpec(o archival.Observation) RunSpec {
 		Technique:  o.Technique,
 		Scenario:   o.Scenario,
 		Impairment: o.Impairment,
+		Behavior:   o.Behavior,
 		Trial:      o.Trial,
 		Seed:       o.Seed,
 	}
@@ -134,7 +137,7 @@ func ObservationSpec(o archival.Observation) RunSpec {
 // (one per event, ordered by Seq), sharing the run ID of the record rows so
 // traces join records by cell identity.
 func FlattenTrace(rt RunTrace) []archival.Observation {
-	base := obsBase(rt.Technique, rt.Scenario, rt.Impairment, rt.Trial, rt.Seed)
+	base := obsBase(rt.Technique, rt.Scenario, rt.Impairment, rt.Behavior, rt.Trial, rt.Seed)
 	obs := make([]archival.Observation, 0, len(rt.Events))
 	for i, ev := range rt.Events {
 		o := base
@@ -163,6 +166,7 @@ func UnflattenRecord(obs []archival.Observation) (RunRecord, error) {
 	rec.Technique = first.Technique
 	rec.Scenario = first.Scenario
 	rec.Impairment = first.Impairment
+	rec.Behavior = first.Behavior
 	rec.Trial = first.Trial
 	rec.Seed = first.Seed
 	coverAddrs := map[int]string{}
@@ -179,6 +183,7 @@ func UnflattenRecord(obs []archival.Observation) (RunRecord, error) {
 			rec.Target = o.Dst
 			rec.ElapsedMS = o.Value
 			rec.Correct = o.Flag
+			rec.Confidence = o.Confidence
 		case archival.TypeTruth:
 			rec.GroundTruth = o.Flag
 		case archival.TypeStealth:

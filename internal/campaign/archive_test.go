@@ -137,7 +137,7 @@ func TestFlattenRowIdentity(t *testing.T) {
 	if len(obs) == 0 {
 		t.Fatal("no rows")
 	}
-	run := archival.RunID(rec.Technique, rec.Scenario, rec.Impairment, rec.Trial, rec.Seed)
+	run := archival.RunID(rec.Technique, rec.Scenario, rec.Impairment, rec.Behavior, rec.Trial, rec.Seed)
 	seen := map[uint64]bool{}
 	for _, o := range obs {
 		if o.Run != run {

@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+
+	"safemeasure/internal/lab"
+)
+
+// TestBehaviorCampaignDeterministicAcrossWorkerCounts is the satellite
+// acceptance check for the censor-behavior axis: a campaign sweeping every
+// adversarial behavior preset produces byte-identical sorted records AND
+// byte-identical aggregates for workers 1 and 8 — all behavior state
+// (sticky flow decisions, shaper clocks, injector budgets) lives inside each
+// run's lab and derives from the run seed alone.
+func TestBehaviorCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	var outputs, aggregates []string
+	for _, workers := range []int{1, 8} {
+		p, err := NewPlan(PlanConfig{
+			Scenarios: []string{"keyword-rst"},
+			Behaviors: []string{"all"},
+			Trials:    1,
+			Seed:      17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := Run(p, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, rec := range recs {
+			if rec.Error != "" {
+				t.Fatalf("workers=%d: behavior run failed: %+v", workers, rec)
+			}
+			seen[rec.Behavior] = true
+		}
+		// Every preset must appear in the records, with the faithful censor
+		// canonicalized to the empty string.
+		for _, name := range lab.BehaviorNames() {
+			want := name
+			if name == lab.BehaviorNone {
+				want = ""
+			}
+			if !seen[want] {
+				t.Fatalf("workers=%d: behavior %q missing from records (saw %v)", workers, name, seen)
+			}
+		}
+		outputs = append(outputs, sortedJSONL(t, recs))
+		agg, err := json.Marshal(Aggregate(recs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggregates = append(aggregates, string(agg))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("worker count changed behavior-swept records:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			outputs[0], outputs[1])
+	}
+	if aggregates[0] != aggregates[1] {
+		t.Fatalf("worker count changed behavior-swept aggregates:\n%s\nvs\n%s", aggregates[0], aggregates[1])
+	}
+}
+
+// TestThrottleDistinguishableFromLossInAggregates pins the campaign-level
+// form of the throttle claim: in one sweep holding the scenario fixed, the
+// throttle-behavior cell classifies the target as censored (accuracy 1) while
+// the lossy20 faithful-censor cell of the *open* scenario never reports
+// censorship — the two confounds land in different aggregate columns rather
+// than blurring together.
+func TestThrottleDistinguishableFromLossInAggregates(t *testing.T) {
+	p, err := NewPlan(PlanConfig{
+		Techniques:  []string{"overt-http"},
+		Scenarios:   []string{"keyword-rst", "open"},
+		Impairments: []string{"none", "lossy20"},
+		Behaviors:   []string{"none", "throttle"},
+		Trials:      2,
+		Seed:        23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Run(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Aggregate(recs)
+	var throttleCell, lossyOpenCell *Cell
+	for i, c := range sum.Cells {
+		if c.Scenario == "keyword-rst" && c.Behavior == "throttle" && c.Impairment == "" {
+			throttleCell = &sum.Cells[i]
+		}
+		if c.Scenario == "open" && c.Behavior == "" && c.Impairment == "lossy20" {
+			lossyOpenCell = &sum.Cells[i]
+		}
+	}
+	if throttleCell == nil || lossyOpenCell == nil {
+		t.Fatalf("sweep missing expected cells: %+v", sum.Cells)
+	}
+	if throttleCell.Correct != throttleCell.Runs {
+		t.Fatalf("throttle cell not fully correct: %+v", *throttleCell)
+	}
+	for _, rec := range recs {
+		if rec.Scenario == "keyword-rst" && rec.Behavior == "throttle" && rec.Impairment == "" {
+			if rec.Verdict != "censored" || rec.Mechanism != "throttle" {
+				t.Fatalf("throttle run not classified as throttling: %+v", rec)
+			}
+		}
+		if rec.Scenario == "open" && rec.Behavior == "" && rec.Impairment == "lossy20" {
+			if rec.Verdict == "censored" {
+				t.Fatalf("lossy open run misclassified as censored: %+v", rec)
+			}
+		}
+	}
+}

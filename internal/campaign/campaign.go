@@ -30,7 +30,10 @@ type RunRecord struct {
 	// Impairment names the link-impairment preset the run's lab carried
 	// (omitted for the pristine link).
 	Impairment string `json:"impairment,omitempty"`
-	Trial      int    `json:"trial"`
+	// Behavior names the adversarial censor-behavior preset the run's
+	// censor carried (omitted for the faithful censor).
+	Behavior string `json:"behavior,omitempty"`
+	Trial    int    `json:"trial"`
 	core.Record
 	// GroundTruth is whether the scenario really censors the target;
 	// Correct is whether the verdict matched it.

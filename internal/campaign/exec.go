@@ -61,7 +61,7 @@ func configured(name string) (core.Technique, bool) {
 // errorRecord fills a RunRecord for a run that produced no measurement.
 func errorRecord(spec RunSpec, err error) RunRecord {
 	rec := RunRecord{Scenario: spec.Scenario, Impairment: recordImpairment(spec.Impairment),
-		Trial: spec.Trial, Error: err.Error()}
+		Behavior: recordBehavior(spec.Behavior), Trial: spec.Trial, Error: err.Error()}
 	rec.Technique = spec.Technique
 	rec.Seed = spec.Seed
 	return rec
@@ -71,6 +71,16 @@ func errorRecord(spec RunSpec, err error) RunRecord {
 // pristine link renders as the empty string (omitted from JSONL).
 func recordImpairment(name string) string {
 	if name == lab.ImpairmentNone {
+		return ""
+	}
+	return name
+}
+
+// recordBehavior canonicalizes the censor-behavior name for records: the
+// faithful censor renders as the empty string (omitted from JSONL), so
+// behavior-unaware files stay byte-identical and resume-compatible.
+func recordBehavior(name string) string {
+	if name == lab.BehaviorNone {
 		return ""
 	}
 	return name
@@ -125,12 +135,17 @@ func ExecuteInstrumented(spec RunSpec, cfg ExecConfig) (RunRecord, []telemetry.E
 	if !ok {
 		return errorRecord(spec, fmt.Errorf("unknown impairment %q", spec.Impairment)), nil
 	}
+	bhv, ok := lab.BehaviorByName(spec.Behavior)
+	if !ok {
+		return errorRecord(spec, fmt.Errorf("unknown censor behavior %q", spec.Behavior)), nil
+	}
 	horizon := cfg.Horizon
 	if horizon <= 0 {
 		horizon = DefaultHorizon
 	}
 	labCfg := sc.Config(spec.Seed)
 	labCfg.Impair = imp.Impair
+	labCfg.Behavior = bhv.Behavior
 	labCfg.Telemetry = cfg.Metrics
 	if art, err := artifactsFor(sc); err == nil {
 		labCfg.Artifacts = art
@@ -168,6 +183,7 @@ func ExecuteInstrumented(spec RunSpec, cfg ExecConfig) (RunRecord, []telemetry.E
 	rec := RunRecord{
 		Scenario:    spec.Scenario,
 		Impairment:  recordImpairment(spec.Impairment),
+		Behavior:    recordBehavior(spec.Behavior),
 		Trial:       spec.Trial,
 		Record:      core.NewRecord(res, risk, spec.Seed, l.Sim.Now()),
 		GroundTruth: sc.Censored,

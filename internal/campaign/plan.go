@@ -21,7 +21,11 @@ type RunSpec struct {
 	// Impairment names the lab link-impairment preset the run's uplink
 	// carries ("" is equivalent to "none").
 	Impairment string
-	Trial      int
+	// Behavior names the adversarial censor-behavior preset the run's
+	// censor misbehaves with ("" is equivalent to "none": the faithful
+	// censor).
+	Behavior string
+	Trial    int
 	// Seed is the lab seed, derived from the campaign seed and the spec
 	// coordinates (never from Index or scheduling order).
 	Seed int64
@@ -45,6 +49,10 @@ type PlanConfig struct {
 	// just "none" (an impairment-unaware campaign); ["all"] sweeps every
 	// preset, growing the matrix by a full impairment dimension.
 	Impairments []string
+	// Behaviors to sweep, by lab censor-behavior preset name. Empty means
+	// just "none" (the faithful censor); ["all"] sweeps every preset —
+	// the E11 matrix's fourth dimension.
+	Behaviors []string
 	// Trials per (technique, scenario, impairment) cell; 0 means 1.
 	Trials int
 	// Seed is the campaign master seed every run seed derives from.
@@ -132,6 +140,16 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	behaviors := cfg.Behaviors
+	if len(behaviors) == 0 {
+		// Same default shape as impairments: a behavior-unaware campaign
+		// runs against the faithful censor only.
+		behaviors = []string{lab.BehaviorNone}
+	}
+	behaviors, err = expand(behaviors, lab.BehaviorNames(), "censor behavior")
+	if err != nil {
+		return nil, err
+	}
 	trials := cfg.Trials
 	if trials <= 0 {
 		trials = 1
@@ -139,19 +157,22 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 	p := &Plan{Seed: cfg.Seed}
 	for _, sc := range scenarios {
 		for _, imp := range impairments {
-			for _, tech := range techniques {
-				if !Applicable(tech, sc) {
-					continue
-				}
-				for trial := 0; trial < trials; trial++ {
-					p.Specs = append(p.Specs, RunSpec{
-						Index:      len(p.Specs),
-						Technique:  tech,
-						Scenario:   sc,
-						Impairment: imp,
-						Trial:      trial,
-						Seed:       deriveSeed(cfg.Seed, tech, sc, imp, trial),
-					})
+			for _, bhv := range behaviors {
+				for _, tech := range techniques {
+					if !Applicable(tech, sc) {
+						continue
+					}
+					for trial := 0; trial < trials; trial++ {
+						p.Specs = append(p.Specs, RunSpec{
+							Index:      len(p.Specs),
+							Technique:  tech,
+							Scenario:   sc,
+							Impairment: imp,
+							Behavior:   bhv,
+							Trial:      trial,
+							Seed:       deriveSeed(cfg.Seed, tech, sc, imp, bhv, trial),
+						})
+					}
 				}
 			}
 		}
@@ -199,11 +220,12 @@ func (p *Plan) Cells() [][2]string {
 
 // deriveSeed hashes the campaign seed and the run coordinates into a lab
 // seed. The derivation depends only on (seed, technique, scenario,
-// impairment, trial), never on plan position or scheduling, so a re-planned
-// or resumed campaign reproduces the same per-run results. The pristine
-// impairment contributes nothing to the hash, keeping unimpaired runs
-// seed-compatible with records from before the impairment axis existed.
-func deriveSeed(seed int64, technique, scenario, impairment string, trial int) int64 {
+// impairment, behavior, trial), never on plan position or scheduling, so a
+// re-planned or resumed campaign reproduces the same per-run results. The
+// pristine impairment and the faithful censor behavior contribute nothing
+// to the hash, keeping default runs seed-compatible with records from
+// before either axis existed.
+func deriveSeed(seed int64, technique, scenario, impairment, behavior string, trial int) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := 0; i < 8; i++ {
@@ -216,6 +238,10 @@ func deriveSeed(seed int64, technique, scenario, impairment string, trial int) i
 	h.Write([]byte{0})
 	if impairment != "" && impairment != lab.ImpairmentNone {
 		h.Write([]byte(impairment))
+		h.Write([]byte{0})
+	}
+	if behavior != "" && behavior != lab.BehaviorNone {
+		h.Write([]byte(behavior))
 		h.Write([]byte{0})
 	}
 	for i := 0; i < 8; i++ {

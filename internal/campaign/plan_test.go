@@ -61,8 +61,8 @@ func TestNewPlanSelection(t *testing.T) {
 }
 
 func TestSeedDerivation(t *testing.T) {
-	a := deriveSeed(1, "spam", "dns-poison", "none", 0)
-	if a != deriveSeed(1, "spam", "dns-poison", "none", 0) {
+	a := deriveSeed(1, "spam", "dns-poison", "none", "none", 0)
+	if a != deriveSeed(1, "spam", "dns-poison", "none", "none", 0) {
 		t.Fatal("seed derivation not deterministic")
 	}
 	if a < 0 {
@@ -70,17 +70,19 @@ func TestSeedDerivation(t *testing.T) {
 	}
 	// The pristine impairment is hashed as nothing at all, keeping seeds
 	// compatible with records planned before the impairment axis existed.
-	if a != deriveSeed(1, "spam", "dns-poison", "", 0) {
-		t.Fatal(`"none" and "" impairments must derive the same seed`)
+	if a != deriveSeed(1, "spam", "dns-poison", "", "", 0) {
+		t.Fatal(`"none" and "" impairments/behaviors must derive the same seed`)
 	}
 	distinct := map[int64]bool{a: true}
 	for _, other := range []int64{
-		deriveSeed(1, "spam", "dns-poison", "none", 1),
-		deriveSeed(1, "spam", "open", "none", 0),
-		deriveSeed(1, "overt-dns", "dns-poison", "none", 0),
-		deriveSeed(2, "spam", "dns-poison", "none", 0),
-		deriveSeed(1, "spam", "dns-poison", "lossy20", 0),
-		deriveSeed(1, "spam", "dns-poison", "lossy5", 0),
+		deriveSeed(1, "spam", "dns-poison", "none", "none", 1),
+		deriveSeed(1, "spam", "open", "none", "none", 0),
+		deriveSeed(1, "overt-dns", "dns-poison", "none", "none", 0),
+		deriveSeed(2, "spam", "dns-poison", "none", "none", 0),
+		deriveSeed(1, "spam", "dns-poison", "lossy20", "none", 0),
+		deriveSeed(1, "spam", "dns-poison", "lossy5", "none", 0),
+		deriveSeed(1, "spam", "dns-poison", "none", "intermittent", 0),
+		deriveSeed(1, "spam", "dns-poison", "none", "throttle", 0),
 	} {
 		if distinct[other] {
 			t.Fatalf("seed collision across coordinates: %d", other)

@@ -241,6 +241,7 @@ func (opts Options) defaultExecutor(guard func(kind string, f func())) Executor 
 			guard("OnTrace", func() {
 				opts.OnTrace(RunTrace{
 					Scenario: spec.Scenario, Impairment: recordImpairment(spec.Impairment),
+					Behavior:  recordBehavior(spec.Behavior),
 					Technique: spec.Technique, Trial: spec.Trial, Seed: spec.Seed,
 					Events: events,
 				})

@@ -6,13 +6,14 @@ import (
 )
 
 // DoneKey is the resume identity of a run: its plan coordinates with the
-// impairment name canonicalized (the pristine link is "", matching the
-// omitempty JSONL form), so files written before the impairment axis
-// existed resume cleanly.
+// impairment and behavior names canonicalized (the pristine link and the
+// faithful censor are "", matching the omitempty JSONL forms), so files
+// written before either axis existed resume cleanly.
 type DoneKey struct {
 	Technique  string
 	Scenario   string
 	Impairment string
+	Behavior   string
 	Trial      int
 }
 
@@ -35,12 +36,12 @@ func (r RunRecord) CellKey() CellKey { return CellKey{r.Key(), r.Seed} }
 
 // Key returns the spec's resume identity.
 func (s RunSpec) Key() DoneKey {
-	return DoneKey{s.Technique, s.Scenario, recordImpairment(s.Impairment), s.Trial}
+	return DoneKey{s.Technique, s.Scenario, recordImpairment(s.Impairment), recordBehavior(s.Behavior), s.Trial}
 }
 
 // Key returns the record's resume identity.
 func (r RunRecord) Key() DoneKey {
-	return DoneKey{r.Technique, r.Scenario, recordImpairment(r.Impairment), r.Trial}
+	return DoneKey{r.Technique, r.Scenario, recordImpairment(r.Impairment), recordBehavior(r.Behavior), r.Trial}
 }
 
 // DoneSet collects the coordinates of error-free records — the runs a

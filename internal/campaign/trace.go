@@ -15,6 +15,7 @@ import (
 type RunTrace struct {
 	Scenario   string
 	Impairment string // "" means the pristine link
+	Behavior   string // "" means the faithful censor
 	Technique  string
 	Trial      int
 	Seed       int64
@@ -30,6 +31,7 @@ type RunTrace struct {
 type TraceLine struct {
 	Scenario   string `json:"scenario"`
 	Impairment string `json:"impairment,omitempty"`
+	Behavior   string `json:"behavior,omitempty"`
 	Technique  string `json:"technique"`
 	Trial      int    `json:"trial"`
 	Seed       int64  `json:"seed,omitempty"`
@@ -78,7 +80,7 @@ func (s *TraceSink) Write(rt RunTrace) {
 	b := archival.GetBatchBuf()
 	enc := json.NewEncoder(b)
 	line := TraceLine{
-		Scenario: rt.Scenario, Impairment: rt.Impairment,
+		Scenario: rt.Scenario, Impairment: rt.Impairment, Behavior: rt.Behavior,
 		Technique: rt.Technique, Trial: rt.Trial, Seed: rt.Seed,
 	}
 	for i, ev := range rt.Events {

@@ -1,0 +1,315 @@
+package censor
+
+import (
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"safemeasure/internal/netsim"
+	"safemeasure/internal/packet"
+)
+
+// Behavior configures how faithfully the censor enforces its own policy.
+// The zero value is the deterministic censor every earlier experiment used:
+// every matching flow is acted on, immediately, with complete injections.
+// Non-zero fields model the adversarial faults real censors exhibit
+// (throttling instead of resetting, probabilistic enforcement, truncated
+// blockpages, slow injectors, rate-limited injectors) — the measurement
+// pipeline must stay correct, or degrade to inconclusive, under all of them.
+//
+// All behavior state is seed-deterministic: decisions derive from an FNV
+// hash of the behavior seed and flow identity, and rate state advances on
+// virtual time only. No wall clock, no shared RNG stream.
+type Behavior struct {
+	// EnforceProb, when in (0, 1), enforces on only that fraction of
+	// matching flows. The decision is sticky per flow (and per address
+	// pair for blackholing): a flow the censor decided to spare stays
+	// spared, one it decided to block stays blocked — the "intermittent"
+	// fault, where re-measuring from a fresh connection may flip the
+	// observed outcome. 0 and 1 both mean always enforce.
+	EnforceProb float64
+	// ThrottleRate, when > 0, replaces RST injection with token-bucket
+	// rate shaping: after a keyword/Host alert the (client, server) pair's
+	// TCP traffic is delayed to ThrottleRate bytes/second (burst
+	// ThrottleBurst bytes) instead of being torn down. The connection
+	// crawls rather than dies — censorship that looks like a slow link.
+	ThrottleRate  int // bytes per virtual second
+	ThrottleBurst int // bytes of burst credit
+	// BlockpageBytes, when > 0, replaces the client-side RST with an
+	// injected HTTP 403 blockpage truncated after this many wire bytes
+	// (Content-Length promises more than is ever sent), followed by a
+	// FIN. The server side is still reset. Clients see a partial response
+	// on a connection that then dies.
+	BlockpageBytes int
+	// InjectDelay, when > 0, delays RST injection by this much virtual
+	// time after the trigger — the lazy injector whose RSTs race the real
+	// response and sometimes lose.
+	InjectDelay time.Duration
+	// InjectorBudget, when > 0, rate-limits enforcement: the censor holds
+	// this many action tokens, each enforcement action (drop, forge,
+	// injection, throttle-marking) spends one, and one token refills per
+	// InjectorRefill of virtual time. An exhausted censor silently stops
+	// enforcing — under load (cover traffic, population browsing) matching
+	// flows leak through.
+	InjectorBudget int
+	InjectorRefill time.Duration
+}
+
+// Enabled reports whether any adversarial fault is configured.
+func (b Behavior) Enabled() bool {
+	return b != Behavior{}
+}
+
+// Scheduler is the virtual-time timer source behaviors need (lazy
+// injection). *netsim.Sim satisfies it.
+type Scheduler interface {
+	Schedule(delay time.Duration, fn func())
+}
+
+// flowKey is a direction-normalized transport flow (addresses + ports).
+type flowKey struct {
+	a, b   netip.Addr
+	ap, bp uint16
+}
+
+func flowKeyOf(src, dst netip.Addr, sp, dp uint16) flowKey {
+	if c := src.Compare(dst); c > 0 || (c == 0 && sp > dp) {
+		src, dst, sp, dp = dst, src, dp, sp
+	}
+	return flowKey{a: src, b: dst, ap: sp, bp: dp}
+}
+
+// behaviorState is the mutable per-censor half of a Behavior: sticky flow
+// decisions, the per-pair shaper clocks, throttled-pair marks, and the
+// injector token bucket. All of it advances deterministically from the
+// behavior seed and virtual time.
+type behaviorState struct {
+	b     Behavior
+	seed  int64
+	sched Scheduler
+
+	decisions  map[flowKey]bool   // intermittent: sticky per-flow enforce/spare
+	throttled  map[addrPair]bool  // throttle: pairs under shaping
+	shaperFree map[addrPair]int64 // throttle: virtual ns the pair's bucket frees up
+	tokens     int                // exhausted: remaining action tokens
+	refilledTo int64              // exhausted: virtual ns tokens were last refilled at
+}
+
+// SetBehavior installs an adversarial behavior on the censor. seed
+// determines the intermittent flow decisions; sched (usually the lab's
+// *netsim.Sim) drives lazy injection and may be nil when InjectDelay is
+// zero. Call before traffic flows; installing mid-run resets behavior state.
+func (c *Censor) SetBehavior(b Behavior, seed int64, sched Scheduler) {
+	if !b.Enabled() {
+		c.bhv = nil
+		return
+	}
+	c.bhv = &behaviorState{
+		b: b, seed: seed, sched: sched,
+		decisions:  make(map[flowKey]bool),
+		throttled:  make(map[addrPair]bool),
+		shaperFree: make(map[addrPair]int64),
+		tokens:     b.InjectorBudget,
+	}
+}
+
+// Behavior returns the installed behavior (zero value when none).
+func (c *Censor) Behavior() Behavior {
+	if c.bhv == nil {
+		return Behavior{}
+	}
+	return c.bhv.b
+}
+
+// flowEnforced returns the sticky intermittent decision for a flow: an FNV
+// hash of (seed, normalized flow) mapped to [0, 1) and compared against
+// EnforceProb. Memoized so the decision is explicitly stateful (and cheap).
+func (st *behaviorState) flowEnforced(key flowKey) bool {
+	if d, ok := st.decisions[key]; ok {
+		return d
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	putInt64(&buf, st.seed)
+	h.Write(buf[:])
+	a4, b4 := key.a.As4(), key.b.As4()
+	h.Write(a4[:])
+	h.Write(b4[:])
+	buf[0], buf[1] = byte(key.ap>>8), byte(key.ap)
+	buf[2], buf[3] = byte(key.bp>>8), byte(key.bp)
+	h.Write(buf[:4])
+	// Top 53 bits -> uniform float64 in [0, 1). The extra mix matters:
+	// bare FNV avalanches the final bytes poorly, and the flows whose
+	// decisions must be independent differ only in the ephemeral port —
+	// consecutive retry connections would otherwise share long runs of
+	// identical decisions, silently correlating corroboration attempts.
+	u := float64(mix64(h.Sum64())>>11) / float64(uint64(1)<<53)
+	d := u < st.b.EnforceProb
+	st.decisions[key] = d
+	return d
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche bit mixing so that
+// hash inputs differing in a single low byte still flip every output bit
+// with probability 1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func putInt64(buf *[8]byte, v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+}
+
+// budgetOK charges one action token, refilling from elapsed virtual time
+// first. Reports false — skip the action — when the injector is exhausted.
+func (st *behaviorState) budgetOK(now int64) bool {
+	if st.b.InjectorBudget <= 0 {
+		return true
+	}
+	if refill := int64(st.b.InjectorRefill); refill > 0 && now > st.refilledTo {
+		n := (now - st.refilledTo) / refill
+		if n > 0 {
+			st.tokens += int(n)
+			if st.tokens > st.b.InjectorBudget {
+				st.tokens = st.b.InjectorBudget
+			}
+			st.refilledTo += n * refill
+		}
+	}
+	if st.tokens <= 0 {
+		return false
+	}
+	st.tokens--
+	return true
+}
+
+// shapeDelay charges n wire bytes against the pair's token bucket and
+// returns how long the datagram must be held. The bucket earns
+// ThrottleBurst bytes of credit; beyond that each byte costs 1e9/rate
+// virtual ns. Release times are monotone per pair, so shaped datagrams
+// never reorder.
+func (st *behaviorState) shapeDelay(now int64, pair addrPair, n int) int64 {
+	rate := int64(st.b.ThrottleRate)
+	if rate <= 0 {
+		return 0
+	}
+	earliest := now - int64(st.b.ThrottleBurst)*int64(time.Second)/rate
+	free := st.shaperFree[pair]
+	if free < earliest {
+		free = earliest
+	}
+	delay := free - now
+	if delay < 0 {
+		delay = 0
+	}
+	st.shaperFree[pair] = free + int64(n)*int64(time.Second)/rate
+	return delay
+}
+
+// enforce is the per-action gate every enforcement point runs through:
+// the intermittent flow decision first, then the injector budget. A true
+// return means act (counted censor_enforced_total); false means the
+// adversarial censor silently skipped (censor_skipped_total).
+func (c *Censor) enforce(now int64, key flowKey) bool {
+	st := c.bhv
+	if st == nil {
+		c.Enforced++
+		c.mEnforced.Inc()
+		return true
+	}
+	if st.b.EnforceProb > 0 && st.b.EnforceProb < 1 && !st.flowEnforced(key) {
+		c.Skipped++
+		c.mSkipped.Inc()
+		return false
+	}
+	if !st.budgetOK(now) {
+		c.Skipped++
+		c.mSkipped.Inc()
+		return false
+	}
+	c.Enforced++
+	c.mEnforced.Inc()
+	return true
+}
+
+// pairKey is the ports-free flow key used for address-pair mechanisms
+// (blackholing), where the sticky decision must cover every flow between
+// the two hosts.
+func pairKey(src, dst netip.Addr) flowKey {
+	return flowKeyOf(src, dst, 0, 0)
+}
+
+// markThrottled begins shaping a (client, server) pair; used in place of
+// RST injection when ThrottleRate is set.
+func (c *Censor) markThrottled(pair addrPair) {
+	c.bhv.throttled[pair] = true
+}
+
+// shapeVerdict checks whether the datagram belongs to a throttled pair and
+// computes its shaping delay. Returns (delay, true) when the router should
+// hold the packet.
+func (c *Censor) shapeVerdict(tp *netsim.TapPacket, pkt *packet.Packet) (int64, bool) {
+	st := c.bhv
+	if st == nil || st.b.ThrottleRate <= 0 || pkt == nil || pkt.TCP == nil {
+		return 0, false
+	}
+	pair := pairOf(pkt.IP.Src, pkt.IP.Dst)
+	if !st.throttled[pair] {
+		return 0, false
+	}
+	return st.shapeDelay(tp.Time, pair, len(tp.Raw)), true
+}
+
+// injectLazy runs inject now, or schedules it InjectDelay of virtual time
+// out when the lazy-injector fault is on. The raw datagrams are built by
+// the caller before the delay, so what is injected is deterministic.
+func (c *Censor) injectLazy(inject func()) {
+	st := c.bhv
+	if st == nil || st.b.InjectDelay <= 0 || st.sched == nil {
+		inject()
+		return
+	}
+	st.sched.Schedule(st.b.InjectDelay, inject)
+}
+
+// blockpage builds the (possibly truncated) forged 403 response body. The
+// Content-Length header always promises the full page; truncation cuts the
+// wire bytes mid-body, so clients must fingerprint what they did receive.
+func blockpage(truncateAt int) []byte {
+	body := "<html><head><title>403 Forbidden</title></head>" +
+		"<body><h1>Access Denied</h1><p>This page has been blocked by order " +
+		"of the relevant authorities. If you believe this is in error, " +
+		"contact your service provider and quote this incident.</p>" +
+		"</body></html>"
+	page := []byte("HTTP/1.1 403 Forbidden\r\n" +
+		"Content-Type: text/html\r\n" +
+		"Content-Length: " + itoa(len(body)) + "\r\n" +
+		"Connection: close\r\n" +
+		"\r\n" + body)
+	if truncateAt > 0 && truncateAt < len(page) {
+		page = page[:truncateAt]
+	}
+	return page
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -105,16 +105,22 @@ type Censor struct {
 	residual map[addrPair]int64 // pair -> expiry (virtual ns)
 	Events   []Event
 
+	// Adversarial behavior (nil = deterministic censor; see SetBehavior).
+	bhv *behaviorState
+
 	// Stats.
 	RSTsInjected    int
 	ResponsesForged int
 	Dropped         int
 	ResidualRSTs    int
+	Enforced        int // enforcement actions taken
+	Skipped         int // enforcement actions the behavior model skipped
 
 	// Telemetry (optional; see SetTelemetry).
 	trace                   *telemetry.Tracer
 	mEvents, mRSTs, mForged *telemetry.Counter
 	mDropped                *telemetry.Counter
+	mEnforced, mSkipped     *telemetry.Counter
 }
 
 // SetTelemetry wires the censor's actions into a metrics registry and
@@ -126,6 +132,8 @@ func (c *Censor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	c.mRSTs = reg.Counter("censor_rst_injected_total")
 	c.mForged = reg.Counter("censor_dns_forged_total")
 	c.mDropped = reg.Counter("censor_dropped_total")
+	c.mEnforced = reg.Counter("censor_enforced_total")
+	c.mSkipped = reg.Counter("censor_skipped_total")
 	c.engine.SetMetrics(reg.Counter("censor_ids_packets_total"),
 		reg.Counter("censor_ids_alerts_total"))
 }
@@ -212,6 +220,11 @@ func (c *Censor) Observe(tp *netsim.TapPacket, inject netsim.Injector) netsim.Ve
 	}
 	for _, p := range c.cfg.Blackholed {
 		if p.Contains(hdr.Dst) || p.Contains(hdr.Src) {
+			// The intermittent decision is per address pair here: either
+			// all traffic between the two hosts is eaten, or none is.
+			if !c.enforce(tp.Time, pairKey(hdr.Src, hdr.Dst)) {
+				return netsim.Pass
+			}
 			c.Dropped++
 			c.mDropped.Inc()
 			c.log(tp.Time, MechIPBlackhole, &packet.Packet{IP: &hdr}, p.String())
@@ -238,6 +251,14 @@ func (c *Censor) Observe(tp *netsim.TapPacket, inject netsim.Injector) netsim.Ve
 	if c.inspect(tp.Time, pkt, inject) == netsim.Drop {
 		return netsim.Drop
 	}
+
+	// Throttling: a pair marked by an earlier alert has all its TCP traffic
+	// rate-shaped instead of torn down. Both directions traverse this tap,
+	// so both directions are charged against the pair's bucket.
+	if delay, ok := c.shapeVerdict(tp, pkt); ok && delay > 0 {
+		tp.Delay = delay
+		return netsim.Shape
+	}
 	return netsim.Pass
 }
 
@@ -249,6 +270,9 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 	if pkt.TCP != nil && pkt.TCP.Flags&packet.TCPSyn != 0 && pkt.TCP.Flags&packet.TCPAck == 0 {
 		for _, port := range c.cfg.BlockedPorts {
 			if pkt.TCP.DstPort == port {
+				if !c.enforce(now, transportKey(pkt)) {
+					break
+				}
 				c.Dropped++
 				c.mDropped.Inc()
 				c.log(now, MechPortBlock, pkt, fmt.Sprintf("port %d", port))
@@ -260,7 +284,7 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 	// 3. DNS poisoning: forge an answer for blocked names. The real
 	// response still flows; the forged one wins the race.
 	if pkt.UDP != nil && pkt.UDP.DstPort == 53 {
-		if dom, ok := c.dnsQueryBlocked(pkt); ok {
+		if dom, ok := c.dnsQueryBlocked(pkt); ok && c.enforce(now, transportKey(pkt)) {
 			c.forgeDNSReply(now, pkt, inject)
 			c.log(now, MechDNSPoison, pkt, dom)
 		}
@@ -272,21 +296,36 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 		pair := pairOf(pkt.IP.Src, pkt.IP.Dst)
 		if expiry, ok := c.residual[pair]; ok {
 			if now < expiry {
-				c.ResidualRSTs++
-				c.injectRSTPair(now, pkt, inject)
+				if c.enforce(now, transportKey(pkt)) {
+					c.ResidualRSTs++
+					c.injectRSTPair(now, pkt, inject)
+				}
 				return netsim.Pass
 			}
 			delete(c.residual, pair)
 		}
 	}
 
-	// 5. Keyword / Host rules through the IDS engine -> RST injection.
+	// 5. Keyword / Host rules through the IDS engine. The engine always
+	// sees the traffic (the flow table is real); the behavior model gates
+	// only the *response* — which is RST injection, or under the
+	// adversarial behaviors, throttle-marking or a truncated blockpage.
 	for _, alert := range c.engine.Feed(now, pkt) {
 		mech := MechKeywordRST
 		if alert.Rule.Classtype == "censor-host" {
 			mech = MechHostBlock
 		}
-		c.injectRSTPair(now, pkt, inject)
+		if !c.enforce(now, transportKey(pkt)) {
+			continue
+		}
+		switch {
+		case c.bhv != nil && c.bhv.b.ThrottleRate > 0:
+			c.markThrottled(pairOf(pkt.IP.Src, pkt.IP.Dst))
+		case c.bhv != nil && c.bhv.b.BlockpageBytes > 0:
+			c.injectBlockpage(now, pkt, inject)
+		default:
+			c.injectRSTPair(now, pkt, inject)
+		}
 		c.log(now, mech, pkt, alert.Rule.Msg)
 		if c.cfg.ResidualBlock > 0 {
 			c.residual[pairOf(pkt.IP.Src, pkt.IP.Dst)] = now + int64(c.cfg.ResidualBlock)
@@ -294,6 +333,20 @@ func (c *Censor) inspect(now int64, pkt *packet.Packet, inject netsim.Injector) 
 	}
 
 	return netsim.Pass
+}
+
+// transportKey builds the direction-normalized flow key for the
+// intermittent decision. Packets without a transport layer fall back to the
+// address pair.
+func transportKey(pkt *packet.Packet) flowKey {
+	switch {
+	case pkt.TCP != nil:
+		return flowKeyOf(pkt.IP.Src, pkt.IP.Dst, pkt.TCP.SrcPort, pkt.TCP.DstPort)
+	case pkt.UDP != nil:
+		return flowKeyOf(pkt.IP.Src, pkt.IP.Dst, pkt.UDP.SrcPort, pkt.UDP.DstPort)
+	default:
+		return pairKey(pkt.IP.Src, pkt.IP.Dst)
+	}
 }
 
 // dnsQueryBlocked parses a DNS query and checks its first question.
@@ -344,30 +397,78 @@ func (c *Censor) forgeDNSReply(now int64, pkt *packet.Packet, inject netsim.Inje
 }
 
 // injectRSTPair sends RSTs to both endpoints of the flow, the GFC teardown.
+// Under the lazy-injector behavior the (already built) RSTs are released
+// InjectDelay of virtual time after the trigger instead of immediately.
 func (c *Censor) injectRSTPair(now int64, pkt *packet.Packet, inject netsim.Injector) {
 	if pkt.TCP == nil {
 		return
 	}
 	t := pkt.TCP
+	var raws [][]byte
 	// To the sender: appears to come from the receiver.
 	toSender := &packet.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort, Seq: t.Ack, Flags: packet.TCPRst}
 	if raw, err := packet.BuildTCP(pkt.IP.Dst, pkt.IP.Src, packet.DefaultTTL, toSender); err == nil {
-		inject.Inject(raw)
-		c.RSTsInjected++
-		c.mRSTs.Inc()
+		raws = append(raws, raw)
 	}
 	// To the receiver: appears to come from the sender, sequenced after the
 	// offending segment.
 	toReceiver := &packet.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort,
 		Seq: t.Seq + uint32(len(t.Payload)), Flags: packet.TCPRst}
 	if raw, err := packet.BuildTCP(pkt.IP.Src, pkt.IP.Dst, packet.DefaultTTL, toReceiver); err == nil {
+		raws = append(raws, raw)
+	}
+	c.RSTsInjected += len(raws)
+	for range raws {
+		c.mRSTs.Inc()
+	}
+	c.injectLazy(func() {
+		for _, raw := range raws {
+			inject.Inject(raw)
+		}
+	})
+	if tr := c.trace; tr != nil {
+		tr.Emit(now, telemetry.EvRSTInject,
+			pkt.IP.Src.String(), pkt.IP.Dst.String(), "rst-pair")
+	}
+}
+
+// injectBlockpage forges a truncated HTTP 403 toward the client (data +
+// FIN, Content-Length promising more bytes than are sent) and a RST toward
+// the server — the partial-blockpage behavior. The client sees a response
+// that starts like a blockpage and dies mid-body.
+func (c *Censor) injectBlockpage(now int64, pkt *packet.Packet, inject netsim.Injector) {
+	if pkt.TCP == nil {
+		return
+	}
+	t := pkt.TCP
+	page := blockpage(c.bhv.b.BlockpageBytes)
+	ackNo := t.Seq + uint32(len(t.Payload))
+	// Forged response data toward the client, from the server's identity.
+	data := &packet.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort,
+		Seq: t.Ack, Ack: ackNo, Flags: packet.TCPPsh | packet.TCPAck, Payload: page}
+	if raw, err := packet.BuildTCP(pkt.IP.Dst, pkt.IP.Src, packet.DefaultTTL, data); err == nil {
+		inject.Inject(raw)
+		c.ResponsesForged++
+		c.mForged.Inc()
+	}
+	// FIN after the truncated body: the forged server hangs up mid-page.
+	fin := &packet.TCP{SrcPort: t.DstPort, DstPort: t.SrcPort,
+		Seq: t.Ack + uint32(len(page)), Ack: ackNo, Flags: packet.TCPFin | packet.TCPAck}
+	if raw, err := packet.BuildTCP(pkt.IP.Dst, pkt.IP.Src, packet.DefaultTTL, fin); err == nil {
+		inject.Inject(raw)
+	}
+	// The server side is still reset so the real response never races the
+	// forgery.
+	toServer := &packet.TCP{SrcPort: t.SrcPort, DstPort: t.DstPort,
+		Seq: ackNo, Flags: packet.TCPRst}
+	if raw, err := packet.BuildTCP(pkt.IP.Src, pkt.IP.Dst, packet.DefaultTTL, toServer); err == nil {
 		inject.Inject(raw)
 		c.RSTsInjected++
 		c.mRSTs.Inc()
 	}
 	if tr := c.trace; tr != nil {
 		tr.Emit(now, telemetry.EvRSTInject,
-			pkt.IP.Src.String(), pkt.IP.Dst.String(), "rst-pair")
+			pkt.IP.Src.String(), pkt.IP.Dst.String(), "blockpage-truncated")
 	}
 }
 

@@ -37,6 +37,9 @@ func keyLess(a, b campaign.DoneKey) bool {
 	if a.Impairment != b.Impairment {
 		return a.Impairment < b.Impairment
 	}
+	if a.Behavior != b.Behavior {
+		return a.Behavior < b.Behavior
+	}
 	if a.Technique != b.Technique {
 		return a.Technique < b.Technique
 	}
@@ -251,6 +254,69 @@ func TestInterruptResumeInvariant(t *testing.T) {
 	}
 	if points < 20 {
 		t.Fatalf("only %d seeded interrupt points exercised, want >= 20", points)
+	}
+}
+
+// TestInterruptResumeInvariantAdversarialCensor repeats the interrupt/resume
+// invariant with the censor itself misbehaving: the plan sweeps every
+// adversarial censor-behavior preset, campaigns are interrupted at seeded
+// points, and the resumed output must still be byte-identical to an
+// uninterrupted run. This is the episode that proves behavior state
+// (intermittent flow decisions, throttle token buckets, injector budgets)
+// lives entirely inside each run's lab — a resumed run re-derives it from
+// the seed, never from process state the interrupt destroyed.
+func TestInterruptResumeInvariantAdversarialCensor(t *testing.T) {
+	plan, err := campaign.NewPlan(campaign.PlanConfig{
+		Scenarios: []string{"keyword-rst"}, Behaviors: []string{"all"},
+		Trials: 1, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nspecs := len(plan.Specs)
+	if nspecs < 12 {
+		t.Fatalf("behavior sweep too small: %d specs", nspecs)
+	}
+
+	var base bytes.Buffer
+	baseSink := campaign.NewJSONLSink(&base)
+	baseRecs, err := campaign.Run(plan, campaign.Options{Workers: 1, OnRecord: baseSink.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baseSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantJSONL, wantAgg := canonicalize(t, baseRecs)
+
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(7000 + seed))
+			cut := 1 + rng.Intn(nspecs)
+			t.Run(fmt.Sprintf("cancel/workers=%d/cut=%d", workers, cut), func(t *testing.T) {
+				var buf bytes.Buffer
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				sink := campaign.NewJSONLSink(&buf)
+				hook := CancelAfter(cut, cancel)
+				_, err := campaign.RunContext(ctx, plan, campaign.Options{
+					Workers: workers,
+					Grace:   -1,
+					OnRecord: func(rec campaign.RunRecord) {
+						hook(rec)
+						sink.Write(rec)
+					},
+				})
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Fatal(err)
+				}
+				if err := sink.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				resumeAndCheck(t, plan, workers, &buf, wantJSONL, wantAgg)
+			})
+		}
 	}
 }
 

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"safemeasure/internal/lab"
+)
+
+// behaviorConfig returns a lab config for a named scenario with a named
+// adversarial censor-behavior preset installed.
+func behaviorConfig(t *testing.T, scenario, behavior string, seed int64) (lab.Config, Target) {
+	t.Helper()
+	sc, ok := lab.ScenarioByName(scenario)
+	if !ok {
+		t.Fatalf("unknown scenario %q", scenario)
+	}
+	bp, ok := lab.BehaviorByName(behavior)
+	if !ok {
+		t.Fatalf("unknown censor behavior %q", behavior)
+	}
+	cfg := lab.Config{Seed: seed, Censor: sc.NewCensor(), Behavior: bp.Behavior}
+	tgt := Target{Domain: sc.Domain, Path: sc.Path, Port: sc.Port, Addr: sc.Addr}
+	return cfg, tgt
+}
+
+// TestIntermittentSingleShotFlipsButCorroborationRecovers is the acceptance
+// test for the adversarial-censor hardening, the mirror image of the lossy20
+// one: against an intermittent censor (EnforceProb 0.5) a single-shot HTTP
+// probe of a *censored* target reports accessible whenever the censor decided
+// to spare that one flow — a misclassification in the dangerous direction.
+// Cross-trial corroboration re-measures from fresh connections (fresh sticky
+// decisions) and either reaches a censored quorum or refuses to call it.
+func TestIntermittentSingleShotFlipsButCorroborationRecovers(t *testing.T) {
+	const seeds = 200
+	var flipped []int64
+	for seed := int64(1); seed <= seeds; seed++ {
+		cfg, tgt := behaviorConfig(t, "keyword-rst", "intermittent", seed)
+		res := runRetry(t, cfg, &OvertHTTP{}, tgt, SingleShot())
+		switch res.Verdict {
+		case VerdictAccessible:
+			flipped = append(flipped, seed)
+		case VerdictCensored:
+			if res.Mechanism != MechRST {
+				t.Fatalf("seed %d: enforced flow should RST, got %v/%q", seed, res.Verdict, res.Mechanism)
+			}
+		default:
+			t.Fatalf("seed %d: unexpected verdict %v %v", seed, res.Verdict, res.Evidence)
+		}
+	}
+	// EnforceProb is 0.5, so roughly half the seeds must flip; a quarter is
+	// the loose floor that still proves the fault model bites.
+	if len(flipped) < seeds/4 {
+		t.Fatalf("only %d/%d seeds misclassified the censored target as accessible; intermittent behavior not biting", len(flipped), seeds)
+	}
+
+	// Corroboration over the flipped seeds: 5 backoff-spaced runs, each a
+	// fresh connection with a fresh sticky decision. Quorum (4/5) either
+	// recovers the censored verdict or the vote hangs and the verdict is
+	// demoted to inconclusive — both are safe; confidently repeating the
+	// single-shot "accessible" is what must become rare. Both outcomes must
+	// occur across the flipped seeds. (Recovery needs the 4 post-flip
+	// attempts to all draw "enforce" — a 1-in-16 event at p=0.5, which is
+	// why the seed scan above is as wide as it is.)
+	pol := RetryPolicy{Corroborate: 5}
+	recovered, demoted := int64(-1), int64(-1)
+	for _, seed := range flipped {
+		cfg, tgt := behaviorConfig(t, "keyword-rst", "intermittent", seed)
+		res := runRetry(t, cfg, &OvertHTTP{}, tgt, pol)
+		if res.Attempts != 5 {
+			t.Fatalf("seed %d: corroboration ran %d attempts, want 5", seed, res.Attempts)
+		}
+		if res.Confidence <= 0 || res.Confidence > 1 {
+			t.Fatalf("seed %d: confidence %v outside (0,1]", seed, res.Confidence)
+		}
+		switch res.Verdict {
+		case VerdictCensored:
+			if recovered < 0 {
+				recovered = seed
+			}
+			if res.Mechanism != MechRST {
+				t.Fatalf("seed %d: corroborated censored verdict with mechanism %q, want %q", seed, res.Mechanism, MechRST)
+			}
+			if res.Confidence < 0.8 {
+				t.Fatalf("seed %d: censored quorum with confidence %v < 0.8", seed, res.Confidence)
+			}
+		case VerdictInconclusive:
+			if demoted < 0 {
+				demoted = seed
+			}
+			if res.Confidence >= 0.8 {
+				t.Fatalf("seed %d: demoted despite quorum-level confidence %v", seed, res.Confidence)
+			}
+			if !strings.Contains(strings.Join(res.Evidence, " "), "corroboration hung") {
+				t.Fatalf("seed %d: demotion without hung-vote evidence: %v", seed, res.Evidence)
+			}
+		}
+	}
+	if recovered < 0 {
+		t.Fatalf("no flipped seed recovered a corroborated censored verdict (flipped: %v)", flipped)
+	}
+	if demoted < 0 {
+		t.Fatalf("no flipped seed demoted a hung vote to inconclusive (flipped: %v)", flipped)
+	}
+}
+
+// TestThrottleClassifiedAsCensorshipNotLoss: the throttling censor never
+// tears the connection down — the page arrives, slowly — yet the
+// transfer-progress probe convicts it, because the latency floor over
+// repeated fetches stays above the suspicion threshold. The contrast leg
+// pins the other half of the claim: a genuinely lossy link is never
+// classified as throttling, however slow an individual fetch was.
+func TestThrottleClassifiedAsCensorshipNotLoss(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg, tgt := behaviorConfig(t, "keyword-rst", "throttle", seed)
+		res := runRetry(t, cfg, &OvertHTTP{}, tgt, SingleShot())
+		if res.Verdict != VerdictCensored || res.Mechanism != MechThrottle {
+			t.Fatalf("seed %d: throttled fetch = %v/%q, want %v/%q\nevidence: %v",
+				seed, res.Verdict, res.Mechanism, VerdictCensored, MechThrottle, res.Evidence)
+		}
+	}
+	tgt := Target{Domain: "site02.test"} // the "open" scenario's domain
+	for seed := int64(1); seed <= 20; seed++ {
+		res := runRetry(t, lossyConfig(t, "lossy20", seed), &OvertHTTP{}, tgt, DefaultRetryPolicy())
+		if res.Mechanism == MechThrottle {
+			t.Fatalf("seed %d: lossy20 misclassified as throttling: %v", seed, res.Evidence)
+		}
+	}
+}
+
+// TestPartialBlockpageStillConvicts: the censor truncates its forged 403
+// mid-body (Content-Length promises more than is sent, then FIN), so the
+// exchange never parses as a complete response — but the bytes that did
+// arrive fingerprint as a blockpage, which is positive evidence of blocking.
+func TestPartialBlockpageStillConvicts(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg, tgt := behaviorConfig(t, "keyword-rst", "partial-blockpage", seed)
+		res := runRetry(t, cfg, &OvertHTTP{}, tgt, SingleShot())
+		if res.Verdict != VerdictCensored || res.Mechanism != MechClosed {
+			t.Fatalf("seed %d: truncated blockpage = %v/%q, want %v/%q\nevidence: %v",
+				seed, res.Verdict, res.Mechanism, VerdictCensored, MechClosed, res.Evidence)
+		}
+		if !strings.Contains(strings.Join(res.Evidence, " "), "truncated block page") {
+			t.Fatalf("seed %d: conviction without truncated-blockpage evidence: %v", seed, res.Evidence)
+		}
+	}
+}
+
+// TestBehaviorRunsDeterministic: every adversarial behavior preset is
+// seed-deterministic — two labs with the same seed produce byte-identical
+// results, evidence log included, under corroboration (which exercises the
+// backoff RNG and fresh-flow decisions hardest).
+func TestBehaviorRunsDeterministic(t *testing.T) {
+	for _, name := range lab.BehaviorNames() {
+		pol := RetryPolicy{Corroborate: 3}
+		cfgA, tgtA := behaviorConfig(t, "keyword-rst", name, 11)
+		a := runRetry(t, cfgA, &OvertHTTP{}, tgtA, pol)
+		cfgB, tgtB := behaviorConfig(t, "keyword-rst", name, 11)
+		b := runRetry(t, cfgB, &OvertHTTP{}, tgtB, pol)
+		if a.Verdict != b.Verdict || a.Mechanism != b.Mechanism ||
+			a.Attempts != b.Attempts || a.Confidence != b.Confidence ||
+			a.ProbesSent != b.ProbesSent {
+			t.Fatalf("%s: nondeterministic run: %+v vs %+v", name, a, b)
+		}
+		if strings.Join(a.Evidence, "\n") != strings.Join(b.Evidence, "\n") {
+			t.Fatalf("%s: evidence diverged:\n%v\n%v", name, a.Evidence, b.Evidence)
+		}
+	}
+}

@@ -50,11 +50,12 @@ func (v Verdict) String() string {
 
 // Mechanisms reported in Result.Mechanism.
 const (
-	MechRST     = "rst-injection"
-	MechPoison  = "dns-poison"
-	MechTimeout = "timeout-or-blackhole"
-	MechClosed  = "connection-refused"
-	MechNone    = ""
+	MechRST      = "rst-injection"
+	MechPoison   = "dns-poison"
+	MechTimeout  = "timeout-or-blackhole"
+	MechClosed   = "connection-refused"
+	MechThrottle = "throttle"
+	MechNone     = ""
 )
 
 // Target names what to measure. Domain is required for DNS/HTTP-level
@@ -111,6 +112,10 @@ type Result struct {
 	// final (see RunWithRetry); 0 means the technique ran outside a retry
 	// policy, which is equivalent to 1.
 	Attempts int
+	// Confidence is the corroboration agreement fraction (winning votes /
+	// attempts) when the run used cross-trial corroboration
+	// (RetryPolicy.Corroborate); 0 means the run was not corroborated.
+	Confidence float64
 }
 
 func (r *Result) addEvidence(format string, args ...any) {

@@ -454,7 +454,7 @@ func TestClassifyHTTPBranches(t *testing.T) {
 	}
 	for i, tc := range cases {
 		res := &Result{}
-		classifyHTTP(res, tc.resp, tc.err)
+		classifyHTTP(res, tc.resp, nil, tc.err)
 		if res.Verdict != tc.verdict || res.Mechanism != tc.mechanism {
 			t.Errorf("case %d: got %v/%q want %v/%q", i, res.Verdict, res.Mechanism, tc.verdict, tc.mechanism)
 		}

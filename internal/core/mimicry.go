@@ -272,9 +272,9 @@ func (d *DDoS) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 		l.Sim.Schedule(delay, func() {
 			res.ProbesSent++
 			tel.probe(1, lab.ClientAddr, tgt.Addr, "http-flood")
-			websim.Get(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, err error) {
+			websim.GetPartial(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, partial []byte, err error) {
 				sample := &Result{}
-				classifyHTTP(sample, r, err)
+				classifyHTTP(sample, r, partial, err)
 				switch {
 				case sample.Verdict == VerdictAccessible:
 					ok++

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"net/netip"
+	"strings"
+	"time"
 
 	"safemeasure/internal/dnswire"
 	"safemeasure/internal/httpwire"
@@ -59,19 +61,79 @@ type OvertHTTP struct{}
 // Name implements Technique.
 func (*OvertHTTP) Name() string { return "overt-http" }
 
+// Transfer-progress probe tuning. A fetch in the pristine lab completes in
+// ~12ms of virtual time; one RTO-triggering loss adds ~200ms; a throttled
+// pair is delayed by total-bytes/rate, hundreds of ms at preset rates. A
+// slow first fetch alone cannot separate those, so the classifier re-fetches
+// and takes the *minimum* latency: loss is independent per fetch (the floor
+// collapses to ~12ms with high probability) while a shaper charges every
+// fetch (the floor stays high).
+const (
+	// throttleSuspect is the first-fetch latency that triggers the
+	// progress probe, and the floor that convicts throttling.
+	throttleSuspect = 100 * time.Millisecond
+	// throttleProbes is how many extra fetches the progress probe runs.
+	throttleProbes = 6
+)
+
 // Run implements Technique.
 func (o *OvertHTTP) Run(l *lab.Lab, tgt Target, done func(*Result)) {
 	tgt = tgt.resolve(l)
 	res := &Result{Technique: o.Name(), Target: tgt, ProbesSent: 1}
 	newRunTel(l, o.Name()).probe(1, lab.ClientAddr, tgt.Addr, tgt.Domain)
-	websim.Get(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, err error) {
-		classifyHTTP(res, r, err)
+	start := l.Sim.Now()
+	websim.GetPartial(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, partial []byte, err error) {
+		classifyHTTP(res, r, partial, err)
+		if lat := l.Sim.Now() - start; err == nil && res.Verdict == VerdictAccessible && lat >= throttleSuspect {
+			o.probeProgress(l, tgt, res, lat, done)
+			return
+		}
 		done(res)
 	})
 }
 
+// probeProgress is the transfer-progress probe: the first fetch succeeded
+// but suspiciously slowly, so re-fetch several times and take the latency
+// floor. A floor at or above the suspicion threshold means every attempt
+// was paced — throttling-as-censorship — while a low floor clears the
+// target (the slowness was loss or jitter on the path).
+func (o *OvertHTTP) probeProgress(l *lab.Lab, tgt Target, res *Result, first time.Duration, done func(*Result)) {
+	minLat := first
+	fetches := 0
+	var next func()
+	next = func() {
+		if fetches >= throttleProbes {
+			if minLat >= throttleSuspect {
+				res.Verdict = VerdictCensored
+				res.Mechanism = MechThrottle
+				res.addEvidence("transfer-progress probe: latency floor %v over %d fetches (threshold %v): paced by a shaper, not a lossy link",
+					minLat, throttleProbes+1, throttleSuspect)
+			} else {
+				res.addEvidence("transfer-progress probe: first fetch %v but floor %v: lossy path, not throttling", first, minLat)
+			}
+			done(res)
+			return
+		}
+		fetches++
+		res.ProbesSent++
+		start := l.Sim.Now()
+		websim.Get(l.ClientStack, tgt.Addr, tgt.Domain, tgt.Path, func(r *httpwire.Response, err error) {
+			if err == nil && r.Status == 200 {
+				if lat := l.Sim.Now() - start; lat < minLat {
+					minLat = lat
+				}
+			}
+			next()
+		})
+	}
+	next()
+}
+
 // classifyHTTP maps a fetch outcome to a verdict, shared with DDoS samples.
-func classifyHTTP(res *Result, r *httpwire.Response, err error) {
+// partial carries whatever response bytes arrived before a failure, so a
+// blockpage can be fingerprinted even when the censor truncated it mid-body
+// and the exchange never parsed as a complete response.
+func classifyHTTP(res *Result, r *httpwire.Response, partial []byte, err error) {
 	switch {
 	case err == nil && r.Status == 200:
 		res.Verdict = VerdictAccessible
@@ -86,6 +148,13 @@ func classifyHTTP(res *Result, r *httpwire.Response, err error) {
 			res.Verdict = VerdictInconclusive
 			res.addEvidence("status %d", r.Status)
 		}
+	case blockpageStatus(partial) != 0:
+		// The connection died, but the bytes that did arrive start like a
+		// blockpage: a truncated forgery is still positive evidence.
+		res.Verdict = VerdictCensored
+		res.Mechanism = MechClosed
+		res.addEvidence("truncated block page: status %d in %d partial bytes before %v",
+			blockpageStatus(partial), len(partial), err)
 	case errors.Is(err, tcpsim.ErrReset):
 		res.Verdict = VerdictCensored
 		res.Mechanism = MechRST
@@ -98,6 +167,25 @@ func classifyHTTP(res *Result, r *httpwire.Response, err error) {
 		res.Verdict = VerdictInconclusive
 		res.addEvidence("error: %v", err)
 	}
+}
+
+// blockpageStatus fingerprints a (possibly truncated) response prefix: a
+// well-formed HTTP/1.x status line with a blocking status (403, 451) is a
+// blockpage no matter how little of the body survived. Returns the status,
+// or 0 when the bytes don't look like one.
+func blockpageStatus(partial []byte) int {
+	s := string(partial)
+	for _, prefix := range []string{"HTTP/1.1 ", "HTTP/1.0 "} {
+		if strings.HasPrefix(s, prefix) && len(s) >= len(prefix)+3 {
+			switch s[len(prefix) : len(prefix)+3] {
+			case "403":
+				return 403
+			case "451":
+				return 451
+			}
+		}
+	}
+	return 0
 }
 
 // OvertTCP is the baseline reachability measurement: a full connect from

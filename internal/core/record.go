@@ -23,6 +23,7 @@ type Record struct {
 	Probes         int      `json:"probes"`
 	Cover          int      `json:"cover"`
 	Attempts       int      `json:"attempts"`
+	Confidence     float64  `json:"confidence,omitempty"`
 	CoverAddresses []string `json:"cover_addresses,omitempty"`
 	Evidence       []string `json:"evidence,omitempty"`
 	ElapsedMS      float64  `json:"elapsed_ms"`
@@ -46,6 +47,7 @@ func NewRecord(res *Result, risk RiskReport, seed int64, elapsed time.Duration) 
 		Probes:     res.ProbesSent,
 		Cover:      res.CoverSent,
 		Attempts:   max(res.Attempts, 1),
+		Confidence: res.Confidence,
 		Evidence:   res.Evidence,
 		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
 		Retained:   risk.TrafficRetained,

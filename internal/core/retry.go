@@ -40,6 +40,15 @@ type RetryPolicy struct {
 	// each backoff, decorrelating retries from periodic interference.
 	// 0 means 0.25; negative disables jitter.
 	JitterFrac float64
+	// Corroborate, when >= 2, switches to cross-trial corroboration: the
+	// technique runs exactly this many times (backoff-spaced), every
+	// attempt's verdict is tallied, and the final verdict needs a
+	// k-of-n quorum (k = n - n/4). An agreeing quorum wins with
+	// Confidence = votes/n; anything flappier demotes to
+	// VerdictInconclusive — the defense against adversarial censors whose
+	// enforcement itself flaps (intermittent, lazy, exhausted). 0 and 1
+	// keep the plain retry ladder.
+	Corroborate int
 }
 
 // Retry policy defaults.
@@ -126,6 +135,10 @@ func Retryable(res *Result) bool {
 // with Technique.Run.
 func RunWithRetry(l *lab.Lab, t Technique, tgt Target, p RetryPolicy, done func(*Result)) {
 	p = p.normalized()
+	if p.Corroborate >= 2 {
+		runCorroborated(l, t, tgt, p, done)
+		return
+	}
 	var retries *telemetry.Counter
 	var attemptsHist *telemetry.Histogram
 	if reg := l.Cfg.Telemetry; reg != nil {
@@ -185,6 +198,107 @@ func RunWithRetry(l *lab.Lab, t Technique, tgt Target, p RetryPolicy, done func(
 		})
 	}
 	launch()
+}
+
+// corroborationQuorum is the k of the k-of-n agreement rule: n minus a
+// quarter (rounded down), so n=5 needs 4 agreeing attempts. A simple
+// majority is deliberately not enough — an intermittent censor flapping at
+// p=0.5 produces 3-2 splits about half the time, and a majority rule would
+// confidently misclassify those; demoting them to inconclusive is the
+// honest verdict.
+func corroborationQuorum(n int) int { return n - n/4 }
+
+// runCorroborated implements RetryPolicy.Corroborate: exactly n
+// backoff-spaced attempts, a per-verdict tally, and a k-of-n quorum. The
+// winning verdict carries Confidence = votes/n and the mechanism most of
+// its attempts reported; a hung vote demotes to VerdictInconclusive
+// (core_corroboration_demotions_total) with the tally recorded as evidence.
+func runCorroborated(l *lab.Lab, t Technique, tgt Target, p RetryPolicy, done func(*Result)) {
+	n := p.Corroborate
+	var demotions *telemetry.Counter
+	if reg := l.Cfg.Telemetry; reg != nil {
+		demotions = reg.Counter("core_corroboration_demotions_total")
+	}
+	var (
+		attempt       = 1
+		probes, cover int
+		verdicts      []Verdict
+		mechs         []string
+		attemptLog    []string
+	)
+	finalize := func(res *Result) {
+		votes := make(map[Verdict]int)
+		for _, v := range verdicts {
+			votes[v]++
+		}
+		// Deterministic winner scan: fixed verdict order, ties broken
+		// toward the earlier constant (and a tie can never reach quorum
+		// anyway, since k > n/2 for n >= 2).
+		winner, best := VerdictInconclusive, 0
+		for _, v := range []Verdict{VerdictInconclusive, VerdictAccessible, VerdictCensored} {
+			if votes[v] > best {
+				winner, best = v, votes[v]
+			}
+		}
+		res.Attempts = n
+		res.ProbesSent = probes
+		res.CoverSent = cover
+		res.Confidence = float64(best) / float64(n)
+		res.Evidence = append(append([]string(nil), attemptLog...), res.Evidence...)
+		if k := corroborationQuorum(n); best >= k {
+			res.Verdict = winner
+			res.Mechanism = commonMechanism(verdicts, mechs, winner)
+			res.addEvidence("corroborated: %d/%d attempts agree on %v (quorum %d)", best, n, winner, k)
+		} else {
+			res.Verdict = VerdictInconclusive
+			res.Mechanism = MechNone
+			demotions.Inc()
+			res.addEvidence("corroboration hung: best agreement %d/%d below quorum %d; verdict flaps, demoting to inconclusive", best, n, k)
+		}
+		done(res)
+	}
+	var launch func()
+	launch = func() {
+		t.Run(l, tgt, func(res *Result) {
+			probes += res.ProbesSent
+			cover += res.CoverSent
+			verdicts = append(verdicts, res.Verdict)
+			mechs = append(mechs, res.Mechanism)
+			attemptLog = append(attemptLog, fmt.Sprintf("attempt %d/%d: %v%s",
+				attempt, n, res.Verdict, mechSuffix(res.Mechanism)))
+			if attempt < n {
+				delay := p.backoff(attempt, l.Sim.Rand())
+				attempt++
+				l.Sim.Schedule(delay, launch)
+				return
+			}
+			finalize(res)
+		})
+	}
+	launch()
+}
+
+// commonMechanism returns the mechanism most of the winning verdict's
+// attempts reported, ties broken by first occurrence — deterministic.
+func commonMechanism(verdicts []Verdict, mechs []string, winner Verdict) string {
+	counts := make(map[string]int)
+	var order []string
+	for i, v := range verdicts {
+		if v != winner {
+			continue
+		}
+		if counts[mechs[i]] == 0 {
+			order = append(order, mechs[i])
+		}
+		counts[mechs[i]]++
+	}
+	best, bestN := MechNone, 0
+	for _, m := range order {
+		if counts[m] > bestN {
+			best, bestN = m, counts[m]
+		}
+	}
+	return best
 }
 
 // mechSuffix renders ", mech" or nothing, for attempt-log lines.

@@ -1,0 +1,98 @@
+package lab
+
+import (
+	"time"
+
+	"safemeasure/internal/censor"
+)
+
+// BehaviorPreset is a named adversarial-censor profile: a way the censor
+// itself misbehaves while its policy stays the ground truth. Presets are
+// the campaign planner's censor-behavior sweep axis — the fourth dimension
+// of the E11 matrix, beside technique, scenario, and impairment. Unlike
+// impairments (which degrade the WAN uplink in both directions; see
+// ImpairmentPreset), behaviors live inside the censor tap at the border,
+// so mechanisms like throttling shape both directions of a flow by
+// construction. All behavior state is seed-deterministic: flow decisions
+// hash the behavior seed (lab seed + 2), and all rate state advances on
+// virtual time.
+type BehaviorPreset struct {
+	Name     string
+	Summary  string
+	Behavior censor.Behavior
+}
+
+// BehaviorNone is the name of the faithful (deterministic) censor preset.
+const BehaviorNone = "none"
+
+// Behaviors returns every preset, in stable order. "none" is first, so
+// default campaigns stay identical to a behavior-unaware sweep.
+func Behaviors() []BehaviorPreset {
+	return []BehaviorPreset{
+		{
+			Name:    BehaviorNone,
+			Summary: "faithful censor: every matching flow enforced (control)",
+		},
+		{
+			Name:    "intermittent",
+			Summary: "enforces on only ~50% of matching flows, sticky per flow",
+			Behavior: censor.Behavior{
+				EnforceProb: 0.5,
+			},
+		},
+		{
+			Name:    "throttle",
+			Summary: "token-bucket shaping (1 KiB/s, 128 B burst) instead of RSTs",
+			Behavior: censor.Behavior{
+				ThrottleRate:  1024,
+				ThrottleBurst: 128,
+			},
+		},
+		{
+			Name:    "partial-blockpage",
+			Summary: "injected 403 blockpage truncated after 96 bytes, then FIN",
+			Behavior: censor.Behavior{
+				BlockpageBytes: 96,
+			},
+		},
+		{
+			Name:    "lazy-rst",
+			Summary: "RST injection delayed 2ms past the trigger",
+			Behavior: censor.Behavior{
+				InjectDelay: 2 * time.Millisecond,
+			},
+		},
+		{
+			Name:    "exhausted",
+			Summary: "injector budget 3 actions, one refill per 700ms — stops enforcing under load",
+			Behavior: censor.Behavior{
+				InjectorBudget: 3,
+				InjectorRefill: 700 * time.Millisecond,
+			},
+		},
+	}
+}
+
+// BehaviorByName looks a preset up by name. The empty string is the
+// faithful censor, like ImpairmentByName.
+func BehaviorByName(name string) (BehaviorPreset, bool) {
+	if name == "" {
+		name = BehaviorNone
+	}
+	for _, p := range Behaviors() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return BehaviorPreset{}, false
+}
+
+// BehaviorNames lists every preset name in Behaviors() order.
+func BehaviorNames() []string {
+	all := Behaviors()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -13,6 +13,17 @@ import (
 // E11 matrix grows its impairment dimension. All impairment randomness is
 // drawn from the lab's seeded simulator RNG, so impaired runs stay
 // byte-reproducible for a fixed seed.
+//
+// Scope contract: an impairment preset applies to the WAN uplink ONLY.
+// The client-AS LAN links (client↔edge, population↔edge) and the server-
+// zone links stay pristine — lab.New never calls ApplyImpairment on them
+// (TestImpairmentScopeLANLinksClean asserts this). Since links degrade
+// both directions symmetrically (Port.Send shares the Link's knobs), an
+// uplink impairment already hits probes and replies alike. Censor-behavior
+// presets (see BehaviorPreset) deliberately do NOT ride on links at all:
+// shaping that must follow a flow, like throttle, lives inside the censor
+// tap at the border, where both directions of every flow are observed —
+// a behavior applied to one link would silently have the wrong scope.
 type ImpairmentPreset struct {
 	Name    string
 	Summary string

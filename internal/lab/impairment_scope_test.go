@@ -1,0 +1,62 @@
+package lab
+
+import (
+	"testing"
+
+	"safemeasure/internal/netsim"
+)
+
+// TestImpairmentScopeLANLinksClean pins the impairment scope contract: a
+// Config.Impair preset applies to the WAN uplink and ONLY the WAN uplink.
+// The client-AS host↔edge links stay pristine, so an impairment sweep models
+// a bad transit path, not a broken client LAN — and techniques that compare
+// cover-population behaviour against the measurer's are comparing like with
+// like.
+func TestImpairmentScopeLANLinksClean(t *testing.T) {
+	for _, preset := range Impairments() {
+		l, err := New(Config{Seed: 1, PopulationSize: 6, Impair: preset.Impair})
+		if err != nil {
+			t.Fatalf("%s: lab.New: %v", preset.Name, err)
+		}
+		if l.Uplink == nil {
+			t.Fatalf("%s: lab has no uplink", preset.Name)
+		}
+		got := netsim.Impairment{
+			Loss:         l.Uplink.Loss,
+			Jitter:       l.Uplink.Jitter,
+			Reorder:      l.Uplink.Reorder,
+			ReorderDelay: l.Uplink.ReorderDelay,
+			Duplicate:    l.Uplink.Duplicate,
+			Corrupt:      l.Uplink.Corrupt,
+		}
+		if got != preset.Impair {
+			t.Errorf("%s: uplink carries %+v, want the preset %+v", preset.Name, got, preset.Impair)
+		}
+		lan := l.LANLinks()
+		if len(lan) == 0 {
+			t.Fatalf("%s: lab exposes no LAN links", preset.Name)
+		}
+		for i, link := range lan {
+			if link.Loss != 0 || link.Reorder != 0 || link.Duplicate != 0 ||
+				link.Corrupt != 0 || link.Jitter != 0 {
+				t.Errorf("%s: LAN link %d impaired (loss=%v jitter=%v reorder=%v dup=%v corrupt=%v); Config.Impair must stay on the uplink",
+					preset.Name, i, link.Loss, link.Jitter, link.Reorder, link.Duplicate, link.Corrupt)
+			}
+		}
+	}
+}
+
+// TestImpairmentScopeLinkJitterIsSeparate: Config.LinkJitter is the knob
+// that DOES touch LAN links (global timing noise); it must not be conflated
+// with the impairment presets' scope.
+func TestImpairmentScopeLinkJitterIsSeparate(t *testing.T) {
+	l, err := New(Config{Seed: 1, PopulationSize: 4, LinkJitter: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, link := range l.LANLinks() {
+		if link.Jitter == 0 {
+			t.Errorf("LAN link %d ignored Config.LinkJitter", i)
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// impairment randomness comes from the lab's seeded RNG. See
 	// Impairments() for the named presets campaigns sweep.
 	Impair netsim.Impairment
+	// Behavior makes the censor itself adversarial (intermittent
+	// enforcement, throttling, truncated blockpages, lazy or exhausted
+	// injectors). The zero value is the faithful censor. Behavior is
+	// runtime-only state on the censor instance — it does not affect the
+	// compiled artifacts, so behaviored and faithful runs share Artifacts.
+	// See Behaviors() for the named presets campaigns sweep.
+	Behavior censor.Behavior
 	// Censor configures the censorship middlebox. Zero value gives the
 	// default GFC-style setup (keywords + poisoned domains).
 	Censor censor.Config
@@ -162,6 +169,12 @@ type Lab struct {
 	Censor  *censor.Censor
 	Surveil *surveil.System
 	SAV     *spoof.Filter
+
+	// Uplink is the edge↔border WAN link — the only link Config.Impair
+	// applies to. lanLinks are the client-AS host↔edge links, kept so
+	// tests can assert the impairment scope contract (see LANLinks).
+	Uplink   *netsim.Link
+	lanLinks []*netsim.Link
 
 	hostPorts map[int]netip.Addr // edge router port -> true host address
 
@@ -277,6 +290,7 @@ func New(cfg Config) (*Lab, error) {
 	if cfg.LinkJitter > uplink.Jitter {
 		uplink.Jitter = cfg.LinkJitter
 	}
+	l.Uplink = uplink
 	l.Edge.AddRoute(ClientASPrefix, -1)
 	l.Edge.SetDefaultRoute(nHosts)
 	l.Border.AddRoute(ClientASPrefix, 0)
@@ -339,6 +353,10 @@ func New(cfg Config) (*Lab, error) {
 	l.Border.AddTap(l.Surveil)
 
 	l.Censor = art.censor.New()
+	// The behavior seed is its own derivation (seed + 2, beside the
+	// population's seed + 1) so adding a behavior never perturbs any other
+	// seeded stream.
+	l.Censor.SetBehavior(cfg.Behavior, cfg.Seed+2, l.Sim)
 	l.Border.AddTap(l.Censor)
 
 	if cfg.Telemetry != nil || cfg.Trace != nil {
@@ -372,7 +390,13 @@ func (l *Lab) attachClientHost(h *netsim.Host, port int, lat time.Duration) {
 	link.Jitter = l.Cfg.LinkJitter
 	l.Edge.AddRoute(netip.PrefixFrom(h.Addr, 32), port)
 	l.hostPorts[port] = h.Addr
+	l.lanLinks = append(l.lanLinks, link)
 }
+
+// LANLinks returns the client-AS host↔edge links. Config.Impair never
+// touches these — the impairment scope contract tests assert they stay
+// clean.
+func (l *Lab) LANLinks() []*netsim.Link { return l.lanLinks }
 
 // savTap enforces source-address validation at the AS edge.
 func (l *Lab) savTap(tp *netsim.TapPacket, _ netsim.Injector) netsim.Verdict {

@@ -182,6 +182,7 @@ func parseRequest(w http.ResponseWriter, r *http.Request) (Request, error) {
 			Technique:  q.Get("technique"),
 			Scenario:   q.Get("scenario"),
 			Impairment: q.Get("impairment"),
+			Behavior:   q.Get("behavior"),
 			Client:     q.Get("client"),
 		}
 		if v := q.Get("trials"); v != "" {

@@ -38,11 +38,12 @@ func journalObs(typ, client string, spec campaign.RunSpec) archival.Observation 
 	key := spec.CellKey()
 	o := archival.Observation{
 		Run: archival.RunID(key.Technique, key.Scenario, key.Impairment,
-			key.Trial, key.Seed),
+			key.Behavior, key.Trial, key.Seed),
 		Type:       typ,
 		Technique:  key.Technique,
 		Scenario:   key.Scenario,
 		Impairment: key.Impairment,
+		Behavior:   key.Behavior,
 		Trial:      key.Trial,
 		Seed:       key.Seed,
 		Detail:     client,
@@ -577,7 +578,8 @@ func (st *Store) doneLocked(key campaign.CellKey) {
 		return
 	}
 	o := journalObs(obsTypeDone, "", campaign.RunSpec{Technique: key.Technique,
-		Scenario: key.Scenario, Impairment: key.Impairment, Trial: key.Trial, Seed: key.Seed})
+		Scenario: key.Scenario, Impairment: key.Impairment, Behavior: key.Behavior,
+		Trial: key.Trial, Seed: key.Seed})
 	marker := archival.AppendObservation(nil, &o)
 	if st.jFailed {
 		st.stashJournalLocked(journalStash{marker: marker, key: key})

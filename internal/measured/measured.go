@@ -278,8 +278,11 @@ type Request struct {
 	Technique  string `json:"technique"`
 	Scenario   string `json:"scenario"`
 	Impairment string `json:"impairment,omitempty"`
-	Trials     int    `json:"trials,omitempty"`
-	Seed       int64  `json:"seed,omitempty"`
+	// Behavior names the adversarial censor-behavior preset ("" means the
+	// faithful censor), same names as cmd/campaign's -censor-behavior.
+	Behavior string `json:"behavior,omitempty"`
+	Trials   int    `json:"trials,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
 	// Client identifies the requester for rate limiting and fairness;
 	// empty falls back to the X-Measured-Client header, then the remote
 	// address.
@@ -312,10 +315,15 @@ func (s *Service) Plan(req Request) (*campaign.Plan, error) {
 	if impairment == "" {
 		impairment = lab.ImpairmentNone
 	}
+	behavior := req.Behavior
+	if behavior == "" {
+		behavior = lab.BehaviorNone
+	}
 	plan, err := campaign.NewPlan(campaign.PlanConfig{
 		Techniques:  []string{req.Technique},
 		Scenarios:   []string{req.Scenario},
 		Impairments: []string{impairment},
+		Behaviors:   []string{behavior},
 		Trials:      trials,
 		Seed:        seed,
 	})
@@ -490,8 +498,12 @@ func drainRecord(spec campaign.RunSpec, err error) campaign.RunRecord {
 	if imp == lab.ImpairmentNone {
 		imp = ""
 	}
+	bhv := spec.Behavior
+	if bhv == lab.BehaviorNone {
+		bhv = ""
+	}
 	rec := campaign.RunRecord{Scenario: spec.Scenario, Impairment: imp,
-		Trial: spec.Trial, Error: err.Error()}
+		Behavior: bhv, Trial: spec.Trial, Error: err.Error()}
 	rec.Technique = spec.Technique
 	rec.Seed = spec.Seed
 	return rec

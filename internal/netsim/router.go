@@ -3,6 +3,7 @@ package netsim
 import (
 	"net/netip"
 	"sort"
+	"time"
 
 	"safemeasure/internal/packet"
 	"safemeasure/internal/telemetry"
@@ -11,11 +12,16 @@ import (
 // Verdict is a tap's decision about a datagram.
 type Verdict int
 
-// Tap verdicts. Only inline (censoring) taps may return Drop; the
+// Tap verdicts. Only inline (censoring) taps may return Drop or Shape; the
 // surveillance tap is passive and always passes.
 const (
 	Pass Verdict = iota
 	Drop
+	// Shape delays the datagram by TapPacket.Delay virtual nanoseconds
+	// before forwarding it (a throttling middlebox). The router takes the
+	// maximum Delay across taps; a Shape verdict with Delay == 0 forwards
+	// normally. Delayed datagrams do not re-traverse the taps.
+	Shape
 )
 
 // TapPacket is what a tap observes: the raw wire bytes plus a parse.
@@ -24,6 +30,9 @@ type TapPacket struct {
 	Raw    []byte
 	Pkt    *packet.Packet // nil if the datagram failed to parse
 	InPort int
+	// Delay is written by a tap returning Shape: how long the router holds
+	// the datagram before forwarding. Reset by the router per datagram.
+	Delay int64
 }
 
 // Tap observes datagrams traversing a router. The Injector lets a tap
@@ -82,12 +91,13 @@ type Router struct {
 	Forwarded   int
 	TTLExpired  int
 	TapDropped  int
+	TapShaped   int
 	NoRoute     int
 	ParseFailed int
 
 	// Telemetry handles, resolved once from sim.Tel at construction;
 	// nil (telemetry disabled) costs one comparison per use.
-	mForwarded, mTTLExpired, mTapDropped, mNoRoute *telemetry.Counter
+	mForwarded, mTTLExpired, mTapDropped, mTapShaped, mNoRoute *telemetry.Counter
 
 	// dec and tp are per-router scratch reused across forwards, so the
 	// hot path decodes and observes without allocating. Taps only see tp
@@ -102,6 +112,7 @@ func NewRouter(sim *Sim, name string, addr netip.Addr, nports int) *Router {
 	r.mForwarded = sim.Tel.Counter("netsim_forwarded_total")
 	r.mTTLExpired = sim.Tel.Counter("netsim_ttl_expired_total")
 	r.mTapDropped = sim.Tel.Counter("netsim_tap_dropped_total")
+	r.mTapShaped = sim.Tel.Counter("netsim_tap_shaped_total")
 	r.mNoRoute = sim.Tel.Counter("netsim_no_route_total")
 	return r
 }
@@ -188,9 +199,11 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 
 	if wantTaps {
 		tp := &r.tp
-		tp.Time, tp.Raw, tp.Pkt, tp.InPort = int64(r.sim.Now()), raw, pkt, in
+		tp.Time, tp.Raw, tp.Pkt, tp.InPort, tp.Delay = int64(r.sim.Now()), raw, pkt, in, 0
+		var delay int64
 		for _, t := range r.taps {
-			if t.Observe(tp, r) == Drop {
+			switch t.Observe(tp, r) {
+			case Drop:
 				r.TapDropped++
 				r.mTapDropped.Inc()
 				if tr := r.sim.Trace; tr != nil {
@@ -198,7 +211,28 @@ func (r *Router) forward(in int, raw []byte, runTaps bool) {
 						ip.Src.String(), ip.Dst.String(), r.Name)
 				}
 				return
+			case Shape:
+				if tp.Delay > delay {
+					delay = tp.Delay
+				}
 			}
+		}
+		if delay > 0 {
+			// Hold the datagram for the shaping delay, then forward it
+			// without re-running the taps (the shaper already charged it).
+			// The scratch decode is invalidated by the time the timer
+			// fires, so the delayed path re-decodes from raw — which the
+			// router owns outright once the caller's Send handed it over.
+			r.TapShaped++
+			r.mTapShaped.Inc()
+			if tr := r.sim.Trace; tr != nil {
+				tr.Emit(int64(r.sim.Now()), telemetry.EvTapShape,
+					ip.Src.String(), ip.Dst.String(), r.Name)
+			}
+			r.sim.Schedule(time.Duration(delay), func() {
+				r.forward(in, raw, false)
+			})
+			return
 		}
 	}
 

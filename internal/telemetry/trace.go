@@ -15,6 +15,7 @@ const (
 	EvMVRDiscard  = "mvr-discard"   // the MVR discarded a packet wholesale
 	EvTTLExpiry   = "ttl-expiry"    // a router dropped a datagram at TTL 0
 	EvTapDrop     = "tap-drop"      // an inline tap (censor/SAV) dropped a datagram
+	EvTapShape    = "tap-shape"     // an inline tap delayed (throttled) a datagram
 )
 
 // Event is one packet-path occurrence.

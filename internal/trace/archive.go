@@ -12,11 +12,11 @@ import (
 // Name the transport protocol, and Count the raw datagram length. The cell
 // identity stamps every row so packet-level evidence joins records and
 // traces from the same run.
-func Observations(c *netsim.Capture, technique, scenario, impairment string, trial int, seed int64) []archival.Observation {
+func Observations(c *netsim.Capture, technique, scenario, impairment, behavior string, trial int, seed int64) []archival.Observation {
 	if c == nil {
 		return nil
 	}
-	run := archival.RunID(technique, scenario, impairment, trial, seed)
+	run := archival.RunID(technique, scenario, impairment, behavior, trial, seed)
 	obs := make([]archival.Observation, 0, len(c.Packets))
 	for i, tp := range c.Packets {
 		o := archival.Observation{
@@ -25,6 +25,7 @@ func Observations(c *netsim.Capture, technique, scenario, impairment string, tri
 			Technique:  technique,
 			Scenario:   scenario,
 			Impairment: impairment,
+			Behavior:   behavior,
 			Trial:      trial,
 			Seed:       seed,
 			Seq:        i,
@@ -44,8 +45,8 @@ func Observations(c *netsim.Capture, technique, scenario, impairment string, tri
 
 // WriteObservations flattens a capture and appends it to an archival writer
 // as one contiguous batch.
-func WriteObservations(w archival.Writer, c *netsim.Capture, technique, scenario, impairment string, trial int, seed int64) int {
-	obs := Observations(c, technique, scenario, impairment, trial, seed)
+func WriteObservations(w archival.Writer, c *netsim.Capture, technique, scenario, impairment, behavior string, trial int, seed int64) int {
+	obs := Observations(c, technique, scenario, impairment, behavior, trial, seed)
 	w.WriteObservations(obs)
 	return len(obs)
 }

@@ -68,13 +68,25 @@ func (s *Server) respond(req *httpwire.Request) *httpwire.Response {
 // timeouts wrapped in ErrConnection). It returns the connection so callers
 // can tweak it before the handshake completes.
 func Get(stack *tcpsim.Stack, addr netip.Addr, host, path string, done func(*httpwire.Response, error)) *tcpsim.Conn {
+	return GetPartial(stack, addr, host, path, func(r *httpwire.Response, _ []byte, err error) {
+		done(r, err)
+	})
+}
+
+// GetPartial is Get, but done also receives whatever response bytes had
+// been buffered when the fetch ended. On success that is the full wire
+// response; on failure it is the truncated prefix the peer (or a censor
+// forging as the peer) managed to deliver — which is what truncated-
+// blockpage fingerprinting inspects. The slice is the fetch's own buffer;
+// callers may retain it.
+func GetPartial(stack *tcpsim.Stack, addr netip.Addr, host, path string, done func(*httpwire.Response, []byte, error)) *tcpsim.Conn {
 	conn := stack.Dial(addr, HTTPPort)
 	var buf []byte
 	finished := false
 	finish := func(r *httpwire.Response, err error) {
 		if !finished {
 			finished = true
-			done(r, err)
+			done(r, buf, err)
 		}
 	}
 	conn.OnConnect = func(c *tcpsim.Conn) {

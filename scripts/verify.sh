@@ -25,7 +25,7 @@ go vet ./...
 go build ./examples/...
 go vet ./examples/...
 go test ./...
-go test -race ./internal/campaign ./internal/measured ./internal/telemetry ./internal/netsim ./internal/core ./internal/population
+go test -race ./internal/campaign ./internal/measured ./internal/telemetry ./internal/netsim ./internal/core ./internal/population ./internal/censor ./internal/ids
 go test -race ./internal/chaos
 
 # Fuzz smoke pass over every wire decoder. The seed corpora always run as
@@ -144,6 +144,18 @@ test -s "$tmp/smoke.jsonl"
 # 1 scenario x 3 techniques x 500 trials = 1500 records, every line valid JSON
 test "$(wc -l < "$tmp/smoke.jsonl")" -eq 1500
 
+# Censor-behavior determinism smoke: a campaign sweeping every adversarial
+# behavior preset must produce byte-identical sorted records at workers 1
+# and 8 — the end-to-end form of the behavior-state-is-seed-derived claim.
+"$tmp/campaign" -scenarios keyword-rst -censor-behavior all -trials 2 \
+  -workers 1 -seed 5 -out "$tmp/bhv.w1.jsonl" > /dev/null
+"$tmp/campaign" -scenarios keyword-rst -censor-behavior all -trials 2 \
+  -workers 8 -seed 5 -out "$tmp/bhv.w8.jsonl" > /dev/null
+LC_ALL=C sort "$tmp/bhv.w1.jsonl" > "$tmp/bhv.w1.sorted"
+LC_ALL=C sort "$tmp/bhv.w8.jsonl" > "$tmp/bhv.w8.sorted"
+cmp "$tmp/bhv.w1.sorted" "$tmp/bhv.w8.sorted"
+grep -q '"behavior":"throttle"' "$tmp/bhv.w1.jsonl"
+
 # Analysis-pipeline smoke: a second seeded campaign gives compare two real
 # 1500-run inputs; its per-cell Wilson-CI delta table must be deterministic
 # (two invocations, byte-identical output), and convert must round-trip
@@ -164,6 +176,14 @@ ls -l "$tmp/smoke.obs.jsonl" "$tmp/smoke.obs.bin"
 # (valid prefix + half a record) without erroring.
 head -c "$(( $(wc -c < "$tmp/smoke.jsonl") - 40 ))" "$tmp/smoke.jsonl" > "$tmp/torn.jsonl"
 "$tmp/measanalyze" summarize "$tmp/torn.jsonl" > /dev/null
+# Behavior guard rails: summarize shows per-behavior marginals on a swept
+# file, and compare refuses to diff files whose behavior sets differ.
+"$tmp/measanalyze" summarize "$tmp/bhv.w1.jsonl" | grep -q "per-behavior"
+if "$tmp/measanalyze" compare "$tmp/bhv.w1.jsonl" "$tmp/smoke.jsonl" 2> "$tmp/bhv.err"; then
+  echo "compare accepted mismatched behavior sets" >&2
+  exit 1
+fi
+grep -q "behavior mismatch" "$tmp/bhv.err"
 
 # Service smoke test: start safemeasured on an ephemeral port, drive it with
 # measload (50 concurrent clients; every client's third request repeats its
